@@ -1,0 +1,60 @@
+//! Criterion benches of the input-encoding substrate: throughput of the
+//! three Table I encoding schemes plus the fixed-function baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ng_neural::encoding::composite::IdentityEncoding;
+use ng_neural::encoding::frequency::FrequencyEncoding;
+use ng_neural::encoding::sh::SphericalHarmonics;
+use ng_neural::encoding::{encode_batch, Encoding, GridConfig, MultiResGrid};
+
+fn bench_grid_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_encode");
+    let configs = [
+        ("hashgrid_L16", GridConfig::hashgrid(3, 14, 1.5)),
+        ("densegrid_L8", GridConfig::densegrid(3, 14)),
+        ("low_res_L2", GridConfig::low_res_densegrid(3, 14)),
+    ];
+    let batch: Vec<f32> = (0..3 * 1024).map(|i| (i as f32 * 0.61803) % 1.0).collect();
+    for (name, cfg) in configs {
+        let grid = MultiResGrid::new(cfg, 1).expect("valid config");
+        group.throughput(Throughput::Elements(1024));
+        group.bench_with_input(BenchmarkId::new("batch1024", name), &grid, |b, g| {
+            b.iter(|| encode_batch(g, &batch).expect("encodes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_function(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_function_encode");
+    let freq = FrequencyEncoding::new(3, 10);
+    let sh = SphericalHarmonics::degree4();
+    let id = IdentityEncoding::new(16);
+    let p3 = [0.3f32, 0.6, 0.9];
+    let p16: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+    group.bench_function("frequency_3x10", |b| {
+        let mut out = vec![0.0; freq.output_dim()];
+        b.iter(|| freq.encode_into(&p3, &mut out).expect("encodes"));
+    });
+    group.bench_function("spherical_harmonics_deg4", |b| {
+        let mut out = vec![0.0; sh.output_dim()];
+        b.iter(|| sh.encode_into(&p3, &mut out).expect("encodes"));
+    });
+    group.bench_function("identity_16", |b| {
+        let mut out = vec![0.0; 16];
+        b.iter(|| id.encode_into(&p16, &mut out).expect("encodes"));
+    });
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let grid = MultiResGrid::new(GridConfig::hashgrid(3, 12, 1.5), 2).expect("valid");
+    let d_out = vec![1.0f32; grid.output_dim()];
+    let mut d_params = vec![0.0f32; grid.param_count()];
+    c.bench_function("grid_backward_hashgrid", |b| {
+        b.iter(|| grid.backward(&[0.4, 0.5, 0.6], &d_out, &mut d_params).expect("backward"));
+    });
+}
+
+criterion_group!(benches, bench_grid_encodings, bench_fixed_function, bench_backward);
+criterion_main!(benches);

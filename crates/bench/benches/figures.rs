@@ -1,0 +1,53 @@
+//! Benchmarked figure regeneration: every paper table/figure computation
+//! runs under Criterion, both to keep them fast and to exercise them on
+//! every `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_gpu::gap::{performance_gap, RenderTarget};
+use ng_gpu::ops::op_breakdown_average;
+use ng_gpu::profile::breakdown_figure;
+use ng_gpu::rtx3090;
+use ng_neural::apps::{AppKind, EncodingKind};
+use ngpc::bandwidth::table3;
+use ngpc::emulator::average_speedup;
+use ngpc::pixels::figure14;
+
+fn bench_figures(c: &mut Criterion) {
+    let gpu = rtx3090();
+    c.bench_function("fig05_breakdown", |b| {
+        b.iter(|| {
+            EncodingKind::ALL.map(breakdown_figure)
+        })
+    });
+    c.bench_function("fig08_ops", |b| {
+        b.iter(|| op_breakdown_average(&gpu, EncodingKind::MultiResHashGrid))
+    });
+    c.bench_function("fig12_averages", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for enc in EncodingKind::ALL {
+                for n in [8u32, 16, 32, 64] {
+                    acc += average_speedup(enc, n);
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("fig14_pixels", |b| {
+        b.iter(|| figure14(EncodingKind::MultiResHashGrid, 64))
+    });
+    c.bench_function("fig15_area_power", |b| {
+        b.iter(|| [8u32, 16, 32, 64].map(ng_hw::ngpc_area_power))
+    });
+    c.bench_function("table3_bandwidth", |b| b.iter(table3));
+    c.bench_function("headline_gaps", |b| {
+        b.iter(|| {
+            AppKind::ALL.map(|a| {
+                performance_gap(a, EncodingKind::MultiResHashGrid, RenderTarget::UHD4K_60)
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches of the GPU performance model and the NGPC emulator
+//! themselves (they must be fast enough for design-space sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_gpu::cost::estimate_frame;
+use ng_gpu::ops::op_breakdown_average;
+use ng_gpu::{kernel_breakdown, rtx3090, FrameWorkload};
+use ng_neural::apps::{AppKind, EncodingKind};
+use ngpc::emulator::{emulate, EmulatorInput};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let gpu = rtx3090();
+    let w = FrameWorkload::derive(AppKind::Nvr, EncodingKind::MultiResDenseGrid, 1920 * 1080);
+    c.bench_function("gpu_estimate_frame", |b| b.iter(|| estimate_frame(&gpu, &w)));
+    c.bench_function("gpu_kernel_breakdown", |b| {
+        b.iter(|| kernel_breakdown(AppKind::Nerf, EncodingKind::MultiResHashGrid, 1920 * 1080))
+    });
+    c.bench_function("gpu_op_breakdown", |b| {
+        b.iter(|| op_breakdown_average(&gpu, EncodingKind::MultiResDenseGrid))
+    });
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    c.bench_function("ngpc_emulate", |b| {
+        b.iter(|| emulate(&EmulatorInput { nfp_units: 64, ..EmulatorInput::default() }))
+    });
+    c.bench_function("ngpc_emulate_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for app in AppKind::ALL {
+                for enc in EncodingKind::ALL {
+                    for n in [8u32, 16, 32, 64] {
+                        acc += emulate(&EmulatorInput {
+                            app,
+                            encoding: enc,
+                            nfp_units: n,
+                            ..EmulatorInput::default()
+                        })
+                        .speedup;
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_cost_model, bench_emulator);
+criterion_main!(benches);

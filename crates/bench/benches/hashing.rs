@@ -1,0 +1,59 @@
+//! The paper's modulo-vs-mask micro-ablation: the NFP `grid_index` unit
+//! replaces the general integer modulo with a shift/mask because table
+//! sizes are powers of two. This bench quantifies the same effect in
+//! software, alongside the hash and dense-index primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_neural::encoding::hash::{dense_index, spatial_hash, table_mask, HASH_PRIMES};
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    c.bench_function("spatial_hash_3d", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            black_box(spatial_hash(&[i, i.wrapping_mul(3), i.wrapping_mul(7)], 19))
+        });
+    });
+    c.bench_function("dense_index_3d", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            black_box(dense_index(&[i, i, i], 128))
+        });
+    });
+}
+
+fn raw_hash(coords: &[u32; 3]) -> u32 {
+    let mut h = 0u32;
+    for (i, &c) in coords.iter().enumerate() {
+        h ^= c.wrapping_mul(HASH_PRIMES[i]);
+    }
+    h
+}
+
+fn bench_modulo_vs_mask(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_reduction");
+    // Non-constant table size defeats compiler strength reduction, like
+    // the GPU kernel the paper profiles where T is a runtime value.
+    let t: u32 = black_box(1 << 19);
+    group.bench_function("general_modulo", |b| {
+        let mut i = 1u32;
+        b.iter(|| {
+            i = i.wrapping_add(1013);
+            black_box(raw_hash(&[i, i ^ 5, i ^ 9]) % t)
+        });
+    });
+    group.bench_function("power_of_two_mask", |b| {
+        let mut i = 1u32;
+        let mask = table_mask(19);
+        b.iter(|| {
+            i = i.wrapping_add(1013);
+            black_box(raw_hash(&[i, i ^ 5, i ^ 9]) & mask)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_modulo_vs_mask);
+criterion_main!(benches);

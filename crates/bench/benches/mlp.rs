@@ -1,0 +1,58 @@
+//! Criterion benches of the fully-fused-style MLPs: forward, traced
+//! forward and backward for the Table I topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ng_neural::math::Activation;
+use ng_neural::mlp::{Mlp, MlpConfig};
+
+fn table1_nets() -> Vec<(&'static str, Mlp)> {
+    vec![
+        (
+            "nerf_density_32x3x16",
+            Mlp::new(MlpConfig::neural_graphics(32, 3, 16, Activation::None), 1).expect("valid"),
+        ),
+        (
+            "nerf_color_32x4x3",
+            Mlp::new(MlpConfig::neural_graphics(32, 4, 3, Activation::None), 2).expect("valid"),
+        ),
+        (
+            "nsdf_32x4x1",
+            Mlp::new(MlpConfig::neural_graphics(32, 4, 1, Activation::None), 3).expect("valid"),
+        ),
+        (
+            "nvr_16x4x4",
+            Mlp::new(MlpConfig::neural_graphics(16, 4, 4, Activation::None), 4).expect("valid"),
+        ),
+    ]
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_forward");
+    for (name, mlp) in table1_nets() {
+        let x: Vec<f32> = (0..mlp.config().input_dim).map(|i| (i as f32 * 0.21).sin()).collect();
+        let mut out = vec![0.0; mlp.config().output_dim];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mlp, |b, m| {
+            b.iter(|| m.forward_into(&x, &mut out).expect("forward"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_train_step");
+    for (name, mlp) in table1_nets() {
+        let x: Vec<f32> = (0..mlp.config().input_dim).map(|i| (i as f32 * 0.13).cos()).collect();
+        let d_out = vec![1.0f32; mlp.config().output_dim];
+        let mut grads = vec![0.0f32; mlp.param_count()];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mlp, |b, m| {
+            b.iter(|| {
+                let trace = m.forward_traced(&x).expect("forward");
+                m.backward(&x, &trace, &d_out, &mut grads).expect("backward")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches of the NFP functional hardware models: the fused
+//! pipeline, the encoding cluster and the MLP engine, plus the fusion
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ng_neural::apps::nsdf::NsdfModel;
+use ng_neural::apps::EncodingKind;
+use ngpc::cluster::Ngpc;
+use ngpc::engine::FusedNfp;
+use ngpc::{NfpConfig, NgpcConfig};
+
+fn bench_fused_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nfp_fused_query");
+    for enc in EncodingKind::ALL {
+        let model = NsdfModel::new(enc, 7);
+        let mut nfp = FusedNfp::from_field(NfpConfig::default(), model.field()).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(enc.abbrev()), &(), |b, _| {
+            b.iter(|| nfp.query(&[0.37, 0.58, 0.71]).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_batch(c: &mut Criterion) {
+    let model = NsdfModel::new(EncodingKind::LowResDenseGrid, 9);
+    let mut nfp = FusedNfp::from_field(NfpConfig::default(), model.field()).expect("builds");
+    let batch: Vec<f32> = (0..3 * 512).map(|i| (i as f32 * 0.37) % 1.0).collect();
+    let mut group = c.benchmark_group("nfp_fused_batch");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("512_queries", |b| {
+        b.iter(|| nfp.run_batch(&batch).expect("runs"));
+    });
+    group.finish();
+}
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    let model = NsdfModel::new(EncodingKind::LowResDenseGrid, 11);
+    let batch: Vec<f32> = (0..3 * 2048).map(|i| (i as f32 * 0.73) % 1.0).collect();
+    let mut group = c.benchmark_group("ngpc_cluster_batch2048");
+    for n in [1u32, 8, 64] {
+        let mut cluster =
+            Ngpc::new(NgpcConfig::with_units(n), model.field()).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| cluster.run_batch(&batch).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_query, bench_fused_batch, bench_cluster_scaling);
+criterion_main!(benches);

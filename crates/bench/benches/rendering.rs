@@ -1,0 +1,66 @@
+//! Criterion benches of the rendering substrate: compositing, sphere
+//! tracing and full small-frame renders through a live model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ng_neural::apps::nvr::NvrModel;
+use ng_neural::apps::EncodingKind;
+use ng_neural::data::sdf::SdfShape;
+use ng_neural::math::Vec3;
+use ng_neural::render::camera::{Camera, Ray};
+use ng_neural::render::sphere_trace::{sphere_trace, SphereTraceConfig};
+use ng_neural::render::volume::{composite_ray, RaymarchConfig};
+use ng_neural::render::ImageBuffer;
+
+fn bench_compositing(c: &mut Criterion) {
+    let cfg = RaymarchConfig { n_samples: 96, ..RaymarchConfig::default() };
+    c.bench_function("composite_ray_96_samples", |b| {
+        b.iter(|| {
+            composite_ray(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0, &cfg, |p| {
+                (Vec3::new(p.z, 0.5, 1.0 - p.z), 3.0 * p.z)
+            })
+        })
+    });
+}
+
+fn bench_sphere_trace(c: &mut Criterion) {
+    let shape = SdfShape::centered_torus(0.2, 0.07);
+    let ray = Ray { origin: Vec3::new(0.5, 0.5, -1.5), dir: Vec3::new(0.0, 0.0, 1.0) };
+    let cfg = SphereTraceConfig::default();
+    c.bench_function("sphere_trace_torus", |b| {
+        b.iter(|| sphere_trace(&ray, &cfg, |p| shape.distance(p)))
+    });
+}
+
+fn bench_neural_frame(c: &mut Criterion) {
+    // A 32x32 volume-rendered frame through an untrained NVR model:
+    // measures the full query pipeline under rendering load.
+    let model = NvrModel::new(EncodingKind::LowResDenseGrid, 3);
+    let cam = Camera::orbit(0.8, 0.4, 1.8, 1.0);
+    let march = RaymarchConfig { n_samples: 16, ..RaymarchConfig::default() };
+    let mut group = c.benchmark_group("neural_frame");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(32 * 32));
+    group.bench_function("nvr_32x32", |b| {
+        b.iter(|| {
+            let mut img = ImageBuffer::new(32, 32);
+            img.fill_from(|u, v| {
+                let ray = cam.ray(u, v);
+                match ray.intersect_unit_cube() {
+                    Some((t0, t1)) => {
+                        composite_ray(ray.origin, ray.dir, t0, t1, &march, |p| {
+                            let s = model.query(p).expect("in range");
+                            (s.color, s.sigma)
+                        })
+                        .color
+                    }
+                    None => Vec3::ZERO,
+                }
+            });
+            img
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compositing, bench_sphere_trace, bench_neural_frame);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches of the training loop: one optimizer step per
+//! application (the per-step cost a practitioner would care about).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_neural::apps::gia::GiaModel;
+use ng_neural::apps::nsdf::NsdfModel;
+use ng_neural::apps::EncodingKind;
+use ng_neural::data::procedural::ProceduralImage;
+use ng_neural::data::sdf::SdfShape;
+use ng_neural::train::{TrainConfig, Trainer};
+
+fn bench_gia_step(c: &mut Criterion) {
+    let image = ProceduralImage::new(5);
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    group.bench_function("gia_batch256_low_res", |b| {
+        // Fresh model per iteration batch would swamp the timing; train
+        // repeatedly on the same model (steady-state step cost).
+        let mut model = GiaModel::new(EncodingKind::LowResDenseGrid, 1);
+        let cfg = TrainConfig { steps: 1, batch_size: 256, ..TrainConfig::default() };
+        let trainer = Trainer::new(cfg);
+        b.iter(|| trainer.train_gia(&mut model, &image));
+    });
+    group.bench_function("nsdf_batch256_hashgrid", |b| {
+        let shape = SdfShape::centered_sphere(0.3);
+        let mut model = NsdfModel::new(EncodingKind::MultiResHashGrid, 2);
+        let cfg = TrainConfig { steps: 1, batch_size: 256, ..TrainConfig::default() };
+        let trainer = Trainer::new(cfg);
+        b.iter(|| trainer.train_nsdf(&mut model, move |p| shape.distance(p), 0.2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gia_step);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates paper Fig. 5: kernel-level cycle breakdown of the four
+//! applications for the three encodings, with the published
+//! cross-application averages for comparison.
+
+use ng_bench::{paper, pct, print_table, vs_paper};
+use ng_gpu::profile::breakdown_figure;
+use ng_neural::apps::EncodingKind;
+
+fn main() {
+    for (i, encoding) in EncodingKind::ALL.iter().enumerate() {
+        let fig = breakdown_figure(*encoding);
+        let rows: Vec<Vec<String>> = fig
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.app.name().to_string(),
+                    pct(r.encoding_pct),
+                    pct(r.mlp_pct),
+                    pct(r.rest_pct),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 5({}): {encoding}", ["a", "b", "c"][i]),
+            &["app", "input encoding", "MLP", "rest kernels"],
+            &rows,
+        );
+        let (pe, pm) = paper::ENC_MLP_AVG_PCT[i];
+        print_table(
+            "averages",
+            &["kernel", "share vs paper"],
+            &[
+                vec!["encoding".to_string(), vs_paper(fig.avg_encoding_pct, pe)],
+                vec!["MLP".to_string(), vs_paper(fig.avg_mlp_pct, pm)],
+            ],
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates paper Fig. 8: the top-5 operation-level breakdown inside
+//! the input-encoding kernel for MRHG / MRDG / LRDG.
+
+use ng_bench::{pct, print_table};
+use ng_gpu::ops::op_breakdown_average;
+use ng_gpu::rtx3090;
+use ng_neural::apps::EncodingKind;
+
+fn main() {
+    let gpu = rtx3090();
+    for encoding in EncodingKind::ALL {
+        let b = op_breakdown_average(&gpu, encoding);
+        let rows: Vec<Vec<String>> = b
+            .top5()
+            .iter()
+            .map(|(op, share)| vec![op.name().to_string(), pct(*share)])
+            .collect();
+        print_table(
+            &format!("Fig. 8: {} ({})", encoding, encoding.abbrev()),
+            &["operation", "share of encoding-kernel cycles"],
+            &rows,
+        );
+    }
+    println!(
+        "\nNote: the hash function is exactly zero for MRDG/LRDG (1:1 index\n\
+         mapping), and the integer modulo ranks in the top ops for all three\n\
+         encodings — both observations from the paper's Section IV."
+    );
+}

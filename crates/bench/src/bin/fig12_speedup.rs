@@ -1,0 +1,49 @@
+//! Regenerates paper Fig. 12: end-to-end application speedup on the NGPC
+//! for scaling factors 8/16/32/64, per encoding, plus the Amdahl bounds
+//! (horizontal lines) and the paper-average comparison.
+
+use ng_bench::{paper, print_table, times, vs_paper};
+use ng_neural::apps::{AppKind, EncodingKind};
+use ngpc::emulator::{average_speedup, emulate, EmulatorInput};
+use ngpc::NgpcConfig;
+
+fn main() {
+    for (panel, encoding) in ["(a)", "(b)", "(c)"].iter().zip(EncodingKind::ALL) {
+        let mut rows = Vec::new();
+        for app in AppKind::ALL {
+            let mut row = vec![app.name().to_string()];
+            let mut amdahl = 0.0;
+            for n in NgpcConfig::SCALING_FACTORS {
+                let r = emulate(&EmulatorInput {
+                    app,
+                    encoding,
+                    nfp_units: n,
+                    ..EmulatorInput::default()
+                });
+                amdahl = r.amdahl_bound;
+                let mark = if r.plateaued { "*" } else { "" };
+                row.push(format!("{}{}", times(r.speedup), mark));
+            }
+            row.push(times(amdahl));
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 12{panel}: {encoding} (* = plateaued)"),
+            &["app", "NGPC-8", "NGPC-16", "NGPC-32", "NGPC-64", "Amdahl bound"],
+            &rows,
+        );
+        let paper_avg = paper::FIG12_AVG
+            .iter()
+            .find(|(name, _)| *name == encoding.name())
+            .map(|(_, v)| *v)
+            .expect("encoding present");
+        let avg_rows: Vec<Vec<String>> = NgpcConfig::SCALING_FACTORS
+            .iter()
+            .zip(paper_avg)
+            .map(|(&n, p)| {
+                vec![format!("NGPC-{n}"), vs_paper(average_speedup(encoding, n), p)]
+            })
+            .collect();
+        print_table("average across applications", &["config", "speedup vs paper"], &avg_rows);
+    }
+}

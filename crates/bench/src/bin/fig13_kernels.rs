@@ -1,0 +1,64 @@
+//! Regenerates paper Fig. 13: standalone kernel-level speedups of the
+//! input-encoding and MLP engines at scaling factors 8/16/32/64, with the
+//! Timeloop/Accelergy-lite cross-validation of the MLP engine (the
+//! "mlp imp TA" dotted lines, expected within ~7 %).
+
+use ng_bench::{paper, print_table, times};
+use ng_neural::apps::EncodingKind;
+use ng_timeloop::arch::PeArray;
+use ng_timeloop::energy::EnergyTable;
+use ng_timeloop::evaluate_mlp;
+use ngpc::engine::MlpEngine;
+use ngpc::kernels::{kernel_speedup, AcceleratedKernel};
+use ngpc::{NfpConfig, NgpcConfig};
+
+fn main() {
+    for encoding in EncodingKind::ALL {
+        let rows: Vec<Vec<String>> = NgpcConfig::SCALING_FACTORS
+            .iter()
+            .map(|&n| {
+                vec![
+                    format!("NGPC-{n}"),
+                    times(kernel_speedup(encoding, AcceleratedKernel::InputEncoding, n)),
+                    times(kernel_speedup(encoding, AcceleratedKernel::Mlp, n)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 13: kernel-level speedups, {encoding}"),
+            &["config", "input encoding", "MLP"],
+            &rows,
+        );
+    }
+    let refs: Vec<Vec<String>> = paper::FIG13_NGPC64
+        .iter()
+        .map(|(name, e, m)| vec![name.to_string(), times(*e), times(*m)])
+        .collect();
+    print_table("paper NGPC-64 reference", &["encoding", "encoding engine", "MLP engine"], &refs);
+
+    // Timeloop/Accelergy cross-validation of the MLP engine cycle model
+    // on a representative Table I network (4 hidden layers, 32 -> 3).
+    let batch = 100_000u64;
+    let nfp = NfpConfig::default();
+    let mlp = ng_neural::mlp::Mlp::new(
+        ng_neural::mlp::MlpConfig::neural_graphics(32, 4, 3, ng_neural::math::Activation::None),
+        1,
+    )
+    .expect("valid");
+    let mut engine = MlpEngine::new(&nfp);
+    engine.load_weights(&mlp);
+    let engine_cycles = engine.batch_cycles(batch);
+    let ta = evaluate_mlp(&PeArray::nfp_mlp_engine(), &EnergyTable::default(), batch, 32, 64, 4, 3);
+    let diff_pct = 100.0 * (engine_cycles as f64 - ta.cycles as f64).abs() / ta.cycles as f64;
+    print_table(
+        "MLP engine vs Timeloop/Accelergy-lite (paper: within ~7%)",
+        &["model", "cycles for 100k queries"],
+        &[
+            vec!["NFP MLP engine".to_string(), engine_cycles.to_string()],
+            vec!["timeloop-lite (mlp imp TA)".to_string(), ta.cycles.to_string()],
+            vec!["difference".to_string(), format!("{diff_pct:.2}%")],
+        ],
+    );
+    assert!(diff_pct <= 7.0, "MLP engine model diverged from Timeloop-lite: {diff_pct:.2}%");
+    println!("\ncross-validation PASSED ({diff_pct:.2}% <= 7%)");
+}

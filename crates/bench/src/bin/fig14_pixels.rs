@@ -1,0 +1,39 @@
+//! Regenerates paper Fig. 14: pixels renderable within 30/60/90/120 FPS
+//! budgets with and without the NGPC (NGPC-64), per encoding, annotated
+//! with the largest standard resolution sustained.
+
+use ng_bench::print_table;
+use ng_neural::apps::EncodingKind;
+use ngpc::pixels::{figure14, PixelBudget};
+
+fn fmt_row(b: &PixelBudget) -> Vec<String> {
+    let res = |r: Option<ng_neural::render::image::Resolution>| {
+        r.map(|r| r.name().to_string()).unwrap_or_else(|| "-".to_string())
+    };
+    vec![
+        b.app.name().to_string(),
+        format!("{:.0}", b.fps),
+        format!("{:.2}M", b.gpu_pixels as f64 / 1e6),
+        res(b.gpu_resolution()),
+        format!("{:.2}M", b.ngpc_pixels as f64 / 1e6),
+        res(b.ngpc_resolution()),
+    ]
+}
+
+fn main() {
+    for encoding in EncodingKind::ALL {
+        let rows: Vec<Vec<String>> =
+            figure14(encoding, 64).iter().map(fmt_row).collect();
+        print_table(
+            &format!("Fig. 14: pixels within FPS budget, {encoding}, NGPC-64"),
+            &["app", "FPS", "GPU px", "GPU res", "NGPC px", "NGPC res"],
+            &rows,
+        );
+    }
+    println!(
+        "\nHeadline check (hashgrid): NeRF sustains 4k UHD at 30 FPS; GIA and\n\
+         NVR sustain 8k UHD at 120 FPS; NSDF sustains 8k at 60 FPS (the paper\n\
+         claims 8k@120 for NSDF, which its own Fig. 12 Amdahl cap contradicts\n\
+         — see EXPERIMENTS.md)."
+    );
+}

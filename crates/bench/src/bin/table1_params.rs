@@ -1,0 +1,43 @@
+//! Regenerates paper Table I: the hyper-parameters of every
+//! application x encoding configuration, derived from the live model
+//! objects (so the printed values are what the code actually runs).
+
+use ng_bench::print_table;
+use ng_neural::apps::all_table1;
+
+fn main() {
+    let rows: Vec<Vec<String>> = all_table1()
+        .iter()
+        .map(|p| {
+            let g = p.grid;
+            let mut model = format!(
+                "{}-[grid]->{}-[MLP(64;layers={})]->{}",
+                g.dim,
+                g.output_dim(),
+                p.mlp.hidden_layers,
+                p.mlp.output_dim
+            );
+            if let Some(c) = p.color_mlp {
+                model.push_str(&format!(
+                    " + color {}-[MLP(64;layers={})]->{}",
+                    c.input_dim, c.hidden_layers, c.output_dim
+                ));
+            }
+            vec![
+                p.app.to_string(),
+                p.encoding.abbrev().to_string(),
+                format!("{}", g.base_resolution),
+                format!("{:.5}", g.growth_factor),
+                format!("{}", g.features_per_level),
+                format!("2^{}", g.log2_table_size),
+                format!("{}", g.n_levels),
+                model,
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: application parameters",
+        &["app", "enc", "Nmin", "b", "F", "T", "L", "model"],
+        &rows,
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Table III: NGPC input/output bandwidth and data
+//! access time at the 4k / 60 FPS operating point.
+
+use ng_bench::print_table;
+use ngpc::bandwidth::{table3, GPU_DRAM_BW_GBPS};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table3()
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.name().to_string(),
+                format!("{:.3}", r.input_gbps),
+                format!("{:.3}", r.output_gbps),
+                format!("{:.3}", r.total_gbps),
+                format!("{:.3}", r.access_time_ms),
+                format!("{:.1}%", 100.0 * r.total_gbps / GPU_DRAM_BW_GBPS),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III: NGPC bandwidth at 4k/60FPS (paper: NeRF 69.523/46.349/231.743 GB/s, 4.126 ms; others 34.761/34.761/69.523 GB/s, 1.238 ms)",
+        &["app", "input GB/s", "output GB/s", "total GB/s", "access ms", "% of GPU BW"],
+        &rows,
+    );
+}

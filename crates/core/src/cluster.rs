@@ -1,0 +1,148 @@
+//! The NGPC cluster: N neural fields processors sharing the GPU's L2
+//! (paper Fig. 10-a), with batch distribution across units.
+
+use ng_neural::apps::FieldModel;
+
+use crate::config::NgpcConfig;
+use crate::engine::{FusedNfp, FusedStats};
+use crate::error::Result;
+
+/// Aggregate statistics of a cluster batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Queries processed across all NFPs.
+    pub queries: u64,
+    /// Makespan in cycles (slowest NFP).
+    pub makespan_cycles: u64,
+    /// Total DRAM bytes saved by fusion across the cluster.
+    pub dram_bytes_saved: u64,
+}
+
+/// A cluster of fused NFPs configured for the same field model.
+#[derive(Debug)]
+pub struct Ngpc {
+    config: NgpcConfig,
+    nfps: Vec<FusedNfp>,
+}
+
+impl Ngpc {
+    /// Build and configure the cluster for a trained model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the NFPs.
+    pub fn new(config: NgpcConfig, field: &FieldModel) -> Result<Self> {
+        config.validate()?;
+        // One shared read-only copy of the grid tables for all NFPs.
+        let table = std::sync::Arc::new(ng_neural::encoding::Encoding::params(&field.encoding).to_vec());
+        let nfps = (0..config.nfp_units)
+            .map(|_| FusedNfp::from_field_shared(config.nfp, field, &table))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Ngpc { config, nfps })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &NgpcConfig {
+        &self.config
+    }
+
+    /// Number of NFP units.
+    pub fn units(&self) -> usize {
+        self.nfps.len()
+    }
+
+    /// Run a batch of queries (row-major `n x input_dim`) distributed
+    /// round-robin in contiguous chunks across the NFPs. Returns outputs
+    /// in input order plus cluster statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and dimension errors.
+    pub fn run_batch(&mut self, inputs: &[f32]) -> Result<(Vec<f32>, ClusterStats)> {
+        let d = self.nfps[0].input_dim();
+        if d == 0 || !inputs.len().is_multiple_of(d) {
+            return Err(crate::error::NgpcError::Neural(
+                ng_neural::NgError::DimensionMismatch {
+                    context: "cluster batch input",
+                    expected: d,
+                    actual: inputs.len(),
+                },
+            ));
+        }
+        let n = inputs.len() / d;
+        let units = self.nfps.len();
+        let chunk_queries = n.div_ceil(units);
+        let mut outputs = Vec::with_capacity(n * self.nfps[0].output_dim());
+        let mut stats = ClusterStats::default();
+        for (u, chunk) in inputs.chunks(chunk_queries * d).enumerate() {
+            let (out, s): (Vec<f32>, FusedStats) = self.nfps[u].run_batch(chunk)?;
+            outputs.extend_from_slice(&out);
+            stats.queries += s.queries;
+            stats.makespan_cycles = stats.makespan_cycles.max(s.fused_cycles);
+            stats.dram_bytes_saved += s.dram_bytes_saved;
+        }
+        Ok((outputs, stats))
+    }
+
+    /// Batch latency in nanoseconds: the slowest NFP's share of the work.
+    pub fn batch_time_ns(&self, n_queries: u64) -> f64 {
+        let per_unit = n_queries.div_ceil(self.nfps.len() as u64);
+        self.nfps[0].batch_time_ns(per_unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_neural::apps::nsdf::NsdfModel;
+    use ng_neural::apps::EncodingKind;
+
+    fn cluster(units: u32) -> (Ngpc, NsdfModel) {
+        let model = NsdfModel::new(EncodingKind::LowResDenseGrid, 5);
+        let ngpc = Ngpc::new(NgpcConfig::with_units(units), model.field()).unwrap();
+        (ngpc, model)
+    }
+
+    #[test]
+    fn cluster_output_matches_reference_in_order() {
+        let (mut ngpc, model) = cluster(4);
+        let mut inputs = Vec::new();
+        for i in 0..37 {
+            let t = i as f32 / 37.0;
+            inputs.extend_from_slice(&[t, 1.0 - t, 0.5]);
+        }
+        let (out, stats) = ngpc.run_batch(&inputs).unwrap();
+        assert_eq!(stats.queries, 37);
+        for (i, q) in inputs.chunks_exact(3).enumerate() {
+            let sw = model.field().forward(q).unwrap();
+            assert_eq!(out[i], sw[0], "query {i}");
+        }
+    }
+
+    #[test]
+    fn more_units_shrink_batch_time() {
+        let (small, _) = cluster(2);
+        let (large, _) = cluster(16);
+        assert!(large.batch_time_ns(100_000) < small.batch_time_ns(100_000));
+    }
+
+    #[test]
+    fn makespan_is_max_not_sum() {
+        let (mut ngpc, _) = cluster(4);
+        let inputs = vec![0.5f32; 3 * 64];
+        let (_, stats) = ngpc.run_batch(&inputs).unwrap();
+        // 64 queries over 4 units = 16 per unit; makespan must be far
+        // below a serial execution of 64.
+        let (mut solo, _) = cluster(1);
+        let (_, solo_stats) = solo.run_batch(&inputs).unwrap();
+        assert!(stats.makespan_cycles < solo_stats.makespan_cycles);
+    }
+
+    #[test]
+    fn dram_savings_scale_with_queries() {
+        let (mut ngpc, _) = cluster(2);
+        let (_, s1) = ngpc.run_batch(&[0.5f32; 3 * 10]).unwrap();
+        let (_, s2) = ngpc.run_batch(&vec![0.5f32; 3 * 20]).unwrap();
+        assert_eq!(2 * s1.dram_bytes_saved, s2.dram_bytes_saved);
+    }
+}

@@ -1,0 +1,131 @@
+//! The input FIFO: normalized coordinates are pre-fetched here before
+//! entering the encoding pipeline (paper Fig. 9-a).
+
+use std::collections::VecDeque;
+
+/// Occupancy and stall statistics of a FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoStats {
+    /// Successful pushes.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Pushes rejected because the FIFO was full (producer stalls).
+    pub full_stalls: u64,
+    /// Pops rejected because the FIFO was empty (consumer stalls).
+    pub empty_stalls: u64,
+    /// High-water mark of occupancy.
+    pub max_occupancy: usize,
+}
+
+/// A bounded FIFO of input coordinates (up to 3 per entry).
+#[derive(Debug, Clone)]
+pub struct InputFifo {
+    depth: usize,
+    entries: VecDeque<[f32; 3]>,
+    stats: FifoStats,
+}
+
+impl InputFifo {
+    /// Create a FIFO of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "fifo depth must be nonzero");
+        InputFifo { depth, entries: VecDeque::with_capacity(depth), stats: FifoStats::default() }
+    }
+
+    /// Attempt to enqueue a coordinate; returns `false` (and records a
+    /// stall) when full.
+    pub fn push(&mut self, coord: [f32; 3]) -> bool {
+        if self.entries.len() >= self.depth {
+            self.stats.full_stalls += 1;
+            return false;
+        }
+        self.entries.push_back(coord);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.entries.len());
+        true
+    }
+
+    /// Attempt to dequeue; returns `None` (and records a stall) when
+    /// empty.
+    pub fn pop(&mut self) -> Option<[f32; 3]> {
+        match self.entries.pop_front() {
+            Some(c) => {
+                self.stats.pops += 1;
+                Some(c)
+            }
+            None => {
+                self.stats.empty_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIFO holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = InputFifo::new(4);
+        assert!(f.push([1.0, 0.0, 0.0]));
+        assert!(f.push([2.0, 0.0, 0.0]));
+        assert_eq!(f.pop().unwrap()[0], 1.0);
+        assert_eq!(f.pop().unwrap()[0], 2.0);
+    }
+
+    #[test]
+    fn full_fifo_stalls() {
+        let mut f = InputFifo::new(2);
+        assert!(f.push([0.0; 3]));
+        assert!(f.push([0.0; 3]));
+        assert!(!f.push([0.0; 3]));
+        assert_eq!(f.stats().full_stalls, 1);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_fifo_stalls() {
+        let mut f = InputFifo::new(2);
+        assert!(f.pop().is_none());
+        assert_eq!(f.stats().empty_stalls, 1);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let mut f = InputFifo::new(8);
+        for _ in 0..5 {
+            f.push([0.0; 3]);
+        }
+        for _ in 0..5 {
+            f.pop();
+        }
+        f.push([0.0; 3]);
+        assert_eq!(f.stats().max_occupancy, 5);
+    }
+}

@@ -1,0 +1,69 @@
+//! The `grid_scale` module: computes each level's grid resolution from
+//! the base resolution and growth factor (paper Fig. 9-a).
+//!
+//! In hardware the per-level scales are computed once at configuration
+//! time and latched; queries then read the latched value. The arithmetic
+//! must agree exactly with the software reference
+//! ([`ng_neural::encoding::GridConfig::level_resolution`]) or indices
+//! would diverge.
+
+use ng_neural::encoding::GridConfig;
+
+/// Latched per-level grid scales.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridScaleUnit {
+    scales: Vec<u32>,
+}
+
+impl GridScaleUnit {
+    /// Compute and latch scales for every level of `config`.
+    pub fn configure(config: &GridConfig) -> Self {
+        let scales = (0..config.n_levels).map(|l| config.level_resolution(l)).collect();
+        GridScaleUnit { scales }
+    }
+
+    /// The latched scale (resolution `N_l`) of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn scale(&self, level: usize) -> u32 {
+        self.scales[level]
+    }
+
+    /// Number of configured levels.
+    pub fn levels(&self) -> usize {
+        self.scales.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_resolutions() {
+        let cfg = GridConfig::hashgrid(3, 19, 1.51572);
+        let unit = GridScaleUnit::configure(&cfg);
+        for l in 0..cfg.n_levels {
+            assert_eq!(unit.scale(l), cfg.level_resolution(l), "level {l}");
+        }
+    }
+
+    #[test]
+    fn growth_one_keeps_resolution_constant() {
+        let cfg = GridConfig::low_res_densegrid(3, 19);
+        let unit = GridScaleUnit::configure(&cfg);
+        assert_eq!(unit.scale(0), 128);
+        assert_eq!(unit.scale(1), 128);
+    }
+
+    #[test]
+    fn scales_are_monotone_for_growth_above_one() {
+        let cfg = GridConfig::densegrid(3, 19);
+        let unit = GridScaleUnit::configure(&cfg);
+        for l in 1..unit.levels() {
+            assert!(unit.scale(l) >= unit.scale(l - 1));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The Neural Fields Processor engines (paper Fig. 9).
+//!
+//! The input-encoding engine is a pipeline of the hardware modules the
+//! paper names — input FIFO ([`fifo`]), `grid_scale` ([`grid_scale`]),
+//! `pos_fract` ([`pos_fract`]), `grid_index` ([`grid_index`]) backed by
+//! the per-engine grid SRAM ([`sram`]), and `interpol_weights` (folded
+//! into [`encoding_engine`]). The MLP engine ([`mlp_engine`]) is a 64x64
+//! MAC array computing one layer at a time. [`fusion`] composes both into
+//! a fused NFP whose encoding outputs feed the MLP input memory directly,
+//! eliminating the DRAM round trip of the GPU implementation (Fig. 7).
+
+pub mod encoding_engine;
+pub mod fifo;
+pub mod fusion;
+pub mod grid_index;
+pub mod grid_scale;
+pub mod mlp_engine;
+pub mod pos_fract;
+pub mod sram;
+
+pub use encoding_engine::{EncodingCluster, EncodingEngine};
+pub use fusion::{FusedNfp, FusedStats};
+pub use mlp_engine::MlpEngine;

@@ -1,0 +1,62 @@
+//! The `pos_fract` module: converts normalized input coordinates to
+//! absolute grid coordinates — integer cell base plus fractional offset
+//! (paper Fig. 9-a).
+
+use ng_neural::encoding::interp::CellPosition;
+
+/// The position/fraction decomposition stage.
+///
+/// Stateless combinational logic; the struct exists to carry cycle and
+/// operation accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PosFractUnit {
+    ops: u64,
+}
+
+impl PosFractUnit {
+    /// New unit with zeroed counters.
+    pub fn new() -> Self {
+        PosFractUnit::default()
+    }
+
+    /// Decompose normalized coordinates at the given grid scale.
+    ///
+    /// This is the identical computation to the software reference
+    /// ([`CellPosition::from_normalized`]): multiply by scale, floor,
+    /// subtract — one multiply/floor/subtract triple per dimension.
+    pub fn decompose(&mut self, x: &[f32], scale: u32) -> CellPosition {
+        self.ops += x.len() as u64;
+        CellPosition::from_normalized(x, scale)
+    }
+
+    /// Per-dimension operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Pipeline latency of this stage in cycles (multiply + floor +
+    /// subtract, pipelined).
+    pub const LATENCY_CYCLES: u64 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_decomposition() {
+        let mut unit = PosFractUnit::new();
+        let x = [0.37f32, 0.62, 0.91];
+        let hw = unit.decompose(&x, 16);
+        let sw = CellPosition::from_normalized(&x, 16);
+        assert_eq!(hw, sw);
+    }
+
+    #[test]
+    fn counts_operations() {
+        let mut unit = PosFractUnit::new();
+        unit.decompose(&[0.1, 0.2, 0.3], 8);
+        unit.decompose(&[0.1, 0.2], 8);
+        assert_eq!(unit.ops(), 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! L2 cache behaviour model for grid-table lookups.
+//!
+//! Grid lookups are the paper's dominant encoding cost because fine-level
+//! tables miss in L2 (Section IV: "the lookup tables for all the
+//! resolution levels do not entirely fit on the L2 cache of RTX3090").
+//! We model per-level hit rates with a capacity heuristic: a level
+//! competing for a cache of size `C` together with other levels keeps a
+//! resident fraction proportional to its share, and spatially-coherent
+//! rays give neighbouring queries high reuse on coarse levels.
+
+use ng_neural::encoding::MultiResGrid;
+
+/// Per-level and aggregate hit statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheModel {
+    per_level_hit_rate: Vec<f64>,
+    aggregate_hit_rate: f64,
+}
+
+impl CacheModel {
+    /// Estimate hit rates for all levels of `grid` under an L2 of
+    /// `l2_bytes`, given `bytes_per_param` storage.
+    pub fn estimate(grid: &MultiResGrid, l2_bytes: u64, bytes_per_param: usize) -> Self {
+        let f = grid.config().features_per_level;
+        let footprints: Vec<u64> = (0..grid.levels().len())
+            .map(|l| (grid.levels()[l].entries * f * bytes_per_param) as u64)
+            .collect();
+        let total: u64 = footprints.iter().sum();
+        // Greedy residency: small (coarse, hot) levels become fully
+        // resident first — they are touched just as often as large levels
+        // but occupy far less space, so any reasonable replacement policy
+        // keeps them. Remaining capacity is split evenly among the
+        // still-unsatisfied levels.
+        let mut order: Vec<usize> = (0..footprints.len()).collect();
+        order.sort_by_key(|&i| footprints[i]);
+        let mut residency = vec![0.0f64; footprints.len()];
+        let mut budget = l2_bytes as f64;
+        for (rank, &i) in order.iter().enumerate() {
+            let remaining_levels = (order.len() - rank) as f64;
+            let alloc = (budget / remaining_levels).min(footprints[i] as f64);
+            residency[i] = if footprints[i] == 0 { 1.0 } else { alloc / footprints[i] as f64 };
+            budget -= alloc;
+        }
+        let mut per_level = Vec::with_capacity(footprints.len());
+        for (i, &fp) in footprints.iter().enumerate() {
+            let hit = if total <= l2_bytes || fp == 0 {
+                // Everything resident after warm-up.
+                0.99
+            } else {
+                // Coherent access: even non-resident levels hit on
+                // recently-fetched lines shared by neighbouring corners.
+                let coherence_floor = 0.35;
+                (coherence_floor + (0.99 - coherence_floor) * residency[i]).min(0.99)
+            };
+            per_level.push(hit);
+        }
+        // Aggregate weighted by lookup volume (uniform across levels: each
+        // query touches every level once).
+        let aggregate = per_level.iter().sum::<f64>() / per_level.len().max(1) as f64;
+        CacheModel { per_level_hit_rate: per_level, aggregate_hit_rate: aggregate }
+    }
+
+    /// Hit rate of a specific level.
+    pub fn level_hit_rate(&self, level: usize) -> f64 {
+        self.per_level_hit_rate[level]
+    }
+
+    /// Volume-weighted aggregate hit rate.
+    pub fn aggregate_hit_rate(&self) -> f64 {
+        self.aggregate_hit_rate
+    }
+
+    /// Fraction of lookups that go to DRAM.
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.aggregate_hit_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_neural::encoding::GridConfig;
+
+    #[test]
+    fn small_table_hits_everywhere() {
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 10, 1.4), 0).unwrap();
+        let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
+        assert!(model.aggregate_hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn nerf_hashgrid_misses_substantially() {
+        // 12 hashed levels x 2 MiB = 24 MiB >> 6 MiB L2.
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 19, 1.51572), 0).unwrap();
+        let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
+        assert!(model.miss_rate() > 0.25, "miss rate {}", model.miss_rate());
+    }
+
+    #[test]
+    fn coarse_levels_hit_better_than_fine() {
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 19, 1.51572), 0).unwrap();
+        let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
+        let coarse = model.level_hit_rate(0);
+        let fine = model.level_hit_rate(grid.levels().len() - 1);
+        assert!(coarse > fine, "coarse {coarse} vs fine {fine}");
+    }
+
+    #[test]
+    fn bigger_cache_hits_more() {
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 19, 1.51572), 0).unwrap();
+        let small = CacheModel::estimate(&grid, 2 * 1024 * 1024, 2);
+        let large = CacheModel::estimate(&grid, 48 * 1024 * 1024, 2);
+        assert!(large.aggregate_hit_rate() > small.aggregate_hit_rate());
+    }
+
+    #[test]
+    fn hit_rates_are_probabilities() {
+        let grid = MultiResGrid::new(GridConfig::densegrid(3, 19), 0).unwrap();
+        let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
+        for l in 0..grid.levels().len() {
+            let h = model.level_hit_rate(l);
+            assert!((0.0..=1.0).contains(&h));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Roofline timing model for the three kernel classes.
+//!
+//! This is the first-principles layer: given a [`FrameWorkload`] and a
+//! [`GpuSpec`], estimate per-kernel times as
+//! `max(compute_time / eff_c, memory_time / eff_m) + launch overhead`.
+//! Efficiency factors encode well-known GPU realities (gather-heavy
+//! kernels run far below peak bandwidth; tiny MLP batches underutilise
+//! tensor cores). Tests pin the qualitative findings of the paper
+//! (Section IV): encoding is memory-bound, MLP memory utilisation exceeds
+//! its compute utilisation, NeRF is by far the most expensive app.
+
+use ng_neural::apps::table1;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheModel;
+use crate::spec::GpuSpec;
+use crate::workload::{FrameWorkload, BYTES_PER_PARAM};
+use ng_neural::encoding::MultiResGrid;
+
+/// A kernel-time estimate with its limiting resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelEstimate {
+    /// Estimated execution time in milliseconds.
+    pub time_ms: f64,
+    /// Estimated fraction of peak compute used.
+    pub compute_util: f64,
+    /// Estimated fraction of peak DRAM bandwidth used.
+    pub memory_util: f64,
+}
+
+impl KernelEstimate {
+    /// Whether the kernel is memory-bound under this estimate.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_util >= self.compute_util
+    }
+}
+
+/// Model-level timing for one frame: the three kernel classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameEstimate {
+    /// Input-encoding kernel.
+    pub encoding: KernelEstimate,
+    /// MLP kernel(s).
+    pub mlp: KernelEstimate,
+    /// All remaining kernels (ray gen, sampling, compositing).
+    pub rest: KernelEstimate,
+}
+
+impl FrameEstimate {
+    /// Total frame time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.encoding.time_ms + self.mlp.time_ms + self.rest.time_ms
+    }
+
+    /// Fraction of the frame spent in the encoding kernel.
+    pub fn encoding_fraction(&self) -> f64 {
+        self.encoding.time_ms / self.total_ms()
+    }
+
+    /// Fraction of the frame spent in the MLP kernel.
+    pub fn mlp_fraction(&self) -> f64 {
+        self.mlp.time_ms / self.total_ms()
+    }
+}
+
+/// Achievable fraction of peak DRAM bandwidth for gather (random-access)
+/// traffic. Scattered 4-byte reads drag entire 32-byte sectors through
+/// the hierarchy.
+const GATHER_BW_EFFICIENCY: f64 = 0.30;
+/// DRAM sector size: every miss fetches at least this many bytes.
+const SECTOR_BYTES: f64 = 32.0;
+/// Achievable fraction of peak tensor throughput for 64-wide MLPs (the
+/// paper's Section IV: tiny layers leave most tensor-core capacity idle).
+const SMALL_MLP_COMPUTE_EFFICIENCY: f64 = 0.35;
+/// Achievable fraction of peak for the streaming rest-kernels.
+const STREAM_EFFICIENCY: f64 = 0.55;
+/// Integer-pipe cost of one spatial hash + modulo, in FP32-equivalent ops.
+const HASH_COST_OPS: f64 = 12.0;
+
+/// Estimate all three kernel classes of one frame.
+pub fn estimate_frame(gpu: &GpuSpec, workload: &FrameWorkload) -> FrameEstimate {
+    let grid =
+        MultiResGrid::new(table1(workload.app, workload.encoding).grid, 0).expect("valid");
+    let cache = CacheModel::estimate(&grid, gpu.l2_bytes, BYTES_PER_PARAM);
+
+    // --- Encoding kernel ---
+    let lookups = workload.queries as f64 * workload.lookups_per_query as f64;
+    // Each miss transfers a full sector from DRAM.
+    let dram_bytes = lookups * cache.miss_rate() * SECTOR_BYTES;
+    let mem_time_s = dram_bytes / (gpu.dram_bw_gbps * 1e9 * GATHER_BW_EFFICIENCY);
+    let hash_ops = workload.queries as f64 * workload.hashes_per_query as f64 * HASH_COST_OPS;
+    let interp_ops = workload.queries as f64 * workload.interp_macs_per_query as f64 * 2.0;
+    let addr_ops = lookups * 6.0; // scale, floor, index arithmetic
+    let compute_time_s =
+        (hash_ops + interp_ops + addr_ops) / (gpu.fp32_tflops() * 1e12 * 0.5);
+    let enc_time_s = mem_time_s.max(compute_time_s) + gpu.launch_overhead_us * 1e-6;
+    let encoding = KernelEstimate {
+        time_ms: enc_time_s * 1e3,
+        compute_util: (compute_time_s / enc_time_s).min(1.0),
+        memory_util: (mem_time_s / enc_time_s).min(1.0),
+    };
+
+    // --- MLP kernel ---
+    let macs = workload.mlp_macs() as f64;
+    let mlp_compute_s =
+        macs * 2.0 / (gpu.fp16_tensor_tflops() * 1e12 * SMALL_MLP_COMPUTE_EFFICIENCY);
+    // Traffic: encoded inputs re-read from DRAM plus per-layer activation
+    // round trips. The paper's Table II measurements show the MLP kernel
+    // memory-util above compute-util on every configuration — at 64-wide
+    // layers the measured behaviour matches activations travelling
+    // through the memory hierarchy rather than staying in registers.
+    let mlp_bytes = workload.intermediate_bytes as f64
+        + workload.queries as f64 * workload.mlp_act_bytes_per_query as f64;
+    let mlp_mem_s = mlp_bytes / (gpu.dram_bw_gbps * 1e9 * STREAM_EFFICIENCY);
+    let mlp_time_s = mlp_compute_s.max(mlp_mem_s) + gpu.launch_overhead_us * 1e-6;
+    let mlp = KernelEstimate {
+        time_ms: mlp_time_s * 1e3,
+        compute_util: (mlp_compute_s / mlp_time_s).min(1.0),
+        memory_util: (mlp_mem_s / mlp_time_s).min(1.0),
+    };
+
+    // --- Rest kernels ---
+    let rest_ops = workload.queries as f64 * workload.rest_flops_per_query as f64;
+    let rest_compute_s = rest_ops / (gpu.fp32_tflops() * 1e12 * STREAM_EFFICIENCY);
+    // Ray/sample state streamed per query (positions, dirs, accumulators).
+    let rest_bytes = workload.queries as f64 * 48.0;
+    let rest_mem_s = rest_bytes / (gpu.dram_bw_gbps * 1e9 * STREAM_EFFICIENCY);
+    let rest_time_s = rest_compute_s.max(rest_mem_s) + 3.0 * gpu.launch_overhead_us * 1e-6;
+    let rest = KernelEstimate {
+        time_ms: rest_time_s * 1e3,
+        compute_util: (rest_compute_s / rest_time_s).min(1.0),
+        memory_util: (rest_mem_s / rest_time_s).min(1.0),
+    };
+
+    FrameEstimate { encoding, mlp, rest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::rtx3090;
+    use ng_neural::apps::{AppKind, EncodingKind};
+
+    const FHD: u64 = 1920 * 1080;
+
+    fn frame(app: AppKind, enc: EncodingKind) -> FrameEstimate {
+        estimate_frame(&rtx3090(), &FrameWorkload::derive(app, enc, FHD))
+    }
+
+    #[test]
+    fn encoding_is_memory_bound_for_hashgrid_nerf() {
+        // Paper Section IV / Table II: encoding memory util > compute util.
+        let est = frame(AppKind::Nerf, EncodingKind::MultiResHashGrid);
+        assert!(est.encoding.memory_bound());
+    }
+
+    #[test]
+    fn mlp_memory_util_exceeds_compute_util() {
+        // The paper's key MLP observation: tiny MLPs are traffic-limited.
+        for app in AppKind::ALL {
+            let est = frame(app, EncodingKind::MultiResHashGrid);
+            assert!(
+                est.mlp.memory_util > est.mlp.compute_util,
+                "{app}: mem {} vs comp {}",
+                est.mlp.memory_util,
+                est.mlp.compute_util
+            );
+        }
+    }
+
+    #[test]
+    fn nerf_is_most_expensive_app() {
+        let nerf = frame(AppKind::Nerf, EncodingKind::MultiResHashGrid).total_ms();
+        for app in [AppKind::Nsdf, AppKind::Gia, AppKind::Nvr] {
+            let other = frame(app, EncodingKind::MultiResHashGrid).total_ms();
+            assert!(nerf > other, "{app} {other} >= NeRF {nerf}");
+        }
+    }
+
+    #[test]
+    fn gia_is_cheapest_volumetric_aside() {
+        let gia = frame(AppKind::Gia, EncodingKind::MultiResHashGrid).total_ms();
+        let nvr = frame(AppKind::Nvr, EncodingKind::MultiResHashGrid).total_ms();
+        assert!(gia < nvr);
+    }
+
+    #[test]
+    fn encoding_plus_mlp_dominate_hashgrid() {
+        // Paper: 72.37% on average for hashgrid. The pure model should put
+        // the combination clearly above half.
+        let mut total_frac = 0.0;
+        for app in AppKind::ALL {
+            let est = frame(app, EncodingKind::MultiResHashGrid);
+            total_frac += est.encoding_fraction() + est.mlp_fraction();
+        }
+        let avg = total_frac / 4.0;
+        assert!(avg > 0.5, "avg enc+mlp fraction {avg}");
+    }
+
+    #[test]
+    fn hashgrid_encoding_costs_more_than_densegrid() {
+        // 16 levels with hashing and L2 misses vs 8 dense levels.
+        let hg = frame(AppKind::Nerf, EncodingKind::MultiResHashGrid).encoding.time_ms;
+        let dg = frame(AppKind::Nerf, EncodingKind::MultiResDenseGrid).encoding.time_ms;
+        assert!(hg > dg, "hashgrid {hg} <= densegrid {dg}");
+    }
+
+    #[test]
+    fn times_scale_with_resolution() {
+        let w1 = FrameWorkload::derive(AppKind::Nvr, EncodingKind::MultiResHashGrid, FHD);
+        let w4 =
+            FrameWorkload::derive(AppKind::Nvr, EncodingKind::MultiResHashGrid, 4 * FHD);
+        let t1 = estimate_frame(&rtx3090(), &w1).total_ms();
+        let t4 = estimate_frame(&rtx3090(), &w4).total_ms();
+        assert!(t4 > 3.5 * t1 && t4 < 4.5 * t1, "t1 {t1} t4 {t4}");
+    }
+
+    #[test]
+    fn nerf_fhd_magnitude_is_plausible() {
+        // The pure model should land within ~3x of the measured 231 ms
+        // (the calibrated layer pins it exactly).
+        let t = frame(AppKind::Nerf, EncodingKind::MultiResHashGrid).total_ms();
+        assert!(t > 231.0 / 3.0 && t < 231.0 * 3.0, "NeRF FHD model time {t} ms");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the GPU performance model.
+
+use ng_gpu::cache::CacheModel;
+use ng_gpu::cost::estimate_frame;
+use ng_gpu::{frame_time_ms, kernel_breakdown, rtx3090, FrameWorkload};
+use ng_neural::apps::{AppKind, EncodingKind};
+use ng_neural::encoding::{GridConfig, MultiResGrid};
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = AppKind> {
+    prop_oneof![
+        Just(AppKind::Nerf),
+        Just(AppKind::Nsdf),
+        Just(AppKind::Gia),
+        Just(AppKind::Nvr)
+    ]
+}
+
+fn arb_enc() -> impl Strategy<Value = EncodingKind> {
+    prop_oneof![
+        Just(EncodingKind::MultiResHashGrid),
+        Just(EncodingKind::MultiResDenseGrid),
+        Just(EncodingKind::LowResDenseGrid)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn frame_time_is_positive_and_linear_in_pixels(
+        app in arb_app(),
+        enc in arb_enc(),
+        px in 10_000u64..10_000_000,
+    ) {
+        let t1 = frame_time_ms(app, enc, px);
+        let t2 = frame_time_ms(app, enc, 2 * px);
+        prop_assert!(t1 > 0.0);
+        prop_assert!((t2 / t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total(
+        app in arb_app(),
+        enc in arb_enc(),
+        px in 100_000u64..5_000_000,
+    ) {
+        let b = kernel_breakdown(app, enc, px);
+        prop_assert!((b.encoding_ms + b.mlp_ms + b.rest_ms - b.total_ms()).abs() < 1e-9);
+        prop_assert!(b.encoding_ms >= 0.0 && b.mlp_ms >= 0.0 && b.rest_ms >= 0.0);
+        prop_assert!((b.total_ms() - frame_time_ms(app, enc, px)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_times_scale_with_resolution(
+        app in arb_app(),
+        px in 100_000u64..2_000_000,
+    ) {
+        let gpu = rtx3090();
+        let small = estimate_frame(&gpu, &FrameWorkload::derive(app, EncodingKind::MultiResDenseGrid, px));
+        let large = estimate_frame(&gpu, &FrameWorkload::derive(app, EncodingKind::MultiResDenseGrid, 3 * px));
+        prop_assert!(large.total_ms() > small.total_ms());
+    }
+
+    #[test]
+    fn cache_hit_rates_are_probabilities_and_monotone_in_capacity(
+        log2_t in 6u32..16,
+        l2_mb in 1u64..32,
+    ) {
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, log2_t, 1.5), 0).unwrap();
+        let small = CacheModel::estimate(&grid, l2_mb * 1024 * 1024, 2);
+        let large = CacheModel::estimate(&grid, 2 * l2_mb * 1024 * 1024, 2);
+        prop_assert!((0.0..=1.0).contains(&small.aggregate_hit_rate()));
+        prop_assert!(large.aggregate_hit_rate() + 1e-9 >= small.aggregate_hit_rate());
+    }
+
+    #[test]
+    fn workload_counts_are_consistent(
+        app in arb_app(),
+        enc in arb_enc(),
+    ) {
+        let w = FrameWorkload::derive(app, enc, 1_000_000);
+        // Hashes never exceed lookups; everything nonzero where expected.
+        prop_assert!(w.hashes_per_query <= w.lookups_per_query);
+        prop_assert!(w.lookups_per_query > 0);
+        prop_assert!(w.mlp_macs_per_query > 0);
+        prop_assert_eq!(w.encoding_fetch_bytes(),
+            w.queries * w.lookups_per_query as u64 * w.bytes_per_lookup as u64);
+    }
+}

@@ -1,0 +1,100 @@
+//! Gigapixel image approximation (GIA): a network learns the mapping from
+//! 2D pixel coordinates to RGB color of an ultra-high-resolution image.
+
+use super::{table1, AppKind, EncodingKind, FieldModel, OutputDecode};
+use crate::encoding::MultiResGrid;
+use crate::error::Result;
+use crate::math::Vec3;
+use crate::mlp::Mlp;
+
+/// A GIA model: 2D grid encoding -> 4-layer MLP -> RGB.
+#[derive(Debug, Clone)]
+pub struct GiaModel {
+    field: FieldModel,
+    encoding_kind: EncodingKind,
+}
+
+impl GiaModel {
+    /// Build the Table I GIA configuration for the chosen encoding.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the built-in Table I configurations.
+    pub fn new(encoding: EncodingKind, seed: u64) -> Self {
+        let p = table1(AppKind::Gia, encoding);
+        let grid = MultiResGrid::new(p.grid, seed).expect("table1 grid config is valid");
+        let mlp = Mlp::new(p.mlp, seed ^ 0xA11CE).expect("table1 mlp config is valid");
+        GiaModel {
+            field: FieldModel::new(grid, mlp).expect("table1 widths are consistent"),
+            encoding_kind: encoding,
+        }
+    }
+
+    /// The encoding scheme in use.
+    pub fn encoding_kind(&self) -> EncodingKind {
+        self.encoding_kind
+    }
+
+    /// The underlying encoding + MLP pair.
+    pub fn field(&self) -> &FieldModel {
+        &self.field
+    }
+
+    /// Mutable access for training.
+    pub fn field_mut(&mut self) -> &mut FieldModel {
+        &mut self.field
+    }
+
+    /// The decode applied to raw MLP outputs.
+    pub fn decode(&self) -> OutputDecode {
+        OutputDecode::Color
+    }
+
+    /// Predict the RGB color at normalized image coordinates `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors from the underlying model.
+    pub fn color_at(&self, u: f32, v: f32) -> Result<Vec3> {
+        let mut raw = self.field.forward(&[u, v])?;
+        self.decode().apply(&mut raw);
+        Ok(Vec3::new(raw[0], raw[1], raw[2]))
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.field.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+
+    #[test]
+    fn colors_are_normalized() {
+        let model = GiaModel::new(EncodingKind::MultiResHashGrid, 1);
+        for &(u, v) in &[(0.0f32, 0.0f32), (0.5, 0.5), (0.99, 0.01)] {
+            let c = model.color_at(u, v).unwrap();
+            for ch in [c.x, c.y, c.z] {
+                assert!((0.0..=1.0).contains(&ch));
+            }
+        }
+    }
+
+    #[test]
+    fn all_encodings_construct() {
+        for enc in EncodingKind::ALL {
+            let m = GiaModel::new(enc, 3);
+            assert!(m.param_count() > 0);
+            assert_eq!(m.encoding_kind(), enc);
+        }
+    }
+
+    #[test]
+    fn gia_grid_is_2d() {
+        let m = GiaModel::new(EncodingKind::MultiResHashGrid, 5);
+        assert_eq!(m.field().encoding.input_dim(), 2);
+    }
+}

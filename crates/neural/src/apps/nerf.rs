@@ -1,0 +1,331 @@
+//! Neural radiance and density fields (NeRF).
+//!
+//! Two concatenated networks (paper Fig. 4): a *density MLP* maps encoded
+//! positions to sigma plus latent geometry features; a *color MLP* maps
+//! those latent features together with the spherical-harmonics-encoded
+//! view direction to RGB. The output is the `(RGB, sigma)` tuple consumed
+//! by the volume renderer.
+
+use super::params::{NERF_LATENT_DIM, NERF_SH_DIM};
+use super::{table1, AppKind, EncodingKind, FieldGrads, FieldModel, OutputDecode};
+use crate::encoding::sh::SphericalHarmonics;
+use crate::encoding::{Encoding, MultiResGrid};
+use crate::error::Result;
+use crate::math::{Activation, Vec3};
+use crate::mlp::{Mlp, MlpTrace};
+
+/// A radiance-field sample: emitted color and volume density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadianceSample {
+    /// Emitted/reflected RGB color in `[0,1]`.
+    pub color: Vec3,
+    /// Volume density (non-negative).
+    pub sigma: f32,
+}
+
+/// Gradient buffers for the full NeRF pipeline.
+#[derive(Debug, Clone)]
+pub struct NerfGrads {
+    /// Density model (grid tables + density MLP).
+    pub density: FieldGrads,
+    /// Color MLP weights.
+    pub color_mlp: Vec<f32>,
+}
+
+impl NerfGrads {
+    /// Zeroed gradients matching `model`.
+    pub fn zeros_like(model: &NerfModel) -> Self {
+        NerfGrads {
+            density: FieldGrads::zeros_like(&model.density),
+            color_mlp: vec![0.0; model.color_mlp.param_count()],
+        }
+    }
+
+    /// Reset all gradients to zero.
+    pub fn clear(&mut self) {
+        self.density.clear();
+        self.color_mlp.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Scale all gradients (e.g. by `1/batch`).
+    pub fn scale(&mut self, s: f32) {
+        self.density.scale(s);
+        self.color_mlp.iter_mut().for_each(|g| *g *= s);
+    }
+}
+
+/// Everything computed during a traced NeRF forward pass, retained for the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub struct NerfTrace {
+    /// Grid-encoding features of the position.
+    pub features: Vec<f32>,
+    /// Density MLP trace.
+    pub density_trace: MlpTrace,
+    /// Raw density-MLP outputs (channel 0 is pre-exp sigma).
+    pub density_raw: Vec<f32>,
+    /// Color-MLP input (latent + SH direction features).
+    pub color_input: Vec<f32>,
+    /// Color MLP trace.
+    pub color_trace: MlpTrace,
+    /// Raw color-MLP outputs (pre-sigmoid RGB).
+    pub color_raw: Vec<f32>,
+    /// Decoded sample.
+    pub sample: RadianceSample,
+}
+
+/// The full NeRF pipeline of Table I.
+#[derive(Debug, Clone)]
+pub struct NerfModel {
+    density: FieldModel,
+    color_mlp: Mlp,
+    sh: SphericalHarmonics,
+    encoding_kind: EncodingKind,
+}
+
+impl NerfModel {
+    /// Build the Table I NeRF configuration for the chosen encoding.
+    pub fn new(encoding: EncodingKind, seed: u64) -> Self {
+        let p = table1(AppKind::Nerf, encoding);
+        let grid = MultiResGrid::new(p.grid, seed).expect("table1 grid config is valid");
+        let density_mlp = Mlp::new(p.mlp, seed ^ 0xDE45).expect("table1 mlp config is valid");
+        let color_mlp = Mlp::new(p.color_mlp.expect("nerf has a color mlp"), seed ^ 0xC010)
+            .expect("table1 color mlp config is valid");
+        NerfModel {
+            density: FieldModel::new(grid, density_mlp).expect("table1 widths are consistent"),
+            color_mlp,
+            sh: SphericalHarmonics::degree4(),
+            encoding_kind: encoding,
+        }
+    }
+
+    /// The encoding scheme in use.
+    pub fn encoding_kind(&self) -> EncodingKind {
+        self.encoding_kind
+    }
+
+    /// The density branch (grid encoding + density MLP).
+    pub fn density_field(&self) -> &FieldModel {
+        &self.density
+    }
+
+    /// Mutable density branch (for optimizers).
+    pub fn density_field_mut(&mut self) -> &mut FieldModel {
+        &mut self.density
+    }
+
+    /// The color MLP.
+    pub fn color_mlp(&self) -> &Mlp {
+        &self.color_mlp
+    }
+
+    /// Mutable color MLP (for optimizers).
+    pub fn color_mlp_mut(&mut self) -> &mut Mlp {
+        &mut self.color_mlp
+    }
+
+    /// Total trainable parameters across both networks and the grid.
+    pub fn param_count(&self) -> usize {
+        self.density.param_count() + self.color_mlp.param_count()
+    }
+
+    /// Density-only query (used by importance samplers): sigma at `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn sigma(&self, pos: Vec3) -> Result<f32> {
+        let raw = self.density.forward(&pos.to_array())?;
+        Ok(Activation::Exp.apply(raw[0]))
+    }
+
+    /// Full radiance query at position `pos` (in `[0,1]^3`) viewed from
+    /// unit direction `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn query(&self, pos: Vec3, dir: Vec3) -> Result<RadianceSample> {
+        Ok(self.forward_traced(pos, dir)?.sample)
+    }
+
+    /// Traced forward pass retaining every intermediate for training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn forward_traced(&self, pos: Vec3, dir: Vec3) -> Result<NerfTrace> {
+        let features = self.density.encoding.encode(&pos.to_array())?;
+        let density_trace = self.density.mlp.forward_traced(&features)?;
+        let density_raw = density_trace.post.last().expect("trace has layers").clone();
+        let sigma = Activation::Exp.apply(density_raw[0]);
+
+        // Assemble the composite color input: latent geometry features
+        // followed by SH-encoded direction ([0,1]-remapped as in
+        // instant-NGP).
+        let mut color_input = vec![0.0f32; NERF_LATENT_DIM + NERF_SH_DIM];
+        color_input[..NERF_LATENT_DIM].copy_from_slice(&density_raw[..NERF_LATENT_DIM]);
+        let dir01 = [(dir.x + 1.0) * 0.5, (dir.y + 1.0) * 0.5, (dir.z + 1.0) * 0.5];
+        self.sh.encode_into(&dir01, &mut color_input[NERF_LATENT_DIM..])?;
+
+        let color_trace = self.color_mlp.forward_traced(&color_input)?;
+        let color_raw = color_trace.post.last().expect("trace has layers").clone();
+        let color = Vec3::new(
+            Activation::Sigmoid.apply(color_raw[0]),
+            Activation::Sigmoid.apply(color_raw[1]),
+            Activation::Sigmoid.apply(color_raw[2]),
+        );
+        Ok(NerfTrace {
+            features,
+            density_trace,
+            density_raw,
+            color_input,
+            color_trace,
+            color_raw,
+            sample: RadianceSample { color, sigma },
+        })
+    }
+
+    /// Backward pass for one sample.
+    ///
+    /// `d_color` is `d loss / d decoded RGB`, `d_sigma` is
+    /// `d loss / d sigma`. Gradients flow through the color MLP into the
+    /// latent features and join the sigma gradient at the density MLP, then
+    /// into the grid tables — the same fused dataflow the NFP hardware
+    /// implements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn backward(
+        &self,
+        pos: Vec3,
+        trace: &NerfTrace,
+        d_color: Vec3,
+        d_sigma: f32,
+        grads: &mut NerfGrads,
+    ) -> Result<()> {
+        // Through the color sigmoid.
+        let mut d_color_raw = vec![0.0f32; 3];
+        let d_dec = [d_color.x, d_color.y, d_color.z];
+        for i in 0..3 {
+            let y = Activation::Sigmoid.apply(trace.color_raw[i]);
+            d_color_raw[i] = d_dec[i] * Activation::Sigmoid.derivative(trace.color_raw[i], y);
+        }
+        // Color MLP backward -> gradient w.r.t. its input.
+        let d_color_input = self.color_mlp.backward(
+            &trace.color_input,
+            &trace.color_trace,
+            &d_color_raw,
+            &mut grads.color_mlp,
+        )?;
+
+        // Density raw gradient: latent part from the color branch plus the
+        // sigma channel through exp.
+        let mut d_density_raw = vec![0.0f32; trace.density_raw.len()];
+        d_density_raw[..NERF_LATENT_DIM].copy_from_slice(&d_color_input[..NERF_LATENT_DIM]);
+        let sigma = trace.sample.sigma;
+        d_density_raw[0] +=
+            d_sigma * Activation::Exp.derivative(trace.density_raw[0], sigma);
+
+        self.density.backward(
+            &pos.to_array(),
+            &trace.features,
+            &trace.density_trace,
+            &d_density_raw,
+            &mut grads.density,
+        )?;
+        Ok(())
+    }
+
+    /// The decode applied to the color branch.
+    pub fn color_decode(&self) -> OutputDecode {
+        OutputDecode::Color
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NerfModel {
+        NerfModel::new(EncodingKind::LowResDenseGrid, 9)
+    }
+
+    #[test]
+    fn query_produces_valid_sample() {
+        let m = model();
+        let s = m.query(Vec3::new(0.4, 0.5, 0.6), Vec3::new(0.0, 0.0, 1.0)).unwrap();
+        assert!(s.sigma >= 0.0);
+        for ch in [s.color.x, s.color.y, s.color.z] {
+            assert!((0.0..=1.0).contains(&ch));
+        }
+    }
+
+    #[test]
+    fn sigma_matches_traced_forward() {
+        let m = model();
+        let pos = Vec3::new(0.3, 0.7, 0.2);
+        let sigma = m.sigma(pos).unwrap();
+        let trace = m.forward_traced(pos, Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!((sigma - trace.sample.sigma).abs() < 1e-6);
+    }
+
+    #[test]
+    fn color_depends_on_view_direction() {
+        // With random init this holds almost surely; it verifies the SH
+        // path is wired into the color input.
+        let m = NerfModel::new(EncodingKind::MultiResDenseGrid, 21);
+        let pos = Vec3::new(0.5, 0.5, 0.5);
+        let a = m.query(pos, Vec3::new(0.0, 0.0, 1.0)).unwrap();
+        let b = m.query(pos, Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!(
+            (a.color - b.color).length() > 1e-6,
+            "color did not change with view direction"
+        );
+        assert!((a.sigma - b.sigma).abs() < 1e-9, "sigma must be view-independent");
+    }
+
+    #[test]
+    fn backward_touches_all_parameter_chunks() {
+        let m = model();
+        let pos = Vec3::new(0.25, 0.5, 0.75);
+        let dir = Vec3::new(0.0, 1.0, 0.0);
+        let trace = m.forward_traced(pos, dir).unwrap();
+        let mut grads = NerfGrads::zeros_like(&m);
+        m.backward(pos, &trace, Vec3::new(1.0, 1.0, 1.0), 1.0, &mut grads).unwrap();
+        assert!(grads.color_mlp.iter().any(|g| *g != 0.0));
+        assert!(grads.density.mlp.iter().any(|g| *g != 0.0));
+        assert!(grads.density.encoding.iter().any(|g| *g != 0.0));
+    }
+
+    #[test]
+    fn sigma_gradient_matches_finite_difference_through_pipeline() {
+        // Perturb one grid parameter and verify the sigma gradient.
+        let mut m = model();
+        let pos = Vec3::new(0.61, 0.37, 0.52);
+        let dir = Vec3::new(0.0, 0.0, 1.0);
+        let trace = m.forward_traced(pos, dir).unwrap();
+        let mut grads = NerfGrads::zeros_like(&m);
+        // Loss = sigma -> d_sigma = 1, d_color = 0.
+        m.backward(pos, &trace, Vec3::ZERO, 1.0, &mut grads).unwrap();
+
+        // Find a grid parameter with nonzero gradient.
+        let idx = grads
+            .density
+            .encoding
+            .iter()
+            .position(|g| g.abs() > 1e-8)
+            .expect("some grid gradient is nonzero");
+        let h = 1e-3f32;
+        let base = m.sigma(pos).unwrap();
+        m.density_field_mut().encoding.params_mut()[idx] += h;
+        let plus = m.sigma(pos).unwrap();
+        let numeric = (plus - base) / h;
+        let analytic = grads.density.encoding[idx];
+        assert!(
+            (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

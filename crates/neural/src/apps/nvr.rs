@@ -1,0 +1,104 @@
+//! Neural volume rendering (NVR): like NeRF, but the network learns a
+//! density plus a *reflectance* field of a bounded object, later used for
+//! path-traced light transport. Table I specifies a single grid encoding
+//! feeding one 4-layer MLP with a 4-channel `(RGB, sigma)` output.
+
+use super::{table1, AppKind, EncodingKind, FieldModel, OutputDecode};
+use crate::encoding::MultiResGrid;
+use crate::error::Result;
+use crate::math::Vec3;
+use crate::mlp::Mlp;
+
+/// A decoded NVR sample: reflectance color and density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolumeSample {
+    /// Reflectance RGB in `[0,1]`.
+    pub color: Vec3,
+    /// Volume density (non-negative).
+    pub sigma: f32,
+}
+
+/// An NVR model: 3D grid encoding -> 4-layer MLP -> (RGB, sigma).
+#[derive(Debug, Clone)]
+pub struct NvrModel {
+    field: FieldModel,
+    encoding_kind: EncodingKind,
+}
+
+impl NvrModel {
+    /// Build the Table I NVR configuration for the chosen encoding.
+    pub fn new(encoding: EncodingKind, seed: u64) -> Self {
+        let p = table1(AppKind::Nvr, encoding);
+        let grid = MultiResGrid::new(p.grid, seed).expect("table1 grid config is valid");
+        let mlp = Mlp::new(p.mlp, seed ^ 0x4E4B).expect("table1 mlp config is valid");
+        NvrModel {
+            field: FieldModel::new(grid, mlp).expect("table1 widths are consistent"),
+            encoding_kind: encoding,
+        }
+    }
+
+    /// The encoding scheme in use.
+    pub fn encoding_kind(&self) -> EncodingKind {
+        self.encoding_kind
+    }
+
+    /// The underlying encoding + MLP pair.
+    pub fn field(&self) -> &FieldModel {
+        &self.field
+    }
+
+    /// Mutable access for training.
+    pub fn field_mut(&mut self) -> &mut FieldModel {
+        &mut self.field
+    }
+
+    /// The decode applied to raw MLP outputs.
+    pub fn decode(&self) -> OutputDecode {
+        OutputDecode::ColorDensity
+    }
+
+    /// Query the reflectance and density at a point in `[0,1]^3`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors from the underlying model.
+    pub fn query(&self, p: Vec3) -> Result<VolumeSample> {
+        let mut raw = self.field.forward(&p.to_array())?;
+        self.decode().apply(&mut raw);
+        Ok(VolumeSample { color: Vec3::new(raw[0], raw[1], raw[2]), sigma: raw[3] })
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.field.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_physical() {
+        let model = NvrModel::new(EncodingKind::MultiResDenseGrid, 12);
+        let s = model.query(Vec3::new(0.2, 0.8, 0.5)).unwrap();
+        assert!(s.sigma >= 0.0);
+        for ch in [s.color.x, s.color.y, s.color.z] {
+            assert!((0.0..=1.0).contains(&ch));
+        }
+    }
+
+    #[test]
+    fn four_output_channels() {
+        let model = NvrModel::new(EncodingKind::MultiResHashGrid, 1);
+        assert_eq!(model.field().mlp.config().output_dim, 4);
+        assert_eq!(model.field().mlp.config().hidden_layers, 4);
+    }
+
+    #[test]
+    fn all_encodings_construct() {
+        for enc in EncodingKind::ALL {
+            assert!(NvrModel::new(enc, 7).param_count() > 0);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic targets substituting for the paper's captured datasets.
+//!
+//! The paper evaluates on real scenes (NeRF captures, gigapixel
+//! photographs, SDF meshes). Those are not redistributable, so this module
+//! provides *analytic* ground truths with the same statistical character —
+//! high-frequency content a plain MLP cannot fit but a grid-encoded model
+//! can: procedural images ([`procedural`]), exact signed-distance fields
+//! ([`sdf`]) and emissive density volumes ([`volume_scene`]). Because the
+//! targets are analytic, reconstruction error can be measured exactly
+//! anywhere, which the test-suite uses heavily.
+
+pub mod procedural;
+pub mod sdf;
+pub mod volume_scene;
+
+pub use procedural::ProceduralImage;
+pub use sdf::{Csg, SdfShape};
+pub use volume_scene::VolumeScene;

@@ -1,0 +1,227 @@
+//! Analytic signed-distance fields: the training target for NSDF.
+//!
+//! All shapes live inside the unit cube `[0,1]^3` (the encoding domain)
+//! and are expressed around its center. Distances are exact for the
+//! primitives and Lipschitz-1 bounds for the CSG combinations, which is
+//! the standard contract sphere tracers rely on.
+
+use crate::math::Vec3;
+
+/// Analytic primitive shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SdfShape {
+    /// Sphere of `radius` centered at `center`.
+    Sphere {
+        /// Center position.
+        center: Vec3,
+        /// Sphere radius.
+        radius: f32,
+    },
+    /// Axis-aligned box with half-extents `half` centered at `center`.
+    Box {
+        /// Center position.
+        center: Vec3,
+        /// Half-extent along each axis.
+        half: Vec3,
+    },
+    /// Torus in the xz-plane: `major` ring radius, `minor` tube radius.
+    Torus {
+        /// Center position.
+        center: Vec3,
+        /// Ring (major) radius.
+        major: f32,
+        /// Tube (minor) radius.
+        minor: f32,
+    },
+    /// Gyroid shell (`sin x cos y + sin y cos z + sin z cos x = 0`) of a
+    /// given `frequency` and `thickness`, clipped to a bounding sphere.
+    /// This is the "high-frequency" stress shape.
+    Gyroid {
+        /// Spatial frequency of the triply periodic surface.
+        frequency: f32,
+        /// Shell half-thickness.
+        thickness: f32,
+    },
+}
+
+impl SdfShape {
+    /// Signed distance from `p` (negative inside).
+    pub fn distance(&self, p: Vec3) -> f32 {
+        match *self {
+            SdfShape::Sphere { center, radius } => (p - center).length() - radius,
+            SdfShape::Box { center, half } => {
+                let q = (p - center).abs() - half;
+                let outside = q.max(Vec3::ZERO).length();
+                let inside = q.max_component().min(0.0);
+                outside + inside
+            }
+            SdfShape::Torus { center, major, minor } => {
+                let q = p - center;
+                let ring = ((q.x * q.x + q.z * q.z).sqrt() - major).hypot(q.y);
+                ring - minor
+            }
+            SdfShape::Gyroid { frequency, thickness } => {
+                let q = (p - Vec3::splat(0.5)) * frequency;
+                let g = q.x.sin() * q.y.cos() + q.y.sin() * q.z.cos() + q.z.sin() * q.x.cos();
+                // The gyroid implicit is not a true distance; divide by the
+                // gradient-magnitude bound (~1.5 * frequency) for a
+                // conservative Lipschitz estimate and clip to a sphere so
+                // the shape is bounded.
+                let shell = g.abs() / (1.5 * frequency) - thickness;
+                let clip = (p - Vec3::splat(0.5)).length() - 0.45;
+                shell.max(clip)
+            }
+        }
+    }
+
+    /// A sphere centered in the unit cube — the simplest smoke-test shape.
+    pub fn centered_sphere(radius: f32) -> SdfShape {
+        SdfShape::Sphere { center: Vec3::splat(0.5), radius }
+    }
+
+    /// A torus centered in the unit cube.
+    pub fn centered_torus(major: f32, minor: f32) -> SdfShape {
+        SdfShape::Torus { center: Vec3::splat(0.5), major, minor }
+    }
+}
+
+/// Constructive solid geometry over SDF shapes (min/max combinations).
+#[derive(Debug, Clone)]
+pub enum Csg {
+    /// A single primitive.
+    Leaf(SdfShape),
+    /// Union (minimum of distances).
+    Union(Box<Csg>, Box<Csg>),
+    /// Intersection (maximum of distances).
+    Intersection(Box<Csg>, Box<Csg>),
+    /// Difference: first minus second.
+    Difference(Box<Csg>, Box<Csg>),
+}
+
+impl Csg {
+    /// Signed distance bound from `p`.
+    pub fn distance(&self, p: Vec3) -> f32 {
+        match self {
+            Csg::Leaf(s) => s.distance(p),
+            Csg::Union(a, b) => a.distance(p).min(b.distance(p)),
+            Csg::Intersection(a, b) => a.distance(p).max(b.distance(p)),
+            Csg::Difference(a, b) => a.distance(p).max(-b.distance(p)),
+        }
+    }
+
+    /// The demo scene used by examples and tests: a box with a sphere
+    /// carved out of it, next to a torus.
+    pub fn demo_scene() -> Csg {
+        let boxy = Csg::Leaf(SdfShape::Box {
+            center: Vec3::new(0.38, 0.5, 0.5),
+            half: Vec3::new(0.16, 0.16, 0.16),
+        });
+        let hole = Csg::Leaf(SdfShape::Sphere {
+            center: Vec3::new(0.38, 0.5, 0.34),
+            radius: 0.17,
+        });
+        let torus = Csg::Leaf(SdfShape::Torus {
+            center: Vec3::new(0.72, 0.5, 0.5),
+            major: 0.12,
+            minor: 0.045,
+        });
+        Csg::Union(
+            Box::new(Csg::Difference(Box::new(boxy), Box::new(hole))),
+            Box::new(torus),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_distance_exact() {
+        let s = SdfShape::centered_sphere(0.25);
+        assert!((s.distance(Vec3::splat(0.5)) + 0.25).abs() < 1e-6); // center
+        assert!((s.distance(Vec3::new(0.5, 0.5, 0.0)) - 0.25).abs() < 1e-6);
+        assert!(s.distance(Vec3::new(0.75, 0.5, 0.5)).abs() < 1e-6); // surface
+    }
+
+    #[test]
+    fn box_distance_exact_on_faces_and_corners() {
+        let b = SdfShape::Box { center: Vec3::splat(0.5), half: Vec3::splat(0.1) };
+        // On a face.
+        assert!(b.distance(Vec3::new(0.6, 0.5, 0.5)).abs() < 1e-6);
+        // Outside along an axis.
+        assert!((b.distance(Vec3::new(0.8, 0.5, 0.5)) - 0.2).abs() < 1e-6);
+        // At a corner: diagonal distance.
+        let d = b.distance(Vec3::new(0.7, 0.7, 0.7));
+        assert!((d - (3.0f32).sqrt() * 0.1).abs() < 1e-5);
+        // Inside.
+        assert!(b.distance(Vec3::splat(0.5)) < 0.0);
+    }
+
+    #[test]
+    fn torus_distance_on_ring() {
+        let t = SdfShape::centered_torus(0.2, 0.05);
+        // Point on the ring circle, offset by the tube radius.
+        let on_surface = Vec3::new(0.5 + 0.2, 0.5 + 0.05, 0.5);
+        assert!(t.distance(on_surface).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lipschitz_property_holds_statistically() {
+        // |d(p) - d(q)| <= |p - q| for true SDFs (and our bounds).
+        let shapes = [
+            SdfShape::centered_sphere(0.3),
+            SdfShape::Box { center: Vec3::splat(0.5), half: Vec3::new(0.2, 0.1, 0.15) },
+            SdfShape::centered_torus(0.2, 0.06),
+            SdfShape::Gyroid { frequency: 20.0, thickness: 0.02 },
+        ];
+        let mut rng = crate::math::Pcg32::new(5);
+        for shape in &shapes {
+            for _ in 0..500 {
+                let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+                let q = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+                let lhs = (shape.distance(p) - shape.distance(q)).abs();
+                let rhs = (p - q).length() + 1e-4;
+                assert!(lhs <= rhs, "{shape:?} violates Lipschitz: {lhs} > {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn csg_union_is_min() {
+        let a = Csg::Leaf(SdfShape::centered_sphere(0.1));
+        let b = Csg::Leaf(SdfShape::centered_sphere(0.3));
+        let u = Csg::Union(Box::new(a), Box::new(b));
+        let p = Vec3::new(0.9, 0.5, 0.5);
+        assert!((u.distance(p) - (0.4 - 0.3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csg_difference_carves() {
+        let outer = Csg::Leaf(SdfShape::centered_sphere(0.3));
+        let inner = Csg::Leaf(SdfShape::centered_sphere(0.2));
+        let shell = Csg::Difference(Box::new(outer), Box::new(inner));
+        // Center is inside the carved-out region -> outside the shell.
+        assert!(shell.distance(Vec3::splat(0.5)) > 0.0);
+        // Midway through the shell wall -> inside.
+        assert!(shell.distance(Vec3::new(0.75, 0.5, 0.5)) < 0.0);
+    }
+
+    #[test]
+    fn demo_scene_has_surface() {
+        let scene = Csg::demo_scene();
+        let mut inside = 0;
+        let mut outside = 0;
+        let mut rng = crate::math::Pcg32::new(17);
+        for _ in 0..2_000 {
+            let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            if scene.distance(p) < 0.0 {
+                inside += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        assert!(inside > 10, "scene seems empty");
+        assert!(outside > 10, "scene fills everything");
+    }
+}

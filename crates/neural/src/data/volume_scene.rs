@@ -1,0 +1,181 @@
+//! Analytic emissive density volumes: the training target for NeRF and
+//! NVR.
+//!
+//! The scene is a mixture of anisotropic Gaussian density blobs, each with
+//! its own base color, plus a view-dependent sheen on the color (so NeRF's
+//! direction-conditioned color branch has something real to learn).
+
+use crate::math::{Pcg32, Vec3};
+
+/// One Gaussian density blob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blob {
+    /// Blob center in `[0,1]^3`.
+    pub center: Vec3,
+    /// Per-axis inverse squared radii.
+    pub inv_radii_sq: Vec3,
+    /// Peak density at the center.
+    pub peak_density: f32,
+    /// Base emitted/reflected color.
+    pub color: Vec3,
+}
+
+impl Blob {
+    /// Density contribution at `p`.
+    #[inline]
+    pub fn density(&self, p: Vec3) -> f32 {
+        let d = p - self.center;
+        let q =
+            d.x * d.x * self.inv_radii_sq.x + d.y * d.y * self.inv_radii_sq.y
+                + d.z * d.z * self.inv_radii_sq.z;
+        self.peak_density * (-q).exp()
+    }
+}
+
+/// An analytic volume: ground truth for `(RGB, sigma)` queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeScene {
+    blobs: Vec<Blob>,
+    /// Strength of the view-dependent color term in `[0, 1]`.
+    sheen: f32,
+}
+
+impl VolumeScene {
+    /// Generate a random scene of `n_blobs` blobs.
+    pub fn random(n_blobs: usize, seed: u64) -> Self {
+        let mut rng = Pcg32::with_stream(seed, 0xB10B);
+        let palette = [
+            Vec3::new(0.9, 0.3, 0.2),
+            Vec3::new(0.2, 0.7, 0.9),
+            Vec3::new(0.95, 0.85, 0.3),
+            Vec3::new(0.4, 0.9, 0.4),
+            Vec3::new(0.8, 0.4, 0.9),
+        ];
+        let blobs = (0..n_blobs)
+            .map(|i| {
+                let center = Vec3::new(
+                    rng.range_f32(0.25, 0.75),
+                    rng.range_f32(0.25, 0.75),
+                    rng.range_f32(0.25, 0.75),
+                );
+                let r = |rng: &mut Pcg32| {
+                    let radius = rng.range_f32(0.05, 0.18);
+                    1.0 / (radius * radius)
+                };
+                Blob {
+                    center,
+                    inv_radii_sq: Vec3::new(r(&mut rng), r(&mut rng), r(&mut rng)),
+                    peak_density: rng.range_f32(8.0, 40.0),
+                    color: palette[i % palette.len()],
+                }
+            })
+            .collect();
+        VolumeScene { blobs, sheen: 0.3 }
+    }
+
+    /// The default 5-blob scene used by examples and tests.
+    pub fn demo() -> Self {
+        VolumeScene::random(5, 2024)
+    }
+
+    /// The blobs of the scene.
+    pub fn blobs(&self) -> &[Blob] {
+        &self.blobs
+    }
+
+    /// Ground-truth density at `p`.
+    pub fn sigma(&self, p: Vec3) -> f32 {
+        self.blobs.iter().map(|b| b.density(p)).sum()
+    }
+
+    /// Ground-truth color at `p` seen from unit direction `dir`:
+    /// density-weighted blob palette plus a directional sheen.
+    pub fn color(&self, p: Vec3, dir: Vec3) -> Vec3 {
+        let mut total = 0.0f32;
+        let mut color = Vec3::ZERO;
+        for b in &self.blobs {
+            let d = b.density(p);
+            total += d;
+            color = color + b.color * d;
+        }
+        if total < 1e-6 {
+            return Vec3::ZERO;
+        }
+        let base = color / total;
+        // View-dependent sheen: brighter when looking along +z.
+        let facing = 0.5 + 0.5 * dir.z;
+        let sheen = self.sheen * facing;
+        Vec3::new(
+            (base.x * (1.0 - self.sheen) + sheen).clamp(0.0, 1.0),
+            (base.y * (1.0 - self.sheen) + sheen).clamp(0.0, 1.0),
+            (base.z * (1.0 - self.sheen) + sheen).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Ground truth `(color, sigma)` pair, matching the NeRF/NVR output.
+    pub fn sample(&self, p: Vec3, dir: Vec3) -> (Vec3, f32) {
+        (self.color(p, dir), self.sigma(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_nonnegative_and_peaked_at_centers() {
+        let scene = VolumeScene::demo();
+        for b in scene.blobs() {
+            let at_center = scene.sigma(b.center);
+            let away = scene.sigma(b.center + Vec3::new(0.3, 0.3, 0.3));
+            assert!(at_center > away, "density not peaked at blob center");
+        }
+        let mut rng = Pcg32::new(1);
+        for _ in 0..100 {
+            let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            assert!(scene.sigma(p) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn color_in_unit_cube() {
+        let scene = VolumeScene::demo();
+        let mut rng = Pcg32::new(2);
+        for _ in 0..200 {
+            let p = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
+            let d = Vec3::from_spherical(
+                rng.range_f32(0.0, std::f32::consts::PI),
+                rng.range_f32(0.0, 2.0 * std::f32::consts::PI),
+            );
+            let c = scene.color(p, d);
+            for ch in [c.x, c.y, c.z] {
+                assert!((0.0..=1.0).contains(&ch));
+            }
+        }
+    }
+
+    #[test]
+    fn color_is_view_dependent() {
+        let scene = VolumeScene::demo();
+        let p = scene.blobs()[0].center;
+        let a = scene.color(p, Vec3::new(0.0, 0.0, 1.0));
+        let b = scene.color(p, Vec3::new(0.0, 0.0, -1.0));
+        assert!((a - b).length() > 1e-3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = VolumeScene::random(4, 9);
+        let b = VolumeScene::random(4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_space_has_near_zero_density() {
+        let scene = VolumeScene::demo();
+        // Corners are far from every blob center (blobs live in the inner
+        // half of the cube).
+        let corner = scene.sigma(Vec3::new(0.01, 0.01, 0.01));
+        assert!(corner < 1.0, "corner density {corner}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Composite encoding: independent encoders over disjoint slices of the
+//! input vector, with outputs concatenated.
+//!
+//! Table I's NeRF/NVR color models are written
+//! `3 -[Composite]-> 16+16`: the 16 latent geometry features pass through
+//! unchanged (identity) while the 3 direction components are expanded to 16
+//! spherical-harmonics features. [`CompositeEncoding`] generalises this:
+//! each part consumes a contiguous slice of the input and contributes a
+//! contiguous slice of the output.
+
+use super::{check_dim, Encoding};
+use crate::error::{NgError, Result};
+
+/// Pass-through encoding (identity map), used for latent features that are
+/// already in network-feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityEncoding {
+    dim: usize,
+}
+
+impl IdentityEncoding {
+    /// Identity over `dim` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "identity dim must be nonzero");
+        IdentityEncoding { dim }
+    }
+}
+
+impl Encoding for IdentityEncoding {
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode_into(&self, input: &[f32], out: &mut [f32]) -> Result<()> {
+        check_dim("identity encoding input", self.dim, input.len())?;
+        check_dim("identity encoding output", self.dim, out.len())?;
+        out.copy_from_slice(input);
+        Ok(())
+    }
+}
+
+/// Concatenation of encodings over consecutive input slices.
+///
+/// ```
+/// use ng_neural::encoding::composite::{CompositeEncoding, IdentityEncoding};
+/// use ng_neural::encoding::sh::SphericalHarmonics;
+/// use ng_neural::encoding::Encoding;
+///
+/// // The NeRF color-model input: 16 latent features + SH(direction).
+/// let enc = CompositeEncoding::new(vec![
+///     Box::new(IdentityEncoding::new(16)),
+///     Box::new(SphericalHarmonics::degree4()),
+/// ]);
+/// assert_eq!(enc.input_dim(), 19);
+/// assert_eq!(enc.output_dim(), 32);
+/// ```
+pub struct CompositeEncoding {
+    parts: Vec<Box<dyn Encoding>>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl std::fmt::Debug for CompositeEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeEncoding")
+            .field("parts", &self.parts.len())
+            .field("input_dim", &self.input_dim)
+            .field("output_dim", &self.output_dim)
+            .finish()
+    }
+}
+
+impl CompositeEncoding {
+    /// Build a composite from parts applied to consecutive input slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn new(parts: Vec<Box<dyn Encoding>>) -> Self {
+        assert!(!parts.is_empty(), "composite needs at least one part");
+        let input_dim = parts.iter().map(|p| p.input_dim()).sum();
+        let output_dim = parts.iter().map(|p| p.output_dim()).sum();
+        CompositeEncoding { parts, input_dim, output_dim }
+    }
+
+    /// Number of component encodings.
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl Encoding for CompositeEncoding {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn encode_into(&self, input: &[f32], out: &mut [f32]) -> Result<()> {
+        check_dim("composite encoding input", self.input_dim, input.len())?;
+        check_dim("composite encoding output", self.output_dim, out.len())?;
+        let mut in_off = 0;
+        let mut out_off = 0;
+        for part in &self.parts {
+            let (id, od) = (part.input_dim(), part.output_dim());
+            part.encode_into(&input[in_off..in_off + id], &mut out[out_off..out_off + od])?;
+            in_off += id;
+            out_off += od;
+        }
+        Ok(())
+    }
+
+    fn param_count(&self) -> usize {
+        self.parts.iter().map(|p| p.param_count()).sum()
+    }
+
+    fn backward(&self, input: &[f32], d_out: &[f32], d_params: &mut [f32]) -> Result<()> {
+        check_dim("composite backward input", self.input_dim, input.len())?;
+        check_dim("composite backward d_out", self.output_dim, d_out.len())?;
+        if d_params.len() != self.param_count() {
+            return Err(NgError::DimensionMismatch {
+                context: "composite backward d_params",
+                expected: self.param_count(),
+                actual: d_params.len(),
+            });
+        }
+        let mut in_off = 0;
+        let mut out_off = 0;
+        let mut p_off = 0;
+        for part in &self.parts {
+            let (id, od, pd) = (part.input_dim(), part.output_dim(), part.param_count());
+            part.backward(
+                &input[in_off..in_off + id],
+                &d_out[out_off..out_off + od],
+                &mut d_params[p_off..p_off + pd],
+            )?;
+            in_off += id;
+            out_off += od;
+            p_off += pd;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::frequency::FrequencyEncoding;
+    use crate::encoding::sh::SphericalHarmonics;
+
+    #[test]
+    fn identity_round_trips() {
+        let id = IdentityEncoding::new(4);
+        let out = id.encode(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn composite_slices_route_correctly() {
+        let enc = CompositeEncoding::new(vec![
+            Box::new(IdentityEncoding::new(2)),
+            Box::new(IdentityEncoding::new(3)),
+        ]);
+        let out = enc.encode(&[1.0, 2.0, 10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(out, vec![1.0, 2.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn nerf_color_input_shape() {
+        let enc = CompositeEncoding::new(vec![
+            Box::new(IdentityEncoding::new(16)),
+            Box::new(SphericalHarmonics::degree4()),
+        ]);
+        assert_eq!(enc.input_dim(), 19);
+        assert_eq!(enc.output_dim(), 32); // the Table I "16+16"
+    }
+
+    #[test]
+    fn parts_evaluate_identically_to_standalone() {
+        let freq = FrequencyEncoding::new(2, 3);
+        let enc = CompositeEncoding::new(vec![
+            Box::new(IdentityEncoding::new(1)),
+            Box::new(FrequencyEncoding::new(2, 3)),
+        ]);
+        let input = [5.0f32, 0.25, 0.75];
+        let out = enc.encode(&input).unwrap();
+        assert_eq!(out[0], 5.0);
+        let standalone = freq.encode(&input[1..]).unwrap();
+        assert_eq!(&out[1..], &standalone[..]);
+    }
+
+    #[test]
+    fn wrong_sizes_rejected() {
+        let enc = CompositeEncoding::new(vec![Box::new(IdentityEncoding::new(2))]);
+        assert!(enc.encode(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_param_composite() {
+        let enc = CompositeEncoding::new(vec![
+            Box::new(IdentityEncoding::new(16)),
+            Box::new(SphericalHarmonics::degree4()),
+        ]);
+        assert_eq!(enc.param_count(), 0);
+        let mut d = vec![];
+        enc.backward(&[0.2; 19], &[1.0; 32], &mut d).unwrap();
+    }
+}

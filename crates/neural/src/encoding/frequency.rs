@@ -1,0 +1,119 @@
+//! Fixed-function frequency encoding (vanilla NeRF, Mildenhall et al.).
+//!
+//! Maps each coordinate `x` to `(sin(2^0 pi x), cos(2^0 pi x), ...,
+//! sin(2^{K-1} pi x), cos(2^{K-1} pi x))`. Included as the representative
+//! fixed-function encoding the paper contrasts with parametric grids; it
+//! also serves as a zero-parameter baseline in the ablation benches.
+
+use super::{check_dim, Encoding};
+use crate::error::Result;
+
+/// Sin/cos frequency encoding with `n_frequencies` octaves per input
+/// dimension.
+///
+/// ```
+/// use ng_neural::encoding::{frequency::FrequencyEncoding, Encoding};
+/// let enc = FrequencyEncoding::new(3, 10); // vanilla-NeRF position encoding
+/// assert_eq!(enc.output_dim(), 3 * 10 * 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyEncoding {
+    dim: usize,
+    n_frequencies: usize,
+}
+
+impl FrequencyEncoding {
+    /// Create an encoding for `dim` inputs and `n_frequencies` octaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `n_frequencies` is zero.
+    pub fn new(dim: usize, n_frequencies: usize) -> Self {
+        assert!(dim > 0, "dim must be nonzero");
+        assert!(n_frequencies > 0, "n_frequencies must be nonzero");
+        FrequencyEncoding { dim, n_frequencies }
+    }
+
+    /// Number of octaves per dimension.
+    pub fn n_frequencies(&self) -> usize {
+        self.n_frequencies
+    }
+}
+
+impl Encoding for FrequencyEncoding {
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim * self.n_frequencies * 2
+    }
+
+    fn encode_into(&self, input: &[f32], out: &mut [f32]) -> Result<()> {
+        check_dim("frequency encoding input", self.dim, input.len())?;
+        check_dim("frequency encoding output", self.output_dim(), out.len())?;
+        let mut o = 0;
+        for &x in input {
+            let mut freq = std::f32::consts::PI;
+            for _ in 0..self.n_frequencies {
+                let v = freq * x;
+                out[o] = v.sin();
+                out[o + 1] = v.cos();
+                o += 2;
+                freq *= 2.0;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_bounded() {
+        let enc = FrequencyEncoding::new(3, 8);
+        let out = enc.encode(&[0.123, 0.456, 0.789]).unwrap();
+        assert!(out.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn sin_cos_pairs_consistent() {
+        let enc = FrequencyEncoding::new(1, 4);
+        let out = enc.encode(&[0.3]).unwrap();
+        for pair in out.chunks_exact(2) {
+            let norm = pair[0] * pair[0] + pair[1] * pair[1];
+            assert!((norm - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_input_gives_known_pattern() {
+        let enc = FrequencyEncoding::new(1, 3);
+        let out = enc.encode(&[0.0]).unwrap();
+        for pair in out.chunks_exact(2) {
+            assert!((pair[0] - 0.0).abs() < 1e-6); // sin(0)
+            assert!((pair[1] - 1.0).abs() < 1e-6); // cos(0)
+        }
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let enc = FrequencyEncoding::new(2, 6);
+        assert_eq!(enc.param_count(), 0);
+        assert!(enc.params().is_empty());
+    }
+
+    #[test]
+    fn higher_octaves_oscillate_faster() {
+        // The last octave should flip sign over a much smaller interval
+        // than the first.
+        let enc = FrequencyEncoding::new(1, 10);
+        let a = enc.encode(&[0.500]).unwrap();
+        let b = enc.encode(&[0.502]).unwrap();
+        let low_delta = (a[0] - b[0]).abs();
+        let high_delta = (a[18] - b[18]).abs();
+        assert!(high_delta > low_delta * 10.0, "{high_delta} vs {low_delta}");
+    }
+}

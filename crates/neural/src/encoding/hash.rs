@@ -1,0 +1,163 @@
+//! The spatial hash function of instant-NGP (Eq. 1 of the NGPC paper):
+//!
+//! ```text
+//! h(x) = (xor_{i=1..d} x_i * pi_i) mod T
+//! ```
+//!
+//! where the `pi_i` are unique large primes and `T` is the table size.
+//! Because `T` is always a power of two in every neural-graphics
+//! configuration, the modulo reduces to a bit mask — the very observation
+//! the NGPC input-encoding engine exploits to replace the expensive integer
+//! modulo with a shift/mask (Section V of the paper). The software
+//! reference here uses the same mask, so the hardware model in the `ngpc`
+//! crate is bit-exact against this implementation.
+
+/// The hashing primes of instant-NGP. The first coordinate is multiplied
+/// by 1 to preserve cache coherence in the fastest-varying dimension.
+pub const HASH_PRIMES: [u32; 3] = [1, 2_654_435_761, 805_459_861];
+
+/// Compute the spatial hash of up to 3 integer grid coordinates, reduced
+/// into a table of `1 << log2_table_size` entries.
+///
+/// # Panics
+///
+/// Panics in debug builds if `coords` is empty or longer than
+/// [`HASH_PRIMES`].
+#[inline]
+pub fn spatial_hash(coords: &[u32], log2_table_size: u32) -> u32 {
+    debug_assert!(!coords.is_empty() && coords.len() <= HASH_PRIMES.len());
+    let mut h = 0u32;
+    for (i, &c) in coords.iter().enumerate() {
+        h ^= c.wrapping_mul(HASH_PRIMES[i]);
+    }
+    h & table_mask(log2_table_size)
+}
+
+/// The bit mask implementing `mod 2^log2_table_size`.
+#[inline]
+pub const fn table_mask(log2_table_size: u32) -> u32 {
+    if log2_table_size >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << log2_table_size) - 1
+    }
+}
+
+/// Row-major linear index of a grid corner in a dense level with
+/// `resolution + 1` vertices per axis (dimension inferred from `coords`).
+///
+/// The fastest-varying dimension is `coords[0]`, matching the hash prime
+/// assignment above.
+#[inline]
+pub fn dense_index(coords: &[u32], resolution: u32) -> u64 {
+    let stride = resolution as u64 + 1;
+    let mut idx = 0u64;
+    for &c in coords.iter().rev() {
+        debug_assert!(c as u64 <= resolution as u64, "corner out of grid");
+        idx = idx * stride + c as u64;
+    }
+    idx
+}
+
+/// Number of vertices in a dense level of `dim` dimensions.
+#[inline]
+pub fn dense_vertex_count(resolution: u32, dim: usize) -> u64 {
+    (resolution as u64 + 1).pow(dim as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(spatial_hash(&[3, 5, 7], 19), spatial_hash(&[3, 5, 7], 19));
+    }
+
+    #[test]
+    fn hash_respects_table_size() {
+        for c in 0..1000u32 {
+            let h = spatial_hash(&[c, c * 3 + 1, c * 7 + 2], 14);
+            assert!(h < (1 << 14));
+        }
+    }
+
+    #[test]
+    fn mask_equals_modulo_for_powers_of_two() {
+        for log2 in [1u32, 4, 14, 19, 24] {
+            let t = 1u64 << log2;
+            for x in [0u32, 1, 12345, u32::MAX, 987_654_321] {
+                assert_eq!((x & table_mask(log2)) as u64, x as u64 % t);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_distribution_is_roughly_uniform() {
+        // Chi-square-ish sanity: bucket 64k hashes of a 3D lattice into 256
+        // bins; no bin should deviate wildly from the mean.
+        const LOG2: u32 = 8;
+        let mut bins = [0u32; 1 << LOG2];
+        let mut n = 0u32;
+        for x in 0..40u32 {
+            for y in 0..40 {
+                for z in 0..40 {
+                    bins[spatial_hash(&[x, y, z], LOG2) as usize] += 1;
+                    n += 1;
+                }
+            }
+        }
+        let mean = n as f64 / bins.len() as f64;
+        for (i, &b) in bins.iter().enumerate() {
+            assert!(
+                (b as f64) < 3.0 * mean && (b as f64) > mean / 3.0,
+                "bin {i} count {b} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_dim_preserves_locality() {
+        // The x coordinate is multiplied by prime 1, so two hashes whose
+        // inputs differ only in x differ exactly by `x0 ^ x1` — adjacent x
+        // values land in nearby table entries (low-bit differences), a
+        // property instant-NGP relies on for cache coherence.
+        let a = spatial_hash(&[10, 4, 9], 19);
+        let b = spatial_hash(&[11, 4, 9], 19);
+        assert_eq!(a ^ b, (10 ^ 11) & table_mask(19));
+        let c = spatial_hash(&[12, 4, 9], 19);
+        assert_eq!(a ^ c, (10 ^ 12) & table_mask(19));
+    }
+
+    #[test]
+    fn dense_index_row_major() {
+        // 2D grid, resolution 2 => 3 vertices per axis.
+        assert_eq!(dense_index(&[0, 0], 2), 0);
+        assert_eq!(dense_index(&[1, 0], 2), 1);
+        assert_eq!(dense_index(&[0, 1], 2), 3);
+        assert_eq!(dense_index(&[2, 2], 2), 8);
+    }
+
+    #[test]
+    fn dense_index_3d_bounds() {
+        let res = 4u32;
+        let count = dense_vertex_count(res, 3);
+        let mut seen = vec![false; count as usize];
+        for x in 0..=res {
+            for y in 0..=res {
+                for z in 0..=res {
+                    let idx = dense_index(&[x, y, z], res) as usize;
+                    assert!(!seen[idx], "collision in dense index");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vertex_count_matches_formula() {
+        assert_eq!(dense_vertex_count(16, 3), 17 * 17 * 17);
+        assert_eq!(dense_vertex_count(128, 2), 129 * 129);
+    }
+}

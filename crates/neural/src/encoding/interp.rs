@@ -1,0 +1,155 @@
+//! d-linear interpolation support for grid encodings.
+//!
+//! A continuous position inside a grid cell is blended from the feature
+//! vectors at the 2^d cell corners. The interpolation weight of a corner is
+//! the product over dimensions of either the fractional coordinate (corner
+//! bit 1) or its complement (corner bit 0). The NFP hardware implements the
+//! identical computation in its `interpol_weights` module, so this is the
+//! reference the hardware model is validated against.
+
+/// Maximum supported input dimensionality (images are 2D, volumes 3D).
+pub const MAX_DIM: usize = 3;
+
+/// Maximum number of cell corners (2^MAX_DIM).
+pub const MAX_CORNERS: usize = 1 << MAX_DIM;
+
+/// Decomposition of a continuous grid position into integer cell base and
+/// fractional offsets, as produced by the `pos_fract` hardware stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellPosition {
+    /// Integer coordinate of the cell's low corner, per dimension.
+    pub base: [u32; MAX_DIM],
+    /// Fractional offset within the cell in `[0, 1)`, per dimension.
+    pub fract: [f32; MAX_DIM],
+    /// Number of valid dimensions.
+    pub dim: usize,
+}
+
+impl CellPosition {
+    /// Decompose normalized coordinates `x in [0,1]^dim` scaled by
+    /// `scale` (the level's resolution) into cell base + fraction.
+    ///
+    /// Positions are clamped so the high corner `base + 1` never exceeds
+    /// `scale`, mirroring the boundary handling of instant-NGP.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x.len() > MAX_DIM`.
+    pub fn from_normalized(x: &[f32], scale: u32) -> Self {
+        debug_assert!(x.len() <= MAX_DIM && !x.is_empty());
+        let mut base = [0u32; MAX_DIM];
+        let mut fract = [0.0f32; MAX_DIM];
+        for (i, &xi) in x.iter().enumerate() {
+            let pos = (xi.clamp(0.0, 1.0)) * scale as f32;
+            // Clamp the integer part so that base+1 is still a valid vertex.
+            let cell = (pos.floor() as i64).clamp(0, scale.max(1) as i64 - 1) as u32;
+            base[i] = cell;
+            fract[i] = (pos - cell as f32).clamp(0.0, 1.0);
+        }
+        CellPosition { base, fract, dim: x.len() }
+    }
+
+    /// The integer coordinates of corner `corner` (bit `i` selects the high
+    /// vertex along dimension `i`).
+    #[inline]
+    pub fn corner_coords(&self, corner: usize) -> [u32; MAX_DIM] {
+        let mut c = self.base;
+        for (i, coord) in c.iter_mut().enumerate().take(self.dim) {
+            if corner & (1 << i) != 0 {
+                *coord += 1;
+            }
+        }
+        c
+    }
+
+    /// The d-linear interpolation weight of corner `corner`.
+    #[inline]
+    pub fn corner_weight(&self, corner: usize) -> f32 {
+        let mut w = 1.0f32;
+        for i in 0..self.dim {
+            let f = self.fract[i];
+            w *= if corner & (1 << i) != 0 { f } else { 1.0 - f };
+        }
+        w
+    }
+
+    /// Number of corners of this cell (2^dim).
+    #[inline]
+    pub fn corner_count(&self) -> usize {
+        1 << self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_partition_unity() {
+        for &(x, y, z) in &[(0.13f32, 0.57, 0.99), (0.0, 0.5, 1.0), (0.333, 0.666, 0.111)] {
+            let cell = CellPosition::from_normalized(&[x, y, z], 16);
+            let total: f32 = (0..cell.corner_count()).map(|c| cell.corner_weight(c)).sum();
+            assert!((total - 1.0).abs() < 1e-5, "weights sum to {total}");
+        }
+    }
+
+    #[test]
+    fn weight_at_corner_is_one() {
+        // Exactly on a vertex: all weight on one corner.
+        let cell = CellPosition::from_normalized(&[0.5, 0.5], 2);
+        // 0.5 * 2 = 1.0 exactly on vertex 1 -> fract 0, base 1.
+        assert_eq!(cell.base[0], 1);
+        assert_eq!(cell.fract[0], 0.0);
+        assert_eq!(cell.corner_weight(0), 1.0);
+        for c in 1..cell.corner_count() {
+            assert_eq!(cell.corner_weight(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn boundary_clamps_keep_corners_in_grid() {
+        let cell = CellPosition::from_normalized(&[1.0, 1.0, 1.0], 8);
+        for c in 0..cell.corner_count() {
+            for (i, coord) in cell.corner_coords(c).iter().enumerate().take(3) {
+                assert!(*coord <= 8, "dim {i} corner {coord} exceeds grid");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        let cell = CellPosition::from_normalized(&[-0.5, 2.0], 4);
+        assert_eq!(cell.base[0], 0);
+        assert_eq!(cell.fract[0], 0.0);
+        assert_eq!(cell.base[1], 3);
+        assert_eq!(cell.fract[1], 1.0);
+    }
+
+    #[test]
+    fn corner_coords_match_bits() {
+        let cell = CellPosition::from_normalized(&[0.1, 0.1, 0.1], 10);
+        let c5 = cell.corner_coords(0b101);
+        assert_eq!(c5[0], cell.base[0] + 1);
+        assert_eq!(c5[1], cell.base[1]);
+        assert_eq!(c5[2], cell.base[2] + 1);
+    }
+
+    #[test]
+    fn interpolation_reconstructs_linear_function() {
+        // A function linear in x must be exactly reproduced by bilinear
+        // interpolation of its vertex samples.
+        let f = |x: f32, y: f32| 3.0 * x - 2.0 * y + 0.5;
+        let scale = 4u32;
+        for &(x, y) in &[(0.12f32, 0.7), (0.5, 0.25), (0.9, 0.9)] {
+            let cell = CellPosition::from_normalized(&[x, y], scale);
+            let mut value = 0.0;
+            for c in 0..cell.corner_count() {
+                let cc = cell.corner_coords(c);
+                let vx = cc[0] as f32 / scale as f32;
+                let vy = cc[1] as f32 / scale as f32;
+                value += cell.corner_weight(c) * f(vx, vy);
+            }
+            assert!((value - f(x, y)).abs() < 1e-4, "at ({x},{y}): {value} vs {}", f(x, y));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Input encodings for neural graphics.
+//!
+//! Photo-realistic visual data is dominated by high-frequency content that
+//! plain MLPs are biased against learning (spectral bias). Input encodings
+//! map low-dimensional coordinates to a higher-dimensional space so a small
+//! MLP can fit the high frequencies. The NGPC paper studies three
+//! *parametric* grid encodings (instant-NGP family):
+//!
+//! * [`grid::MultiResGrid`] with [`GridKind::Hash`] — *multiresolution
+//!   hashgrid* (16 levels, hash-indexed tables, Eq. 1 of the paper),
+//! * [`GridKind::Dense`] — *multiresolution densegrid* (8 levels, 1:1
+//!   index mapping),
+//! * [`GridKind::Tiled`] — *low-resolution densegrid* (2 levels, 1:1
+//!   mapping that wraps the flattened index into the table),
+//!
+//! plus the *fixed-function* encodings used as building blocks elsewhere:
+//! [`frequency::FrequencyEncoding`] (vanilla NeRF sin/cos) and
+//! [`sh::SphericalHarmonics`] (view-direction encoding for the NeRF/NVR
+//! color model), and [`composite::CompositeEncoding`] which concatenates
+//! encodings over slices of the input (Table I `Composite`).
+
+pub mod composite;
+pub mod frequency;
+pub mod grid;
+pub mod hash;
+pub mod interp;
+pub mod sh;
+
+pub use grid::{GridConfig, GridKind, MultiResGrid};
+
+use crate::error::{NgError, Result};
+
+/// A mapping from low-dimensional inputs to high-dimensional MLP features.
+///
+/// Implementations must be deterministic. Parametric encodings additionally
+/// expose their trainable table through [`Encoding::params`] /
+/// [`Encoding::params_mut`] and accumulate parameter gradients in
+/// [`Encoding::backward`]; fixed-function encodings report zero parameters.
+pub trait Encoding: Send + Sync {
+    /// Number of input coordinates (2 for images, 3 for volumes, ...).
+    fn input_dim(&self) -> usize;
+
+    /// Number of produced features (the MLP input width).
+    fn output_dim(&self) -> usize;
+
+    /// Encode one input point into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NgError::DimensionMismatch`] if `input` or `out` have the
+    /// wrong length.
+    fn encode_into(&self, input: &[f32], out: &mut [f32]) -> Result<()>;
+
+    /// Convenience wrapper allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Encoding::encode_into`].
+    fn encode(&self, input: &[f32]) -> Result<Vec<f32>> {
+        let mut out = vec![0.0; self.output_dim()];
+        self.encode_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Number of trainable parameters (0 for fixed-function encodings).
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Trainable parameters, if any.
+    fn params(&self) -> &[f32] {
+        &[]
+    }
+
+    /// Mutable trainable parameters, if any.
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut []
+    }
+
+    /// Accumulate `d loss / d params` into `d_params` for one input, given
+    /// the upstream gradient `d_out` (`d loss / d encoding output`), and
+    /// return nothing: coordinate gradients are not needed because
+    /// encodings are always the first pipeline stage.
+    ///
+    /// The default implementation is a no-op (fixed-function encodings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NgError::DimensionMismatch`] on inconsistent slice sizes.
+    fn backward(&self, input: &[f32], d_out: &[f32], d_params: &mut [f32]) -> Result<()> {
+        let _ = (input, d_out, d_params);
+        Ok(())
+    }
+}
+
+/// Validate a slice length, producing a consistent error.
+pub(crate) fn check_dim(context: &'static str, expected: usize, actual: usize) -> Result<()> {
+    if expected != actual {
+        return Err(NgError::DimensionMismatch { context, expected, actual });
+    }
+    Ok(())
+}
+
+/// Encode a batch of points laid out row-major (`n_points * input_dim`).
+///
+/// Returns a row-major `n_points * output_dim` buffer. This is the batched
+/// entry point the renderer and trainer use.
+///
+/// # Errors
+///
+/// Returns [`NgError::DimensionMismatch`] if `inputs.len()` is not a
+/// multiple of the encoding input dimension.
+pub fn encode_batch<E: Encoding + ?Sized>(encoding: &E, inputs: &[f32]) -> Result<Vec<f32>> {
+    let d = encoding.input_dim();
+    if d == 0 || !inputs.len().is_multiple_of(d) {
+        return Err(NgError::DimensionMismatch {
+            context: "batch encode input",
+            expected: d,
+            actual: inputs.len(),
+        });
+    }
+    let n = inputs.len() / d;
+    let out_dim = encoding.output_dim();
+    let mut out = vec![0.0; n * out_dim];
+    for (point, chunk) in inputs.chunks_exact(d).zip(out.chunks_exact_mut(out_dim)) {
+        encoding.encode_into(point, chunk)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::frequency::FrequencyEncoding;
+    use super::*;
+
+    #[test]
+    fn encode_batch_shapes() {
+        let enc = FrequencyEncoding::new(2, 4);
+        let inputs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        let out = encode_batch(&enc, &inputs).unwrap();
+        assert_eq!(out.len(), 3 * enc.output_dim());
+    }
+
+    #[test]
+    fn encode_batch_rejects_ragged_input() {
+        let enc = FrequencyEncoding::new(3, 4);
+        let err = encode_batch(&enc, &[0.0; 7]).unwrap_err();
+        assert!(matches!(err, NgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn default_backward_is_noop() {
+        let enc = FrequencyEncoding::new(2, 2);
+        let mut grads: Vec<f32> = vec![];
+        enc.backward(&[0.1, 0.2], &vec![1.0; enc.output_dim()], &mut grads).unwrap();
+        assert!(grads.is_empty());
+    }
+}

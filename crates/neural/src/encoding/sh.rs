@@ -1,0 +1,183 @@
+//! Real spherical-harmonics direction encoding (degree ≤ 4, 16 outputs).
+//!
+//! instant-NGP encodes the camera viewing direction with the first 16 real
+//! spherical-harmonics basis functions; the NeRF and NVR color models of
+//! Table I consume these 16 values alongside the 16 latent geometry
+//! features ("Composite 16+16"). Coefficients follow the standard
+//! Condon–Shortley-free real SH convention, evaluated on unit vectors.
+
+use super::{check_dim, Encoding};
+use crate::error::Result;
+
+/// Degree-4 real spherical harmonics over unit direction vectors.
+///
+/// Input is a direction in `[0,1]^3` (as instant-NGP passes it: the unit
+/// vector remapped by `(d + 1) / 2`), which is mapped back to the sphere
+/// before evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SphericalHarmonics {
+    degree: usize,
+}
+
+impl SphericalHarmonics {
+    /// Maximum supported degree.
+    pub const MAX_DEGREE: usize = 4;
+
+    /// Create a degree-`degree` SH encoding (`degree^2` outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or exceeds [`Self::MAX_DEGREE`].
+    pub fn new(degree: usize) -> Self {
+        assert!(
+            (1..=Self::MAX_DEGREE).contains(&degree),
+            "SH degree must be 1..=4, got {degree}"
+        );
+        SphericalHarmonics { degree }
+    }
+
+    /// The degree-4, 16-output configuration used by Table I.
+    pub fn degree4() -> Self {
+        SphericalHarmonics::new(4)
+    }
+
+    /// Basis degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+impl Encoding for SphericalHarmonics {
+    fn input_dim(&self) -> usize {
+        3
+    }
+
+    fn output_dim(&self) -> usize {
+        self.degree * self.degree
+    }
+
+    fn encode_into(&self, input: &[f32], out: &mut [f32]) -> Result<()> {
+        check_dim("sh encoding input", 3, input.len())?;
+        check_dim("sh encoding output", self.output_dim(), out.len())?;
+        // Remap [0,1] -> [-1,1] and renormalise defensively.
+        let mut x = input[0] * 2.0 - 1.0;
+        let mut y = input[1] * 2.0 - 1.0;
+        let mut z = input[2] * 2.0 - 1.0;
+        let len = (x * x + y * y + z * z).sqrt();
+        if len > 1e-9 {
+            x /= len;
+            y /= len;
+            z /= len;
+        }
+        let (x2, y2, z2) = (x * x, y * y, z * z);
+        let (xy, yz, xz) = (x * y, y * z, x * z);
+
+        // l = 0
+        out[0] = 0.282_094_79;
+        if self.degree >= 2 {
+            out[1] = -0.488_602_51 * y;
+            out[2] = 0.488_602_51 * z;
+            out[3] = -0.488_602_51 * x;
+        }
+        if self.degree >= 3 {
+            out[4] = 1.092_548_4 * xy;
+            out[5] = -1.092_548_4 * yz;
+            out[6] = 0.315_391_57 * (3.0 * z2 - 1.0);
+            out[7] = -1.092_548_4 * xz;
+            out[8] = 0.546_274_2 * (x2 - y2);
+        }
+        if self.degree >= 4 {
+            out[9] = -0.590_043_6 * y * (3.0 * x2 - y2);
+            out[10] = 2.890_611_4 * xy * z;
+            out[11] = -0.457_045_8 * y * (5.0 * z2 - 1.0);
+            out[12] = 0.373_176_34 * z * (5.0 * z2 - 3.0);
+            out[13] = -0.457_045_8 * x * (5.0 * z2 - 1.0);
+            out[14] = 1.445_305_7 * z * (x2 - y2);
+            out[15] = -0.590_043_6 * x * (x2 - 3.0 * y2);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Vec3;
+
+    /// Map a unit vector into the [0,1]^3 input convention.
+    fn dir_input(d: Vec3) -> [f32; 3] {
+        [(d.x + 1.0) * 0.5, (d.y + 1.0) * 0.5, (d.z + 1.0) * 0.5]
+    }
+
+    #[test]
+    fn degree4_has_16_outputs() {
+        assert_eq!(SphericalHarmonics::degree4().output_dim(), 16);
+    }
+
+    #[test]
+    fn l0_is_constant() {
+        let sh = SphericalHarmonics::degree4();
+        for i in 0..20 {
+            let theta = std::f32::consts::PI * (i as f32 + 0.5) / 20.0;
+            let d = Vec3::from_spherical(theta, 1.3 * i as f32);
+            let out = sh.encode(&dir_input(d)).unwrap();
+            assert!((out[0] - 0.282_094_79).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bands_are_orthogonal_under_quadrature() {
+        // Monte-Carlo orthonormality check: <Y_i, Y_j> ~ delta_ij over the
+        // sphere (4pi measure).
+        let sh = SphericalHarmonics::degree4();
+        let n = 40_000;
+        let mut rng = crate::math::Pcg32::new(99);
+        let mut gram = vec![0.0f64; 16 * 16];
+        for _ in 0..n {
+            // Uniform sphere sampling.
+            let z = rng.range_f32(-1.0, 1.0);
+            let phi = rng.range_f32(0.0, 2.0 * std::f32::consts::PI);
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            let d = Vec3::new(r * phi.cos(), r * phi.sin(), z);
+            let out = sh.encode(&dir_input(d)).unwrap();
+            for i in 0..16 {
+                for j in i..16 {
+                    gram[i * 16 + j] += (out[i] * out[j]) as f64;
+                }
+            }
+        }
+        let norm = 4.0 * std::f64::consts::PI / n as f64;
+        for i in 0..16 {
+            for j in i..16 {
+                let v = gram[i * 16 + j] * norm;
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (v - expected).abs() < 0.06,
+                    "<Y{i}, Y{j}> = {v}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn antipodal_symmetry_of_odd_bands() {
+        let sh = SphericalHarmonics::degree4();
+        let d = Vec3::new(0.3, -0.5, 0.8).normalized();
+        let a = sh.encode(&dir_input(d)).unwrap();
+        let b = sh.encode(&dir_input(-d)).unwrap();
+        // l=1 band flips sign under inversion; l=2 band is even.
+        for i in 1..4 {
+            assert!((a[i] + b[i]).abs() < 1e-5, "odd band {i}");
+        }
+        for i in 4..9 {
+            assert!((a[i] - b[i]).abs() < 1e-5, "even band {i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_input_is_finite() {
+        let sh = SphericalHarmonics::degree4();
+        let out = sh.encode(&[0.5, 0.5, 0.5]).unwrap(); // zero vector
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types shared across the neural-graphics substrate.
+
+use std::fmt;
+
+/// Convenience alias used by all fallible public functions in this crate.
+pub type Result<T> = std::result::Result<T, NgError>;
+
+/// Errors produced by the neural-graphics substrate.
+///
+/// All variants carry enough context to diagnose the failure without a
+/// debugger; the `Display` representation is lowercase and concise per the
+/// Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NgError {
+    /// An input slice had a different length than the component expected.
+    DimensionMismatch {
+        /// What was being checked (e.g. `"encoding input"`).
+        context: &'static str,
+        /// Length the component expected.
+        expected: usize,
+        /// Length the caller provided.
+        actual: usize,
+    },
+    /// A configuration value was outside its legal range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// A numerical routine failed to converge or produced non-finite values.
+    Numerical {
+        /// Description of where the numerical failure occurred.
+        message: String,
+    },
+    /// An I/O error (e.g. writing a PPM image), stringified to keep the
+    /// error type `Clone` + `PartialEq`.
+    Io {
+        /// Stringified `std::io::Error`.
+        message: String,
+    },
+}
+
+impl fmt::Display for NgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NgError::DimensionMismatch { context, expected, actual } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            NgError::InvalidConfig { parameter, message } => {
+                write!(f, "invalid configuration for `{parameter}`: {message}")
+            }
+            NgError::Numerical { message } => write!(f, "numerical error: {message}"),
+            NgError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NgError {}
+
+impl From<std::io::Error> for NgError {
+    fn from(err: std::io::Error) -> Self {
+        NgError::Io { message: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = NgError::DimensionMismatch { context: "encoding input", expected: 3, actual: 2 };
+        let text = err.to_string();
+        assert!(text.starts_with("dimension mismatch"));
+        assert!(text.contains("expected 3"));
+        assert!(text.contains("got 2"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: NgError = io.into();
+        assert!(matches!(err, NgError::Io { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NgError>();
+    }
+}

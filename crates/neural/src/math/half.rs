@@ -1,0 +1,182 @@
+//! IEEE 754 binary16 ("fp16") conversion, implemented from scratch.
+//!
+//! tiny-cuda-nn stores grid tables and MLP weights in fp16; every byte
+//! count in the NGPC paper (the 1 MB grid SRAM sizing, Table III traffic)
+//! assumes 2-byte parameters. This module provides the conversions so the
+//! substrate can quantify what fp16 storage does to accuracy.
+
+/// Convert an `f32` to its nearest IEEE binary16 bit pattern
+/// (round-to-nearest-even), with overflow mapping to infinity.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: preserve a NaN payload bit.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Re-bias: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal f16.
+        let exp16 = (unbiased + 15) as u32;
+        let mant16 = mant >> 13;
+        let rest = mant & 0x1FFF;
+        let mut out = (exp16 << 10) | mant16;
+        // Round to nearest even.
+        if rest > 0x1000 || (rest == 0x1000 && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent, which is correct
+        }
+        return sign | out as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16: m = (1.mant) * 2^(unbiased + 24), i.e. the full
+        // 24-bit significand shifted right by (-unbiased - 1).
+        let shift = (-unbiased - 1) as u32;
+        let full = mant | 0x0080_0000; // implicit leading 1
+        let mant16 = full >> shift;
+        let rest = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    sign // underflow -> signed zero
+}
+
+/// Convert an IEEE binary16 bit pattern to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m * 2^-24. Normalise around the leading
+            // set bit at position p: value = 2^(p-24) * (1 + frac).
+            let p = 31 - m.leading_zeros();
+            let exp32 = p + 127 - 24;
+            let mant32 = (m << (23 - p)) & 0x007F_FFFF;
+            sign | (exp32 << 23) | mant32
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Round-trip an `f32` through fp16 precision.
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Quantize a slice in place (what storing a grid table at fp16 does).
+pub fn quantize_slice_f16(xs: &mut [f32]) {
+    for x in xs {
+        *x = quantize_f16(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.25, -0.75, 65504.0] {
+            assert_eq!(quantize_f16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // f16 max
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f16_bits_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7C00), f32::INFINITY);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(quantize_f16(1e6), f32::INFINITY);
+        assert_eq!(quantize_f16(-1e6), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn tiny_values_flush_to_subnormals_or_zero() {
+        // Smallest f16 subnormal ~5.96e-8.
+        assert_eq!(quantize_f16(1e-10), 0.0);
+        let sub = quantize_f16(6e-8);
+        assert!(sub > 0.0 && sub < 1e-7);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(quantize_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn relative_error_within_half_ulp() {
+        // 11-bit significand -> relative error <= 2^-11 for normals.
+        let mut x = 1.0e-4f32;
+        while x < 1.0e4 {
+            let q = quantize_f16(x);
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-9, "{x}: rel err {rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and the next f16 (1 + 2^-10);
+        // ties go to even (1.0).
+        let tie = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(quantize_f16(tie), 1.0);
+        // Just above the tie rounds up.
+        let above = 1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-13);
+        assert_eq!(quantize_f16(above), 1.0 + 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn subnormal_f16_to_f32_exact() {
+        // 0x0001 = 2^-24.
+        assert_eq!(f16_bits_to_f32(0x0001), 2.0_f32.powi(-24));
+        // 0x03FF = largest subnormal.
+        assert_eq!(f16_bits_to_f32(0x03FF), 1023.0 * 2.0_f32.powi(-24));
+    }
+
+    #[test]
+    fn slice_quantization() {
+        let mut xs = [0.1f32, 0.2, 0.3];
+        quantize_slice_f16(&mut xs);
+        for (q, orig) in xs.iter().zip([0.1f32, 0.2, 0.3]) {
+            assert!((q - orig).abs() < 2e-4);
+            assert_eq!(*q, quantize_f16(orig));
+        }
+    }
+
+    #[test]
+    fn exhaustive_f16_round_trip() {
+        // Every finite f16 value must survive f16 -> f32 -> f16 exactly.
+        for h in 0..=0xFFFFu16 {
+            let exp = (h >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // inf/nan
+            }
+            let f = f16_bits_to_f32(h);
+            let back = f32_to_f16_bits(f);
+            assert_eq!(back, h, "bits 0x{h:04X} -> {f} -> 0x{back:04X}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Pinhole camera and ray generation (the "rest of the kernels" stage that
+//! stays on the GPU in the NGPC system).
+
+use crate::math::Vec3;
+
+/// A ray with origin and unit direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Intersect with the axis-aligned unit cube `[0,1]^3`.
+    ///
+    /// Returns `(t_near, t_far)` if the ray hits it with `t_far > max(t_near, 0)`.
+    pub fn intersect_unit_cube(&self) -> Option<(f32, f32)> {
+        let mut t0 = f32::NEG_INFINITY;
+        let mut t1 = f32::INFINITY;
+        for (o, d) in [
+            (self.origin.x, self.dir.x),
+            (self.origin.y, self.dir.y),
+            (self.origin.z, self.dir.z),
+        ] {
+            if d.abs() < 1e-9 {
+                if !(0.0..=1.0).contains(&o) {
+                    return None;
+                }
+            } else {
+                let ta = (0.0 - o) / d;
+                let tb = (1.0 - o) / d;
+                t0 = t0.max(ta.min(tb));
+                t1 = t1.min(ta.max(tb));
+            }
+        }
+        if t1 > t0.max(0.0) {
+            Some((t0.max(0.0), t1))
+        } else {
+            None
+        }
+    }
+}
+
+/// A pinhole camera that shoots rays through an image plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Eye position.
+    pub position: Vec3,
+    forward: Vec3,
+    right: Vec3,
+    up: Vec3,
+    tan_half_fov: f32,
+    aspect: f32,
+}
+
+impl Camera {
+    /// A camera at `position` looking at `target`, with a vertical field of
+    /// view of `fov_y_deg` degrees and the given aspect ratio (w/h).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `position == target`.
+    pub fn look_at(position: Vec3, target: Vec3, fov_y_deg: f32, aspect: f32) -> Self {
+        let forward = (target - position).normalized();
+        let world_up = if forward.y.abs() > 0.99 {
+            Vec3::new(0.0, 0.0, 1.0)
+        } else {
+            Vec3::new(0.0, 1.0, 0.0)
+        };
+        let right = forward.cross(world_up).normalized();
+        let up = right.cross(forward);
+        Camera {
+            position,
+            forward,
+            right,
+            up,
+            tan_half_fov: (fov_y_deg.to_radians() * 0.5).tan(),
+            aspect,
+        }
+    }
+
+    /// The standard view used by examples: orbiting the unit cube center.
+    pub fn orbit(azimuth: f32, elevation: f32, distance: f32, aspect: f32) -> Self {
+        let center = Vec3::splat(0.5);
+        let eye = center
+            + Vec3::new(
+                distance * elevation.cos() * azimuth.cos(),
+                distance * elevation.sin(),
+                distance * elevation.cos() * azimuth.sin(),
+            );
+        Camera::look_at(eye, center, 45.0, aspect)
+    }
+
+    /// Ray through normalized pixel coordinates (`u`, `v` in `[0,1]`,
+    /// v = 0 at the top).
+    pub fn ray(&self, u: f32, v: f32) -> Ray {
+        let px = (2.0 * u - 1.0) * self.tan_half_fov * self.aspect;
+        let py = (1.0 - 2.0 * v) * self.tan_half_fov;
+        let dir = (self.forward + self.right * px + self.up * py).normalized();
+        Ray { origin: self.position, dir }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_ray_points_forward() {
+        let cam = Camera::look_at(Vec3::new(0.5, 0.5, -1.0), Vec3::splat(0.5), 45.0, 1.0);
+        let r = cam.ray(0.5, 0.5);
+        assert!((r.dir - Vec3::new(0.0, 0.0, 1.0)).length() < 1e-5);
+    }
+
+    #[test]
+    fn rays_are_unit_length() {
+        let cam = Camera::orbit(0.7, 0.3, 1.6, 16.0 / 9.0);
+        for &(u, v) in &[(0.0f32, 0.0f32), (1.0, 1.0), (0.25, 0.75)] {
+            assert!((cam.ray(u, v).dir.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cube_intersection_through_center() {
+        let ray = Ray { origin: Vec3::new(0.5, 0.5, -1.0), dir: Vec3::new(0.0, 0.0, 1.0) };
+        let (t0, t1) = ray.intersect_unit_cube().unwrap();
+        assert!((t0 - 1.0).abs() < 1e-5);
+        assert!((t1 - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cube_miss() {
+        let ray = Ray { origin: Vec3::new(2.0, 2.0, -1.0), dir: Vec3::new(0.0, 0.0, 1.0) };
+        assert!(ray.intersect_unit_cube().is_none());
+    }
+
+    #[test]
+    fn inside_cube_starts_at_zero() {
+        let ray = Ray { origin: Vec3::splat(0.5), dir: Vec3::new(1.0, 0.0, 0.0) };
+        let (t0, t1) = ray.intersect_unit_cube().unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn orbit_camera_sees_cube() {
+        let cam = Camera::orbit(1.0, 0.4, 1.8, 1.0);
+        let hit = cam.ray(0.5, 0.5).intersect_unit_cube();
+        assert!(hit.is_some(), "orbit camera center ray must hit the cube");
+    }
+}

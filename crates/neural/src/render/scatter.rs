@@ -1,0 +1,201 @@
+//! Single-scattering light transport for neural volume rendering.
+//!
+//! NVR's stated purpose (paper Section III.4) is a density + reflectance
+//! field "used to simulate the light transport in the volume using path
+//! tracing". This module implements the single-scatter estimator — the
+//! first term of the path-traced series: at each primary-ray sample the
+//! in-scattered radiance is the light's emission attenuated by the
+//! transmittance along a shadow ray through the same density field.
+
+use crate::math::Vec3;
+use crate::render::volume::RaymarchConfig;
+
+/// A point light illuminating the volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointLight {
+    /// Light position.
+    pub position: Vec3,
+    /// Emitted intensity per channel.
+    pub intensity: Vec3,
+}
+
+/// Transmittance from `p` toward `light` through `sigma`, estimated with
+/// `steps` shadow-ray samples.
+pub fn transmittance_to_light<F>(p: Vec3, light: Vec3, steps: usize, mut sigma: F) -> f32
+where
+    F: FnMut(Vec3) -> f32,
+{
+    debug_assert!(steps > 0);
+    let to_light = light - p;
+    let dist = to_light.length();
+    if dist < 1e-6 {
+        return 1.0;
+    }
+    let dir = to_light / dist;
+    let dt = dist / steps as f32;
+    let mut optical_depth = 0.0f32;
+    for i in 0..steps {
+        let t = (i as f32 + 0.5) * dt;
+        optical_depth += sigma(p + dir * t).max(0.0) * dt;
+    }
+    (-optical_depth).exp()
+}
+
+/// Result of single-scatter rendering one ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatteredRay {
+    /// In-scattered radiance reaching the camera.
+    pub color: Vec3,
+    /// Residual transmittance along the primary ray.
+    pub transmittance: f32,
+    /// Field evaluations (primary + shadow samples).
+    pub field_evals: usize,
+}
+
+/// Render one primary ray with single scattering: march `[t_near,t_far]`,
+/// and at each sample weight the reflectance by the light's attenuated
+/// contribution (isotropic phase function).
+pub fn scatter_ray<F, S>(
+    origin: Vec3,
+    dir: Vec3,
+    t_near: f32,
+    t_far: f32,
+    config: &RaymarchConfig,
+    light: &PointLight,
+    shadow_steps: usize,
+    mut reflectance_sigma: F,
+    mut sigma_only: S,
+) -> ScatteredRay
+where
+    F: FnMut(Vec3) -> (Vec3, f32),
+    S: FnMut(Vec3) -> f32,
+{
+    let dt = (t_far - t_near) / config.n_samples as f32;
+    let mut color = Vec3::ZERO;
+    let mut transmittance = 1.0f32;
+    let mut evals = 0usize;
+    for i in 0..config.n_samples {
+        let t = t_near + (i as f32 + 0.5) * dt;
+        let p = origin + dir * t;
+        let (albedo, sigma) = reflectance_sigma(p);
+        evals += 1;
+        let alpha = 1.0 - (-sigma.max(0.0) * dt).exp();
+        if alpha > 1e-5 {
+            let light_t = transmittance_to_light(p, light.position, shadow_steps, &mut sigma_only);
+            evals += shadow_steps;
+            // Isotropic phase: 1/(4 pi); fold the constant into intensity.
+            let in_scatter = Vec3::new(
+                albedo.x * light.intensity.x,
+                albedo.y * light.intensity.y,
+                albedo.z * light.intensity.z,
+            ) * light_t;
+            color = color + in_scatter * (transmittance * alpha);
+        }
+        transmittance *= 1.0 - alpha;
+        if transmittance < config.early_stop_transmittance {
+            break;
+        }
+    }
+    ScatteredRay { color, transmittance, field_evals: evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIGHT: PointLight =
+        PointLight { position: Vec3::new(0.5, 2.0, 0.5), intensity: Vec3::new(1.0, 1.0, 1.0) };
+
+    #[test]
+    fn vacuum_transmittance_is_one() {
+        let t = transmittance_to_light(Vec3::splat(0.5), LIGHT.position, 16, |_| 0.0);
+        assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transmittance_matches_beer_lambert_in_uniform_medium() {
+        let sigma = 2.0f32;
+        let p = Vec3::new(0.5, 0.0, 0.5);
+        let dist = (LIGHT.position - p).length();
+        let t = transmittance_to_light(p, LIGHT.position, 256, |_| sigma);
+        assert!((t - (-sigma * dist).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn occluded_points_are_darker() {
+        // A dense slab between the point and the light.
+        let slab = |q: Vec3| if (0.9..1.1).contains(&q.y) { 50.0 } else { 0.0 };
+        let lit = transmittance_to_light(Vec3::new(0.5, 1.5, 0.5), LIGHT.position, 64, slab);
+        let shadowed = transmittance_to_light(Vec3::new(0.5, 0.5, 0.5), LIGHT.position, 64, slab);
+        assert!(lit > 0.9);
+        assert!(shadowed < 0.1);
+    }
+
+    #[test]
+    fn empty_volume_scatters_nothing() {
+        let cfg = RaymarchConfig::default();
+        let out = scatter_ray(
+            Vec3::new(0.5, 0.5, -1.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0.0,
+            2.0,
+            &cfg,
+            &LIGHT,
+            8,
+            |_| (Vec3::new(1.0, 1.0, 1.0), 0.0),
+            |_| 0.0,
+        );
+        assert_eq!(out.color, Vec3::ZERO);
+        assert!((out.transmittance - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn side_facing_light_is_brighter() {
+        // A dense ball: samples on the light side scatter more than the
+        // far side; compare two rays skimming opposite sides.
+        let ball = |q: Vec3| {
+            let d = (q - Vec3::splat(0.5)).length();
+            if d < 0.25 { 8.0 } else { 0.0 }
+        };
+        let cfg = RaymarchConfig { n_samples: 64, early_stop_transmittance: 0.0 };
+        let render_y = |y: f32| {
+            scatter_ray(
+                Vec3::new(0.5, y, -1.0),
+                Vec3::new(0.0, 0.0, 1.0),
+                0.5,
+                2.0,
+                &cfg,
+                &LIGHT, // light is above (+y)
+                32,
+                |p| (Vec3::new(0.9, 0.9, 0.9), ball(p)),
+                ball,
+            )
+        };
+        let top = render_y(0.68);
+        let bottom = render_y(0.32);
+        assert!(
+            top.color.x > bottom.color.x,
+            "light side {:?} should outshine shadow side {:?}",
+            top.color,
+            bottom.color
+        );
+    }
+
+    #[test]
+    fn field_eval_accounting_includes_shadow_rays() {
+        let cfg = RaymarchConfig { n_samples: 10, early_stop_transmittance: 0.0 };
+        let out = scatter_ray(
+            Vec3::new(0.5, 0.5, -1.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0.0,
+            1.0,
+            &cfg,
+            &LIGHT,
+            4,
+            |_| (Vec3::new(1.0, 1.0, 1.0), 1.0),
+            |_| 1.0,
+        );
+        // 10 primary + 10 x 4 shadow samples.
+        assert_eq!(out.field_evals, 10 + 40);
+    }
+}

@@ -1,0 +1,138 @@
+//! Sphere tracing for (neural) signed distance functions.
+
+use super::camera::Ray;
+use crate::math::Vec3;
+
+/// Sphere-tracing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SphereTraceConfig {
+    /// Maximum marching steps before declaring a miss.
+    pub max_steps: usize,
+    /// Distance threshold counting as a surface hit.
+    pub hit_epsilon: f32,
+    /// Maximum ray parameter before declaring a miss.
+    pub t_max: f32,
+    /// Step scale in `(0, 1]`; below 1 compensates for approximate
+    /// (learned) distance fields that may overestimate.
+    pub step_scale: f32,
+}
+
+impl Default for SphereTraceConfig {
+    fn default() -> Self {
+        SphereTraceConfig { max_steps: 128, hit_epsilon: 1e-3, t_max: 4.0, step_scale: 0.9 }
+    }
+}
+
+/// Result of sphere tracing one ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceResult {
+    /// The ray hit a surface.
+    Hit {
+        /// Ray parameter at the hit.
+        t: f32,
+        /// Hit position.
+        position: Vec3,
+        /// Steps taken to converge.
+        steps: usize,
+    },
+    /// The ray left the domain or exhausted its steps.
+    Miss {
+        /// Steps taken before giving up.
+        steps: usize,
+    },
+}
+
+impl TraceResult {
+    /// Whether the ray hit a surface.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, TraceResult::Hit { .. })
+    }
+}
+
+/// March `ray` against `sdf` (a signed-distance oracle).
+pub fn sphere_trace<F>(ray: &Ray, config: &SphereTraceConfig, mut sdf: F) -> TraceResult
+where
+    F: FnMut(Vec3) -> f32,
+{
+    let mut t = 0.0f32;
+    for step in 0..config.max_steps {
+        let p = ray.at(t);
+        let d = sdf(p);
+        if d < config.hit_epsilon {
+            return TraceResult::Hit { t, position: p, steps: step + 1 };
+        }
+        t += d * config.step_scale;
+        if t > config.t_max {
+            return TraceResult::Miss { steps: step + 1 };
+        }
+    }
+    TraceResult::Miss { steps: config.max_steps }
+}
+
+/// Simple Lambertian shade of a hit given a surface normal, headlight at
+/// the ray origin.
+pub fn lambert_shade(normal: Vec3, ray_dir: Vec3, albedo: Vec3) -> Vec3 {
+    let n_dot_l = normal.dot(-ray_dir).max(0.0);
+    let ambient = 0.12;
+    albedo * (ambient + (1.0 - ambient) * n_dot_l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::sdf::SdfShape;
+
+    #[test]
+    fn hits_centered_sphere() {
+        let shape = SdfShape::centered_sphere(0.25);
+        let ray = Ray {
+            origin: Vec3::new(0.5, 0.5, -1.0),
+            dir: Vec3::new(0.0, 0.0, 1.0),
+        };
+        match sphere_trace(&ray, &SphereTraceConfig::default(), |p| shape.distance(p)) {
+            TraceResult::Hit { t, position, .. } => {
+                assert!((t - 1.25).abs() < 5e-3, "hit at t = {t}");
+                assert!((position.z - 0.25).abs() < 5e-3);
+            }
+            TraceResult::Miss { .. } => panic!("expected a hit"),
+        }
+    }
+
+    #[test]
+    fn misses_to_the_side() {
+        let shape = SdfShape::centered_sphere(0.25);
+        let ray = Ray {
+            origin: Vec3::new(2.0, 0.5, -1.0),
+            dir: Vec3::new(0.0, 0.0, 1.0),
+        };
+        let r = sphere_trace(&ray, &SphereTraceConfig::default(), |p| shape.distance(p));
+        assert!(!r.is_hit());
+    }
+
+    #[test]
+    fn converges_in_few_steps_for_exact_sdf() {
+        let shape = SdfShape::centered_sphere(0.3);
+        let ray = Ray {
+            origin: Vec3::new(0.5, 0.5, -2.0),
+            dir: Vec3::new(0.0, 0.0, 1.0),
+        };
+        if let TraceResult::Hit { steps, .. } =
+            sphere_trace(&ray, &SphereTraceConfig::default(), |p| shape.distance(p))
+        {
+            assert!(steps < 40, "took {steps} steps");
+        } else {
+            panic!("expected hit");
+        }
+    }
+
+    #[test]
+    fn shading_is_bounded_and_headlight_bright() {
+        let albedo = Vec3::new(0.8, 0.7, 0.6);
+        let facing = lambert_shade(Vec3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 0.0, 1.0), albedo);
+        let grazing = lambert_shade(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), albedo);
+        assert!(facing.x > grazing.x);
+        for ch in [facing.x, facing.y, facing.z] {
+            assert!((0.0..=1.0).contains(&ch));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Volume rendering: the compositing stage (paper Section II.3).
+//!
+//! Classic emission–absorption quadrature (Drebin et al., Max):
+//! `alpha_i = 1 - exp(-sigma_i * delta_i)`,
+//! `C = sum_i T_i * alpha_i * c_i` with `T_i = prod_{j<i} (1 - alpha_j)`.
+//! These are the "rest of the kernels" that the NGPC leaves on the GPU,
+//! fused into a single kernel for a ~9.94x speedup.
+
+use crate::math::Vec3;
+
+/// Ray-marching parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaymarchConfig {
+    /// Number of equidistant samples along each ray segment.
+    pub n_samples: usize,
+    /// Transmittance below which marching terminates early.
+    pub early_stop_transmittance: f32,
+}
+
+impl Default for RaymarchConfig {
+    fn default() -> Self {
+        RaymarchConfig { n_samples: 96, early_stop_transmittance: 1e-3 }
+    }
+}
+
+/// Result of compositing one ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompositedRay {
+    /// Accumulated color.
+    pub color: Vec3,
+    /// Final transmittance (1 = empty space, 0 = fully opaque).
+    pub transmittance: f32,
+    /// Number of field samples actually evaluated (for early termination
+    /// accounting; this drives the paper's per-frame sample counts).
+    pub samples_evaluated: usize,
+}
+
+/// Composite a ray segment `[t_near, t_far]` by sampling
+/// `field(position) -> (color, sigma)` at `config.n_samples` midpoints.
+///
+/// The field closure receives the world position; view direction handling
+/// is the caller's business (NeRF passes a closure capturing the ray
+/// direction).
+pub fn composite_ray<F>(
+    origin: Vec3,
+    dir: Vec3,
+    t_near: f32,
+    t_far: f32,
+    config: &RaymarchConfig,
+    mut field: F,
+) -> CompositedRay
+where
+    F: FnMut(Vec3) -> (Vec3, f32),
+{
+    debug_assert!(t_far >= t_near);
+    debug_assert!(config.n_samples > 0);
+    let dt = (t_far - t_near) / config.n_samples as f32;
+    let mut color = Vec3::ZERO;
+    let mut transmittance = 1.0f32;
+    let mut evaluated = 0usize;
+    for i in 0..config.n_samples {
+        let t = t_near + (i as f32 + 0.5) * dt;
+        let (c, sigma) = field(origin + dir * t);
+        evaluated += 1;
+        let alpha = 1.0 - (-sigma.max(0.0) * dt).exp();
+        color = color + c * (transmittance * alpha);
+        transmittance *= 1.0 - alpha;
+        if transmittance < config.early_stop_transmittance {
+            break;
+        }
+    }
+    CompositedRay { color, transmittance, samples_evaluated: evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORIGIN: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+    const DIR: Vec3 = Vec3::new(0.0, 0.0, 1.0);
+
+    #[test]
+    fn empty_volume_is_transparent() {
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &RaymarchConfig::default(), |_| {
+            (Vec3::new(1.0, 0.0, 0.0), 0.0)
+        });
+        assert_eq!(out.color, Vec3::ZERO);
+        assert!((out.transmittance - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opaque_volume_saturates_to_sample_color() {
+        let c = Vec3::new(0.2, 0.6, 0.9);
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &RaymarchConfig::default(), |_| {
+            (c, 1e4)
+        });
+        assert!((out.color - c).length() < 1e-3);
+        assert!(out.transmittance < 1e-3);
+    }
+
+    #[test]
+    fn early_termination_saves_samples() {
+        let cfg = RaymarchConfig { n_samples: 128, early_stop_transmittance: 1e-3 };
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &cfg, |_| (Vec3::ZERO, 1e4));
+        assert!(out.samples_evaluated < 16, "evaluated {}", out.samples_evaluated);
+    }
+
+    #[test]
+    fn transmittance_matches_beer_lambert() {
+        // Uniform density sigma over length L gives T = exp(-sigma L).
+        let sigma = 3.0f32;
+        let cfg = RaymarchConfig { n_samples: 512, early_stop_transmittance: 0.0 };
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &cfg, |_| (Vec3::ZERO, sigma));
+        let expected = (-sigma).exp();
+        assert!(
+            (out.transmittance - expected).abs() < 1e-3,
+            "{} vs {expected}",
+            out.transmittance
+        );
+    }
+
+    #[test]
+    fn compositing_is_order_dependent() {
+        // Front red + back blue: the result must be redder than bluer.
+        let cfg = RaymarchConfig { n_samples: 64, early_stop_transmittance: 0.0 };
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &cfg, |p| {
+            if p.z < 0.5 {
+                (Vec3::new(1.0, 0.0, 0.0), 2.0)
+            } else {
+                (Vec3::new(0.0, 0.0, 1.0), 2.0)
+            }
+        });
+        assert!(out.color.x > out.color.z, "front color must dominate: {:?}", out.color);
+    }
+
+    #[test]
+    fn color_bounded_by_unit_inputs() {
+        let cfg = RaymarchConfig::default();
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &cfg, |p| {
+            (Vec3::new(1.0, 1.0, 1.0), (10.0 * p.z).sin().abs() * 20.0)
+        });
+        for ch in [out.color.x, out.color.y, out.color.z] {
+            assert!((0.0..=1.0 + 1e-4).contains(&ch));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! fp16 table storage: the paper's byte accounting (1 MB grid SRAM,
+//! Table III traffic) assumes 2-byte parameters, as tiny-cuda-nn stores
+//! them. These tests quantify that storing the trained grid at fp16
+//! preserves reconstruction quality — the premise behind the NFP's SRAM
+//! sizing.
+
+use ng_neural::apps::gia::GiaModel;
+use ng_neural::apps::EncodingKind;
+use ng_neural::data::procedural::ProceduralImage;
+use ng_neural::encoding::Encoding;
+use ng_neural::math::half::{quantize_f16, quantize_slice_f16};
+use ng_neural::train::{TrainConfig, Trainer};
+
+#[test]
+fn quantized_grid_encoding_error_is_fp16_small() {
+    use ng_neural::encoding::{GridConfig, MultiResGrid};
+    let mut grid = MultiResGrid::new(GridConfig::hashgrid(3, 10, 1.5), 4).unwrap();
+    // Give the table realistic trained magnitudes.
+    let mut scale = 0.37f32;
+    for p in grid.params_mut() {
+        *p *= 1.0 + scale;
+        scale = (scale * 1.618).fract();
+    }
+    let probe = [0.41f32, 0.27, 0.83];
+    let exact = grid.encode(&probe).unwrap();
+    quantize_slice_f16(grid.params_mut());
+    let quantized = grid.encode(&probe).unwrap();
+    for (e, q) in exact.iter().zip(&quantized) {
+        // fp16 relative precision is 2^-11; interpolation is convex so
+        // the output error cannot exceed the per-entry error.
+        assert!(
+            (e - q).abs() <= e.abs() / 1024.0 + 1e-6,
+            "fp16 storage changed {e} to {q}"
+        );
+    }
+}
+
+#[test]
+fn trained_gia_survives_fp16_storage() {
+    let image = ProceduralImage::new(5);
+    let mut model = GiaModel::new(EncodingKind::MultiResHashGrid, 11);
+    let cfg = TrainConfig { steps: 120, batch_size: 1024, ..TrainConfig::default() };
+    Trainer::new(cfg).train_gia(&mut model, &image);
+
+    // Reference reconstruction error at f32.
+    let mse = |model: &GiaModel| {
+        let mut acc = 0.0f64;
+        let n = 24;
+        for i in 0..n {
+            for j in 0..n {
+                let (u, v) = ((i as f32 + 0.5) / n as f32, (j as f32 + 0.5) / n as f32);
+                let truth = image.color_at(u, v);
+                let got = model.color_at(u, v).unwrap();
+                let d = got - truth;
+                acc += (d.dot(d)) as f64;
+            }
+        }
+        acc / (3 * n * n) as f64
+    };
+    let f32_mse = mse(&model);
+
+    // Quantize the grid tables and the MLP weights to fp16.
+    quantize_slice_f16(model.field_mut().encoding.params_mut());
+    quantize_slice_f16(model.field_mut().mlp.params_mut());
+    let f16_mse = mse(&model);
+
+    let f32_psnr = 10.0 * (1.0 / f32_mse).log10();
+    let f16_psnr = 10.0 * (1.0 / f16_mse).log10();
+    assert!(
+        f16_psnr > f32_psnr - 1.0,
+        "fp16 storage cost {:.2} dB (f32 {f32_psnr:.2} vs f16 {f16_psnr:.2})",
+        f32_psnr - f16_psnr
+    );
+}
+
+#[test]
+fn quantization_is_idempotent() {
+    for v in [0.123f32, -4.56, 1e-3, 300.0] {
+        let once = quantize_f16(v);
+        assert_eq!(once, quantize_f16(once));
+    }
+}

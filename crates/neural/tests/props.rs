@@ -1,0 +1,156 @@
+//! Property-based tests of the neural substrate's core invariants.
+
+use ng_neural::encoding::hash::{dense_index, dense_vertex_count, spatial_hash};
+use ng_neural::encoding::{encode_batch, Encoding, GridConfig, GridKind, MultiResGrid};
+use ng_neural::math::{Activation, Pcg32};
+use ng_neural::mlp::{Loss, Mlp, MlpConfig};
+use proptest::prelude::*;
+
+fn arb_grid_kind() -> impl Strategy<Value = GridKind> {
+    prop_oneof![Just(GridKind::Hash), Just(GridKind::Dense), Just(GridKind::Tiled)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_encoding_deterministic_and_finite(
+        kind in arb_grid_kind(),
+        x in 0.0f32..1.0,
+        y in 0.0f32..1.0,
+        seed in 0u64..20,
+    ) {
+        let cfg = GridConfig {
+            dim: 2,
+            n_levels: 4,
+            features_per_level: 2,
+            log2_table_size: 8,
+            base_resolution: 8,
+            growth_factor: 1.6,
+            kind,
+        };
+        let grid = MultiResGrid::new(cfg, seed).unwrap();
+        let a = grid.encode(&[x, y]).unwrap();
+        let b = grid.encode(&[x, y]).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn batch_encode_equals_pointwise(
+        pts in prop::collection::vec(0.0f32..1.0, 6..30),
+    ) {
+        let n = pts.len() / 3 * 3;
+        let pts = &pts[..n];
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 8, 1.4), 1).unwrap();
+        let batch = encode_batch(&grid, pts).unwrap();
+        for (i, p) in pts.chunks_exact(3).enumerate() {
+            let single = grid.encode(p).unwrap();
+            prop_assert_eq!(&batch[i * 32..(i + 1) * 32], &single[..]);
+        }
+    }
+
+    #[test]
+    fn grid_backward_gradient_mass_is_bounded(
+        x in 0.0f32..1.0,
+        y in 0.0f32..1.0,
+        z in 0.0f32..1.0,
+    ) {
+        // With unit upstream gradients, scatter mass per level equals F
+        // (partition of unity), so total = L * F.
+        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 8, 1.4), 2).unwrap();
+        let d_out = vec![1.0f32; grid.output_dim()];
+        let mut d_params = vec![0.0f32; grid.param_count()];
+        grid.backward(&[x, y, z], &d_out, &mut d_params).unwrap();
+        let total: f32 = d_params.iter().sum();
+        prop_assert!((total - grid.output_dim() as f32).abs() < 1e-2);
+        prop_assert!(d_params.iter().all(|g| *g >= -1e-6));
+    }
+
+    #[test]
+    fn hash_never_escapes_table(cs in prop::collection::vec(0u32..1_000_000, 3), log2 in 2u32..24) {
+        prop_assert!(spatial_hash(&cs, log2) < (1u32 << log2));
+    }
+
+    #[test]
+    fn dense_index_is_injective_within_grid(
+        res in 1u32..20,
+        a in prop::collection::vec(0u32..21, 3),
+        b in prop::collection::vec(0u32..21, 3),
+    ) {
+        let clamp = |v: &[u32]| [v[0].min(res), v[1].min(res), v[2].min(res)];
+        let (ca, cb) = (clamp(&a), clamp(&b));
+        let (ia, ib) = (dense_index(&ca, res), dense_index(&cb, res));
+        prop_assert!(ia < dense_vertex_count(res, 3));
+        if ca != cb {
+            prop_assert_ne!(ia, ib);
+        } else {
+            prop_assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn mlp_forward_is_deterministic_and_finite(
+        xs in prop::collection::vec(-2.0f32..2.0, 8),
+        seed in 0u64..30,
+    ) {
+        let mlp = Mlp::new(MlpConfig::neural_graphics(8, 2, 3, Activation::Sigmoid), seed).unwrap();
+        let a = mlp.forward(&xs).unwrap();
+        prop_assert_eq!(&a, &mlp.forward(&xs).unwrap());
+        prop_assert!(a.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn relu_network_is_positive_homogeneous_in_scale(
+        xs in prop::collection::vec(-1.0f32..1.0, 4),
+        scale in 0.1f32..4.0,
+    ) {
+        // Bias-free ReLU nets with identity output are positively
+        // homogeneous: f(s * x) = s * f(x) for s > 0.
+        let mlp = Mlp::new(MlpConfig::neural_graphics(4, 2, 2, Activation::None), 3).unwrap();
+        let base = mlp.forward(&xs).unwrap();
+        let scaled_in: Vec<f32> = xs.iter().map(|v| v * scale).collect();
+        let scaled_out = mlp.forward(&scaled_in).unwrap();
+        for (b, s) in base.iter().zip(&scaled_out) {
+            prop_assert!((b * scale - s).abs() < 1e-3 * (1.0 + s.abs()), "{b} * {scale} vs {s}");
+        }
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_target(
+        p in -10.0f32..10.0,
+        t in -10.0f32..10.0,
+    ) {
+        for loss in [Loss::Mse, Loss::L1, Loss::RelativeL2] {
+            prop_assert!(loss.value(p, t) >= 0.0);
+            prop_assert_eq!(loss.value(t, t), 0.0);
+            // Gradient sign matches the error direction.
+            let g = loss.gradient(p, t);
+            if p > t { prop_assert!(g >= 0.0); }
+            if p < t { prop_assert!(g <= 0.0); }
+        }
+    }
+
+    #[test]
+    fn activations_are_monotone(
+        a in -5.0f32..5.0,
+        delta in 0.0f32..5.0,
+    ) {
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Exp, Activation::Softplus] {
+            prop_assert!(act.apply(a + delta) + 1e-6 >= act.apply(a), "{act:?}");
+        }
+    }
+
+    #[test]
+    fn rng_bounded_is_uniformish(seed in 0u64..1000) {
+        let mut rng = Pcg32::new(seed);
+        let mut counts = [0u32; 4];
+        for _ in 0..400 {
+            counts[rng.bounded(4) as usize] += 1;
+        }
+        for c in counts {
+            prop_assert!(c > 40, "bucket count {c} too skewed");
+        }
+    }
+}

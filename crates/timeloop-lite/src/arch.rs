@@ -1,0 +1,56 @@
+//! The accelerator architecture being mapped onto: a 2D PE array with a
+//! register file per PE, a shared global buffer, and DRAM behind it —
+//! the three-level hierarchy Timeloop models for systolic designs.
+
+use serde::{Deserialize, Serialize};
+
+/// A PE-array accelerator description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeArray {
+    /// Array rows (spatial N dimension).
+    pub rows: u32,
+    /// Array columns (spatial K dimension).
+    pub cols: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Global buffer capacity in bytes (weights + activations).
+    pub buffer_bytes: u64,
+    /// Register-file words per PE.
+    pub regfile_words: u32,
+}
+
+impl PeArray {
+    /// The NFP MLP engine: a 64x64 MAC grid at 1 GHz with the dedicated
+    /// weight/activation SRAMs of the paper's Fig. 9-b.
+    pub fn nfp_mlp_engine() -> Self {
+        PeArray {
+            rows: 64,
+            cols: 64,
+            clock_ghz: 1.0,
+            buffer_bytes: (128 + 32) * 1024,
+            regfile_words: 8,
+        }
+    }
+
+    /// Total PEs.
+    pub fn pes(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Peak MACs per second.
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.pes() as f64 * self.clock_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nfp_engine_is_64x64_at_1ghz() {
+        let a = PeArray::nfp_mlp_engine();
+        assert_eq!(a.pes(), 4096);
+        assert!((a.peak_macs_per_s() - 4.096e12).abs() < 1e6);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ng-timeloop — Timeloop/Accelergy-lite
+//!
+//! The paper cross-validates its MLP-engine performance model with
+//! Timeloop (loop-nest mapping search) and Accelergy (per-component
+//! energy), reporting agreement within ~7 % (the "mlp imp TA" lines of
+//! Fig. 13). This crate is a from-scratch miniature of that flow:
+//!
+//! * [`problem`] — GEMM workload descriptions (the MLP layers),
+//! * [`arch`] — the PE-array + buffer hierarchy being mapped onto,
+//! * [`mapping`] — a loop-nest mapping (spatial/temporal tiling +
+//!   dataflow),
+//! * [`mapper`] — exhaustive search over valid mappings,
+//! * [`energy`] — Accelergy-style per-access energy accounting,
+//! * [`model`] — end-to-end evaluation of an MLP on the array, the
+//!   numbers compared against the `ngpc` MLP engine.
+
+pub mod arch;
+pub mod energy;
+pub mod mapper;
+pub mod mapping;
+pub mod model;
+pub mod problem;
+
+pub use mapper::best_mapping;
+pub use model::{evaluate_mlp, MlpEvaluation};
+pub use problem::Gemm;

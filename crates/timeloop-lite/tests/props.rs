@@ -1,0 +1,62 @@
+//! Property-based tests of the mapping search.
+
+use ng_timeloop::arch::PeArray;
+use ng_timeloop::best_mapping;
+use ng_timeloop::energy::EnergyTable;
+use ng_timeloop::mapping::{Dataflow, Mapping};
+use ng_timeloop::Gemm;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn best_mapping_never_loses_to_any_candidate(
+        m in 1u64..5000,
+        n in 1u64..128,
+        k in 1u64..128,
+        tile_n_log2 in 0u32..7,
+        tile_k_log2 in 0u32..7,
+    ) {
+        let arch = PeArray::nfp_mlp_engine();
+        let table = EnergyTable::default();
+        let problem = Gemm::new(m, n, k);
+        let best = best_mapping(&problem, &arch, &table);
+        let candidate = Mapping {
+            spatial_n: 1 << tile_n_log2,
+            spatial_k: 1 << tile_k_log2,
+            dataflow: Dataflow::WeightStationary,
+        };
+        if candidate.is_valid(&arch) {
+            let cost = candidate.evaluate(&problem, &arch);
+            prop_assert!(best.cost.cycles <= cost.cycles,
+                "search missed a better mapping: {} > {}", best.cost.cycles, cost.cycles);
+        }
+    }
+
+    #[test]
+    fn cycles_lower_bounded_by_work_over_pes(
+        m in 1u64..10_000,
+        n in 1u64..256,
+        k in 1u64..256,
+    ) {
+        let arch = PeArray::nfp_mlp_engine();
+        let problem = Gemm::new(m, n, k);
+        let best = best_mapping(&problem, &arch, &EnergyTable::default());
+        let ideal = problem.macs().div_ceil(arch.pes());
+        prop_assert!(best.cost.cycles >= ideal);
+        prop_assert_eq!(best.cost.macs, problem.macs());
+    }
+
+    #[test]
+    fn utilization_is_a_fraction(
+        m in 1u64..1000,
+        n in 1u64..64,
+        k in 1u64..64,
+    ) {
+        let arch = PeArray::nfp_mlp_engine();
+        let best = best_mapping(&Gemm::new(m, n, k), &arch, &EnergyTable::default());
+        prop_assert!(best.cost.utilization > 0.0 && best.cost.utilization <= 1.0 + 1e-9);
+        prop_assert!(best.energy_uj > 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! GIA with image output: trains the gigapixel-approximation model at
+//! increasing step budgets and writes PPM snapshots (truth, and the
+//! reconstruction after each budget) to `target/gia/`, so the fidelity
+//! progression is visible in any image viewer.
+//!
+//! Run with: `cargo run --release --example gigapixel_out`
+
+use neural_graphics_hw::prelude::*;
+use ng_neural::apps::gia::GiaModel;
+use ng_neural::data::procedural::ProceduralImage;
+use ng_neural::render::ImageBuffer;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from("target/gia");
+    std::fs::create_dir_all(&out_dir)?;
+
+    let image = ProceduralImage::new(7);
+    let side = 256;
+
+    let mut truth = ImageBuffer::new(side, side);
+    truth.fill_from(|u, v| image.color_at(u, v));
+    truth.write_ppm(&out_dir.join("truth.ppm"))?;
+    println!("wrote {}", out_dir.join("truth.ppm").display());
+
+    let mut model = GiaModel::new(EncodingKind::MultiResHashGrid, 2024);
+    let mut done = 0usize;
+    for budget in [50usize, 200, 800] {
+        let steps = budget - done;
+        let cfg = TrainConfig { steps, batch_size: 4096, seed: done as u64, ..TrainConfig::default() };
+        let stats = Trainer::new(cfg).train_gia(&mut model, &image);
+        done = budget;
+
+        let mut recon = ImageBuffer::new(side, side);
+        recon.fill_from(|u, v| model.color_at(u, v).expect("in-range query"));
+        let path = out_dir.join(format!("recon_{budget:04}.ppm"));
+        recon.write_ppm(&path)?;
+        println!(
+            "step {budget:>4}: loss {:.5}, PSNR {:>5.2} dB -> {}",
+            stats.final_loss,
+            recon.psnr(&truth),
+            path.display()
+        );
+    }
+    Ok(())
+}

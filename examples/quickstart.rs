@@ -1,0 +1,49 @@
+//! Quickstart: train a small gigapixel-image-approximation model, check
+//! its reconstruction quality, and ask the NGPC emulator what dedicated
+//! hardware buys for it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use neural_graphics_hw::prelude::*;
+use ng_neural::apps::gia::GiaModel;
+use ng_neural::data::procedural::ProceduralImage;
+use ng_neural::render::ImageBuffer;
+
+fn main() {
+    // 1. A synthetic high-frequency target image (the GIA workload).
+    let image = ProceduralImage::new(6);
+
+    // 2. Train the Table I GIA model (hashgrid encoding) briefly.
+    let mut model = GiaModel::new(EncodingKind::MultiResHashGrid, 42);
+    println!("training GIA ({} parameters)...", model.param_count());
+    let cfg = TrainConfig { steps: 300, batch_size: 2048, ..TrainConfig::default() };
+    let stats = Trainer::new(cfg).train_gia(&mut model, &image);
+    println!("loss: {:.5} -> {:.5}", stats.initial_loss, stats.final_loss);
+
+    // 3. Reconstruct a small frame and measure PSNR against the truth.
+    let side = 96;
+    let mut truth = ImageBuffer::new(side, side);
+    truth.fill_from(|u, v| image.color_at(u, v));
+    let mut recon = ImageBuffer::new(side, side);
+    recon.fill_from(|u, v| model.color_at(u, v).expect("in-range query"));
+    println!("reconstruction PSNR: {:.2} dB", recon.psnr(&truth));
+
+    // 4. What would the NGPC do for this application?
+    for n in NgpcConfig::SCALING_FACTORS {
+        let r = emulate(&EmulatorInput {
+            app: AppKind::Gia,
+            encoding: EncodingKind::MultiResHashGrid,
+            nfp_units: n,
+            pixels: 3840 * 2160,
+            ..EmulatorInput::default()
+        });
+        println!(
+            "NGPC-{n:<2}  4k frame: {:6.2} ms -> {:5.2} ms  ({:5.2}x, Amdahl bound {:5.2}x{})",
+            r.gpu_ms,
+            r.ngpc_frame_ms,
+            r.speedup,
+            r.amdahl_bound,
+            if r.plateaued { ", plateaued" } else { "" },
+        );
+    }
+}
