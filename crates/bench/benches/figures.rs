@@ -14,11 +14,7 @@ use ngpc::pixels::figure14;
 
 fn bench_figures(c: &mut Criterion) {
     let gpu = rtx3090();
-    c.bench_function("fig05_breakdown", |b| {
-        b.iter(|| {
-            EncodingKind::ALL.map(breakdown_figure)
-        })
-    });
+    c.bench_function("fig05_breakdown", |b| b.iter(|| EncodingKind::ALL.map(breakdown_figure)));
     c.bench_function("fig08_ops", |b| {
         b.iter(|| op_breakdown_average(&gpu, EncodingKind::MultiResHashGrid))
     });
@@ -33,18 +29,15 @@ fn bench_figures(c: &mut Criterion) {
             acc
         })
     });
-    c.bench_function("fig14_pixels", |b| {
-        b.iter(|| figure14(EncodingKind::MultiResHashGrid, 64))
-    });
+    c.bench_function("fig14_pixels", |b| b.iter(|| figure14(EncodingKind::MultiResHashGrid, 64)));
     c.bench_function("fig15_area_power", |b| {
         b.iter(|| [8u32, 16, 32, 64].map(ng_hw::ngpc_area_power))
     });
     c.bench_function("table3_bandwidth", |b| b.iter(table3));
     c.bench_function("headline_gaps", |b| {
         b.iter(|| {
-            AppKind::ALL.map(|a| {
-                performance_gap(a, EncodingKind::MultiResHashGrid, RenderTarget::UHD4K_60)
-            })
+            AppKind::ALL
+                .map(|a| performance_gap(a, EncodingKind::MultiResHashGrid, RenderTarget::UHD4K_60))
         })
     });
 }

@@ -38,8 +38,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
     let batch: Vec<f32> = (0..3 * 2048).map(|i| (i as f32 * 0.73) % 1.0).collect();
     let mut group = c.benchmark_group("ngpc_cluster_batch2048");
     for n in [1u32, 8, 64] {
-        let mut cluster =
-            Ngpc::new(NgpcConfig::with_units(n), model.field()).expect("builds");
+        let mut cluster = Ngpc::new(NgpcConfig::with_units(n), model.field()).expect("builds");
         group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
             b.iter(|| cluster.run_batch(&batch).expect("runs"));
         });

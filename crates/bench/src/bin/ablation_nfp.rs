@@ -14,12 +14,12 @@
 use ng_bench::print_table;
 use ng_neural::apps::nsdf::NsdfModel;
 use ng_neural::apps::EncodingKind;
-use ngpc::engine::FusedNfp;
-use ngpc::sched::{overlapped_makespan_ms, serial_makespan_ms};
-use ngpc::NfpConfig;
 use ng_timeloop::arch::PeArray;
 use ng_timeloop::energy::EnergyTable;
 use ng_timeloop::evaluate_mlp;
+use ngpc::engine::FusedNfp;
+use ngpc::sched::{overlapped_makespan_ms, serial_makespan_ms};
+use ngpc::NfpConfig;
 
 const BATCH: u64 = 100_000;
 
@@ -30,10 +30,7 @@ fn sram_capacity_ablation() {
     for kb in [128usize, 256, 512, 1024, 2048, 4096] {
         let cfg = NfpConfig { grid_sram_bytes: kb * 1024, ..NfpConfig::default() };
         let nfp = FusedNfp::from_field(cfg, model.field()).expect("configures");
-        rows.push(vec![
-            format!("{kb} KiB"),
-            format!("{:.0} us", nfp.batch_time_ns(BATCH) / 1e3),
-        ]);
+        rows.push(vec![format!("{kb} KiB"), format!("{:.0} us", nfp.batch_time_ns(BATCH) / 1e3)]);
     }
     print_table(
         "ablation 1: grid SRAM capacity (NSDF densegrid, 100k queries)",

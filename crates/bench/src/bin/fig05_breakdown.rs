@@ -13,12 +13,7 @@ fn main() {
             .rows
             .iter()
             .map(|r| {
-                vec![
-                    r.app.name().to_string(),
-                    pct(r.encoding_pct),
-                    pct(r.mlp_pct),
-                    pct(r.rest_pct),
-                ]
+                vec![r.app.name().to_string(), pct(r.encoding_pct), pct(r.mlp_pct), pct(r.rest_pct)]
             })
             .collect();
         print_table(

@@ -10,11 +10,8 @@ fn main() {
     let gpu = rtx3090();
     for encoding in EncodingKind::ALL {
         let b = op_breakdown_average(&gpu, encoding);
-        let rows: Vec<Vec<String>> = b
-            .top5()
-            .iter()
-            .map(|(op, share)| vec![op.name().to_string(), pct(*share)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            b.top5().iter().map(|(op, share)| vec![op.name().to_string(), pct(*share)]).collect();
         print_table(
             &format!("Fig. 8: {} ({})", encoding, encoding.abbrev()),
             &["operation", "share of encoding-kernel cycles"],

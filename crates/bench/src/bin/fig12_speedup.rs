@@ -40,9 +40,7 @@ fn main() {
         let avg_rows: Vec<Vec<String>> = NgpcConfig::SCALING_FACTORS
             .iter()
             .zip(paper_avg)
-            .map(|(&n, p)| {
-                vec![format!("NGPC-{n}"), vs_paper(average_speedup(encoding, n), p)]
-            })
+            .map(|(&n, p)| vec![format!("NGPC-{n}"), vs_paper(average_speedup(encoding, n), p)])
             .collect();
         print_table("average across applications", &["config", "speedup vs paper"], &avg_rows);
     }

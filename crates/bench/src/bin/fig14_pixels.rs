@@ -22,8 +22,7 @@ fn fmt_row(b: &PixelBudget) -> Vec<String> {
 
 fn main() {
     for encoding in EncodingKind::ALL {
-        let rows: Vec<Vec<String>> =
-            figure14(encoding, 64).iter().map(fmt_row).collect();
+        let rows: Vec<Vec<String>> = figure14(encoding, 64).iter().map(fmt_row).collect();
         print_table(
             &format!("Fig. 14: pixels within FPS budget, {encoding}, NGPC-64"),
             &["app", "FPS", "GPU px", "GPU res", "NGPC px", "NGPC res"],

@@ -14,9 +14,7 @@ fn main() {
     let rows: Vec<Vec<String>> = AppKind::ALL
         .iter()
         .zip(paper::FHD_MS)
-        .map(|(&app, p)| {
-            vec![app.name().to_string(), vs_paper(frame_time_ms(app, hg, fhd), p)]
-        })
+        .map(|(&app, p)| vec![app.name().to_string(), vs_paper(frame_time_ms(app, hg, fhd), p)])
         .collect();
     print_table("FHD (1920x1080) frame time, hashgrid [ms]", &["app", "time vs paper"], &rows);
 
@@ -29,7 +27,11 @@ fn main() {
             vec![app.name().to_string(), verdict]
         })
         .collect();
-    print_table("4k @ 60 FPS performance gap (paper: 55.50x / 6.68x / meets / 1.51x)", &["app", "gap"], &rows);
+    print_table(
+        "4k @ 60 FPS performance gap (paper: 55.50x / 6.68x / meets / 1.51x)",
+        &["app", "gap"],
+        &rows,
+    );
 
     let gpu = rtx3090();
     let rows: Vec<Vec<String>> = AppKind::ALL
@@ -39,5 +41,9 @@ fn main() {
             vec![app.name().to_string(), format!("{oom:.1} OOM")]
         })
         .collect();
-    print_table("AR/VR power gap at a 1 W headset budget (paper: ~2-4 OOM)", &["app", "gap"], &rows);
+    print_table(
+        "AR/VR power gap at a 1 W headset budget (paper: ~2-4 OOM)",
+        &["app", "gap"],
+        &rows,
+    );
 }

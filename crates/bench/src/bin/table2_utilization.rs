@@ -24,7 +24,16 @@ fn main() {
         .collect();
     print_table(
         "Table II (paper reference, Nsight measurements)",
-        &["app-enc", "kernel", "grid/block", "comp/call %", "mem/call %", "calls", "comp avg %", "mem avg %"],
+        &[
+            "app-enc",
+            "kernel",
+            "grid/block",
+            "comp/call %",
+            "mem/call %",
+            "calls",
+            "comp avg %",
+            "mem avg %",
+        ],
         &rows,
     );
 

@@ -25,10 +25,8 @@ use std::fmt::Display;
 /// Render a fixed-width text table with a header rule.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
     println!("\n== {title} ==");
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| r.iter().map(|c| c.to_string()).collect())
-        .collect();
+    let cells: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
     let heads: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     let cols = heads.len();
     let mut widths: Vec<usize> = heads.iter().map(|h| h.len()).collect();

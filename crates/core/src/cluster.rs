@@ -34,7 +34,8 @@ impl Ngpc {
     pub fn new(config: NgpcConfig, field: &FieldModel) -> Result<Self> {
         config.validate()?;
         // One shared read-only copy of the grid tables for all NFPs.
-        let table = std::sync::Arc::new(ng_neural::encoding::Encoding::params(&field.encoding).to_vec());
+        let table =
+            std::sync::Arc::new(ng_neural::encoding::Encoding::params(&field.encoding).to_vec());
         let nfps = (0..config.nfp_units)
             .map(|_| FusedNfp::from_field_shared(config.nfp, field, &table))
             .collect::<Result<Vec<_>>>()?;
@@ -61,13 +62,11 @@ impl Ngpc {
     pub fn run_batch(&mut self, inputs: &[f32]) -> Result<(Vec<f32>, ClusterStats)> {
         let d = self.nfps[0].input_dim();
         if d == 0 || !inputs.len().is_multiple_of(d) {
-            return Err(crate::error::NgpcError::Neural(
-                ng_neural::NgError::DimensionMismatch {
-                    context: "cluster batch input",
-                    expected: d,
-                    actual: inputs.len(),
-                },
-            ));
+            return Err(crate::error::NgpcError::Neural(ng_neural::NgError::DimensionMismatch {
+                context: "cluster batch input",
+                expected: d,
+                actual: inputs.len(),
+            }));
         }
         let n = inputs.len() / d;
         let units = self.nfps.len();

@@ -35,6 +35,10 @@ use crate::kernels::REST_FUSION_SPEEDUP;
 
 /// Calibrated per-application pipeline slope `g` (speedup per NFP of the
 /// accelerated kernels, end to end). Order: NeRF, NSDF, GIA, NVR.
+///
+/// NOTE: changing any calibrated constant in this module changes sweep
+/// results — bump `ng_dse::MODEL_VERSION` in the same commit so cached
+/// design-space evaluations self-invalidate.
 fn pipeline_slope(app: AppKind, encoding: EncodingKind) -> f64 {
     match encoding {
         EncodingKind::MultiResHashGrid => match app {
@@ -56,6 +60,55 @@ fn pipeline_slope(app: AppKind, encoding: EncodingKind) -> f64 {
             AppKind::Nvr => 2.2147,
         },
     }
+}
+
+/// Bytes of the largest single-level grid table the encoding engines
+/// must keep resident for full-rate corner fetches. The paper sizes the
+/// 1 MB grid SRAM so one multiresolution level's table fits on-chip;
+/// the two-level low-res encoding needs far less.
+fn resident_table_bytes(encoding: EncodingKind) -> f64 {
+    match encoding {
+        EncodingKind::MultiResHashGrid | EncodingKind::MultiResDenseGrid => (1u64 << 20) as f64,
+        EncodingKind::LowResDenseGrid => (64 * 1024) as f64,
+    }
+}
+
+/// Grid-SRAM round-trip cost of a spilled corner fetch relative to an
+/// on-chip hit (GPU-L2 service of the miss traffic).
+const SPILL_PENALTY: f64 = 3.0;
+
+/// Throughput factor for grid SRAMs smaller than the resident table:
+/// the uncovered fraction of corner fetches pays [`SPILL_PENALTY`].
+/// Exactly 1.0 at (and above) the paper's 1 MB provision.
+fn sram_capacity_factor(nfp: &NfpConfig, encoding: EncodingKind) -> f64 {
+    let required = resident_table_bytes(encoding);
+    let have = nfp.grid_sram_bytes as f64;
+    if have >= required {
+        1.0
+    } else {
+        let miss = 1.0 - have / required;
+        1.0 / (1.0 + miss * SPILL_PENALTY)
+    }
+}
+
+/// Throughput factor for grid-SRAM banking: a `d`-dimensional cell has
+/// `2^d` corners, and with fewer banks than corners the fetches
+/// serialise over multiple cycles (the fused pipeline is rate-limited
+/// by its encoding stage). Exactly 1.0 at the paper's 8 banks.
+fn bank_conflict_factor(nfp: &NfpConfig, app: AppKind) -> f64 {
+    let corners = 1u32 << app.spatial_dim();
+    let cycles = corners.div_ceil(nfp.grid_sram_banks.min(corners).max(1));
+    1.0 / cycles as f64
+}
+
+/// The end-to-end NFP throughput slope for one configuration: the
+/// calibrated per-application pipeline slope, scaled by clock and by the
+/// SRAM capacity/banking factors (all 1.0 at the paper's NFP).
+fn effective_slope(input: &EmulatorInput) -> f64 {
+    pipeline_slope(input.app, input.encoding)
+        * input.nfp.clock_ghz
+        * sram_capacity_factor(&input.nfp, input.encoding)
+        * bank_conflict_factor(&input.nfp, input.app)
 }
 
 /// Emulator inputs (the four arrows into the paper's Fig. 11 box).
@@ -82,6 +135,86 @@ impl Default for EmulatorInput {
             nfp_units: 8,
             nfp: NfpConfig::default(),
         }
+    }
+}
+
+impl EmulatorInput {
+    /// Start building a point from the paper's default configuration.
+    pub fn builder() -> EmulatorInputBuilder {
+        EmulatorInputBuilder::default()
+    }
+}
+
+/// Cheap, clonable point-builder for sweeps: every setter is a field
+/// write on a `Copy` value, so design-space enumerators can fork a
+/// partially-specified point per axis without allocation.
+///
+/// ```
+/// use ngpc::emulator::EmulatorInput;
+/// use ng_neural::apps::AppKind;
+///
+/// let base = EmulatorInput::builder().app(AppKind::Gia).clock_ghz(1.5);
+/// let (a, b) = (base.clone().nfp_units(16).build(), base.nfp_units(64).build());
+/// assert_eq!(a.nfp.clock_ghz, 1.5);
+/// assert_eq!(b.nfp_units, 64);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmulatorInputBuilder {
+    input: EmulatorInput,
+}
+
+impl EmulatorInputBuilder {
+    /// Application under evaluation.
+    pub fn app(mut self, app: AppKind) -> Self {
+        self.input.app = app;
+        self
+    }
+
+    /// Input-encoding scheme.
+    pub fn encoding(mut self, encoding: EncodingKind) -> Self {
+        self.input.encoding = encoding;
+        self
+    }
+
+    /// Frame resolution in pixels.
+    pub fn pixels(mut self, pixels: u64) -> Self {
+        self.input.pixels = pixels;
+        self
+    }
+
+    /// NGPC scaling factor (NFP count).
+    pub fn nfp_units(mut self, nfp_units: u32) -> Self {
+        self.input.nfp_units = nfp_units;
+        self
+    }
+
+    /// Full NFP configuration (replaces any prior per-field setters).
+    pub fn nfp(mut self, nfp: NfpConfig) -> Self {
+        self.input.nfp = nfp;
+        self
+    }
+
+    /// NFP clock in GHz.
+    pub fn clock_ghz(mut self, clock_ghz: f64) -> Self {
+        self.input.nfp.clock_ghz = clock_ghz;
+        self
+    }
+
+    /// Grid SRAM per encoding engine in bytes.
+    pub fn grid_sram_bytes(mut self, bytes: usize) -> Self {
+        self.input.nfp.grid_sram_bytes = bytes;
+        self
+    }
+
+    /// Banks per grid SRAM.
+    pub fn grid_sram_banks(mut self, banks: u32) -> Self {
+        self.input.nfp.grid_sram_banks = banks;
+        self
+    }
+
+    /// Finish the point.
+    pub fn build(self) -> EmulatorInput {
+        self.input
     }
 }
 
@@ -113,26 +246,25 @@ pub struct EmulationResult {
     pub power_pct_of_gpu: f64,
 }
 
-/// Run the emulator for one configuration.
-pub fn emulate(input: &EmulatorInput) -> EmulationResult {
-    let breakdown = ng_gpu::kernel_breakdown(input.app, input.encoding, input.pixels);
+/// Compose the timing model from a precomputed GPU breakdown and
+/// area/power report (shared by [`emulate`] and [`EmulationContext`]).
+fn compose(
+    input: &EmulatorInput,
+    breakdown: &ng_gpu::KernelBreakdown,
+    hw: &ng_hw::AreaPowerReport,
+) -> EmulationResult {
     let gpu_ms = breakdown.total_ms();
     let gpu_accel_ms = breakdown.encoding_ms + breakdown.mlp_ms;
     let gpu_rest_ms = breakdown.rest_ms;
 
-    // Pipeline slope scales with clock relative to the paper's 1 GHz NFP.
-    let g = pipeline_slope(input.app, input.encoding) * input.nfp.clock_ghz;
+    // Pipeline slope scaled by clock (relative to the paper's 1 GHz NFP)
+    // and by the SRAM capacity/banking throughput factors.
+    let g = effective_slope(input);
     let ngpc_accel_ms = gpu_ms / (g * input.nfp_units as f64);
     let fused_rest_ms = gpu_rest_ms / REST_FUSION_SPEEDUP;
     let ngpc_frame_ms = ngpc_accel_ms.max(fused_rest_ms);
     let speedup = gpu_ms / ngpc_frame_ms;
     let amdahl_bound = gpu_ms / fused_rest_ms;
-
-    let hw = ng_hw::ngpc_area_power_vs(
-        &input.nfp.floorplan(),
-        input.nfp_units,
-        ng_hw::gpu_ref::RTX3090,
-    );
 
     EmulationResult {
         gpu_ms,
@@ -147,6 +279,51 @@ pub fn emulate(input: &EmulatorInput) -> EmulationResult {
         area_pct_of_gpu: hw.area_pct_of_gpu,
         power_pct_of_gpu: hw.power_pct_of_gpu,
     }
+}
+
+/// Run the emulator for one configuration.
+pub fn emulate(input: &EmulatorInput) -> EmulationResult {
+    let breakdown = ng_gpu::kernel_breakdown(input.app, input.encoding, input.pixels);
+    let hw =
+        ng_hw::ngpc_area_power_vs(&input.nfp.floorplan(), input.nfp_units, ng_hw::gpu_ref::RTX3090);
+    compose(input, &breakdown, &hw)
+}
+
+/// Reusable emulation state for sweeps: memoizes the GPU kernel
+/// breakdown per `(app, encoding, pixels)` workload and the area/power
+/// synthesis per floorplan, which are the two expensive inputs to the
+/// Fig. 11 box. Results are bit-identical to [`emulate`]; a design-space
+/// sweep touching `W` workloads and `F` floorplans pays for `W + F`
+/// model builds no matter how many points it evaluates.
+#[derive(Debug, Default)]
+pub struct EmulationContext {
+    breakdowns: std::collections::HashMap<(AppKind, EncodingKind, u64), ng_gpu::KernelBreakdown>,
+    hw: ng_hw::AreaPowerCache,
+}
+
+impl EmulationContext {
+    /// A fresh context with empty memo tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate one point, reusing every previously built model input.
+    pub fn eval(&mut self, input: &EmulatorInput) -> EmulationResult {
+        let breakdown = *self
+            .breakdowns
+            .entry((input.app, input.encoding, input.pixels))
+            .or_insert_with(|| ng_gpu::kernel_breakdown(input.app, input.encoding, input.pixels));
+        let hw = self.hw.lookup(&input.nfp.floorplan(), input.nfp_units, ng_hw::gpu_ref::RTX3090);
+        compose(input, &breakdown, &hw)
+    }
+}
+
+/// Batch-evaluate a slice of points through one shared
+/// [`EmulationContext`] — the entry point design-space sweeps feed
+/// per-worker chunks through.
+pub fn emulate_many(inputs: &[EmulatorInput]) -> Vec<EmulationResult> {
+    let mut ctx = EmulationContext::new();
+    inputs.iter().map(|input| ctx.eval(input)).collect()
 }
 
 /// Batched emulation: the same pipeline evaluated at finite batch
@@ -174,13 +351,7 @@ pub fn average_speedup(encoding: EncodingKind, nfp_units: u32) -> f64 {
     AppKind::ALL
         .iter()
         .map(|&app| {
-            emulate(&EmulatorInput {
-                app,
-                encoding,
-                nfp_units,
-                ..EmulatorInput::default()
-            })
-            .speedup
+            emulate(&EmulatorInput { app, encoding, nfp_units, ..EmulatorInput::default() }).speedup
         })
         .sum::<f64>()
         / 4.0
@@ -227,11 +398,7 @@ mod tests {
         // 64 (hashgrid).
         let plateau_at = |app: AppKind| {
             for n in NgpcConfig::SCALING_FACTORS {
-                let r = emulate(&EmulatorInput {
-                    app,
-                    nfp_units: n,
-                    ..EmulatorInput::default()
-                });
+                let r = emulate(&EmulatorInput { app, nfp_units: n, ..EmulatorInput::default() });
                 if r.plateaued {
                     return n;
                 }
@@ -284,11 +451,7 @@ mod tests {
         for app in AppKind::ALL {
             let mut prev = 0.0;
             for n in NgpcConfig::SCALING_FACTORS {
-                let r = emulate(&EmulatorInput {
-                    app,
-                    nfp_units: n,
-                    ..EmulatorInput::default()
-                });
+                let r = emulate(&EmulatorInput { app, nfp_units: n, ..EmulatorInput::default() });
                 assert!(r.speedup >= prev - 1e-9, "{app} regressed at N={n}");
                 prev = r.speedup;
             }
@@ -300,11 +463,8 @@ mod tests {
         // Fractions are resolution-independent, so speedup is too —
         // which is what lets Fig. 14 scale pixels by the speedup.
         let base = emulate(&EmulatorInput::default()).speedup;
-        let four_k = emulate(&EmulatorInput {
-            pixels: 3840 * 2160,
-            ..EmulatorInput::default()
-        })
-        .speedup;
+        let four_k =
+            emulate(&EmulatorInput { pixels: 3840 * 2160, ..EmulatorInput::default() }).speedup;
         assert!((base - four_k).abs() < 1e-9);
     }
 
@@ -340,6 +500,95 @@ mod tests {
         let one = emulate_batched(&input, 1);
         let expected = steady.ngpc_accel_ms + steady.fused_rest_ms;
         assert!((one.ngpc_frame_ms - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_config_has_unit_timing_factors() {
+        // The SRAM/banking factors are calibrated to 1.0 at the paper's
+        // NFP, so every published number is unchanged by them.
+        let nfp = NfpConfig::default();
+        for enc in EncodingKind::ALL {
+            assert_eq!(sram_capacity_factor(&nfp, enc), 1.0, "{enc}");
+        }
+        for app in AppKind::ALL {
+            assert_eq!(bank_conflict_factor(&nfp, app), 1.0, "{app}");
+        }
+    }
+
+    #[test]
+    fn small_sram_and_few_banks_cost_speedup() {
+        let base = emulate(&EmulatorInput { nfp_units: 64, ..EmulatorInput::default() });
+        let starved = emulate(&EmulatorInput {
+            nfp_units: 64,
+            nfp: NfpConfig { grid_sram_bytes: 256 * 1024, ..NfpConfig::default() },
+            ..EmulatorInput::default()
+        });
+        assert!(starved.speedup < base.speedup, "{} vs {}", starved.speedup, base.speedup);
+        let banked = emulate(&EmulatorInput {
+            nfp_units: 64,
+            nfp: NfpConfig { grid_sram_banks: 2, ..NfpConfig::default() },
+            ..EmulatorInput::default()
+        });
+        assert!(banked.speedup < base.speedup);
+        // GIA cells are 2D (4 corners): 4 banks already suffice.
+        let gia = |banks| {
+            emulate(&EmulatorInput {
+                app: AppKind::Gia,
+                nfp_units: 8,
+                nfp: NfpConfig { grid_sram_banks: banks, ..NfpConfig::default() },
+                ..EmulatorInput::default()
+            })
+            .speedup
+        };
+        assert_eq!(gia(4), gia(8));
+    }
+
+    #[test]
+    fn builder_round_trips_every_axis() {
+        let p = EmulatorInput::builder()
+            .app(AppKind::Nvr)
+            .encoding(EncodingKind::LowResDenseGrid)
+            .pixels(3840 * 2160)
+            .nfp_units(32)
+            .clock_ghz(1.5)
+            .grid_sram_bytes(512 * 1024)
+            .grid_sram_banks(4)
+            .build();
+        assert_eq!(p.app, AppKind::Nvr);
+        assert_eq!(p.encoding, EncodingKind::LowResDenseGrid);
+        assert_eq!(p.pixels, 3840 * 2160);
+        assert_eq!(p.nfp_units, 32);
+        assert_eq!(p.nfp.clock_ghz, 1.5);
+        assert_eq!(p.nfp.grid_sram_bytes, 512 * 1024);
+        assert_eq!(p.nfp.grid_sram_banks, 4);
+        // Unset axes keep the paper defaults.
+        assert_eq!(p.nfp.mac_rows, NfpConfig::default().mac_rows);
+    }
+
+    #[test]
+    fn context_is_bit_identical_to_emulate() {
+        let mut ctx = EmulationContext::new();
+        let mut inputs = Vec::new();
+        for app in AppKind::ALL {
+            for enc in EncodingKind::ALL {
+                for n in [8u32, 64] {
+                    for clock in [1.0, 2.0] {
+                        inputs.push(
+                            EmulatorInput::builder()
+                                .app(app)
+                                .encoding(enc)
+                                .nfp_units(n)
+                                .clock_ghz(clock)
+                                .build(),
+                        );
+                    }
+                }
+            }
+        }
+        for input in &inputs {
+            assert_eq!(ctx.eval(input), emulate(input));
+        }
+        assert_eq!(emulate_many(&inputs), inputs.iter().map(emulate).collect::<Vec<_>>());
     }
 
     #[test]

@@ -66,13 +66,10 @@ impl EncodingEngine {
         table: &std::sync::Arc<Vec<f32>>,
         level_idx: usize,
     ) -> Result<()> {
-        let level = *grid
-            .levels()
-            .get(level_idx)
-            .ok_or_else(|| NgpcError::InvalidConfig {
-                parameter: "level_idx",
-                message: format!("grid has {} levels, asked for {level_idx}", grid.levels().len()),
-            })?;
+        let level = *grid.levels().get(level_idx).ok_or_else(|| NgpcError::InvalidConfig {
+            parameter: "level_idx",
+            message: format!("grid has {} levels, asked for {level_idx}", grid.levels().len()),
+        })?;
         let cfg = grid.config();
         let f = cfg.features_per_level;
         let passes = self.sram.load_table_shared(
@@ -262,8 +259,11 @@ impl EncodingCluster {
     /// pipeline fill latency.
     pub fn batch_cycles(&self, n: u64) -> u64 {
         let par = self.parallel_inputs().max(1) as u64;
-        let passes =
-            self.engines[..self.levels].iter().map(|e| e.streaming_passes() as u64).max().unwrap_or(1);
+        let passes = self.engines[..self.levels]
+            .iter()
+            .map(|e| e.streaming_passes() as u64)
+            .max()
+            .unwrap_or(1);
         let fill = PosFractUnit::LATENCY_CYCLES + 4;
         n.div_ceil(par) * passes + fill
     }

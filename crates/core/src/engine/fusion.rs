@@ -113,13 +113,11 @@ impl FusedNfp {
     pub fn run_batch(&mut self, inputs: &[f32]) -> Result<(Vec<f32>, FusedStats)> {
         let d = self.input_dim;
         if d == 0 || !inputs.len().is_multiple_of(d) {
-            return Err(crate::error::NgpcError::Neural(
-                ng_neural::NgError::DimensionMismatch {
-                    context: "fused batch input",
-                    expected: d,
-                    actual: inputs.len(),
-                },
-            ));
+            return Err(crate::error::NgpcError::Neural(ng_neural::NgError::DimensionMismatch {
+                context: "fused batch input",
+                expected: d,
+                actual: inputs.len(),
+            }));
         }
         let n = (inputs.len() / d) as u64;
         let mut out = Vec::with_capacity(n as usize * self.output_dim);

@@ -164,8 +164,7 @@ mod tests {
     use ng_neural::mlp::MlpConfig;
 
     fn reference(input_dim: usize, layers: usize, out: usize) -> Mlp {
-        Mlp::new(MlpConfig::neural_graphics(input_dim, layers, out, Activation::None), 5)
-            .unwrap()
+        Mlp::new(MlpConfig::neural_graphics(input_dim, layers, out, Activation::None), 5).unwrap()
     }
 
     #[test]

@@ -72,10 +72,7 @@ impl GridSram {
     pub fn load_table(&mut self, table: &[f32], features_per_entry: usize) -> Result<()> {
         let bytes = table.len() * SRAM_BYTES_PER_PARAM;
         if bytes > self.capacity_bytes {
-            return Err(NgpcError::SramOverflow {
-                required: bytes,
-                capacity: self.capacity_bytes,
-            });
+            return Err(NgpcError::SramOverflow { required: bytes, capacity: self.capacity_bytes });
         }
         self.table = Arc::new(table.to_vec());
         self.base_entry = 0;

@@ -84,11 +84,8 @@ mod tests {
     fn low_res_encoding_speedup_is_largest() {
         // 8 parallel inputs (2 levels on 16 engines) makes the low-res
         // encoding engine the standout.
-        let lr = kernel_speedup(
-            EncodingKind::LowResDenseGrid,
-            AcceleratedKernel::InputEncoding,
-            64,
-        );
+        let lr =
+            kernel_speedup(EncodingKind::LowResDenseGrid, AcceleratedKernel::InputEncoding, 64);
         for enc in [EncodingKind::MultiResHashGrid, EncodingKind::MultiResDenseGrid] {
             assert!(lr > kernel_speedup(enc, AcceleratedKernel::InputEncoding, 64));
             assert!(lr > kernel_speedup(enc, AcceleratedKernel::Mlp, 64));

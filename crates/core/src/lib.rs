@@ -42,5 +42,8 @@ pub mod pixels;
 pub mod sched;
 
 pub use config::{NfpConfig, NgpcConfig};
-pub use emulator::{emulate, emulate_batched, EmulationResult, EmulatorInput};
+pub use emulator::{
+    emulate, emulate_batched, emulate_many, EmulationContext, EmulationResult, EmulatorInput,
+    EmulatorInputBuilder,
+};
 pub use error::{NgpcError, Result};

@@ -41,18 +41,12 @@ pub fn largest_resolution(pixels: u64) -> Option<Resolution> {
 }
 
 /// Compute one Fig. 14 bar.
-pub fn pixel_budget(
-    app: AppKind,
-    encoding: EncodingKind,
-    nfp_units: u32,
-    fps: f64,
-) -> PixelBudget {
+pub fn pixel_budget(app: AppKind, encoding: EncodingKind, nfp_units: u32, fps: f64) -> PixelBudget {
     let budget_ms = 1000.0 / fps;
     // GPU frame time scales linearly in pixels; anchor on 1M pixels.
     let anchor_px = 1_000_000u64;
     let gpu_ms_per_px = ng_gpu::frame_time_ms(app, encoding, anchor_px) / anchor_px as f64;
-    let result =
-        emulate(&EmulatorInput { app, encoding, nfp_units, ..EmulatorInput::default() });
+    let result = emulate(&EmulatorInput { app, encoding, nfp_units, ..EmulatorInput::default() });
     let gpu_pixels = (budget_ms / gpu_ms_per_px) as u64;
     let ngpc_pixels = (budget_ms * result.speedup / gpu_ms_per_px) as u64;
     PixelBudget { app, fps, gpu_pixels, ngpc_pixels }
@@ -90,11 +84,7 @@ mod tests {
     fn gia_and_nvr_reach_8k120_with_ngpc64() {
         for app in [AppKind::Gia, AppKind::Nvr] {
             let b = pixel_budget(app, HG, 64, 120.0);
-            assert!(
-                b.ngpc_pixels >= Resolution::Uhd8k.pixels(),
-                "{app}: {} pixels",
-                b.ngpc_pixels
-            );
+            assert!(b.ngpc_pixels >= Resolution::Uhd8k.pixels(), "{app}: {} pixels", b.ngpc_pixels);
         }
     }
 
@@ -141,9 +131,6 @@ mod tests {
     fn largest_resolution_boundaries() {
         assert_eq!(largest_resolution(0), None);
         assert_eq!(largest_resolution(Resolution::Hd.pixels()), Some(Resolution::Hd));
-        assert_eq!(
-            largest_resolution(Resolution::Uhd8k.pixels() * 2),
-            Some(Resolution::Uhd8k)
-        );
+        assert_eq!(largest_resolution(Resolution::Uhd8k.pixels() * 2), Some(Resolution::Uhd8k));
     }
 }

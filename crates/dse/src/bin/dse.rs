@@ -1,0 +1,250 @@
+//! `dse` — explore the NGPC design space from the command line.
+//!
+//! ```text
+//! dse --preset paper                        # the flagship 1440-point sweep
+//! dse --preset paper --max-area 3 --max-power 5
+//! dse --spec sweep.toml --json out.json --csv out.csv
+//! dse --preset quick --per-app --threads 4
+//! ```
+
+use std::process::ExitCode;
+
+use ng_dse::report::{describe_constraints, print_report};
+use ng_dse::spec::FHD_PIXELS;
+use ng_dse::{Constraints, SweepEngine, SweepSpec};
+use ng_neural::apps::EncodingKind;
+
+const USAGE: &str = "\
+dse — NGPC design-space exploration with Pareto frontier extraction
+
+USAGE:
+    dse [--preset NAME | --spec FILE.toml] [OPTIONS]
+
+SPEC:
+    --preset NAME        paper | quick | clocks | resolutions (default: paper)
+    --spec FILE          load a sweep spec from a TOML file
+    --apps LIST          override app axis, e.g. nerf,gia
+    --encodings LIST     override encoding axis, e.g. hashgrid,densegrid
+    --nfp-units LIST     override NFP-count axis, e.g. 8,16,32,64
+    --clocks LIST        override clock axis (GHz), e.g. 0.5,1.0,2.0
+    --pixels LIST        override resolution axis (pixels per frame)
+    --sram-kb LIST       override grid-SRAM axis (KiB per engine)
+    --banks LIST         override SRAM bank axis (powers of two)
+
+CONSTRAINTS (filter the reported frontier, not the evaluation):
+    --max-area PCT       keep architectures with area ≤ PCT% of the GPU die
+    --max-power PCT      keep architectures with power ≤ PCT% of GPU TDP
+    --min-speedup X      keep architectures with cross-app speedup ≥ X
+
+EXECUTION:
+    --threads N          worker threads (default: all cores)
+    --cache-dir DIR      evaluation cache location (default: .dse-cache)
+    --no-cache           always re-evaluate, never read or write the cache
+
+OUTPUT:
+    --top N              frontier rows to print (default: 16)
+    --per-app            also print each app's own Pareto frontier
+    --csv PATH           write every evaluated point as CSV
+    --json PATH          write spec + stats + points + frontier as JSON
+    --help               this text
+";
+
+struct Cli {
+    spec: SweepSpec,
+    constraints: Constraints,
+    threads: Option<usize>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    top: usize,
+    per_app: bool,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_list<T>(
+    flag: &str,
+    value: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    let items: Vec<T> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s).ok_or_else(|| format!("{flag}: cannot parse `{s}`")))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(format!("{flag}: empty list"));
+    }
+    Ok(items)
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut preset: Option<String> = None;
+    let mut spec_file: Option<String> = None;
+    let mut cli = Cli {
+        spec: SweepSpec::paper(),
+        constraints: Constraints::NONE,
+        threads: None,
+        cache_dir: None,
+        no_cache: false,
+        top: 16,
+        per_app: false,
+        csv: None,
+        json: None,
+    };
+    // Axis overrides are applied after the base spec is chosen.
+    let mut overrides: Vec<(String, String)> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--preset" => preset = Some(value("--preset")?),
+            "--spec" => spec_file = Some(value("--spec")?),
+            "--apps" | "--encodings" | "--nfp-units" | "--clocks" | "--pixels" | "--sram-kb"
+            | "--banks" => {
+                let v = value(arg)?;
+                overrides.push((arg.clone(), v));
+            }
+            "--max-area" => {
+                cli.constraints.max_area_pct =
+                    Some(value(arg)?.parse().map_err(|_| "--max-area: not a number")?)
+            }
+            "--max-power" => {
+                cli.constraints.max_power_pct =
+                    Some(value(arg)?.parse().map_err(|_| "--max-power: not a number")?)
+            }
+            "--min-speedup" => {
+                cli.constraints.min_speedup =
+                    Some(value(arg)?.parse().map_err(|_| "--min-speedup: not a number")?)
+            }
+            "--threads" => {
+                cli.threads = Some(value(arg)?.parse().map_err(|_| "--threads: not a number")?)
+            }
+            "--cache-dir" => cli.cache_dir = Some(value(arg)?),
+            "--no-cache" => cli.no_cache = true,
+            "--top" => cli.top = value(arg)?.parse().map_err(|_| "--top: not a number")?,
+            "--per-app" => cli.per_app = true,
+            "--csv" => cli.csv = Some(value(arg)?),
+            "--json" => cli.json = Some(value(arg)?),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    if preset.is_some() && spec_file.is_some() {
+        return Err("--preset and --spec are mutually exclusive".to_string());
+    }
+    if let Some(name) = preset {
+        cli.spec = SweepSpec::preset(&name).ok_or_else(|| {
+            format!("unknown preset `{name}` (have: {})", SweepSpec::PRESETS.join(", "))
+        })?;
+    } else if let Some(path) = spec_file {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        cli.spec = SweepSpec::from_toml_str(&text).map_err(|e| e.to_string())?;
+        // A spec file may carry its own constraints; CLI flags override.
+        let file_c = cli.spec.constraints;
+        cli.constraints = Constraints {
+            max_area_pct: cli.constraints.max_area_pct.or(file_c.max_area_pct),
+            max_power_pct: cli.constraints.max_power_pct.or(file_c.max_power_pct),
+            min_speedup: cli.constraints.min_speedup.or(file_c.min_speedup),
+        };
+    }
+
+    for (flag, v) in overrides {
+        match flag.as_str() {
+            "--apps" => cli.spec.apps = parse_list(&flag, &v, ng_dse::spec::parse_app)?,
+            "--encodings" => {
+                cli.spec.encodings = parse_list(&flag, &v, ng_dse::spec::parse_encoding)?
+            }
+            "--nfp-units" => cli.spec.nfp_units = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--clocks" => cli.spec.clock_ghz = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--pixels" => cli.spec.pixels = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--sram-kb" => cli.spec.grid_sram_kb = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--banks" => cli.spec.grid_sram_banks = parse_list(&flag, &v, |s| s.parse().ok())?,
+            _ => unreachable!("override flags are filtered above"),
+        }
+    }
+    Ok(Some(cli))
+}
+
+/// For the flagship preset, point out whether the paper's NGPC-64
+/// headline configuration survived frontier extraction.
+fn headline_check(outcome: &ng_dse::SweepOutcome, constraints: &Constraints) {
+    let is_headline = |a: &&ng_dse::ArchPoint| {
+        a.encoding == EncodingKind::MultiResHashGrid
+            && a.nfp_units == 64
+            && a.clock_ghz == 1.0
+            && a.grid_sram_kb == 1024
+            && a.grid_sram_banks == 8
+            && a.pixels == FHD_PIXELS
+    };
+    // Axis overrides can sweep the headline configuration away
+    // entirely; only judge the frontier when the point was evaluated.
+    if !outcome.cross_app().iter().any(|a| is_headline(&a)) {
+        return;
+    }
+    let frontier = outcome.cross_app_frontier(constraints);
+    let headline = frontier.iter().find(is_headline);
+    match headline {
+        Some(a) => println!(
+            "\npaper check: NGPC-64 (hashgrid, 1 GHz, 1MB/8-bank) is on the frontier — \
+             {:.2}x avg, {:.2}% area, {:.2}% power (paper: 39.04x, ~36.2%, ~22.1%)",
+            a.avg_speedup, a.area_pct_of_gpu, a.power_pct_of_gpu
+        ),
+        None => println!(
+            "\npaper check: NGPC-64 headline point is NOT on the frontier under constraints [{}]",
+            describe_constraints(constraints)
+        ),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cli) = parse_args(args)? else { return Ok(()) };
+
+    let mut engine = SweepEngine::new();
+    if let Some(threads) = cli.threads {
+        engine = engine.with_threads(threads);
+    }
+    if cli.no_cache {
+        engine = engine.without_cache();
+    } else if let Some(dir) = &cli.cache_dir {
+        engine = engine.with_cache_dir(dir);
+    }
+
+    let outcome = engine.run(&cli.spec).map_err(|e| e.to_string())?;
+    print_report(&outcome, &cli.constraints, cli.top, cli.per_app);
+    if cli.spec.name == "paper" {
+        headline_check(&outcome, &cli.constraints);
+    }
+
+    if let Some(path) = &cli.csv {
+        let csv = ng_dse::emit::points_to_csv(&outcome.points);
+        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {} points to {path}", outcome.points.len());
+    }
+    if let Some(path) = &cli.json {
+        let frontier = outcome.cross_app_frontier(&cli.constraints);
+        let json = ng_dse::emit::outcome_to_json(&outcome, &frontier);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote outcome JSON to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dse: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Content-hashed evaluation cache.
+//!
+//! The cache key is an FNV-1a hash of the spec's canonical axis
+//! encoding plus [`crate::MODEL_VERSION`]: any change to the swept axes
+//! lands in a different file, and model changes do too *provided*
+//! `MODEL_VERSION` is bumped with them (it is a hand-maintained tag,
+//! not derived from the model code — see its doc comment; `--no-cache`
+//! is the escape hatch if a stale cache is suspected). One sweep = one
+//! CSV file (the same format [`crate::emit`] exposes to users), headed
+//! by a `#` line recording the key for post-mortem inspection.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::emit::{points_from_csv, points_to_csv};
+use crate::spec::SweepSpec;
+use crate::sweep::EvaluatedPoint;
+use crate::MODEL_VERSION;
+
+/// FNV-1a, 64-bit.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A directory of per-spec evaluation results.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    dir: PathBuf,
+}
+
+impl EvalCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        EvalCache { dir: dir.into() }
+    }
+
+    /// The cache key of a spec under the current model version.
+    pub fn key(spec: &SweepSpec) -> String {
+        format!("{:016x}", fnv1a(&format!("{MODEL_VERSION};{}", spec.canonical())))
+    }
+
+    /// The file a spec's results live in.
+    pub fn path(&self, spec: &SweepSpec) -> PathBuf {
+        self.dir.join(format!("sweep-{}.csv", Self::key(spec)))
+    }
+
+    /// Load a spec's cached results, if present and intact. Any
+    /// corruption (bad parse, wrong point count) is treated as a miss.
+    pub fn load(&self, spec: &SweepSpec) -> Option<Vec<EvaluatedPoint>> {
+        let text = fs::read_to_string(self.path(spec)).ok()?;
+        let points = points_from_csv(&text).ok()?;
+        if points.len() != spec.point_count() {
+            return None;
+        }
+        Some(points)
+    }
+
+    /// Store a sweep's results; returns the file written.
+    pub fn store(&self, spec: &SweepSpec, points: &[EvaluatedPoint]) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path(spec);
+        let body = format!(
+            "# ng-dse evaluation cache | key {} | model {} | spec `{}`\n{}",
+            Self::key(spec),
+            MODEL_VERSION,
+            spec.name,
+            points_to_csv(points),
+        );
+        // Write-then-rename (with a per-process tmp name, so two
+        // concurrent runs of the same spec cannot truncate each
+        // other's tmp mid-write) — a crashed or racing run never
+        // leaves a torn file that a later run would half-parse.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepEngine;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ng-dse-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let spec = SweepSpec::quick();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let cache = EvalCache::new(&dir);
+        assert!(cache.load(&spec).is_none(), "cold cache");
+        let path = cache.store(&spec, &outcome.points).unwrap();
+        assert!(path.exists());
+        assert_eq!(cache.load(&spec).unwrap(), outcome.points);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_tracks_axes_and_model_version() {
+        let a = SweepSpec::quick();
+        let mut renamed = a.clone();
+        renamed.name = "other".to_string();
+        assert_eq!(EvalCache::key(&a), EvalCache::key(&renamed), "name not part of identity");
+        let mut grown = a.clone();
+        grown.nfp_units.push(128);
+        assert_ne!(EvalCache::key(&a), EvalCache::key(&grown));
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_are_misses() {
+        let dir = tmpdir("corrupt");
+        let spec = SweepSpec::quick();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let cache = EvalCache::new(&dir);
+        cache.store(&spec, &outcome.points[..3]).unwrap();
+        assert!(cache.load(&spec).is_none(), "wrong point count");
+        fs::write(cache.path(&spec), "garbage\n").unwrap();
+        assert!(cache.load(&spec).is_none(), "unparseable");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_integrates_the_cache() {
+        let dir = tmpdir("engine");
+        let spec = SweepSpec::quick();
+        let engine = SweepEngine::new().with_cache_dir(&dir);
+        let first = engine.run(&spec).unwrap();
+        assert!(!first.stats.cache_hit);
+        assert_eq!(first.stats.evaluated, spec.point_count());
+        let second = engine.run(&spec).unwrap();
+        assert!(second.stats.cache_hit);
+        assert_eq!(second.stats.evaluated, 0);
+        assert_eq!(first.points, second.points, "cache returns bit-identical results");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! # ng-dse — parallel design-space exploration for the NGPC
+//!
+//! The paper's headline results (Figs. 12–15) are single points read off
+//! a much larger configuration space: NFP count, clock, grid-SRAM
+//! sizing and banking, input encoding and application mix. This crate
+//! turns that space into a first-class workload:
+//!
+//! * [`spec`] — a declarative [`SweepSpec`]: cartesian axes over every
+//!   swept parameter, loadable from a TOML subset or built from presets
+//!   ([`SweepSpec::paper`], [`SweepSpec::quick`], ...).
+//! * [`sweep`] — the [`SweepEngine`]: expands the spec into
+//!   [`DesignPoint`]s and evaluates them through `ngpc`'s emulator on a
+//!   work-stealing thread pool ([`pool`]), with results in deterministic
+//!   spec order regardless of scheduling.
+//! * [`pareto`] — n-dimensional non-dominated frontier extraction over
+//!   {speedup, area % of GPU, power % of GPU}, with budget
+//!   [`Constraints`] and per-app / cross-app-average objectives.
+//! * [`cache`] + [`emit`] — a content-hashed evaluation cache (re-runs
+//!   of an unchanged spec are free) and CSV/JSON emitters.
+//! * [`report`] — the compact terminal report behind the `dse` binary.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ng_dse::{Constraints, SweepEngine, SweepSpec};
+//!
+//! let outcome = SweepEngine::new().without_cache().run(&SweepSpec::quick()).unwrap();
+//! // Architectures within an area budget of 10% of the GPU die, best
+//! // cross-app speedup first.
+//! let budget = Constraints { max_area_pct: Some(10.0), ..Constraints::default() };
+//! let frontier = outcome.cross_app_frontier(&budget);
+//! assert!(!frontier.is_empty());
+//! assert!(frontier.iter().all(|a| a.area_pct_of_gpu <= 10.0));
+//! ```
+
+pub mod cache;
+pub mod emit;
+pub mod pareto;
+pub mod pool;
+pub mod report;
+pub mod spec;
+pub mod sweep;
+
+pub use cache::EvalCache;
+pub use pareto::{pareto_indices, Constraints, Objectives};
+pub use spec::{DesignPoint, SpecError, SweepSpec};
+pub use sweep::{ArchPoint, EvaluatedPoint, SweepEngine, SweepOutcome, SweepStats};
+
+/// Version tag of the underlying evaluation models, mixed into every
+/// cache key. **Bump this whenever `ngpc`'s emulator, the GPU model or
+/// the area/power substrate changes results** — it is the only thing
+/// invalidating stale caches (nothing derives it from the model code;
+/// `ngpc::emulator` points back here from its calibrated constants).
+pub const MODEL_VERSION: &str = "ngpc-models-v2";

@@ -1,0 +1,157 @@
+//! Pareto frontier extraction over the architect's three objectives.
+//!
+//! A configuration is *dominated* if some other configuration is at
+//! least as good on every objective — higher speedup, lower area, lower
+//! power — and strictly better on at least one. The frontier is the set
+//! of non-dominated configurations: every point an architect could
+//! rationally pick, for some weighting of the objectives.
+
+use serde::{Deserialize, Serialize};
+
+/// One configuration's position in objective space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// End-to-end speedup over the GPU baseline (maximise).
+    pub speedup: f64,
+    /// Cluster area as % of the GPU die (minimise).
+    pub area_pct: f64,
+    /// Cluster power as % of GPU TDP (minimise).
+    pub power_pct: f64,
+}
+
+impl Objectives {
+    /// Strict Pareto dominance: no worse on all objectives, strictly
+    /// better on at least one. Equal points do not dominate each other.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.speedup >= other.speedup
+            && self.area_pct <= other.area_pct
+            && self.power_pct <= other.power_pct;
+        let strictly_better = self.speedup > other.speedup
+            || self.area_pct < other.area_pct
+            || self.power_pct < other.power_pct;
+        no_worse && strictly_better
+    }
+}
+
+/// Budget constraints an architect imposes before reading the frontier,
+/// e.g. "area ≤ 3% of the GPU die, power ≤ 5% of TDP".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Upper bound on area (% of GPU die).
+    pub max_area_pct: Option<f64>,
+    /// Upper bound on power (% of GPU TDP).
+    pub max_power_pct: Option<f64>,
+    /// Lower bound on speedup.
+    pub min_speedup: Option<f64>,
+}
+
+impl Constraints {
+    /// No bounds at all.
+    pub const NONE: Constraints =
+        Constraints { max_area_pct: None, max_power_pct: None, min_speedup: None };
+
+    /// Whether a point satisfies every configured bound.
+    pub fn admits(&self, o: &Objectives) -> bool {
+        self.max_area_pct.is_none_or(|b| o.area_pct <= b)
+            && self.max_power_pct.is_none_or(|b| o.power_pct <= b)
+            && self.min_speedup.is_none_or(|b| o.speedup >= b)
+    }
+
+    /// Whether any bound is configured.
+    pub fn is_constrained(&self) -> bool {
+        self != &Constraints::NONE
+    }
+}
+
+/// Indices (ascending) of the non-dominated points of `objectives`.
+///
+/// Candidates are visited best-speedup-first, so a point only needs
+/// checking against the frontier built so far — `O(n log n + n·f)` with
+/// `f` the frontier size, instead of the naive all-pairs scan. Ties on
+/// all three objectives are all kept (none dominates another).
+pub fn pareto_indices(objectives: &[Objectives]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..objectives.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (oa, ob) = (&objectives[a], &objectives[b]);
+        ob.speedup
+            .total_cmp(&oa.speedup)
+            .then(oa.area_pct.total_cmp(&ob.area_pct))
+            .then(oa.power_pct.total_cmp(&ob.power_pct))
+            .then(a.cmp(&b))
+    });
+    let mut frontier: Vec<usize> = Vec::new();
+    'candidates: for &i in &order {
+        for &j in &frontier {
+            if objectives[j].dominates(&objectives[i]) {
+                continue 'candidates;
+            }
+        }
+        frontier.push(i);
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// [`pareto_indices`] over only the points admitted by `constraints`
+/// (indices still refer to the input slice).
+pub fn constrained_pareto(objectives: &[Objectives], constraints: &Constraints) -> Vec<usize> {
+    let admitted: Vec<usize> =
+        (0..objectives.len()).filter(|&i| constraints.admits(&objectives[i])).collect();
+    let sub: Vec<Objectives> = admitted.iter().map(|&i| objectives[i]).collect();
+    pareto_indices(&sub).into_iter().map(|k| admitted[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(speedup: f64, area_pct: f64, power_pct: f64) -> Objectives {
+        Objectives { speedup, area_pct, power_pct }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        assert!(o(2.0, 1.0, 1.0).dominates(&o(1.0, 1.0, 1.0)));
+        assert!(o(1.0, 0.5, 1.0).dominates(&o(1.0, 1.0, 1.0)));
+        assert!(!o(1.0, 1.0, 1.0).dominates(&o(1.0, 1.0, 1.0)), "equal points");
+        assert!(!o(2.0, 2.0, 1.0).dominates(&o(1.0, 1.0, 1.0)), "trade-off");
+    }
+
+    #[test]
+    fn frontier_of_a_chain_is_its_best_point() {
+        // Strictly improving chain: only the last survives.
+        let objs = vec![o(1.0, 3.0, 3.0), o(2.0, 2.0, 2.0), o(3.0, 1.0, 1.0)];
+        assert_eq!(pareto_indices(&objs), vec![2]);
+    }
+
+    #[test]
+    fn trade_offs_are_all_kept() {
+        let objs = vec![o(3.0, 3.0, 1.0), o(2.0, 2.0, 2.0), o(1.0, 1.0, 3.0)];
+        assert_eq!(pareto_indices(&objs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_ties_are_all_kept() {
+        let objs = vec![o(2.0, 1.0, 1.0), o(2.0, 1.0, 1.0), o(1.0, 2.0, 2.0)];
+        assert_eq!(pareto_indices(&objs), vec![0, 1]);
+    }
+
+    #[test]
+    fn constraints_filter_before_the_frontier() {
+        // The unconstrained winner busts the area budget; under the
+        // budget the dominated-by-it point becomes frontier.
+        let objs = vec![o(10.0, 8.0, 2.0), o(5.0, 2.0, 2.0)];
+        assert_eq!(pareto_indices(&objs), vec![0, 1]);
+        let budget = Constraints { max_area_pct: Some(3.0), ..Constraints::default() };
+        assert_eq!(constrained_pareto(&objs, &budget), vec![1]);
+        assert!(budget.is_constrained());
+        assert!(!Constraints::NONE.is_constrained());
+        assert!(Constraints::NONE.admits(&objs[0]));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_indices(&[]).is_empty());
+        assert!(constrained_pareto(&[], &Constraints::NONE).is_empty());
+    }
+}

@@ -1,0 +1,683 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] is a set of axes; the sweep is their cartesian
+//! product, enumerated in a fixed row-major order (apps outermost,
+//! banks innermost) so that point indices — and therefore result files,
+//! cache contents and reports — are stable for a given spec.
+
+use ng_neural::apps::{AppKind, EncodingKind};
+use ngpc::{EmulatorInput, NfpConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::pareto::Constraints;
+
+/// 1920x1080, the paper's evaluation resolution.
+pub const FHD_PIXELS: u64 = 1920 * 1080;
+
+/// 3840x2160.
+pub const UHD_PIXELS: u64 = 3840 * 2160;
+
+/// Error raised by spec parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A line of the TOML input could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The spec parsed but describes an unusable sweep.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse { line, message } => write!(f, "spec line {line}: {message}"),
+            SpecError::Invalid(message) => write!(f, "invalid spec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Short machine-readable name of an application (CSV/TOML vocabulary).
+pub fn app_slug(app: AppKind) -> &'static str {
+    match app {
+        AppKind::Nerf => "nerf",
+        AppKind::Nsdf => "nsdf",
+        AppKind::Gia => "gia",
+        AppKind::Nvr => "nvr",
+    }
+}
+
+/// Parse an application slug (case-insensitive).
+pub fn parse_app(s: &str) -> Option<AppKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "nerf" => Some(AppKind::Nerf),
+        "nsdf" => Some(AppKind::Nsdf),
+        "gia" => Some(AppKind::Gia),
+        "nvr" => Some(AppKind::Nvr),
+        _ => None,
+    }
+}
+
+/// Short machine-readable name of an encoding (CSV/TOML vocabulary).
+pub fn encoding_slug(encoding: EncodingKind) -> &'static str {
+    match encoding {
+        EncodingKind::MultiResHashGrid => "hashgrid",
+        EncodingKind::MultiResDenseGrid => "densegrid",
+        EncodingKind::LowResDenseGrid => "lowres",
+    }
+}
+
+/// Parse an encoding slug or paper abbreviation (case-insensitive).
+pub fn parse_encoding(s: &str) -> Option<EncodingKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "hashgrid" | "mrhg" => Some(EncodingKind::MultiResHashGrid),
+        "densegrid" | "mrdg" => Some(EncodingKind::MultiResDenseGrid),
+        "lowres" | "lrdg" => Some(EncodingKind::LowResDenseGrid),
+        _ => None,
+    }
+}
+
+/// One concrete configuration drawn from a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Position in the spec's deterministic enumeration order.
+    pub index: usize,
+    /// Application under evaluation.
+    pub app: AppKind,
+    /// Input-encoding scheme.
+    pub encoding: EncodingKind,
+    /// Frame resolution in pixels.
+    pub pixels: u64,
+    /// NFP count (the paper's scaling factor).
+    pub nfp_units: u32,
+    /// NFP clock in GHz.
+    pub clock_ghz: f64,
+    /// Grid SRAM per encoding engine in KiB.
+    pub grid_sram_kb: u32,
+    /// Banks per grid SRAM.
+    pub grid_sram_banks: u32,
+}
+
+impl DesignPoint {
+    /// The emulator input for this point.
+    pub fn emulator_input(&self) -> EmulatorInput {
+        EmulatorInput::builder()
+            .app(self.app)
+            .encoding(self.encoding)
+            .pixels(self.pixels)
+            .nfp_units(self.nfp_units)
+            .clock_ghz(self.clock_ghz)
+            .grid_sram_bytes(self.grid_sram_kb as usize * 1024)
+            .grid_sram_banks(self.grid_sram_banks)
+            .build()
+    }
+
+    /// Hashable identity of the *architecture* axes (everything except
+    /// the app), used to group points for cross-app averaging.
+    pub fn arch_key(&self) -> (EncodingKind, u64, u32, u64, u32, u32) {
+        (
+            self.encoding,
+            self.pixels,
+            self.nfp_units,
+            self.clock_ghz.to_bits(),
+            self.grid_sram_kb,
+            self.grid_sram_banks,
+        )
+    }
+}
+
+/// A declarative design-space sweep: the cartesian product of its axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable sweep name (reported, not part of the cache key).
+    pub name: String,
+    /// Applications to evaluate.
+    pub apps: Vec<AppKind>,
+    /// Input encodings to evaluate.
+    pub encodings: Vec<EncodingKind>,
+    /// Frame resolutions in pixels.
+    pub pixels: Vec<u64>,
+    /// NFP counts.
+    pub nfp_units: Vec<u32>,
+    /// NFP clocks in GHz.
+    pub clock_ghz: Vec<f64>,
+    /// Grid SRAM sizes per encoding engine, in KiB.
+    pub grid_sram_kb: Vec<u32>,
+    /// Grid SRAM bank counts (powers of two).
+    pub grid_sram_banks: Vec<u32>,
+    /// Default reporting constraints (not part of the cache key: the
+    /// full sweep is always evaluated and cached; constraints filter).
+    pub constraints: Constraints,
+}
+
+impl Default for SweepSpec {
+    /// All four apps, hashgrid, FHD, the paper's scaling factors, and
+    /// the paper's NFP everywhere else.
+    fn default() -> Self {
+        SweepSpec {
+            name: "custom".to_string(),
+            apps: AppKind::ALL.to_vec(),
+            encodings: vec![EncodingKind::MultiResHashGrid],
+            pixels: vec![FHD_PIXELS],
+            nfp_units: ngpc::NgpcConfig::SCALING_FACTORS.to_vec(),
+            clock_ghz: vec![1.0],
+            grid_sram_kb: vec![1024],
+            grid_sram_banks: vec![8],
+            constraints: Constraints::default(),
+        }
+    }
+}
+
+impl SweepSpec {
+    /// The flagship preset: every app and encoding, NFP counts from 4
+    /// to 128, and the SRAM sizing/banking trade-off around the paper's
+    /// 1 MB / 8-bank design point — 1440 configurations containing all
+    /// of the paper's published ones (clock pinned at the paper's
+    /// 1 GHz).
+    pub fn paper() -> Self {
+        SweepSpec {
+            name: "paper".to_string(),
+            encodings: EncodingKind::ALL.to_vec(),
+            nfp_units: vec![4, 8, 12, 16, 24, 32, 48, 64, 96, 128],
+            grid_sram_kb: vec![256, 512, 1024, 2048],
+            grid_sram_banks: vec![2, 4, 8],
+            ..SweepSpec::default()
+        }
+    }
+
+    /// A 16-point smoke sweep: the paper's Fig. 12-a hashgrid column.
+    pub fn quick() -> Self {
+        SweepSpec { name: "quick".to_string(), ..SweepSpec::default() }
+    }
+
+    /// Clock-frequency sensitivity around the paper's 1 GHz NFP.
+    pub fn clocks() -> Self {
+        SweepSpec {
+            name: "clocks".to_string(),
+            encodings: EncodingKind::ALL.to_vec(),
+            nfp_units: vec![8, 16, 32, 64],
+            clock_ghz: vec![0.5, 0.75, 1.0, 1.25, 1.5, 2.0],
+            ..SweepSpec::default()
+        }
+    }
+
+    /// Resolution scaling: FHD to 8K at the paper's scaling factors.
+    pub fn resolutions() -> Self {
+        SweepSpec {
+            name: "resolutions".to_string(),
+            pixels: vec![1280 * 720, FHD_PIXELS, 2560 * 1440, UHD_PIXELS, 7680 * 4320],
+            nfp_units: vec![8, 16, 32, 64, 128],
+            ..SweepSpec::default()
+        }
+    }
+
+    /// Look up a named preset.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Self::paper()),
+            "quick" => Some(Self::quick()),
+            "clocks" => Some(Self::clocks()),
+            "resolutions" => Some(Self::resolutions()),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`SweepSpec::preset`].
+    pub const PRESETS: [&'static str; 4] = ["paper", "quick", "clocks", "resolutions"];
+
+    /// Number of points in the sweep.
+    pub fn point_count(&self) -> usize {
+        self.apps.len()
+            * self.encodings.len()
+            * self.pixels.len()
+            * self.nfp_units.len()
+            * self.clock_ghz.len()
+            * self.grid_sram_kb.len()
+            * self.grid_sram_banks.len()
+    }
+
+    /// Check the sweep is non-empty and every axis value is one the
+    /// emulator accepts.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let axes: [(&str, bool); 7] = [
+            ("apps", self.apps.is_empty()),
+            ("encodings", self.encodings.is_empty()),
+            ("pixels", self.pixels.is_empty()),
+            ("nfp_units", self.nfp_units.is_empty()),
+            ("clock_ghz", self.clock_ghz.is_empty()),
+            ("grid_sram_kb", self.grid_sram_kb.is_empty()),
+            ("grid_sram_banks", self.grid_sram_banks.is_empty()),
+        ];
+        for (name, empty) in axes {
+            if empty {
+                return Err(SpecError::Invalid(format!("axis `{name}` is empty")));
+            }
+        }
+        // Duplicate axis values would double-weight cross-app averages
+        // (and duplicate frontier rows), so reject them outright.
+        fn unique<T, K: Ord>(
+            name: &str,
+            values: &[T],
+            key: impl Fn(&T) -> K,
+        ) -> Result<(), SpecError> {
+            let mut keys: Vec<K> = values.iter().map(key).collect();
+            keys.sort_unstable();
+            if keys.windows(2).any(|w| w[0] == w[1]) {
+                return Err(SpecError::Invalid(format!("axis `{name}` has duplicate values")));
+            }
+            Ok(())
+        }
+        unique("apps", &self.apps, |&a| a as u8)?;
+        unique("encodings", &self.encodings, |&e| e as u8)?;
+        unique("pixels", &self.pixels, |&p| p)?;
+        unique("nfp_units", &self.nfp_units, |&n| n)?;
+        unique("clock_ghz", &self.clock_ghz, |&c| c.to_bits())?;
+        unique("grid_sram_kb", &self.grid_sram_kb, |&k| k)?;
+        unique("grid_sram_banks", &self.grid_sram_banks, |&b| b)?;
+        // Upper bound well past 16K-per-eye but far from the u64
+        // overflow of downstream `pixels * samples` workload math.
+        const MAX_PIXELS: u64 = 1 << 33;
+        for &px in &self.pixels {
+            if px == 0 || px > MAX_PIXELS {
+                return Err(SpecError::Invalid(format!(
+                    "pixels must be in 1..={MAX_PIXELS}, got {px}"
+                )));
+            }
+        }
+        for &n in &self.nfp_units {
+            if n == 0 || n > 1024 {
+                return Err(SpecError::Invalid(format!("nfp_units {n} outside 1..=1024")));
+            }
+        }
+        // One emulator-level validation per NFP-axis combination; the
+        // product of the three NFP axes is small by construction.
+        for &clock in &self.clock_ghz {
+            for &kb in &self.grid_sram_kb {
+                for &banks in &self.grid_sram_banks {
+                    let nfp = NfpConfig {
+                        clock_ghz: clock,
+                        grid_sram_bytes: kb as usize * 1024,
+                        grid_sram_banks: banks,
+                        ..NfpConfig::default()
+                    };
+                    nfp.validate().map_err(|e| SpecError::Invalid(e.to_string()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the cartesian product in deterministic order.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::with_capacity(self.point_count());
+        let mut index = 0;
+        for &app in &self.apps {
+            for &encoding in &self.encodings {
+                for &pixels in &self.pixels {
+                    for &nfp_units in &self.nfp_units {
+                        for &clock_ghz in &self.clock_ghz {
+                            for &grid_sram_kb in &self.grid_sram_kb {
+                                for &grid_sram_banks in &self.grid_sram_banks {
+                                    out.push(DesignPoint {
+                                        index,
+                                        app,
+                                        encoding,
+                                        pixels,
+                                        nfp_units,
+                                        clock_ghz,
+                                        grid_sram_kb,
+                                        grid_sram_banks,
+                                    });
+                                    index += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable text encoding of the evaluated axes (not the name or the
+    /// constraints) — the content that determines evaluation results,
+    /// hashed into the cache key.
+    pub fn canonical(&self) -> String {
+        let join = |it: Vec<String>| it.join(",");
+        format!(
+            "apps=[{}];encodings=[{}];pixels=[{}];nfp_units=[{}];clock_ghz=[{}];grid_sram_kb=[{}];grid_sram_banks=[{}]",
+            join(self.apps.iter().map(|&a| app_slug(a).to_string()).collect()),
+            join(self.encodings.iter().map(|&e| encoding_slug(e).to_string()).collect()),
+            join(self.pixels.iter().map(|p| p.to_string()).collect()),
+            join(self.nfp_units.iter().map(|n| n.to_string()).collect()),
+            join(self.clock_ghz.iter().map(|c| format!("{:016x}", c.to_bits())).collect()),
+            join(self.grid_sram_kb.iter().map(|k| k.to_string()).collect()),
+            join(self.grid_sram_banks.iter().map(|b| b.to_string()).collect()),
+        )
+    }
+
+    /// Parse a spec from the TOML subset documented in the README:
+    /// top-level `key = value` pairs (value: number, `"string"`, or a
+    /// single-line array of either) plus an optional `[constraints]`
+    /// table. Unspecified axes keep [`SweepSpec::default`] values.
+    pub fn from_toml_str(text: &str) -> Result<Self, SpecError> {
+        let mut spec = SweepSpec::default();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "constraints" {
+                    return Err(SpecError::Parse {
+                        line: lineno,
+                        message: format!("unknown table `[{section}]`"),
+                    });
+                }
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or(SpecError::Parse {
+                line: lineno,
+                message: "expected `key = value`".to_string(),
+            })?;
+            let key = key.trim();
+            let value = parse_value(value.trim())
+                .map_err(|message| SpecError::Parse { line: lineno, message })?;
+            apply_key(&mut spec, &section, key, value)
+                .map_err(|message| SpecError::Parse { line: lineno, message })?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// A parsed TOML value (subset: scalars and flat arrays).
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Number(f64),
+    Text(String),
+    Array(Vec<TomlValue>),
+}
+
+/// Strip a `#` comment, respecting (simple, escape-free) quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(s: &str) -> Result<TomlValue, String> {
+    let s = s.trim();
+    if let Some(stripped) = s.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or(format!("unterminated string: {s}"))?;
+        return Ok(TomlValue::Text(inner.to_string()));
+    }
+    s.parse::<f64>().map(TomlValue::Number).map_err(|_| format!("not a number: `{s}`"))
+}
+
+fn parse_value(s: &str) -> Result<TomlValue, String> {
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("array must close on the same line")?;
+        let body = body.trim();
+        if body.is_empty() {
+            return Ok(TomlValue::Array(Vec::new()));
+        }
+        return body
+            .split(',')
+            .filter(|part| !part.trim().is_empty()) // tolerate trailing comma
+            .map(parse_scalar)
+            .collect::<Result<Vec<_>, _>>()
+            .map(TomlValue::Array);
+    }
+    parse_scalar(s)
+}
+
+/// Coerce a scalar-or-array value into a vector of items parsed by `f`.
+fn coerce_vec<T>(
+    value: TomlValue,
+    f: impl Fn(&TomlValue) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    match value {
+        TomlValue::Array(items) => items.iter().map(&f).collect(),
+        scalar => Ok(vec![f(&scalar)?]),
+    }
+}
+
+fn as_number(v: &TomlValue) -> Result<f64, String> {
+    match v {
+        TomlValue::Number(n) => Ok(*n),
+        other => Err(format!("expected a number, got {other:?}")),
+    }
+}
+
+fn as_integer(v: &TomlValue, what: &str) -> Result<u64, String> {
+    let n = as_number(v)?;
+    if n.fract() != 0.0 || n < 0.0 || n > u64::MAX as f64 {
+        return Err(format!("{what} must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+fn as_u32(v: &TomlValue, what: &str) -> Result<u32, String> {
+    u32::try_from(as_integer(v, what)?).map_err(|_| format!("{what} must fit in 32 bits"))
+}
+
+fn as_text(v: &TomlValue) -> Result<&str, String> {
+    match v {
+        TomlValue::Text(s) => Ok(s),
+        other => Err(format!("expected a string, got {other:?}")),
+    }
+}
+
+fn apply_key(
+    spec: &mut SweepSpec,
+    section: &str,
+    key: &str,
+    value: TomlValue,
+) -> Result<(), String> {
+    if section == "constraints" {
+        let bound = Some(as_number(&value)?);
+        match key {
+            "max_area_pct" => spec.constraints.max_area_pct = bound,
+            "max_power_pct" => spec.constraints.max_power_pct = bound,
+            "min_speedup" => spec.constraints.min_speedup = bound,
+            _ => return Err(format!("unknown constraint `{key}`")),
+        }
+        return Ok(());
+    }
+    match key {
+        "name" => spec.name = as_text(&value)?.to_string(),
+        "apps" => {
+            spec.apps = coerce_vec(value, |v| {
+                let s = as_text(v)?;
+                parse_app(s).ok_or(format!("unknown app `{s}` (nerf/nsdf/gia/nvr)"))
+            })?
+        }
+        "encodings" => {
+            spec.encodings = coerce_vec(value, |v| {
+                let s = as_text(v)?;
+                parse_encoding(s)
+                    .ok_or(format!("unknown encoding `{s}` (hashgrid/densegrid/lowres)"))
+            })?
+        }
+        "pixels" => spec.pixels = coerce_vec(value, |v| as_integer(v, "pixels"))?,
+        "nfp_units" => spec.nfp_units = coerce_vec(value, |v| as_u32(v, "nfp_units"))?,
+        "clock_ghz" => spec.clock_ghz = coerce_vec(value, as_number)?,
+        "grid_sram_kb" => spec.grid_sram_kb = coerce_vec(value, |v| as_u32(v, "grid_sram_kb"))?,
+        "grid_sram_banks" => {
+            spec.grid_sram_banks = coerce_vec(value, |v| as_u32(v, "grid_sram_banks"))?
+        }
+        _ => return Err(format!("unknown key `{key}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_covers_the_papers_points() {
+        let spec = SweepSpec::paper();
+        spec.validate().unwrap();
+        assert!(spec.point_count() >= 500, "{}", spec.point_count());
+        assert_eq!(spec.point_count(), spec.points().len());
+        assert_eq!(spec.apps, AppKind::ALL.to_vec());
+        // The NGPC-64 headline configuration is one of the points.
+        let headline = spec.points().into_iter().find(|p| {
+            p.app == AppKind::Nerf
+                && p.encoding == EncodingKind::MultiResHashGrid
+                && p.nfp_units == 64
+                && p.clock_ghz == 1.0
+                && p.grid_sram_kb == 1024
+                && p.grid_sram_banks == 8
+        });
+        assert!(headline.is_some());
+    }
+
+    #[test]
+    fn points_are_indexed_in_order() {
+        let points = SweepSpec::quick().points();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn design_point_maps_onto_emulator_input() {
+        let p = DesignPoint {
+            index: 0,
+            app: AppKind::Gia,
+            encoding: EncodingKind::LowResDenseGrid,
+            pixels: UHD_PIXELS,
+            nfp_units: 32,
+            clock_ghz: 1.5,
+            grid_sram_kb: 512,
+            grid_sram_banks: 4,
+        };
+        let input = p.emulator_input();
+        assert_eq!(input.app, AppKind::Gia);
+        assert_eq!(input.pixels, UHD_PIXELS);
+        assert_eq!(input.nfp.grid_sram_bytes, 512 * 1024);
+        assert_eq!(input.nfp.grid_sram_banks, 4);
+        assert_eq!(input.nfp.clock_ghz, 1.5);
+    }
+
+    #[test]
+    fn canonical_ignores_name_and_constraints() {
+        let a = SweepSpec::quick();
+        let mut b = a.clone();
+        b.name = "renamed".to_string();
+        b.constraints.max_area_pct = Some(3.0);
+        assert_eq!(a.canonical(), b.canonical());
+        let mut c = a.clone();
+        c.nfp_units.push(128);
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn toml_round_trip() {
+        let text = r#"
+            # sweep for the area-budget study
+            name = "budget"
+            apps = ["nerf", "gia"]
+            encodings = ["hashgrid"]
+            nfp_units = [8, 16, 32, 64]
+            clock_ghz = [0.5, 1.0]
+            grid_sram_kb = [512, 1024]
+            grid_sram_banks = 8
+
+            [constraints]
+            max_area_pct = 3.0   # stay under 3% of the die
+            min_speedup = 2.0
+        "#;
+        let spec = SweepSpec::from_toml_str(text).unwrap();
+        assert_eq!(spec.name, "budget");
+        assert_eq!(spec.apps, vec![AppKind::Nerf, AppKind::Gia]);
+        assert_eq!(spec.nfp_units, vec![8, 16, 32, 64]);
+        assert_eq!(spec.clock_ghz, vec![0.5, 1.0]);
+        assert_eq!(spec.grid_sram_banks, vec![8]);
+        assert_eq!(spec.constraints.max_area_pct, Some(3.0));
+        assert_eq!(spec.constraints.min_speedup, Some(2.0));
+        assert_eq!(spec.constraints.max_power_pct, None);
+        // Unspecified axes keep defaults.
+        assert_eq!(spec.pixels, vec![FHD_PIXELS]);
+        // 2 apps x 4 nfp_units x 2 clocks x 2 srams, single everything else.
+        assert_eq!(spec.point_count(), 2 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn toml_errors_carry_line_numbers() {
+        let err = SweepSpec::from_toml_str("apps = [\"nerf\"]\nbogus = 3\n").unwrap_err();
+        assert_eq!(err, SpecError::Parse { line: 2, message: "unknown key `bogus`".to_string() });
+        let err = SweepSpec::from_toml_str("apps = [\"quake\"]").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err}");
+        let err = SweepSpec::from_toml_str("[weird]\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_axes() {
+        let mut spec = SweepSpec::quick();
+        spec.nfp_units.clear();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+        let mut spec = SweepSpec::quick();
+        spec.grid_sram_banks = vec![3];
+        assert!(spec.validate().is_err(), "non-power-of-two banks");
+        let mut spec = SweepSpec::quick();
+        spec.clock_ghz = vec![99.0];
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::quick();
+        spec.pixels = vec![2_000_000_000_000_000_000];
+        assert!(spec.validate().is_err(), "pixels beyond the workload-math overflow bound");
+        let mut spec = SweepSpec::quick();
+        spec.pixels = vec![0];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_axis_values() {
+        let mut spec = SweepSpec::quick();
+        spec.apps = vec![AppKind::Nerf, AppKind::Nerf, AppKind::Gia];
+        assert!(spec.validate().is_err(), "duplicate app would double-weight the average");
+        let mut spec = SweepSpec::quick();
+        spec.nfp_units = vec![8, 8];
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::quick();
+        spec.clock_ghz = vec![1.0, 1.0];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn toml_rejects_out_of_range_u32_axes() {
+        // 2^32 + 1024 must error, not silently truncate to 1024.
+        let err = SweepSpec::from_toml_str("grid_sram_kb = [4294968320]").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err}");
+        let err = SweepSpec::from_toml_str("nfp_units = [4294967297]").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in SweepSpec::PRESETS {
+            let spec = SweepSpec::preset(name).unwrap();
+            spec.validate().unwrap();
+            assert_eq!(spec.name, name);
+        }
+        assert!(SweepSpec::preset("nope").is_none());
+    }
+}

@@ -1,0 +1,384 @@
+//! The sweep engine: spec in, deterministic evaluated points out.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ng_neural::apps::{AppKind, EncodingKind};
+use ngpc::EmulationContext;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::EvalCache;
+use crate::pareto::{constrained_pareto, Constraints, Objectives};
+use crate::pool;
+use crate::spec::{DesignPoint, SpecError, SweepSpec};
+
+/// One evaluated configuration: the point plus the emulator outputs the
+/// frontier and reports read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// The configuration.
+    pub point: DesignPoint,
+    /// End-to-end speedup over the GPU baseline.
+    pub speedup: f64,
+    /// Cluster area as % of the GPU die.
+    pub area_pct_of_gpu: f64,
+    /// Cluster power as % of GPU TDP.
+    pub power_pct_of_gpu: f64,
+    /// GPU baseline frame time (ms).
+    pub gpu_ms: f64,
+    /// NGPC end-to-end frame time (ms).
+    pub ngpc_frame_ms: f64,
+    /// The configuration's Amdahl bound.
+    pub amdahl_bound: f64,
+    /// Whether the rest-kernel stage dominates (more NFPs won't help).
+    pub plateaued: bool,
+}
+
+impl EvaluatedPoint {
+    /// This point's position in objective space.
+    pub fn objectives(&self) -> Objectives {
+        Objectives {
+            speedup: self.speedup,
+            area_pct: self.area_pct_of_gpu,
+            power_pct: self.power_pct_of_gpu,
+        }
+    }
+}
+
+/// One architecture with per-app speedups folded into the cross-app
+/// average — the objective the paper's Fig. 12 bars report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchPoint {
+    /// Input-encoding scheme.
+    pub encoding: EncodingKind,
+    /// Frame resolution in pixels.
+    pub pixels: u64,
+    /// NFP count.
+    pub nfp_units: u32,
+    /// NFP clock in GHz.
+    pub clock_ghz: f64,
+    /// Grid SRAM per engine in KiB.
+    pub grid_sram_kb: u32,
+    /// Banks per grid SRAM.
+    pub grid_sram_banks: u32,
+    /// Number of apps averaged.
+    pub apps: u32,
+    /// Cross-app average speedup.
+    pub avg_speedup: f64,
+    /// Cluster area as % of the GPU die (app-independent).
+    pub area_pct_of_gpu: f64,
+    /// Cluster power as % of GPU TDP (app-independent).
+    pub power_pct_of_gpu: f64,
+}
+
+impl ArchPoint {
+    /// This architecture's position in objective space.
+    pub fn objectives(&self) -> Objectives {
+        Objectives {
+            speedup: self.avg_speedup,
+            area_pct: self.area_pct_of_gpu,
+            power_pct: self.power_pct_of_gpu,
+        }
+    }
+}
+
+/// How a sweep executed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Points in the sweep.
+    pub total_points: usize,
+    /// Points actually evaluated this run (0 on a cache hit).
+    pub evaluated: usize,
+    /// Whether results came from the evaluation cache.
+    pub cache_hit: bool,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Evaluation throughput (points per second); 0 on a cache hit.
+    pub fn points_per_sec(&self) -> f64 {
+        if self.evaluated == 0 || self.wall.is_zero() {
+            0.0
+        } else {
+            self.evaluated as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// A completed sweep: the spec, every evaluated point (in spec order),
+/// and execution stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The spec that was swept.
+    pub spec: SweepSpec,
+    /// One result per design point, in the spec's enumeration order.
+    pub points: Vec<EvaluatedPoint>,
+    /// How the run executed.
+    pub stats: SweepStats,
+    /// Where results were cached, when caching was enabled.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl SweepOutcome {
+    /// Per-app evaluated points, in spec order.
+    pub fn for_app(&self, app: AppKind) -> Vec<EvaluatedPoint> {
+        self.points.iter().copied().filter(|p| p.point.app == app).collect()
+    }
+
+    /// The constrained Pareto frontier of one app's points, sorted by
+    /// ascending area (the natural reading order of a frontier).
+    pub fn per_app_frontier(&self, app: AppKind, constraints: &Constraints) -> Vec<EvaluatedPoint> {
+        let points = self.for_app(app);
+        let objectives: Vec<Objectives> = points.iter().map(|p| p.objectives()).collect();
+        let mut frontier: Vec<EvaluatedPoint> =
+            constrained_pareto(&objectives, constraints).into_iter().map(|i| points[i]).collect();
+        frontier.sort_by(|a, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
+        frontier
+    }
+
+    /// Fold per-app results into one [`ArchPoint`] per architecture
+    /// (cross-app average speedup), in a deterministic order.
+    pub fn cross_app(&self) -> Vec<ArchPoint> {
+        let mut by_arch: HashMap<(EncodingKind, u64, u32, u64, u32, u32), ArchPoint> =
+            HashMap::new();
+        let mut order: Vec<(EncodingKind, u64, u32, u64, u32, u32)> = Vec::new();
+        for p in &self.points {
+            let key = p.point.arch_key();
+            let entry = by_arch.entry(key).or_insert_with(|| {
+                order.push(key);
+                ArchPoint {
+                    encoding: p.point.encoding,
+                    pixels: p.point.pixels,
+                    nfp_units: p.point.nfp_units,
+                    clock_ghz: p.point.clock_ghz,
+                    grid_sram_kb: p.point.grid_sram_kb,
+                    grid_sram_banks: p.point.grid_sram_banks,
+                    apps: 0,
+                    avg_speedup: 0.0,
+                    area_pct_of_gpu: p.area_pct_of_gpu,
+                    power_pct_of_gpu: p.power_pct_of_gpu,
+                }
+            });
+            entry.apps += 1;
+            entry.avg_speedup += p.speedup; // divided once all apps folded
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let mut a = by_arch[&key];
+                a.avg_speedup /= a.apps as f64;
+                a
+            })
+            .collect()
+    }
+
+    /// The constrained Pareto frontier of the cross-app-average
+    /// objective, sorted by ascending area.
+    pub fn cross_app_frontier(&self, constraints: &Constraints) -> Vec<ArchPoint> {
+        let archs = self.cross_app();
+        let objectives: Vec<Objectives> = archs.iter().map(|a| a.objectives()).collect();
+        let mut frontier: Vec<ArchPoint> =
+            constrained_pareto(&objectives, constraints).into_iter().map(|i| archs[i]).collect();
+        frontier.sort_by(|a, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
+        frontier
+    }
+}
+
+/// The sweep executor: thread count + cache policy.
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// Default cache directory, relative to the working directory.
+    pub const DEFAULT_CACHE_DIR: &'static str = ".dse-cache";
+
+    /// An engine using every available core and the default cache dir.
+    pub fn new() -> Self {
+        SweepEngine {
+            threads: pool::available_threads(),
+            cache_dir: Some(PathBuf::from(Self::DEFAULT_CACHE_DIR)),
+        }
+    }
+
+    /// Use exactly `threads` workers (min 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Cache evaluations under `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disable the evaluation cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_dir = None;
+        self
+    }
+
+    /// Worker threads this engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run a sweep: validate, consult the cache, evaluate what's
+    /// missing in parallel, store, and return points in spec order.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, SpecError> {
+        spec.validate()?;
+        let started = Instant::now();
+        let cache = self.cache_dir.as_ref().map(|dir| EvalCache::new(dir.clone()));
+
+        if let Some(cache) = &cache {
+            if let Some(points) = cache.load(spec) {
+                return Ok(SweepOutcome {
+                    spec: spec.clone(),
+                    stats: SweepStats {
+                        total_points: points.len(),
+                        evaluated: 0,
+                        cache_hit: true,
+                        threads: self.threads,
+                        wall: started.elapsed(),
+                    },
+                    points,
+                    cache_path: Some(cache.path(spec)),
+                });
+            }
+        }
+
+        let design_points = spec.points();
+        let points = pool::map_stateful(
+            &design_points,
+            self.threads,
+            EmulationContext::new,
+            |ctx, p: &DesignPoint| {
+                let r = ctx.eval(&p.emulator_input());
+                EvaluatedPoint {
+                    point: *p,
+                    speedup: r.speedup,
+                    area_pct_of_gpu: r.area_pct_of_gpu,
+                    power_pct_of_gpu: r.power_pct_of_gpu,
+                    gpu_ms: r.gpu_ms,
+                    ngpc_frame_ms: r.ngpc_frame_ms,
+                    amdahl_bound: r.amdahl_bound,
+                    plateaued: r.plateaued,
+                }
+            },
+        );
+
+        let cache_path = match &cache {
+            // A cache write failure (read-only dir, ...) downgrades to
+            // an uncached run rather than failing the sweep.
+            Some(cache) => cache.store(spec, &points).ok(),
+            None => None,
+        };
+        Ok(SweepOutcome {
+            spec: spec.clone(),
+            stats: SweepStats {
+                total_points: points.len(),
+                evaluated: points.len(),
+                cache_hit: false,
+                threads: self.threads,
+                wall: started.elapsed(),
+            },
+            points,
+            cache_path,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FHD_PIXELS;
+
+    fn engine() -> SweepEngine {
+        SweepEngine::new().without_cache()
+    }
+
+    #[test]
+    fn sweep_matches_direct_emulation_in_spec_order() {
+        let spec = SweepSpec::quick();
+        let outcome = engine().run(&spec).unwrap();
+        assert_eq!(outcome.points.len(), spec.point_count());
+        for (i, ep) in outcome.points.iter().enumerate() {
+            assert_eq!(ep.point.index, i);
+            let direct = ngpc::emulate(&ep.point.emulator_input());
+            assert_eq!(ep.speedup, direct.speedup, "point {i}");
+            assert_eq!(ep.area_pct_of_gpu, direct.area_pct_of_gpu);
+        }
+        assert!(!outcome.stats.cache_hit);
+        assert_eq!(outcome.stats.evaluated, spec.point_count());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = SweepSpec::quick();
+        let one = engine().with_threads(1).run(&spec).unwrap();
+        let many = engine().with_threads(16).run(&spec).unwrap();
+        assert_eq!(one.points, many.points);
+    }
+
+    #[test]
+    fn fig12a_averages_via_cross_app() {
+        // The cross-app fold must reproduce the paper's Fig. 12-a bars.
+        let outcome = engine().run(&SweepSpec::quick()).unwrap();
+        let archs = outcome.cross_app();
+        for (n, target) in [(8u32, 12.94f64), (16, 20.85), (32, 33.73), (64, 39.04)] {
+            let a = archs.iter().find(|a| a.nfp_units == n).unwrap();
+            assert_eq!(a.apps, 4);
+            assert!((a.avg_speedup - target).abs() < target * 0.01, "{}: {}", n, a.avg_speedup);
+        }
+    }
+
+    #[test]
+    fn paper_headline_point_is_on_the_cross_app_frontier() {
+        let outcome = engine().run(&SweepSpec::paper()).unwrap();
+        let frontier = outcome.cross_app_frontier(&Constraints::NONE);
+        let headline = frontier.iter().find(|a| {
+            a.encoding == EncodingKind::MultiResHashGrid
+                && a.nfp_units == 64
+                && a.clock_ghz == 1.0
+                && a.grid_sram_kb == 1024
+                && a.grid_sram_banks == 8
+                && a.pixels == FHD_PIXELS
+        });
+        let arch = headline.expect("NGPC-64 must be Pareto-optimal");
+        assert!((arch.avg_speedup - 39.04).abs() < 0.4, "{}", arch.avg_speedup);
+    }
+
+    #[test]
+    fn per_app_frontier_respects_constraints_and_dominance() {
+        let outcome = engine().run(&SweepSpec::paper()).unwrap();
+        let budget = Constraints {
+            max_area_pct: Some(10.0),
+            max_power_pct: Some(6.0),
+            ..Constraints::default()
+        };
+        let frontier = outcome.per_app_frontier(AppKind::Gia, &budget);
+        assert!(!frontier.is_empty());
+        for p in &frontier {
+            assert!(p.area_pct_of_gpu <= 10.0 && p.power_pct_of_gpu <= 6.0);
+            assert_eq!(p.point.app, AppKind::Gia);
+        }
+        for a in &frontier {
+            for b in &frontier {
+                assert!(!a.objectives().dominates(&b.objectives()) || a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests of the Pareto module (ISSUE satellite): frontier
+//! internal consistency, permutation invariance, and constraint
+//! soundness over randomized objective clouds.
+
+use ng_dse::{pareto_indices, Constraints, Objectives};
+use proptest::prelude::*;
+
+/// Build an objective cloud from a flat coordinate vector (3 per point).
+fn cloud(coords: &[f64]) -> Vec<Objectives> {
+    coords
+        .chunks_exact(3)
+        .map(|c| Objectives { speedup: c[0], area_pct: c[1], power_pct: c[2] })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates from a seed (xorshift64).
+fn permute<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    seed |= 1;
+    for i in (1..out.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        out.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+/// Sort objective triples for set comparison (values, not indices).
+fn canonicalize(objs: &[Objectives]) -> Vec<(u64, u64, u64)> {
+    let mut keys: Vec<(u64, u64, u64)> = objs
+        .iter()
+        .map(|o| (o.speedup.to_bits(), o.area_pct.to_bits(), o.power_pct.to_bits()))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_frontier_point_dominates_another(
+        coords in prop::collection::vec(0.0f64..100.0, 0..120),
+    ) {
+        let objs = cloud(&coords);
+        let frontier = pareto_indices(&objs);
+        for &i in &frontier {
+            for &j in &frontier {
+                prop_assert!(
+                    !objs[i].dominates(&objs[j]),
+                    "frontier point {i} dominates frontier point {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_excluded_point_is_dominated_by_a_frontier_point(
+        coords in prop::collection::vec(0.0f64..50.0, 0..90),
+    ) {
+        let objs = cloud(&coords);
+        let frontier = pareto_indices(&objs);
+        for i in 0..objs.len() {
+            if frontier.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                frontier.iter().any(|&j| objs[j].dominates(&objs[i])),
+                "excluded point {i} is dominated by no frontier point"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_is_invariant_under_permutation(
+        coords in prop::collection::vec(0.0f64..100.0, 0..120),
+        seed in 0u64..1_000_000,
+    ) {
+        let objs = cloud(&coords);
+        let shuffled = permute(&objs, seed);
+        let a: Vec<Objectives> =
+            pareto_indices(&objs).into_iter().map(|i| objs[i]).collect();
+        let b: Vec<Objectives> =
+            pareto_indices(&shuffled).into_iter().map(|i| shuffled[i]).collect();
+        prop_assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn constraints_never_admit_an_out_of_budget_point(
+        coords in prop::collection::vec(0.0f64..100.0, 0..120),
+        max_area in 0.0f64..100.0,
+        max_power in 0.0f64..100.0,
+        min_speedup in 0.0f64..100.0,
+    ) {
+        let objs = cloud(&coords);
+        let budget = Constraints {
+            max_area_pct: Some(max_area),
+            max_power_pct: Some(max_power),
+            min_speedup: Some(min_speedup),
+        };
+        let kept = ng_dse::pareto::constrained_pareto(&objs, &budget);
+        for &i in &kept {
+            prop_assert!(objs[i].area_pct <= max_area);
+            prop_assert!(objs[i].power_pct <= max_power);
+            prop_assert!(objs[i].speedup >= min_speedup);
+        }
+        // And the filter alone (independent of frontier extraction)
+        // agrees with admits().
+        for (i, o) in objs.iter().enumerate() {
+            if budget.admits(o) {
+                prop_assert!(
+                    o.area_pct <= max_area && o.power_pct <= max_power
+                        && o.speedup >= min_speedup,
+                    "admits() admitted out-of-budget point {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicating_a_frontier_point_keeps_both_copies(
+        coords in prop::collection::vec(0.0f64..100.0, 3..60),
+    ) {
+        let objs = cloud(&coords);
+        let frontier = pareto_indices(&objs);
+        if let Some(&i) = frontier.first() {
+            let mut doubled = objs.clone();
+            doubled.push(objs[i]);
+            let f2 = pareto_indices(&doubled);
+            prop_assert!(f2.contains(&i));
+            prop_assert!(f2.contains(&(doubled.len() - 1)), "equal duplicate must survive");
+        }
+    }
+}

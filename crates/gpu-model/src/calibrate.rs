@@ -35,12 +35,8 @@ use crate::workload::FrameWorkload;
 pub const FHD_PIXELS: u64 = 1920 * 1080;
 
 /// Published FHD frame times (ms) for multiresolution hashgrid.
-pub const FHD_HASHGRID_MS: [(AppKind, f64); 4] = [
-    (AppKind::Nerf, 231.0),
-    (AppKind::Nsdf, 27.87),
-    (AppKind::Gia, 2.12),
-    (AppKind::Nvr, 6.32),
-];
+pub const FHD_HASHGRID_MS: [(AppKind, f64); 4] =
+    [(AppKind::Nerf, 231.0), (AppKind::Nsdf, 27.87), (AppKind::Gia, 2.12), (AppKind::Nvr, 6.32)];
 
 /// Kernel time fractions of one application/encoding pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,11 +91,7 @@ pub fn fractions(app: AppKind, encoding: EncodingKind) -> KernelFractions {
 }
 
 fn hashgrid_fhd_ms(app: AppKind) -> f64 {
-    FHD_HASHGRID_MS
-        .iter()
-        .find(|(a, _)| *a == app)
-        .map(|(_, t)| *t)
-        .expect("all apps present")
+    FHD_HASHGRID_MS.iter().find(|(a, _)| *a == app).map(|(_, t)| *t).expect("all apps present")
 }
 
 /// Cost-model frame-time ratio of `encoding` relative to hashgrid, per
@@ -116,8 +108,7 @@ fn model_ratio(app: AppKind, encoding: EncodingKind) -> f64 {
             )
             .total_ms();
             for e in EncodingKind::ALL {
-                let t = estimate_frame(&gpu, &FrameWorkload::derive(a, e, FHD_PIXELS))
-                    .total_ms();
+                let t = estimate_frame(&gpu, &FrameWorkload::derive(a, e, FHD_PIXELS)).total_ms();
                 out.push(((a, e), t / base));
             }
         }
@@ -229,14 +220,8 @@ mod tests {
 
     #[test]
     fn fhd_hashgrid_times_match_paper() {
-        assert_eq!(
-            frame_time_ms(AppKind::Nerf, EncodingKind::MultiResHashGrid, FHD_PIXELS),
-            231.0
-        );
-        assert_eq!(
-            frame_time_ms(AppKind::Nsdf, EncodingKind::MultiResHashGrid, FHD_PIXELS),
-            27.87
-        );
+        assert_eq!(frame_time_ms(AppKind::Nerf, EncodingKind::MultiResHashGrid, FHD_PIXELS), 231.0);
+        assert_eq!(frame_time_ms(AppKind::Nsdf, EncodingKind::MultiResHashGrid, FHD_PIXELS), 27.87);
     }
 
     #[test]
@@ -244,9 +229,7 @@ mod tests {
         // 4k = 3840x2160, 60 FPS budget = 16.667 ms. Paper: gaps of
         // 55.50x (NeRF), 6.68x (NSDF), 1.51x (NVR); GIA meets target.
         let budget = 1000.0 / 60.0;
-        let gap = |app| {
-            frame_time_ms(app, EncodingKind::MultiResHashGrid, 3840 * 2160) / budget
-        };
+        let gap = |app| frame_time_ms(app, EncodingKind::MultiResHashGrid, 3840 * 2160) / budget;
         assert!((gap(AppKind::Nerf) - 55.50).abs() < 0.1, "{}", gap(AppKind::Nerf));
         assert!((gap(AppKind::Nsdf) - 6.68).abs() < 0.05, "{}", gap(AppKind::Nsdf));
         assert!((gap(AppKind::Nvr) - 1.51).abs() < 0.02, "{}", gap(AppKind::Nvr));

@@ -79,8 +79,7 @@ const HASH_COST_OPS: f64 = 12.0;
 
 /// Estimate all three kernel classes of one frame.
 pub fn estimate_frame(gpu: &GpuSpec, workload: &FrameWorkload) -> FrameEstimate {
-    let grid =
-        MultiResGrid::new(table1(workload.app, workload.encoding).grid, 0).expect("valid");
+    let grid = MultiResGrid::new(table1(workload.app, workload.encoding).grid, 0).expect("valid");
     let cache = CacheModel::estimate(&grid, gpu.l2_bytes, BYTES_PER_PARAM);
 
     // --- Encoding kernel ---
@@ -91,8 +90,7 @@ pub fn estimate_frame(gpu: &GpuSpec, workload: &FrameWorkload) -> FrameEstimate 
     let hash_ops = workload.queries as f64 * workload.hashes_per_query as f64 * HASH_COST_OPS;
     let interp_ops = workload.queries as f64 * workload.interp_macs_per_query as f64 * 2.0;
     let addr_ops = lookups * 6.0; // scale, floor, index arithmetic
-    let compute_time_s =
-        (hash_ops + interp_ops + addr_ops) / (gpu.fp32_tflops() * 1e12 * 0.5);
+    let compute_time_s = (hash_ops + interp_ops + addr_ops) / (gpu.fp32_tflops() * 1e12 * 0.5);
     let enc_time_s = mem_time_s.max(compute_time_s) + gpu.launch_overhead_us * 1e-6;
     let encoding = KernelEstimate {
         time_ms: enc_time_s * 1e3,
@@ -208,8 +206,7 @@ mod tests {
     #[test]
     fn times_scale_with_resolution() {
         let w1 = FrameWorkload::derive(AppKind::Nvr, EncodingKind::MultiResHashGrid, FHD);
-        let w4 =
-            FrameWorkload::derive(AppKind::Nvr, EncodingKind::MultiResHashGrid, 4 * FHD);
+        let w4 = FrameWorkload::derive(AppKind::Nvr, EncodingKind::MultiResHashGrid, 4 * FHD);
         let t1 = estimate_frame(&rtx3090(), &w1).total_ms();
         let t4 = estimate_frame(&rtx3090(), &w4).total_ms();
         assert!(t4 > 3.5 * t1 && t4 < 4.5 * t1, "t1 {t1} t4 {t4}");

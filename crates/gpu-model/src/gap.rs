@@ -95,8 +95,7 @@ mod tests {
         let gpu = rtx3090();
         let t = RenderTarget::UHD4K_60;
         for app in AppKind::ALL {
-            let oom =
-                ar_vr_power_gap_oom(&gpu, app, EncodingKind::MultiResHashGrid, t, 1.0);
+            let oom = ar_vr_power_gap_oom(&gpu, app, EncodingKind::MultiResHashGrid, t, 1.0);
             assert!((2.0..=4.5).contains(&oom), "{app}: {oom} OOM");
         }
     }
@@ -106,9 +105,6 @@ mod tests {
         let t60 = RenderTarget { pixels: 3840 * 2160, fps: 60.0 };
         let t120 = RenderTarget { pixels: 3840 * 2160, fps: 120.0 };
         let hg = EncodingKind::MultiResHashGrid;
-        assert!(
-            performance_gap(AppKind::Nsdf, hg, t120)
-                > performance_gap(AppKind::Nsdf, hg, t60)
-        );
+        assert!(performance_gap(AppKind::Nsdf, hg, t120) > performance_gap(AppKind::Nsdf, hg, t60));
     }
 }

@@ -99,8 +99,7 @@ pub fn op_breakdown(gpu: &GpuSpec, app: AppKind, encoding: EncodingKind) -> OpBr
     let q = w.queries as f64;
     let lookups = q * w.lookups_per_query as f64;
     let lookup_cycles = lookups
-        * (cache.aggregate_hit_rate() * LOOKUP_HIT_CYCLES
-            + cache.miss_rate() * LOOKUP_MISS_CYCLES);
+        * (cache.aggregate_hit_rate() * LOOKUP_HIT_CYCLES + cache.miss_rate() * LOOKUP_MISS_CYCLES);
     let hash_cycles = q * w.hashes_per_query as f64 * (HASH_CYCLES + HASH_STALL_CYCLES);
     // Every lookup's index is reduced modulo the table size (the paper
     // notes the compiler emits the general integer modulo even though the
@@ -133,8 +132,7 @@ pub fn op_breakdown(gpu: &GpuSpec, app: AppKind, encoding: EncodingKind) -> OpBr
 
 /// The Fig. 8 panel: breakdown averaged across the four applications.
 pub fn op_breakdown_average(gpu: &GpuSpec, encoding: EncodingKind) -> OpBreakdown {
-    let mut acc: Vec<(EncodingOp, f64)> =
-        EncodingOp::ALL.iter().map(|&op| (op, 0.0)).collect();
+    let mut acc: Vec<(EncodingOp, f64)> = EncodingOp::ALL.iter().map(|&op| (op, 0.0)).collect();
     for app in AppKind::ALL {
         let b = op_breakdown(gpu, app, encoding);
         for (op, share) in &mut acc {

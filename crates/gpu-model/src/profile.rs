@@ -199,7 +199,7 @@ mod tests {
     fn table2_reference_is_complete() {
         let t = table2_reference();
         assert_eq!(t.len(), 24); // 4 apps x 3 encodings x 2 kernels
-        // Every app/encoding pair appears exactly twice.
+                                 // Every app/encoding pair appears exactly twice.
         for app in AppKind::ALL {
             for enc in EncodingKind::ALL {
                 let n = t.iter().filter(|r| r.app == app && r.encoding == enc).count();

@@ -72,8 +72,7 @@ impl FrameWorkload {
         let levels = params.grid.n_levels as u32;
         let f = params.grid.features_per_level as u32;
 
-        let hashed_levels =
-            grid.levels().iter().filter(|l| l.hashed).count() as u32;
+        let hashed_levels = grid.levels().iter().filter(|l| l.hashed).count() as u32;
         let queries = pixels * samples_per_pixel(app) as u64;
 
         let mut mlp_macs = params.mlp.macs_per_inference() as u64;
@@ -82,7 +81,8 @@ impl FrameWorkload {
             + params.mlp.output_dim) as u64;
         if let Some(color) = params.color_mlp {
             mlp_macs += color.macs_per_inference() as u64;
-            act_elems += (color.input_dim + color.hidden_dim * color.hidden_layers
+            act_elems += (color.input_dim
+                + color.hidden_dim * color.hidden_layers
                 + color.output_dim) as u64;
         }
 
@@ -133,11 +133,7 @@ mod tests {
 
     #[test]
     fn nerf_hashgrid_counts() {
-        let w = FrameWorkload::derive(
-            AppKind::Nerf,
-            EncodingKind::MultiResHashGrid,
-            1920 * 1080,
-        );
+        let w = FrameWorkload::derive(AppKind::Nerf, EncodingKind::MultiResHashGrid, 1920 * 1080);
         assert_eq!(w.levels, 16);
         assert_eq!(w.lookups_per_query, 16 * 8);
         assert_eq!(w.bytes_per_lookup, 4); // F=2 x fp16
@@ -169,11 +165,7 @@ mod tests {
     fn nerf_table_exceeds_l2() {
         // The paper's Section IV observation: hashgrid tables for all
         // levels don't fit the 6 MB L2.
-        let w = FrameWorkload::derive(
-            AppKind::Nerf,
-            EncodingKind::MultiResHashGrid,
-            1920 * 1080,
-        );
+        let w = FrameWorkload::derive(AppKind::Nerf, EncodingKind::MultiResHashGrid, 1920 * 1080);
         assert!(w.table_bytes > 6 * 1024 * 1024, "table {} bytes", w.table_bytes);
     }
 

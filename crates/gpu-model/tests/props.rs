@@ -8,12 +8,7 @@ use ng_neural::encoding::{GridConfig, MultiResGrid};
 use proptest::prelude::*;
 
 fn arb_app() -> impl Strategy<Value = AppKind> {
-    prop_oneof![
-        Just(AppKind::Nerf),
-        Just(AppKind::Nsdf),
-        Just(AppKind::Gia),
-        Just(AppKind::Nvr)
-    ]
+    prop_oneof![Just(AppKind::Nerf), Just(AppKind::Nsdf), Just(AppKind::Gia), Just(AppKind::Nvr)]
 }
 
 fn arb_enc() -> impl Strategy<Value = EncodingKind> {

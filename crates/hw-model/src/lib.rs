@@ -21,4 +21,6 @@ pub mod report;
 pub mod scaling;
 pub mod synth;
 
-pub use report::{ngpc_area_power, ngpc_area_power_vs, AreaPowerReport, NfpFloorplan};
+pub use report::{
+    ngpc_area_power, ngpc_area_power_vs, AreaPowerCache, AreaPowerReport, NfpFloorplan,
+};

@@ -72,9 +72,7 @@ impl Module {
     /// Dynamic power in watts at `clock_ghz`, assuming the module is busy
     /// every cycle with the typical activity factor.
     pub fn dynamic_watts(self, clock_ghz: f64) -> f64 {
-        self.gate_count() as f64 * GATE_SWITCH_FJ * 1e-15 * ACTIVITY_FACTOR
-            * clock_ghz
-            * 1e9
+        self.gate_count() as f64 * GATE_SWITCH_FJ * 1e-15 * ACTIVITY_FACTOR * clock_ghz * 1e9
     }
 
     /// Leakage power in watts at 45 nm.

@@ -153,14 +153,12 @@ impl OutputDecode {
             OutputDecode::Raw => d_raw.copy_from_slice(d_decoded),
             OutputDecode::Color => {
                 for i in 0..raw.len() {
-                    d_raw[i] =
-                        d_decoded[i] * Activation::Sigmoid.derivative(raw[i], decoded[i]);
+                    d_raw[i] = d_decoded[i] * Activation::Sigmoid.derivative(raw[i], decoded[i]);
                 }
             }
             OutputDecode::ColorDensity => {
                 for i in 0..3 {
-                    d_raw[i] =
-                        d_decoded[i] * Activation::Sigmoid.derivative(raw[i], decoded[i]);
+                    d_raw[i] = d_decoded[i] * Activation::Sigmoid.derivative(raw[i], decoded[i]);
                 }
                 d_raw[3] = d_decoded[3] * Activation::Exp.derivative(raw[3], decoded[3]);
             }
@@ -285,16 +283,14 @@ mod tests {
 
     fn model() -> FieldModel {
         let grid = MultiResGrid::new(GridConfig::hashgrid(3, 10, 1.5), 3).unwrap();
-        let mlp =
-            Mlp::new(MlpConfig::neural_graphics(32, 2, 3, Activation::None), 4).unwrap();
+        let mlp = Mlp::new(MlpConfig::neural_graphics(32, 2, 3, Activation::None), 4).unwrap();
         FieldModel::new(grid, mlp).unwrap()
     }
 
     #[test]
     fn width_mismatch_rejected() {
         let grid = MultiResGrid::new(GridConfig::hashgrid(3, 10, 1.5), 3).unwrap();
-        let mlp =
-            Mlp::new(MlpConfig::neural_graphics(16, 2, 3, Activation::None), 4).unwrap();
+        let mlp = Mlp::new(MlpConfig::neural_graphics(16, 2, 3, Activation::None), 4).unwrap();
         assert!(FieldModel::new(grid, mlp).is_err());
     }
 
@@ -355,8 +351,7 @@ mod tests {
                 let mut rm = raw.to_vec();
                 rm[i] -= h;
                 decode.apply(&mut rm);
-                let numeric: f32 =
-                    (rp.iter().sum::<f32>() - rm.iter().sum::<f32>()) / (2.0 * h);
+                let numeric: f32 = (rp.iter().sum::<f32>() - rm.iter().sum::<f32>()) / (2.0 * h);
                 assert!(
                     (d_raw[i] - numeric).abs() < 1e-2,
                     "{decode:?} ch {i}: {} vs {numeric}",

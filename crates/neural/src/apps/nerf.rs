@@ -225,8 +225,7 @@ impl NerfModel {
         let mut d_density_raw = vec![0.0f32; trace.density_raw.len()];
         d_density_raw[..NERF_LATENT_DIM].copy_from_slice(&d_color_input[..NERF_LATENT_DIM]);
         let sigma = trace.sample.sigma;
-        d_density_raw[0] +=
-            d_sigma * Activation::Exp.derivative(trace.density_raw[0], sigma);
+        d_density_raw[0] += d_sigma * Activation::Exp.derivative(trace.density_raw[0], sigma);
 
         self.density.backward(
             &pos.to_array(),
@@ -279,10 +278,7 @@ mod tests {
         let pos = Vec3::new(0.5, 0.5, 0.5);
         let a = m.query(pos, Vec3::new(0.0, 0.0, 1.0)).unwrap();
         let b = m.query(pos, Vec3::new(1.0, 0.0, 0.0)).unwrap();
-        assert!(
-            (a.color - b.color).length() > 1e-6,
-            "color did not change with view direction"
-        );
+        assert!((a.color - b.color).length() > 1e-6, "color did not change with view direction");
         assert!((a.sigma - b.sigma).abs() < 1e-9, "sigma must be view-independent");
     }
 

@@ -98,14 +98,9 @@ pub fn table1(app: AppKind, encoding: EncodingKind) -> AppParams {
         AppKind::Nerf => {
             // Density: enc -> 64x3 -> 16 latent (sigma in channel 0);
             // Color: (16 latent + 16 SH) -> 64x4 -> 3.
-            let density =
-                MlpConfig::neural_graphics(enc_out, 3, NERF_LATENT_DIM, Activation::None);
-            let color = MlpConfig::neural_graphics(
-                NERF_LATENT_DIM + NERF_SH_DIM,
-                4,
-                3,
-                Activation::None,
-            );
+            let density = MlpConfig::neural_graphics(enc_out, 3, NERF_LATENT_DIM, Activation::None);
+            let color =
+                MlpConfig::neural_graphics(NERF_LATENT_DIM + NERF_SH_DIM, 4, 3, Activation::None);
             (density, Some(color))
         }
         AppKind::Nsdf => (MlpConfig::neural_graphics(enc_out, 4, 1, Activation::None), None),
@@ -132,10 +127,19 @@ mod tests {
 
     #[test]
     fn hashgrid_growth_factors_match_table1() {
-        assert_eq!(table1(AppKind::Nerf, EncodingKind::MultiResHashGrid).grid.growth_factor, 1.51572);
-        assert_eq!(table1(AppKind::Nsdf, EncodingKind::MultiResHashGrid).grid.growth_factor, 1.38191);
+        assert_eq!(
+            table1(AppKind::Nerf, EncodingKind::MultiResHashGrid).grid.growth_factor,
+            1.51572
+        );
+        assert_eq!(
+            table1(AppKind::Nsdf, EncodingKind::MultiResHashGrid).grid.growth_factor,
+            1.38191
+        );
         assert_eq!(table1(AppKind::Nvr, EncodingKind::MultiResHashGrid).grid.growth_factor, 1.275);
-        assert_eq!(table1(AppKind::Gia, EncodingKind::MultiResHashGrid).grid.growth_factor, 1.25992);
+        assert_eq!(
+            table1(AppKind::Gia, EncodingKind::MultiResHashGrid).grid.growth_factor,
+            1.25992
+        );
     }
 
     #[test]

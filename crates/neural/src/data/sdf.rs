@@ -116,19 +116,13 @@ impl Csg {
             center: Vec3::new(0.38, 0.5, 0.5),
             half: Vec3::new(0.16, 0.16, 0.16),
         });
-        let hole = Csg::Leaf(SdfShape::Sphere {
-            center: Vec3::new(0.38, 0.5, 0.34),
-            radius: 0.17,
-        });
+        let hole = Csg::Leaf(SdfShape::Sphere { center: Vec3::new(0.38, 0.5, 0.34), radius: 0.17 });
         let torus = Csg::Leaf(SdfShape::Torus {
             center: Vec3::new(0.72, 0.5, 0.5),
             major: 0.12,
             minor: 0.045,
         });
-        Csg::Union(
-            Box::new(Csg::Difference(Box::new(boxy), Box::new(hole))),
-            Box::new(torus),
-        )
+        Csg::Union(Box::new(Csg::Difference(Box::new(boxy), Box::new(hole))), Box::new(torus))
     }
 }
 

@@ -25,9 +25,9 @@ impl Blob {
     #[inline]
     pub fn density(&self, p: Vec3) -> f32 {
         let d = p - self.center;
-        let q =
-            d.x * d.x * self.inv_radii_sq.x + d.y * d.y * self.inv_radii_sq.y
-                + d.z * d.z * self.inv_radii_sq.z;
+        let q = d.x * d.x * self.inv_radii_sq.x
+            + d.y * d.y * self.inv_radii_sq.y
+            + d.z * d.z * self.inv_radii_sq.z;
         self.peak_density * (-q).exp()
     }
 }

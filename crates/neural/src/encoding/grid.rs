@@ -443,10 +443,7 @@ mod tests {
         // over features: F. Total = L * F.
         let total: f32 = d_params.iter().sum();
         let expected = grid.output_dim() as f32;
-        assert!(
-            (total - expected).abs() < 1e-3,
-            "gradient mass {total} vs expected {expected}"
-        );
+        assert!((total - expected).abs() < 1e-3, "gradient mass {total} vs expected {expected}");
     }
 
     #[test]
@@ -488,11 +485,8 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(MultiResGrid::new(
-            GridConfig { dim: 4, ..GridConfig::hashgrid(3, 14, 1.5) },
-            0
-        )
-        .is_err());
+        assert!(MultiResGrid::new(GridConfig { dim: 4, ..GridConfig::hashgrid(3, 14, 1.5) }, 0)
+            .is_err());
         assert!(MultiResGrid::new(
             GridConfig { n_levels: 0, ..GridConfig::hashgrid(3, 14, 1.5) },
             0
@@ -521,9 +515,7 @@ mod tests {
     #[test]
     fn footprint_matches_level_sum() {
         let grid = MultiResGrid::new(GridConfig::densegrid(3, 19), 1).unwrap();
-        let total: usize = (0..grid.levels().len())
-            .map(|l| grid.level_footprint_bytes(l, 2))
-            .sum();
+        let total: usize = (0..grid.levels().len()).map(|l| grid.level_footprint_bytes(l, 2)).sum();
         assert_eq!(total, grid.footprint_bytes(2));
     }
 

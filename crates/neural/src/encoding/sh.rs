@@ -29,10 +29,7 @@ impl SphericalHarmonics {
     ///
     /// Panics if `degree` is 0 or exceeds [`Self::MAX_DEGREE`].
     pub fn new(degree: usize) -> Self {
-        assert!(
-            (1..=Self::MAX_DEGREE).contains(&degree),
-            "SH degree must be 1..=4, got {degree}"
-        );
+        assert!((1..=Self::MAX_DEGREE).contains(&degree), "SH degree must be 1..=4, got {degree}");
         SphericalHarmonics { degree }
     }
 
@@ -151,10 +148,7 @@ mod tests {
             for j in i..16 {
                 let v = gram[i * 16 + j] * norm;
                 let expected = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (v - expected).abs() < 0.06,
-                    "<Y{i}, Y{j}> = {v}, expected {expected}"
-                );
+                assert!((v - expected).abs() < 0.06, "<Y{i}, Y{j}> = {v}, expected {expected}");
             }
         }
     }

@@ -44,10 +44,9 @@ pub enum NgError {
 impl fmt::Display for NgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NgError::DimensionMismatch { context, expected, actual } => write!(
-                f,
-                "dimension mismatch in {context}: expected {expected}, got {actual}"
-            ),
+            NgError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
             NgError::InvalidConfig { parameter, message } => {
                 write!(f, "invalid configuration for `{parameter}`: {message}")
             }

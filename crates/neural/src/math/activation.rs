@@ -116,12 +116,7 @@ mod tests {
 
     #[test]
     fn derivatives_match_finite_differences() {
-        for act in [
-            Activation::None,
-            Activation::Sigmoid,
-            Activation::Exp,
-            Activation::Softplus,
-        ] {
+        for act in [Activation::None, Activation::Sigmoid, Activation::Exp, Activation::Softplus] {
             for x in [-2.0f32, -0.5, 0.1, 1.0, 2.0] {
                 let y = act.apply(x);
                 let analytic = act.derivative(x, y);

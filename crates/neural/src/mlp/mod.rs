@@ -90,7 +90,12 @@ impl MlpConfig {
 
     /// Total number of weights.
     pub fn param_count(&self) -> usize {
-        (0..self.n_matrices()).map(|m| { let (r, c) = self.matrix_shape(m); r * c }).sum()
+        (0..self.n_matrices())
+            .map(|m| {
+                let (r, c) = self.matrix_shape(m);
+                r * c
+            })
+            .sum()
     }
 
     /// Multiply–accumulate operations for a single forward inference.

@@ -25,11 +25,9 @@ impl Ray {
     pub fn intersect_unit_cube(&self) -> Option<(f32, f32)> {
         let mut t0 = f32::NEG_INFINITY;
         let mut t1 = f32::INFINITY;
-        for (o, d) in [
-            (self.origin.x, self.dir.x),
-            (self.origin.y, self.dir.y),
-            (self.origin.z, self.dir.z),
-        ] {
+        for (o, d) in
+            [(self.origin.x, self.dir.x), (self.origin.y, self.dir.y), (self.origin.z, self.dir.z)]
+        {
             if d.abs() < 1e-9 {
                 if !(0.0..=1.0).contains(&o) {
                     return None;

@@ -46,9 +46,7 @@ impl OccupancyGrid {
                         Vec3::new(0.25, 0.75, 0.25),
                         Vec3::new(0.75, 0.75, 0.75),
                     ];
-                    bits[idx] = probes
-                        .iter()
-                        .any(|p| sigma(base + *p * inv) > threshold);
+                    bits[idx] = probes.iter().any(|p| sigma(base + *p * inv) > threshold);
                 }
             }
         }

@@ -55,6 +55,7 @@ pub struct ScatteredRay {
 /// Render one primary ray with single scattering: march `[t_near,t_far]`,
 /// and at each sample weight the reflectance by the light's attenuated
 /// contribution (isotropic phase function).
+#[allow(clippy::too_many_arguments)]
 pub fn scatter_ray<F, S>(
     origin: Vec3,
     dir: Vec3,
@@ -155,7 +156,11 @@ mod tests {
         // far side; compare two rays skimming opposite sides.
         let ball = |q: Vec3| {
             let d = (q - Vec3::splat(0.5)).length();
-            if d < 0.25 { 8.0 } else { 0.0 }
+            if d < 0.25 {
+                8.0
+            } else {
+                0.0
+            }
         };
         let cfg = RaymarchConfig { n_samples: 64, early_stop_transmittance: 0.0 };
         let render_y = |y: f32| {

@@ -85,10 +85,7 @@ mod tests {
     #[test]
     fn hits_centered_sphere() {
         let shape = SdfShape::centered_sphere(0.25);
-        let ray = Ray {
-            origin: Vec3::new(0.5, 0.5, -1.0),
-            dir: Vec3::new(0.0, 0.0, 1.0),
-        };
+        let ray = Ray { origin: Vec3::new(0.5, 0.5, -1.0), dir: Vec3::new(0.0, 0.0, 1.0) };
         match sphere_trace(&ray, &SphereTraceConfig::default(), |p| shape.distance(p)) {
             TraceResult::Hit { t, position, .. } => {
                 assert!((t - 1.25).abs() < 5e-3, "hit at t = {t}");
@@ -101,10 +98,7 @@ mod tests {
     #[test]
     fn misses_to_the_side() {
         let shape = SdfShape::centered_sphere(0.25);
-        let ray = Ray {
-            origin: Vec3::new(2.0, 0.5, -1.0),
-            dir: Vec3::new(0.0, 0.0, 1.0),
-        };
+        let ray = Ray { origin: Vec3::new(2.0, 0.5, -1.0), dir: Vec3::new(0.0, 0.0, 1.0) };
         let r = sphere_trace(&ray, &SphereTraceConfig::default(), |p| shape.distance(p));
         assert!(!r.is_hit());
     }
@@ -112,10 +106,7 @@ mod tests {
     #[test]
     fn converges_in_few_steps_for_exact_sdf() {
         let shape = SdfShape::centered_sphere(0.3);
-        let ray = Ray {
-            origin: Vec3::new(0.5, 0.5, -2.0),
-            dir: Vec3::new(0.0, 0.0, 1.0),
-        };
+        let ray = Ray { origin: Vec3::new(0.5, 0.5, -2.0), dir: Vec3::new(0.0, 0.0, 1.0) };
         if let TraceResult::Hit { steps, .. } =
             sphere_trace(&ray, &SphereTraceConfig::default(), |p| shape.distance(p))
         {

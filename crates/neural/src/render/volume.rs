@@ -91,9 +91,7 @@ mod tests {
     #[test]
     fn opaque_volume_saturates_to_sample_color() {
         let c = Vec3::new(0.2, 0.6, 0.9);
-        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &RaymarchConfig::default(), |_| {
-            (c, 1e4)
-        });
+        let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &RaymarchConfig::default(), |_| (c, 1e4));
         assert!((out.color - c).length() < 1e-3);
         assert!(out.transmittance < 1e-3);
     }
@@ -112,11 +110,7 @@ mod tests {
         let cfg = RaymarchConfig { n_samples: 512, early_stop_transmittance: 0.0 };
         let out = composite_ray(ORIGIN, DIR, 0.0, 1.0, &cfg, |_| (Vec3::ZERO, sigma));
         let expected = (-sigma).exp();
-        assert!(
-            (out.transmittance - expected).abs() < 1e-3,
-            "{} vs {expected}",
-            out.transmittance
-        );
+        assert!((out.transmittance - expected).abs() < 1e-3, "{} vs {expected}", out.transmittance);
     }
 
     #[test]

@@ -255,8 +255,7 @@ impl Trainer {
         let mut grads = NerfGrads::zeros_like(model);
         let mut enc_adam =
             Adam::new(self.config.adam, model.density_field().encoding.param_count());
-        let mut density_adam =
-            Adam::new(self.config.adam, model.density_field().mlp.param_count());
+        let mut density_adam = Adam::new(self.config.adam, model.density_field().mlp.param_count());
         let mut color_adam = Adam::new(self.config.adam, model.color_mlp().param_count());
         let mut history = Vec::with_capacity(self.config.steps);
 
@@ -288,12 +287,9 @@ impl Trainer {
             let scale = 1.0 / self.config.batch_size as f32;
             grads.scale(scale);
             batch_loss *= scale;
-            enc_adam.step(
-                model.density_field_mut().encoding.params_mut(),
-                &grads.density.encoding,
-            )?;
-            density_adam
-                .step(model.density_field_mut().mlp.params_mut(), &grads.density.mlp)?;
+            enc_adam
+                .step(model.density_field_mut().encoding.params_mut(), &grads.density.encoding)?;
+            density_adam.step(model.density_field_mut().mlp.params_mut(), &grads.density.mlp)?;
             color_adam.step(model.color_mlp_mut().params_mut(), &grads.color_mlp)?;
             history.push(batch_loss);
         }

@@ -28,10 +28,7 @@ fn quantized_grid_encoding_error_is_fp16_small() {
     for (e, q) in exact.iter().zip(&quantized) {
         // fp16 relative precision is 2^-11; interpolation is convex so
         // the output error cannot exceed the per-entry error.
-        assert!(
-            (e - q).abs() <= e.abs() / 1024.0 + 1e-6,
-            "fp16 storage changed {e} to {q}"
-        );
+        assert!((e - q).abs() <= e.abs() / 1024.0 + 1e-6, "fp16 storage changed {e} to {q}");
     }
 }
 

@@ -124,8 +124,7 @@ mod tests {
     #[test]
     fn undersized_spatial_tiles_take_longer() {
         let g = Gemm::new(1000, 64, 64);
-        let small =
-            Mapping { spatial_n: 16, spatial_k: 16, dataflow: Dataflow::WeightStationary };
+        let small = Mapping { spatial_n: 16, spatial_k: 16, dataflow: Dataflow::WeightStationary };
         let cost = small.evaluate(&g, &arch());
         assert_eq!(cost.cycles, 4 * 4 * 1000);
     }
@@ -159,8 +158,8 @@ mod tests {
         let g = Gemm::new(777, 64, 32);
         for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
             for (n, k) in [(64u64, 32u64), (32, 32), (8, 16)] {
-                let cost = Mapping { spatial_n: n, spatial_k: k, dataflow: df }
-                    .evaluate(&g, &arch());
+                let cost =
+                    Mapping { spatial_n: n, spatial_k: k, dataflow: df }.evaluate(&g, &arch());
                 assert_eq!(cost.macs, g.macs());
             }
         }

@@ -33,7 +33,13 @@ impl Gemm {
     }
 
     /// The layers of a bias-free MLP as GEMMs over a batch.
-    pub fn mlp_layers(batch: u64, input: u64, hidden: u64, hidden_layers: u64, output: u64) -> Vec<Gemm> {
+    pub fn mlp_layers(
+        batch: u64,
+        input: u64,
+        hidden: u64,
+        hidden_layers: u64,
+        output: u64,
+    ) -> Vec<Gemm> {
         assert!(hidden_layers >= 1);
         let mut layers = vec![Gemm::new(batch, hidden, input)];
         for _ in 1..hidden_layers {

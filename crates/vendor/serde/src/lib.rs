@@ -1,0 +1,36 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This workspace builds in a hermetic environment with no registry
+//! access, and nothing in it performs real serialisation through serde's
+//! data model — the `#[derive(Serialize, Deserialize)]` annotations on
+//! config/result structs exist so the types stay serde-compatible for
+//! downstream users. This crate keeps those derives compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket
+//!   impls, so bounds like `T: Serialize` are always satisfiable.
+//! * The derive macros (from the sibling `serde_derive` stub) expand to
+//!   nothing, which is sound precisely because the traits carry no
+//!   methods.
+//!
+//! Crates that need actual on-disk formats (e.g. `ng-dse`'s CSV/JSON
+//! results layer) hand-roll their emitters against concrete types
+//! instead of going through this facade.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of serde's `de` module for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut done = 0usize;
     for budget in [50usize, 200, 800] {
         let steps = budget - done;
-        let cfg = TrainConfig { steps, batch_size: 4096, seed: done as u64, ..TrainConfig::default() };
+        let cfg =
+            TrainConfig { steps, batch_size: 4096, seed: done as u64, ..TrainConfig::default() };
         let stats = Trainer::new(cfg).train_gia(&mut model, &image);
         done = budget;
 

@@ -8,7 +8,9 @@ use neural_graphics_hw::prelude::*;
 use ng_neural::apps::nsdf::NsdfModel;
 use ng_neural::data::sdf::SdfShape;
 use ng_neural::render::camera::Camera;
-use ng_neural::render::sphere_trace::{lambert_shade, sphere_trace, SphereTraceConfig, TraceResult};
+use ng_neural::render::sphere_trace::{
+    lambert_shade, sphere_trace, SphereTraceConfig, TraceResult,
+};
 use ng_neural::render::ImageBuffer;
 
 fn render<F: Fn(Vec3) -> f32>(sdf: F, side: usize) -> ImageBuffer {

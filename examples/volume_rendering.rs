@@ -22,8 +22,7 @@ where
         let ray = cam.ray(u, v);
         match ray.intersect_unit_cube() {
             Some((t0, t1)) => {
-                composite_ray(ray.origin, ray.dir, t0, t1, &march, |p| field(p, ray.dir))
-                    .color
+                composite_ray(ray.origin, ray.dir, t0, t1, &march, |p| field(p, ray.dir)).color
             }
             None => Vec3::ZERO,
         }
@@ -35,12 +34,8 @@ fn main() {
 
     println!("training NeRF (density + color networks) on a synthetic volume...");
     let mut model = NerfModel::new(EncodingKind::MultiResHashGrid, 11);
-    let cfg = TrainConfig {
-        steps: 250,
-        batch_size: 2048,
-        sigma_weight: 0.02,
-        ..TrainConfig::default()
-    };
+    let cfg =
+        TrainConfig { steps: 250, batch_size: 2048, sigma_weight: 0.02, ..TrainConfig::default() };
     let stats = Trainer::new(cfg).train_nerf(&mut model, &scene).expect("training succeeds");
     println!("loss: {:.4} -> {:.4}", stats.initial_loss, stats.final_loss);
 

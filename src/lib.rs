@@ -16,6 +16,8 @@
 //!   Stillmaker–Baas substitutes).
 //! * [`timeloop`] (`ng-timeloop`) — Timeloop/Accelergy-lite used to
 //!   cross-validate the MLP engine.
+//! * [`dse`] (`ng-dse`) — parallel design-space exploration over NGPC
+//!   configurations with Pareto frontier extraction (the `dse` binary).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for paper-vs-measured numbers of every table and
@@ -33,6 +35,7 @@
 //! assert!(r.speedup > 35.0);
 //! ```
 
+pub use ng_dse as dse;
 pub use ng_gpu as gpu;
 pub use ng_hw as hw;
 pub use ng_neural as neural;

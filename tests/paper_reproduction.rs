@@ -22,10 +22,8 @@ fn section1_gap_interval() {
     // "a gap of ~1.51x to 55.50x in the desired performance"
     let hg = EncodingKind::MultiResHashGrid;
     let budget = 1000.0 / 60.0;
-    let gaps: Vec<f64> = AppKind::ALL
-        .iter()
-        .map(|&a| frame_time_ms(a, hg, UHD4K) / budget)
-        .collect();
+    let gaps: Vec<f64> =
+        AppKind::ALL.iter().map(|&a| frame_time_ms(a, hg, UHD4K) / budget).collect();
     let max = gaps.iter().cloned().fold(0.0, f64::max);
     assert!((max - 55.50).abs() < 0.1);
     // GIA meets the target, so the *gap* interval starts at NVR's 1.51.
