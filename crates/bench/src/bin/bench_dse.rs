@@ -1,0 +1,136 @@
+//! `bench_dse` — the tracked perf harness of the incremental DSE
+//! pipeline (ISSUE 2 satellite).
+//!
+//! Times three sweeps against a fresh cache and calibration store:
+//!
+//! 1. **cold** — nothing on disk: pays the GPU-model calibration and
+//!    evaluates every point;
+//! 2. **warm** — identical re-run: must be served entirely from the
+//!    point cache (zero evaluations);
+//! 3. **incremental** — the same spec grown by one clock value: must
+//!    evaluate only the new points.
+//!
+//! Writes a machine-readable `BENCH_dse.json`
+//! (`{cold_s, warm_s, incremental_s, points}`) so future PRs have a
+//! perf trajectory to compare against.
+//!
+//! ```text
+//! bench_dse [--quick] [--check-warm] [--out PATH]
+//! ```
+//!
+//! `--quick` benches the 16-point quick preset instead of the
+//! 1440-point paper preset; `--check-warm` exits non-zero if the warm
+//! re-run evaluated any point (the CI guard for the incremental
+//! machinery).
+
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ng_dse::{SweepEngine, SweepOutcome, SweepSpec};
+
+fn run(spec: &SweepSpec, cache_dir: &std::path::Path) -> (f64, SweepOutcome) {
+    let engine = SweepEngine::new().with_cache_dir(cache_dir);
+    let started = Instant::now();
+    let outcome = engine.run(spec).expect("preset specs validate");
+    (started.elapsed().as_secs_f64(), outcome)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut check_warm = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check-warm" => check_warm = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("bench_dse: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("bench_dse: unknown argument `{other}`");
+                eprintln!("usage: bench_dse [--quick] [--check-warm] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Fresh, private stores: the cold run must really be cold (pay the
+    // GPU-model calibration), and a dirty global cache must not turn
+    // it warm. The calibration dir env var has to be set before the
+    // first emulator call of this process.
+    let scratch = std::env::temp_dir().join(format!("ng-bench-dse-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    std::env::set_var("NGPC_CALIB_CACHE_DIR", scratch.join("calib"));
+    let cache_dir = scratch.join("point-cache");
+
+    let spec = if quick { SweepSpec::quick() } else { SweepSpec::paper() };
+    // The tracked repo-root trajectory is paper-preset only; a casual
+    // --quick run must not silently overwrite it with 16-point numbers.
+    let out_path = out_path.unwrap_or_else(|| {
+        if quick {
+            "BENCH_dse_quick.json".to_string()
+        } else {
+            "BENCH_dse.json".to_string()
+        }
+    });
+    let mut grown = spec.clone();
+    grown.clock_ghz.push(1.25);
+
+    let (cold_s, cold) = run(&spec, &cache_dir);
+    let (warm_s, warm) = run(&spec, &cache_dir);
+    let (incremental_s, inc) = run(&grown, &cache_dir);
+
+    println!("cold:        {:8.1} ms  ({} points evaluated)", cold_s * 1e3, cold.stats.evaluated);
+    println!(
+        "warm:        {:8.1} ms  ({} points evaluated, {} hits)",
+        warm_s * 1e3,
+        warm.stats.evaluated,
+        warm.stats.cache_hits
+    );
+    println!(
+        "incremental: {:8.1} ms  ({} points evaluated, {} hits)",
+        incremental_s * 1e3,
+        inc.stats.evaluated,
+        inc.stats.cache_hits
+    );
+
+    let json = format!(
+        "{{\n  \"preset\": \"{}\",\n  \"cold_s\": {cold_s},\n  \"warm_s\": {warm_s},\n  \
+         \"incremental_s\": {incremental_s},\n  \"points\": {}\n}}\n",
+        spec.name,
+        spec.point_count(),
+    );
+    if let Err(e) = fs::write(&out_path, &json) {
+        eprintln!("bench_dse: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    let _ = fs::remove_dir_all(&scratch);
+
+    if check_warm && warm.stats.evaluated != 0 {
+        eprintln!(
+            "bench_dse: REGRESSION — warm re-run of an unchanged spec evaluated {} points \
+             (expected 0: the point cache must serve all of them)",
+            warm.stats.evaluated
+        );
+        return ExitCode::FAILURE;
+    }
+    if check_warm {
+        let expected_delta = grown.point_count() - spec.point_count();
+        if inc.stats.evaluated != expected_delta {
+            eprintln!(
+                "bench_dse: REGRESSION — grown spec evaluated {} points (expected {})",
+                inc.stats.evaluated, expected_delta
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -40,6 +40,7 @@ EXECUTION:
     --threads N          worker threads (default: all cores)
     --cache-dir DIR      evaluation cache location (default: .dse-cache)
     --no-cache           always re-evaluate, never read or write the cache
+    --cache-stats        print per-run cache hit/miss/evaluated counts
 
 OUTPUT:
     --top N              frontier rows to print (default: 16)
@@ -55,6 +56,7 @@ struct Cli {
     threads: Option<usize>,
     cache_dir: Option<String>,
     no_cache: bool,
+    cache_stats: bool,
     top: usize,
     per_app: bool,
     csv: Option<String>,
@@ -87,6 +89,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         threads: None,
         cache_dir: None,
         no_cache: false,
+        cache_stats: false,
         top: 16,
         per_app: false,
         csv: None,
@@ -129,6 +132,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "--cache-dir" => cli.cache_dir = Some(value(arg)?),
             "--no-cache" => cli.no_cache = true,
+            "--cache-stats" => cli.cache_stats = true,
             "--top" => cli.top = value(arg)?.parse().map_err(|_| "--top: not a number")?,
             "--per-app" => cli.per_app = true,
             "--csv" => cli.csv = Some(value(arg)?),
@@ -220,6 +224,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let outcome = engine.run(&cli.spec).map_err(|e| e.to_string())?;
     print_report(&outcome, &cli.constraints, cli.top, cli.per_app);
+    if cli.cache_stats {
+        println!("{}", ng_dse::report::cache_stats_line(&outcome));
+    }
     if cli.spec.name == "paper" {
         headline_check(&outcome, &cli.constraints);
     }

@@ -1,34 +1,44 @@
-//! Content-hashed evaluation cache.
+//! Point-level, sharded evaluation cache.
 //!
-//! The cache key is an FNV-1a hash of the spec's canonical axis
-//! encoding plus [`crate::MODEL_VERSION`]: any change to the swept axes
-//! lands in a different file, and model changes do too *provided*
-//! `MODEL_VERSION` is bumped with them (it is a hand-maintained tag,
-//! not derived from the model code — see its doc comment; `--no-cache`
-//! is the escape hatch if a stale cache is suspected). One sweep = one
-//! CSV file (the same format [`crate::emit`] exposes to users), headed
-//! by a `#` line recording the key for post-mortem inspection.
+//! PR 1's cache was keyed per *spec*: one CSV per sweep, so adding a
+//! single axis value to a 1440-point sweep re-evaluated all 1440
+//! points. This store is keyed per *point*:
+//!
+//! * **Key** — [`EvalCache::point_key`]: FNV-1a over the point's axis
+//!   tuple (everything except its spec-local `index`), the
+//!   hand-maintained [`crate::MODEL_VERSION`] tag, *and* the computed
+//!   [`crate::model_fingerprint`] — so model drift invalidates
+//!   automatically even when the tag was forgotten.
+//! * **Layout** — one directory per `(MODEL_VERSION, fingerprint)`
+//!   generation, holding [`SHARD_COUNT`] append-friendly CSV shards; a
+//!   point lives in the shard named by the top nibble of its key.
+//!   Appends are a single `write_all` of whole lines, so a crashed or
+//!   racing writer can at worst leave one torn line.
+//! * **Degradation** — a torn line, a corrupted shard, or a key
+//!   mismatch (the stored axes no longer hash to the stored key) makes
+//!   exactly the affected points misses; everything else keeps hitting.
+//!
+//! [`crate::sweep::SweepEngine::run`] partitions a spec into cached and
+//! missing points through [`EvalCache::lookup`], evaluates only the
+//! misses, and appends them back — overlapping or grown specs pay only
+//! for their delta.
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use crate::emit::{points_from_csv, points_to_csv};
-use crate::spec::SweepSpec;
+use crate::emit::{point_from_row, point_to_row};
+use crate::spec::DesignPoint;
 use crate::sweep::EvaluatedPoint;
-use crate::MODEL_VERSION;
+use crate::{model_fingerprint, MODEL_VERSION};
 
-/// FNV-1a, 64-bit.
-fn fnv1a(text: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Number of shard files per cache generation (points are distributed
+/// by the top nibble of their key).
+pub const SHARD_COUNT: usize = 16;
 
-/// A directory of per-spec evaluation results.
+/// A directory of point-level evaluation results.
 #[derive(Debug, Clone)]
 pub struct EvalCache {
     dir: PathBuf,
@@ -40,49 +50,146 @@ impl EvalCache {
         EvalCache { dir: dir.into() }
     }
 
-    /// The cache key of a spec under the current model version.
-    pub fn key(spec: &SweepSpec) -> String {
-        format!("{:016x}", fnv1a(&format!("{MODEL_VERSION};{}", spec.canonical())))
+    /// The cache key of one design point under the current models: a
+    /// hash of its axis tuple (not its spec-local index), the
+    /// [`MODEL_VERSION`] tag and the computed model fingerprint.
+    pub fn point_key(point: &DesignPoint) -> u64 {
+        ng_neural::math::fnv1a64(&format!(
+            "{MODEL_VERSION};{:016x};app={};enc={};px={};nfp={};clk={:016x};kb={};banks={}",
+            model_fingerprint(),
+            crate::spec::app_slug(point.app),
+            crate::spec::encoding_slug(point.encoding),
+            point.pixels,
+            point.nfp_units,
+            point.clock_ghz.to_bits(),
+            point.grid_sram_kb,
+            point.grid_sram_banks,
+        ))
     }
 
-    /// The file a spec's results live in.
-    pub fn path(&self, spec: &SweepSpec) -> PathBuf {
-        self.dir.join(format!("sweep-{}.csv", Self::key(spec)))
+    /// The generation directory all shards of the current model version
+    /// live in. A model change (tag bump or fingerprint drift) lands in
+    /// a fresh directory and the stale one is never read again.
+    pub fn store_dir(&self) -> PathBuf {
+        self.dir.join(format!("{MODEL_VERSION}-{:016x}", model_fingerprint()))
     }
 
-    /// Load a spec's cached results, if present and intact. Any
-    /// corruption (bad parse, wrong point count) is treated as a miss.
-    pub fn load(&self, spec: &SweepSpec) -> Option<Vec<EvaluatedPoint>> {
-        let text = fs::read_to_string(self.path(spec)).ok()?;
-        let points = points_from_csv(&text).ok()?;
-        if points.len() != spec.point_count() {
-            return None;
+    fn shard_of(key: u64) -> usize {
+        (key >> 60) as usize
+    }
+
+    /// The shard file a key lives in.
+    pub fn shard_path(&self, key: u64) -> PathBuf {
+        self.store_dir().join(format!("shard-{:x}.csv", Self::shard_of(key)))
+    }
+
+    /// Parse one shard into key → point, skipping comment, header and
+    /// torn/corrupt lines (those points simply stay misses). A later
+    /// duplicate of a key wins, matching append order.
+    fn load_shard(&self, shard: usize) -> HashMap<u64, EvaluatedPoint> {
+        let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
+        let mut out = HashMap::new();
+        let Ok(text) = fs::read_to_string(&path) else {
+            return out;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("key,") {
+                continue;
+            }
+            let Some((key_hex, row)) = line.split_once(',') else {
+                continue;
+            };
+            let Ok(stated) = u64::from_str_radix(key_hex, 16) else {
+                continue;
+            };
+            let Ok(point) = point_from_row(row) else {
+                continue;
+            };
+            // Integrity: the stored axes must still hash to the stored
+            // key (guards against truncation splices and stale rows
+            // copied across generations).
+            if Self::point_key(&point.point) != stated {
+                continue;
+            }
+            out.insert(stated, point);
         }
-        Some(points)
+        out
     }
 
-    /// Store a sweep's results; returns the file written.
-    pub fn store(&self, spec: &SweepSpec, points: &[EvaluatedPoint]) -> io::Result<PathBuf> {
-        fs::create_dir_all(&self.dir)?;
-        let path = self.path(spec);
-        let body = format!(
-            "# ng-dse evaluation cache | key {} | model {} | spec `{}`\n{}",
-            Self::key(spec),
-            MODEL_VERSION,
-            spec.name,
-            points_to_csv(points),
-        );
-        // Write-then-rename (with a per-process tmp name, so two
-        // concurrent runs of the same spec cannot truncate each
-        // other's tmp mid-write) — a crashed or racing run never
-        // leaves a torn file that a later run would half-parse.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        fs::write(&tmp, body)?;
-        fs::rename(&tmp, &path)?;
-        Ok(path)
+    /// Look up every point of a sweep: `Some(result)` per hit (with the
+    /// point's *current* spec index, not the index it was stored
+    /// under), `None` per miss. Only the shards the keys land in are
+    /// read.
+    pub fn lookup(&self, points: &[DesignPoint]) -> Vec<Option<EvaluatedPoint>> {
+        let keys: Vec<u64> = points.iter().map(Self::point_key).collect();
+        let mut shards: Vec<Option<HashMap<u64, EvaluatedPoint>>> =
+            (0..SHARD_COUNT).map(|_| None).collect();
+        points
+            .iter()
+            .zip(&keys)
+            .map(|(point, &key)| {
+                let shard = shards[Self::shard_of(key)]
+                    .get_or_insert_with(|| self.load_shard(Self::shard_of(key)));
+                let stored = shard.get(&key)?;
+                // A 64-bit collision between different axis tuples is
+                // astronomically unlikely but cheap to rule out.
+                if stored.point.arch_key() != point.arch_key() || stored.point.app != point.app {
+                    return None;
+                }
+                Some(EvaluatedPoint { point: *point, ..*stored })
+            })
+            .collect()
     }
 
-    /// The cache's root directory.
+    /// Append freshly evaluated points to their shards. One buffered
+    /// `write_all` per shard; a new shard file gets a header first.
+    pub fn append(&self, points: &[EvaluatedPoint]) -> io::Result<()> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let dir = self.store_dir();
+        fs::create_dir_all(&dir)?;
+        let mut by_shard: Vec<String> = vec![String::new(); SHARD_COUNT];
+        for p in points {
+            let key = Self::point_key(&p.point);
+            let buf = &mut by_shard[Self::shard_of(key)];
+            buf.push_str(&format!("{key:016x},{}\n", point_to_row(p)));
+        }
+        for (shard, body) in by_shard.iter().enumerate() {
+            if body.is_empty() {
+                continue;
+            }
+            let path = dir.join(format!("shard-{shard:x}.csv"));
+            let mut file =
+                fs::OpenOptions::new().read(true).create(true).append(true).open(&path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                file.write_all(
+                    format!(
+                        "# ng-dse point cache | model {MODEL_VERSION} | fingerprint {:016x}\n",
+                        model_fingerprint()
+                    )
+                    .as_bytes(),
+                )?;
+            } else {
+                // A crashed writer can leave the shard without a final
+                // newline; appending onto that torn tail would merge
+                // (and so lose) the first fresh row. Terminate it first.
+                use std::io::{Read, Seek, SeekFrom};
+                let mut last = [0u8; 1];
+                file.seek(SeekFrom::Start(len - 1))?;
+                file.read_exact(&mut last)?;
+                if last != [b'\n'] {
+                    file.write_all(b"\n")?;
+                }
+            }
+            file.write_all(body.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// The cache's root directory (generations live underneath).
     pub fn dir(&self) -> &Path {
         &self.dir
     }
@@ -91,6 +198,7 @@ impl EvalCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::SweepSpec;
     use crate::sweep::SweepEngine;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -101,39 +209,93 @@ mod tests {
     }
 
     #[test]
-    fn store_then_load_round_trips() {
+    fn append_then_lookup_round_trips() {
         let dir = tmpdir("roundtrip");
         let spec = SweepSpec::quick();
         let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
         let cache = EvalCache::new(&dir);
-        assert!(cache.load(&spec).is_none(), "cold cache");
-        let path = cache.store(&spec, &outcome.points).unwrap();
-        assert!(path.exists());
-        assert_eq!(cache.load(&spec).unwrap(), outcome.points);
+        let points = spec.points();
+        assert!(cache.lookup(&points).iter().all(Option::is_none), "cold cache");
+        cache.append(&outcome.points).unwrap();
+        let loaded = cache.lookup(&points);
+        assert_eq!(
+            loaded.into_iter().collect::<Option<Vec<_>>>().unwrap(),
+            outcome.points,
+            "every point hits, bit-identical"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn key_tracks_axes_and_model_version() {
-        let a = SweepSpec::quick();
-        let mut renamed = a.clone();
-        renamed.name = "other".to_string();
-        assert_eq!(EvalCache::key(&a), EvalCache::key(&renamed), "name not part of identity");
-        let mut grown = a.clone();
-        grown.nfp_units.push(128);
-        assert_ne!(EvalCache::key(&a), EvalCache::key(&grown));
+    fn point_key_tracks_axes_not_index() {
+        let spec = SweepSpec::quick();
+        let points = spec.points();
+        let mut reindexed = points[3];
+        reindexed.index = 77;
+        assert_eq!(
+            EvalCache::point_key(&points[3]),
+            EvalCache::point_key(&reindexed),
+            "index not part of identity"
+        );
+        let mut grown = points[3];
+        grown.clock_ghz = 1.25;
+        assert_ne!(EvalCache::point_key(&points[3]), EvalCache::point_key(&grown));
+        // All quick-spec points have distinct keys.
+        let mut keys: Vec<u64> = points.iter().map(EvalCache::point_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), points.len());
     }
 
     #[test]
-    fn corrupt_or_truncated_files_are_misses() {
-        let dir = tmpdir("corrupt");
+    fn lookup_rewrites_the_spec_index() {
+        // A point cached under one spec must come back with the index
+        // the *current* spec assigns it.
+        let dir = tmpdir("reindex");
         let spec = SweepSpec::quick();
         let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
         let cache = EvalCache::new(&dir);
-        cache.store(&spec, &outcome.points[..3]).unwrap();
-        assert!(cache.load(&spec).is_none(), "wrong point count");
-        fs::write(cache.path(&spec), "garbage\n").unwrap();
-        assert!(cache.load(&spec).is_none(), "unparseable");
+        cache.append(&outcome.points).unwrap();
+        let mut moved = spec.points()[5];
+        moved.index = 0;
+        let hit = cache.lookup(&[moved])[0].expect("hit");
+        assert_eq!(hit.point.index, 0);
+        assert_eq!(hit.speedup, outcome.points[5].speedup);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_lines_are_misses_for_only_their_points() {
+        let dir = tmpdir("torn");
+        let spec = SweepSpec::quick();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let cache = EvalCache::new(&dir);
+        cache.append(&outcome.points).unwrap();
+        // Truncate one shard's last line mid-row (a crashed append).
+        let victim_key = EvalCache::point_key(&outcome.points[0].point);
+        let path = cache.shard_path(victim_key);
+        let text = fs::read_to_string(&path).unwrap();
+        let keep_lines: Vec<&str> = text.lines().collect();
+        let torn = format!(
+            "{}\n{}",
+            keep_lines[..keep_lines.len() - 1].join("\n"),
+            &keep_lines[keep_lines.len() - 1][..20]
+        );
+        fs::write(&path, torn).unwrap();
+        let loaded = cache.lookup(&spec.points());
+        let misses = loaded.iter().filter(|p| p.is_none()).count();
+        assert_eq!(misses, 1, "exactly the torn row misses");
+        // Appending onto the torn tail must not merge rows: one
+        // re-append heals the shard completely.
+        let missing: Vec<_> = spec
+            .points()
+            .iter()
+            .zip(&loaded)
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(p, _)| outcome.points[p.index])
+            .collect();
+        cache.append(&missing).unwrap();
+        assert!(cache.lookup(&spec.points()).iter().all(Option::is_some), "healed in one cycle");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -145,10 +307,30 @@ mod tests {
         let first = engine.run(&spec).unwrap();
         assert!(!first.stats.cache_hit);
         assert_eq!(first.stats.evaluated, spec.point_count());
+        assert_eq!(first.stats.cache_hits, 0);
         let second = engine.run(&spec).unwrap();
         assert!(second.stats.cache_hit);
         assert_eq!(second.stats.evaluated, 0);
+        assert_eq!(second.stats.cache_hits, spec.point_count());
         assert_eq!(first.points, second.points, "cache returns bit-identical results");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grown_spec_evaluates_only_the_delta() {
+        let dir = tmpdir("delta");
+        let engine = SweepEngine::new().with_cache_dir(&dir);
+        let base = SweepSpec::quick();
+        engine.run(&base).unwrap();
+        let mut grown = base.clone();
+        grown.clock_ghz.push(1.25);
+        let outcome = engine.run(&grown).unwrap();
+        let added = grown.point_count() - base.point_count();
+        assert_eq!(outcome.stats.evaluated, added, "only the new clock's points evaluated");
+        assert_eq!(outcome.stats.cache_hits, base.point_count());
+        // ... and the merged result equals an uncached full evaluation.
+        let reference = SweepEngine::new().without_cache().run(&grown).unwrap();
+        assert_eq!(outcome.points, reference.points);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,31 +16,67 @@ pub const CSV_HEADER: &str = "index,app,encoding,pixels,nfp_units,clock_ghz,grid
                               grid_sram_banks,speedup,area_pct_of_gpu,power_pct_of_gpu,gpu_ms,\
                               ngpc_frame_ms,amdahl_bound,plateaued";
 
+/// One CSV data row of an evaluated point (no trailing newline) — the
+/// unit both the full-sweep CSV and the point-level cache shards are
+/// built from.
+pub fn point_to_row(p: &EvaluatedPoint) -> String {
+    let d = &p.point;
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        d.index,
+        app_slug(d.app),
+        encoding_slug(d.encoding),
+        d.pixels,
+        d.nfp_units,
+        d.clock_ghz,
+        d.grid_sram_kb,
+        d.grid_sram_banks,
+        p.speedup,
+        p.area_pct_of_gpu,
+        p.power_pct_of_gpu,
+        p.gpu_ms,
+        p.ngpc_frame_ms,
+        p.amdahl_bound,
+        p.plateaued,
+    )
+}
+
+/// Parse one [`point_to_row`] data row.
+pub fn point_from_row(line: &str) -> Result<EvaluatedPoint, String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 15 {
+        return Err(format!("expected 15 fields, got {}", fields.len()));
+    }
+    let err = |what: &str| format!("bad {what}");
+    Ok(EvaluatedPoint {
+        point: DesignPoint {
+            index: fields[0].parse().map_err(|_| err("index"))?,
+            app: parse_app(fields[1]).ok_or_else(|| err("app"))?,
+            encoding: parse_encoding(fields[2]).ok_or_else(|| err("encoding"))?,
+            pixels: fields[3].parse().map_err(|_| err("pixels"))?,
+            nfp_units: fields[4].parse().map_err(|_| err("nfp_units"))?,
+            clock_ghz: fields[5].parse().map_err(|_| err("clock_ghz"))?,
+            grid_sram_kb: fields[6].parse().map_err(|_| err("grid_sram_kb"))?,
+            grid_sram_banks: fields[7].parse().map_err(|_| err("grid_sram_banks"))?,
+        },
+        speedup: fields[8].parse().map_err(|_| err("speedup"))?,
+        area_pct_of_gpu: fields[9].parse().map_err(|_| err("area_pct_of_gpu"))?,
+        power_pct_of_gpu: fields[10].parse().map_err(|_| err("power_pct_of_gpu"))?,
+        gpu_ms: fields[11].parse().map_err(|_| err("gpu_ms"))?,
+        ngpc_frame_ms: fields[12].parse().map_err(|_| err("ngpc_frame_ms"))?,
+        amdahl_bound: fields[13].parse().map_err(|_| err("amdahl_bound"))?,
+        plateaued: fields[14].parse().map_err(|_| err("plateaued"))?,
+    })
+}
+
 /// Render evaluated points as CSV (header + one row per point).
 pub fn points_to_csv(points: &[EvaluatedPoint]) -> String {
     let mut out = String::with_capacity(64 * (points.len() + 1));
     out.push_str(CSV_HEADER);
     out.push('\n');
     for p in points {
-        let d = &p.point;
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-            d.index,
-            app_slug(d.app),
-            encoding_slug(d.encoding),
-            d.pixels,
-            d.nfp_units,
-            d.clock_ghz,
-            d.grid_sram_kb,
-            d.grid_sram_banks,
-            p.speedup,
-            p.area_pct_of_gpu,
-            p.power_pct_of_gpu,
-            p.gpu_ms,
-            p.ngpc_frame_ms,
-            p.amdahl_bound,
-            p.plateaued,
-        ));
+        out.push_str(&point_to_row(p));
+        out.push('\n');
     }
     out
 }
@@ -63,30 +99,7 @@ pub fn points_from_csv(text: &str) -> Result<Vec<EvaluatedPoint>, String> {
             saw_header = true;
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 15 {
-            return Err(format!("line {}: expected 15 fields, got {}", i + 1, fields.len()));
-        }
-        let err = |what: &str| format!("line {}: bad {what}", i + 1);
-        points.push(EvaluatedPoint {
-            point: DesignPoint {
-                index: fields[0].parse().map_err(|_| err("index"))?,
-                app: parse_app(fields[1]).ok_or_else(|| err("app"))?,
-                encoding: parse_encoding(fields[2]).ok_or_else(|| err("encoding"))?,
-                pixels: fields[3].parse().map_err(|_| err("pixels"))?,
-                nfp_units: fields[4].parse().map_err(|_| err("nfp_units"))?,
-                clock_ghz: fields[5].parse().map_err(|_| err("clock_ghz"))?,
-                grid_sram_kb: fields[6].parse().map_err(|_| err("grid_sram_kb"))?,
-                grid_sram_banks: fields[7].parse().map_err(|_| err("grid_sram_banks"))?,
-            },
-            speedup: fields[8].parse().map_err(|_| err("speedup"))?,
-            area_pct_of_gpu: fields[9].parse().map_err(|_| err("area_pct_of_gpu"))?,
-            power_pct_of_gpu: fields[10].parse().map_err(|_| err("power_pct_of_gpu"))?,
-            gpu_ms: fields[11].parse().map_err(|_| err("gpu_ms"))?,
-            ngpc_frame_ms: fields[12].parse().map_err(|_| err("ngpc_frame_ms"))?,
-            amdahl_bound: fields[13].parse().map_err(|_| err("amdahl_bound"))?,
-            plateaued: fields[14].parse().map_err(|_| err("plateaued"))?,
-        });
+        points.push(point_from_row(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
     if !saw_header {
         return Err("empty CSV".to_string());
@@ -197,12 +210,13 @@ pub fn outcome_to_json(outcome: &SweepOutcome, frontier: &[ArchPoint]) -> String
     let archs: Vec<String> = frontier.iter().map(json_arch).collect();
     let s = &outcome.stats;
     format!(
-        "{{\n\"spec\":{},\n\"stats\":{{\"total_points\":{},\"evaluated\":{},\"cache_hit\":{},\
-         \"threads\":{},\"wall_ms\":{},\"points_per_sec\":{}}},\n\"frontier\":[{}],\n\
-         \"points\":[\n{}\n]\n}}\n",
+        "{{\n\"spec\":{},\n\"stats\":{{\"total_points\":{},\"evaluated\":{},\"cache_hits\":{},\
+         \"cache_hit\":{},\"threads\":{},\"wall_ms\":{},\"points_per_sec\":{}}},\n\
+         \"frontier\":[{}],\n\"points\":[\n{}\n]\n}}\n",
         json_spec(&outcome.spec),
         s.total_points,
         s.evaluated,
+        s.cache_hits,
         s.cache_hit,
         s.threads,
         json_f64(s.wall.as_secs_f64() * 1e3),

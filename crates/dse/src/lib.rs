@@ -15,8 +15,9 @@
 //! * [`pareto`] — n-dimensional non-dominated frontier extraction over
 //!   {speedup, area % of GPU, power % of GPU}, with budget
 //!   [`Constraints`] and per-app / cross-app-average objectives.
-//! * [`cache`] + [`emit`] — a content-hashed evaluation cache (re-runs
-//!   of an unchanged spec are free) and CSV/JSON emitters.
+//! * [`cache`] + [`emit`] — a sharded *point-level* evaluation cache
+//!   (re-runs of an unchanged spec are free, and overlapping or grown
+//!   specs evaluate only their delta) and CSV/JSON emitters.
 //! * [`report`] — the compact terminal report behind the `dse` binary.
 //!
 //! ## Quickstart
@@ -48,7 +49,41 @@ pub use sweep::{ArchPoint, EvaluatedPoint, SweepEngine, SweepOutcome, SweepStats
 
 /// Version tag of the underlying evaluation models, mixed into every
 /// cache key. **Bump this whenever `ngpc`'s emulator, the GPU model or
-/// the area/power substrate changes results** — it is the only thing
-/// invalidating stale caches (nothing derives it from the model code;
-/// `ngpc::emulator` points back here from its calibrated constants).
+/// the area/power substrate changes results** so cache generations stay
+/// humanly tellable apart on disk — though since
+/// [`model_fingerprint`] is also folded into every key, a forgotten
+/// bump no longer serves stale results.
 pub const MODEL_VERSION: &str = "ngpc-models-v2";
+
+/// Fingerprint of the evaluation models' actual *outputs*: the
+/// quick-preset sweep evaluated single-threaded and hashed at 9
+/// significant digits (coarse enough to absorb cross-platform libm
+/// jitter, fine enough that any deliberate model change shifts it).
+/// Folded into every point-cache key next to [`MODEL_VERSION`], so
+/// model drift invalidates cached sweep results automatically; the
+/// pinned value in `tests/model_fingerprint.rs` turns silent drift into
+/// a test failure with bump instructions. Computed once per process:
+/// 16 evaluations — microseconds once the GPU model is calibrated.
+/// Note the coupling: because the probe runs the real emulator, any
+/// cache-enabled run pays the GPU-model calibration (~1 s) when
+/// `ng-gpu`'s persistent calibration store is cold or disabled
+/// (`NGPC_CALIB_CACHE=off`); with the store warm — the default after
+/// any first run on a machine — the probe is effectively free.
+pub fn model_fingerprint() -> u64 {
+    static FINGERPRINT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *FINGERPRINT.get_or_init(|| {
+        let outcome = SweepEngine::new()
+            .without_cache()
+            .with_threads(1)
+            .run(&SweepSpec::quick())
+            .expect("the quick preset always validates");
+        let mut text = String::new();
+        for p in &outcome.points {
+            text.push_str(&format!(
+                "{:.9e},{:.9e},{:.9e};",
+                p.speedup, p.area_pct_of_gpu, p.power_pct_of_gpu
+            ));
+        }
+        ng_neural::math::fnv1a64(&text)
+    })
+}

@@ -88,6 +88,30 @@ pub fn per_app_table(points: &[EvaluatedPoint], limit: usize) -> String {
     out
 }
 
+/// The `--cache-stats` line: per-run hit/miss/evaluated counts, so
+/// users can see the incremental reuse they are getting.
+pub fn cache_stats_line(outcome: &SweepOutcome) -> String {
+    let stats = &outcome.stats;
+    let rate = if stats.total_points == 0 {
+        0.0
+    } else {
+        100.0 * stats.cache_hits as f64 / stats.total_points as f64
+    };
+    // Misses and evaluated coincide today (every miss is evaluated),
+    // but are derived independently so the line stays honest if a
+    // partial-evaluation mode ever splits them.
+    let misses = stats.total_points - stats.cache_hits;
+    format!(
+        "cache stats: {} hits, {misses} misses, {} evaluated ({rate:.1}% hit rate{})",
+        stats.cache_hits,
+        stats.evaluated,
+        match &outcome.cache_path {
+            Some(p) => format!("; store: {}", p.display()),
+            None => "; cache disabled".to_string(),
+        },
+    )
+}
+
 /// Describe configured constraints, or "none".
 pub fn describe_constraints(c: &Constraints) -> String {
     if !c.is_constrained() {
@@ -131,8 +155,13 @@ pub fn print_report(outcome: &SweepOutcome, constraints: &Constraints, top: usiz
             outcome.cache_path.as_deref().map(|p| p.display().to_string()).unwrap_or_default(),
         );
     } else {
+        let hits = if stats.cache_hits > 0 {
+            format!(" + {} from cache", stats.cache_hits)
+        } else {
+            String::new()
+        };
         println!(
-            "evaluation: {} points on {} threads in {:.1} ms ({:.0} points/sec){}",
+            "evaluation: {} points on {} threads{hits} in {:.1} ms ({:.0} points/sec){}",
             stats.evaluated,
             stats.threads,
             stats.wall.as_secs_f64() * 1e3,

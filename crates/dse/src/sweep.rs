@@ -88,9 +88,12 @@ impl ArchPoint {
 pub struct SweepStats {
     /// Points in the sweep.
     pub total_points: usize,
-    /// Points actually evaluated this run (0 on a cache hit).
+    /// Points actually evaluated this run (the cache misses; 0 on a
+    /// full cache hit).
     pub evaluated: usize,
-    /// Whether results came from the evaluation cache.
+    /// Points served from the point-level cache.
+    pub cache_hits: usize,
+    /// Whether *every* point came from the evaluation cache.
     pub cache_hit: bool,
     /// Worker threads used.
     pub threads: usize,
@@ -119,7 +122,8 @@ pub struct SweepOutcome {
     pub points: Vec<EvaluatedPoint>,
     /// How the run executed.
     pub stats: SweepStats,
-    /// Where results were cached, when caching was enabled.
+    /// The point-store generation directory results were cached under,
+    /// when caching was enabled (and writable).
     pub cache_path: Option<PathBuf>,
 }
 
@@ -236,33 +240,30 @@ impl SweepEngine {
         self.threads
     }
 
-    /// Run a sweep: validate, consult the cache, evaluate what's
-    /// missing in parallel, store, and return points in spec order.
+    /// Run a sweep: validate, partition the points into cached and
+    /// missing, evaluate only the misses in parallel, append them back
+    /// to the point store, and return the merged results in spec order.
     pub fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, SpecError> {
         spec.validate()?;
         let started = Instant::now();
         let cache = self.cache_dir.as_ref().map(|dir| EvalCache::new(dir.clone()));
 
-        if let Some(cache) = &cache {
-            if let Some(points) = cache.load(spec) {
-                return Ok(SweepOutcome {
-                    spec: spec.clone(),
-                    stats: SweepStats {
-                        total_points: points.len(),
-                        evaluated: 0,
-                        cache_hit: true,
-                        threads: self.threads,
-                        wall: started.elapsed(),
-                    },
-                    points,
-                    cache_path: Some(cache.path(spec)),
-                });
-            }
-        }
-
         let design_points = spec.points();
-        let points = pool::map_stateful(
-            &design_points,
+        let cached: Vec<Option<EvaluatedPoint>> = match &cache {
+            Some(cache) => cache.lookup(&design_points),
+            None => vec![None; design_points.len()],
+        };
+        let missing: Vec<DesignPoint> = design_points
+            .iter()
+            .zip(&cached)
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(p, _)| *p)
+            .collect();
+
+        // The work-stealing pool sees only the misses; results come
+        // back in `missing` (= spec) order.
+        let evaluated = pool::map_stateful(
+            &missing,
             self.threads,
             EmulationContext::new,
             |ctx, p: &DesignPoint| {
@@ -280,18 +281,30 @@ impl SweepEngine {
             },
         );
 
-        let cache_path = match &cache {
-            // A cache write failure (read-only dir, ...) downgrades to
-            // an uncached run rather than failing the sweep.
-            Some(cache) => cache.store(spec, &points).ok(),
-            None => None,
-        };
+        // A cache write failure (read-only dir, ...) downgrades to a
+        // write-through-less run rather than failing the sweep; the
+        // store dir is still reported, since hits were read from it.
+        let cache_path = cache.as_ref().map(|cache| {
+            let _ = cache.append(&evaluated);
+            cache.store_dir()
+        });
+
+        // Merge: cached points keep their slot, fresh evaluations fill
+        // the gaps in order — both sides are already in spec order.
+        let mut fresh = evaluated.into_iter();
+        let points: Vec<EvaluatedPoint> = cached
+            .into_iter()
+            .map(|hit| hit.unwrap_or_else(|| fresh.next().expect("one evaluation per miss")))
+            .collect();
+
+        let cache_hits = points.len() - missing.len();
         Ok(SweepOutcome {
             spec: spec.clone(),
             stats: SweepStats {
                 total_points: points.len(),
-                evaluated: points.len(),
-                cache_hit: false,
+                evaluated: missing.len(),
+                cache_hits,
+                cache_hit: cache.is_some() && missing.is_empty(),
                 threads: self.threads,
                 wall: started.elapsed(),
             },

@@ -1,0 +1,52 @@
+//! End-to-end CLI check of the incremental pipeline (ISSUE 2
+//! acceptance): re-running `dse` with one added clock value evaluates
+//! only the new points, and `--cache-stats` reports the reuse.
+
+use std::process::Command;
+
+fn dse(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dse")).args(args).output().expect("dse runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (stdout, out.status.success())
+}
+
+fn stats_line(stdout: &str) -> &str {
+    stdout.lines().find(|l| l.starts_with("cache stats:")).expect("cache stats line printed")
+}
+
+#[test]
+fn grown_clock_axis_evaluates_only_the_new_points() {
+    let dir = std::env::temp_dir().join(format!("ng-dse-cli-cache-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.display().to_string();
+
+    // Cold run: everything is a miss.
+    let (out, ok) = dse(&["--preset", "quick", "--cache-dir", &dir_s, "--cache-stats"]);
+    assert!(ok, "cold run failed:\n{out}");
+    assert!(
+        stats_line(&out).contains("0 hits, 16 misses, 16 evaluated"),
+        "unexpected cold stats: {}",
+        stats_line(&out)
+    );
+
+    // Identical warm re-run: zero points evaluated.
+    let (out, ok) = dse(&["--preset", "quick", "--cache-dir", &dir_s, "--cache-stats"]);
+    assert!(ok, "warm run failed:\n{out}");
+    assert!(
+        stats_line(&out).contains("16 hits, 0 misses, 0 evaluated"),
+        "warm re-run must be a 100% hit: {}",
+        stats_line(&out)
+    );
+
+    // Grow the clock axis by one value: only the 16 new points run.
+    let (out, ok) =
+        dse(&["--preset", "quick", "--clocks", "1.0,1.25", "--cache-dir", &dir_s, "--cache-stats"]);
+    assert!(ok, "grown run failed:\n{out}");
+    assert!(
+        stats_line(&out).contains("16 hits, 16 misses, 16 evaluated"),
+        "grown axis must evaluate only its delta: {}",
+        stats_line(&out)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,37 +1,15 @@
-//! Guards the [`ng_dse::MODEL_VERSION`] contract: the constant is the
-//! only thing invalidating cached sweep results, and nothing derives it
-//! from the model code — so this test pins a fingerprint of the model
-//! outputs *next to* the version string. Retuning `ngpc`'s emulator,
-//! the GPU model or the area/power substrate changes the fingerprint
-//! and fails here with instructions, instead of silently serving stale
-//! caches to every future `dse` run.
+//! Guards the model-versioning contract behind the point-level cache.
+//!
+//! [`ng_dse::model_fingerprint`] (a hash of the quick-preset sweep's
+//! objectives) is folded into every cache key, so model drift
+//! invalidates cached results automatically. This test pins the
+//! fingerprint *value* next to the hand-maintained
+//! [`ng_dse::MODEL_VERSION`] tag: retuning `ngpc`'s emulator, the GPU
+//! model or the area/power substrate changes the fingerprint and fails
+//! here with instructions — keeping the human-readable tag honest even
+//! though stale caches can no longer be served either way.
 
-use ng_dse::{SweepEngine, SweepSpec, MODEL_VERSION};
-
-fn fnv1a(text: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Hash the quick-preset sweep's objectives, rounded to 9 significant
-/// digits — coarse enough to absorb cross-platform libm jitter, fine
-/// enough that any deliberate model change shifts it.
-fn model_fingerprint() -> u64 {
-    let outcome =
-        SweepEngine::new().without_cache().with_threads(1).run(&SweepSpec::quick()).unwrap();
-    let mut text = String::new();
-    for p in &outcome.points {
-        text.push_str(&format!(
-            "{:.9e},{:.9e},{:.9e};",
-            p.speedup, p.area_pct_of_gpu, p.power_pct_of_gpu
-        ));
-    }
-    fnv1a(&text)
-}
+use ng_dse::{model_fingerprint, MODEL_VERSION};
 
 #[test]
 fn model_version_is_bumped_with_the_models() {
@@ -39,7 +17,7 @@ fn model_version_is_bumped_with_the_models() {
         (MODEL_VERSION, model_fingerprint()),
         ("ngpc-models-v2", 17736195704250673075),
         "evaluation-model outputs changed: bump ng_dse::MODEL_VERSION \
-         (crates/dse/src/lib.rs) so stale .dse-cache entries self-invalidate, \
-         then update the pinned fingerprint here"
+         (crates/dse/src/lib.rs) so cache generations stay tellable apart \
+         on disk, then update the pinned fingerprint here"
     );
 }

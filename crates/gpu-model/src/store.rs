@@ -1,0 +1,199 @@
+//! Persistent on-disk store for the calibration tables.
+//!
+//! Building [`crate::calibrate`]'s frame-time ratio table means
+//! instantiating every Table I encoding grid (the NeRF hash tables
+//! alone are tens of MiB) and running the roofline model over all
+//! twelve app/encoding pairs — about a second of wall time that every
+//! cold process pays before its first `kernel_breakdown` call. The
+//! table itself is twelve `f64`s, so this module persists it:
+//!
+//! * **Location** — `$NGPC_CALIB_CACHE_DIR` if set, else
+//!   `$XDG_CACHE_HOME/ngpc`, else `~/.cache/ngpc`, else a
+//!   `ngpc-calib` directory under the system temp dir. Set
+//!   `NGPC_CALIB_CACHE=off` (or `0`) to disable persistence entirely.
+//! * **Invalidation** — the file name carries a fingerprint hashed
+//!   from every *input* of the calibration (the GPU spec, the Table I
+//!   configurations, the per-app sample counts, the storage width) plus
+//!   [`CALIBRATION_SCHEME`], a hand-bumped tag covering the roofline
+//!   formulas themselves. A model change lands in a different file and
+//!   the stale one is simply never read again.
+//! * **Integrity** — values round-trip bit-exactly (shortest
+//!   round-trip `f64` display); a missing, truncated or unparseable
+//!   file degrades to in-process computation, never to an error.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use ng_neural::apps::{AppKind, EncodingKind};
+use ng_neural::math::fnv1a64;
+
+use crate::spec::rtx3090;
+use crate::workload::{samples_per_pixel, BYTES_PER_PARAM};
+
+/// Version tag of the calibration *formulas* (the roofline efficiency
+/// constants and kernel cost model in [`crate::cost`]). Bump together
+/// with any change to those formulas — the data inputs (GPU spec,
+/// Table I) are fingerprinted automatically, the code is not.
+pub const CALIBRATION_SCHEME: &str = "roofline-v1";
+
+/// Fingerprint of everything the ratio table is computed *from*: cheap
+/// to evaluate (no grids are instantiated), stable across processes.
+pub fn calibration_fingerprint() -> u64 {
+    let mut text = format!("{CALIBRATION_SCHEME};bytes_per_param={BYTES_PER_PARAM};");
+    text.push_str(&format!("gpu={:?};", rtx3090()));
+    for app in AppKind::ALL {
+        text.push_str(&format!("spp[{app:?}]={};", samples_per_pixel(app)));
+        for enc in EncodingKind::ALL {
+            text.push_str(&format!(
+                "table1[{app:?},{enc:?}]={:?};",
+                ng_neural::apps::table1(app, enc)
+            ));
+        }
+    }
+    fnv1a64(&text)
+}
+
+/// The resolved cache directory, or `None` when persistence is
+/// disabled via `NGPC_CALIB_CACHE=off`/`0`.
+pub fn default_dir() -> Option<PathBuf> {
+    match std::env::var("NGPC_CALIB_CACHE") {
+        Ok(v) if v == "off" || v == "0" => return None,
+        _ => {}
+    }
+    if let Ok(dir) = std::env::var("NGPC_CALIB_CACHE_DIR") {
+        return Some(PathBuf::from(dir));
+    }
+    if let Ok(xdg) = std::env::var("XDG_CACHE_HOME") {
+        return Some(PathBuf::from(xdg).join("ngpc"));
+    }
+    if let Ok(home) = std::env::var("HOME") {
+        return Some(PathBuf::from(home).join(".cache").join("ngpc"));
+    }
+    Some(std::env::temp_dir().join("ngpc-calib"))
+}
+
+fn parse_app_tag(s: &str) -> Option<AppKind> {
+    AppKind::ALL.into_iter().find(|a| format!("{a:?}") == s)
+}
+
+fn parse_encoding_tag(s: &str) -> Option<EncodingKind> {
+    EncodingKind::ALL.into_iter().find(|e| format!("{e:?}") == s)
+}
+
+/// The file one fingerprint's ratio table lives in.
+pub fn ratio_path(dir: &std::path::Path, fingerprint: u64) -> PathBuf {
+    dir.join(format!("grid-ratios-{fingerprint:016x}.csv"))
+}
+
+/// Load the ratio table for `fingerprint` from `dir`, if present and
+/// complete (one row per app/encoding pair). Any corruption is a miss.
+pub fn load_ratios(
+    dir: &std::path::Path,
+    fingerprint: u64,
+) -> Option<Vec<((AppKind, EncodingKind), f64)>> {
+    let text = fs::read_to_string(ratio_path(dir, fingerprint)).ok()?;
+    let mut out = Vec::with_capacity(12);
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let app = parse_app_tag(fields.next()?)?;
+        let enc = parse_encoding_tag(fields.next()?)?;
+        let ratio: f64 = fields.next()?.parse().ok()?;
+        if fields.next().is_some() || !ratio.is_finite() || ratio <= 0.0 {
+            return None;
+        }
+        out.push(((app, enc), ratio));
+    }
+    // Every pair must be present exactly once, in the canonical order
+    // the computation emits — anything else is a torn or stale file.
+    let expected: Vec<(AppKind, EncodingKind)> =
+        AppKind::ALL.iter().flat_map(|&a| EncodingKind::ALL.iter().map(move |&e| (a, e))).collect();
+    if out.iter().map(|(k, _)| *k).collect::<Vec<_>>() != expected {
+        return None;
+    }
+    Some(out)
+}
+
+/// Persist the ratio table (write-then-rename; best effort — callers
+/// treat failure as "run uncached").
+pub fn save_ratios(
+    dir: &std::path::Path,
+    fingerprint: u64,
+    ratios: &[((AppKind, EncodingKind), f64)],
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut body = format!(
+        "# ngpc calibration cache | scheme {CALIBRATION_SCHEME} | fingerprint {fingerprint:016x}\n"
+    );
+    for ((app, enc), ratio) in ratios {
+        body.push_str(&format!("{app:?},{enc:?},{ratio}\n"));
+    }
+    let path = ratio_path(dir, fingerprint);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Vec<((AppKind, EncodingKind), f64)> {
+        AppKind::ALL
+            .iter()
+            .flat_map(|&a| EncodingKind::ALL.iter().map(move |&e| (a, e)))
+            .enumerate()
+            .map(|(i, k)| (k, 0.1 + i as f64 * 0.07 + 1.0 / 3.0))
+            .collect()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ngpc-calib-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ratios_round_trip_bit_exactly() {
+        let dir = tmpdir("roundtrip");
+        let table = sample_table();
+        let fp = calibration_fingerprint();
+        assert!(load_ratios(&dir, fp).is_none(), "cold store");
+        save_ratios(&dir, fp, &table).unwrap();
+        assert_eq!(load_ratios(&dir, fp).unwrap(), table);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_fingerprint_is_a_miss() {
+        let dir = tmpdir("stale");
+        let table = sample_table();
+        save_ratios(&dir, 0xdead_beef, &table).unwrap();
+        assert!(load_ratios(&dir, calibration_fingerprint()).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_incomplete_files_are_misses() {
+        let dir = tmpdir("corrupt");
+        let fp = 42u64;
+        let table = sample_table();
+        save_ratios(&dir, fp, &table[..5]).unwrap();
+        assert!(load_ratios(&dir, fp).is_none(), "incomplete");
+        fs::write(ratio_path(&dir, fp), "Nerf,MultiResHashGrid,not-a-number\n").unwrap();
+        assert!(load_ratios(&dir, fp).is_none(), "unparseable");
+        fs::write(ratio_path(&dir, fp), "garbage\n").unwrap();
+        assert!(load_ratios(&dir, fp).is_none(), "garbage");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(calibration_fingerprint(), calibration_fingerprint());
+    }
+}

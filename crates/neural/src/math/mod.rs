@@ -37,6 +37,23 @@ pub fn smoothstep(e0: f32, e1: f32, x: f32) -> f32 {
     t * t * (3.0 - 2.0 * t)
 }
 
+/// FNV-1a over a string, 64-bit — the workspace's shared content-hash
+/// for cache keys and model fingerprints (`ng-dse`'s point cache,
+/// `ng-gpu`'s calibration store).
+///
+/// ```
+/// assert_eq!(ng_neural::math::fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(ng_neural::math::fnv1a64("a"), ng_neural::math::fnv1a64("b"));
+/// ```
+pub fn fnv1a64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
