@@ -76,6 +76,21 @@ impl NfpConfig {
                 message: "MAC array dimensions must be nonzero".to_string(),
             });
         }
+        if self.mac_rows > 1024 || self.mac_cols > 1024 {
+            return Err(NgpcError::InvalidConfig {
+                parameter: "mac_array",
+                message: format!(
+                    "MAC array dimensions must be <= 1024, got {}x{}",
+                    self.mac_rows, self.mac_cols
+                ),
+            });
+        }
+        if self.input_fifo_depth == 0 || self.input_fifo_depth > 4096 {
+            return Err(NgpcError::InvalidConfig {
+                parameter: "input_fifo_depth",
+                message: format!("must be 1..=4096, got {}", self.input_fifo_depth),
+            });
+        }
         if !(0.1..=5.0).contains(&self.clock_ghz) {
             return Err(NgpcError::InvalidConfig {
                 parameter: "clock_ghz",
@@ -101,16 +116,21 @@ impl NfpConfig {
         1.0 / self.clock_ghz
     }
 
-    /// The equivalent floorplan for the area/power substrate.
+    /// The equivalent floorplan for the area/power substrate. The MLP
+    /// engine's weight and activation SRAMs are provisioned
+    /// proportionally to the MAC array (the paper's 128 KiB / 32 KiB at
+    /// 64x64 set the per-MAC ratio), so sweeping the array resizes its
+    /// buffering with it; floored at one 4 KiB macro.
     pub fn floorplan(&self) -> ng_hw::NfpFloorplan {
+        let macs = self.mac_count() as u64;
         ng_hw::NfpFloorplan {
             encoding_engines: self.encoding_engines,
             grid_sram_bytes: self.grid_sram_bytes as u64,
             grid_sram_banks: self.grid_sram_banks,
             mac_rows: self.mac_rows,
             mac_cols: self.mac_cols,
-            weight_sram_bytes: 128 * 1024,
-            activation_sram_bytes: 32 * 1024,
+            weight_sram_bytes: (128 * 1024 * macs / 4096).max(4096),
+            activation_sram_bytes: (32 * 1024 * macs / 4096).max(4096),
             input_fifo_depth: self.input_fifo_depth,
             clock_ghz: self.clock_ghz,
         }
@@ -188,6 +208,12 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = NfpConfig { clock_ghz: 99.0, ..NfpConfig::default() };
         assert!(bad.validate().is_err());
+        let bad = NfpConfig { mac_rows: 0, ..NfpConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = NfpConfig { mac_cols: 2048, ..NfpConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = NfpConfig { input_fifo_depth: 0, ..NfpConfig::default() };
+        assert!(bad.validate().is_err());
         assert!(NgpcConfig { nfp_units: 0, nfp: NfpConfig::default() }.validate().is_err());
     }
 
@@ -198,5 +224,13 @@ mod tests {
         assert_eq!(f.encoding_engines, 16);
         assert_eq!(f.grid_sram_bytes, 1 << 20);
         assert_eq!(f.mac_rows * f.mac_cols, 4096);
+        // The paper's MLP buffering is reproduced exactly at 64x64...
+        assert_eq!(f.weight_sram_bytes, 128 * 1024);
+        assert_eq!(f.activation_sram_bytes, 32 * 1024);
+        // ... and scales with the array elsewhere (floored at 4 KiB).
+        let wide = NfpConfig { mac_rows: 128, mac_cols: 128, ..c }.floorplan();
+        assert_eq!(wide.weight_sram_bytes, 4 * 128 * 1024);
+        let tiny = NfpConfig { mac_rows: 8, mac_cols: 8, ..c }.floorplan();
+        assert_eq!(tiny.activation_sram_bytes, 4096);
     }
 }

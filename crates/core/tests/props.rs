@@ -94,4 +94,107 @@ proptest! {
             prop_assert!(r.access_time_ms > 0.0);
         }
     }
+
+    #[test]
+    fn more_macs_or_engines_never_decrease_throughput(
+        mac_rows in 1u32..256,
+        mac_cols in 1u32..256,
+        engines in 1u32..64,
+        extra_rows in 1u32..256,
+        extra_cols in 1u32..256,
+        extra_engines in 1u32..32,
+    ) {
+        use ngpc::emulator::per_sample_cycles;
+        for enc in EncodingKind::ALL {
+            for app in ng_neural::apps::AppKind::ALL {
+                let base = NfpConfig {
+                    mac_rows, mac_cols, encoding_engines: engines, ..NfpConfig::default()
+                };
+                let c0 = per_sample_cycles(app, enc, &base);
+                // Growing any of the three axes never increases the
+                // per-query issue interval (= never decreases modelled
+                // throughput), individually or together.
+                let grown = [
+                    NfpConfig { mac_rows: mac_rows + extra_rows, ..base },
+                    NfpConfig { mac_cols: mac_cols + extra_cols, ..base },
+                    NfpConfig { encoding_engines: engines + extra_engines, ..base },
+                    NfpConfig {
+                        mac_rows: mac_rows + extra_rows,
+                        mac_cols: mac_cols + extra_cols,
+                        encoding_engines: engines + extra_engines,
+                        ..base
+                    },
+                ];
+                for g in grown {
+                    let c1 = per_sample_cycles(app, enc, &g);
+                    prop_assert!(
+                        c1 <= c0 + 1e-12,
+                        "{app}/{enc}: {c1} > {c0} ({base:?} -> {g:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mac_engine_axes_monotone_in_end_to_end_speedup(
+        n in 1u32..128,
+        mac_shift in 0u32..3,
+        engine_shift in 0u32..3,
+    ) {
+        use ngpc::emulator::mac_engine_factor;
+        // End to end: a bigger MAC array or engine gang never slows a
+        // configuration down (speedup is monotone through the factor,
+        // the SRAM-pressure coupling, and the Amdahl cap).
+        let dims = [32u32, 64, 128];
+        let engines = [8u32, 16, 32];
+        for enc in EncodingKind::ALL {
+            for app in ng_neural::apps::AppKind::ALL {
+                let small = NfpConfig {
+                    mac_rows: dims[mac_shift as usize],
+                    mac_cols: dims[mac_shift as usize],
+                    encoding_engines: engines[engine_shift as usize],
+                    ..NfpConfig::default()
+                };
+                let factor = mac_engine_factor(app, enc, &small);
+                prop_assert!(factor.is_finite() && factor > 0.0);
+                let lo = emulate(&EmulatorInput {
+                    app, encoding: enc, nfp_units: n, nfp: small,
+                    ..EmulatorInput::default()
+                });
+                let hi = emulate(&EmulatorInput {
+                    app, encoding: enc, nfp_units: n,
+                    nfp: NfpConfig {
+                        mac_rows: 128, mac_cols: 128, encoding_engines: 32,
+                        ..NfpConfig::default()
+                    },
+                    ..EmulatorInput::default()
+                });
+                prop_assert!(
+                    hi.speedup + 1e-9 >= lo.speedup,
+                    "{app}/{enc} N={n}: {} < {}", hi.speedup, lo.speedup
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compositional_model_equals_legacy_slopes_at_paper_nfp() {
+    // ISSUE-3 acceptance: at the paper's NFP (16 engines, 64x64 MACs,
+    // 1 GHz) the compositional model reproduces the calibrated legacy
+    // slopes for every (app, encoding) pair — checked through the
+    // emulator's public surface against the pinned paper-preset
+    // outputs: the MAC/engine factor must be *exactly* 1.0 so that
+    // every published number is byte-identical.
+    use ngpc::emulator::{mac_engine_factor, per_sample_cycles};
+    let paper = NfpConfig::default();
+    for enc in EncodingKind::ALL {
+        for app in ng_neural::apps::AppKind::ALL {
+            let factor = mac_engine_factor(app, enc, &paper);
+            assert!((factor - 1.0).abs() < 1e-9, "{app}/{enc}: {factor}");
+            assert_eq!(factor, 1.0, "{app}/{enc}: must be exact, not just close");
+            assert!(per_sample_cycles(app, enc, &paper) >= 1.0);
+        }
+    }
 }

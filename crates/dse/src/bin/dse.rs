@@ -21,7 +21,8 @@ USAGE:
     dse [--preset NAME | --spec FILE.toml] [OPTIONS]
 
 SPEC:
-    --preset NAME        paper | quick | clocks | resolutions (default: paper)
+    --preset NAME        paper | quick | clocks | resolutions | mac-arrays
+                         (default: paper)
     --spec FILE          load a sweep spec from a TOML file
     --apps LIST          override app axis, e.g. nerf,gia
     --encodings LIST     override encoding axis, e.g. hashgrid,densegrid
@@ -30,6 +31,9 @@ SPEC:
     --pixels LIST        override resolution axis (pixels per frame)
     --sram-kb LIST       override grid-SRAM axis (KiB per engine)
     --banks LIST         override SRAM bank axis (powers of two)
+    --engines LIST       override encoding-engine-count axis, e.g. 8,16,32
+    --mac-rows LIST      override MAC-array row axis, e.g. 32,64,128
+    --mac-cols LIST      override MAC-array column axis, e.g. 32,64,128
 
 CONSTRAINTS (filter the reported frontier, not the evaluation):
     --max-area PCT       keep architectures with area ≤ PCT% of the GPU die
@@ -47,6 +51,10 @@ OUTPUT:
     --per-app            also print each app's own Pareto frontier
     --csv PATH           write every evaluated point as CSV
     --json PATH          write spec + stats + points + frontier as JSON
+    --check-headline     exit non-zero if the paper's NGPC-64 NFP
+                         (hashgrid, 1 GHz, 1MB/8, 64x64 MACs, 16 engines)
+                         was evaluated but is NOT on the cross-app
+                         Pareto frontier (the CI regression guard)
     --help               this text
 ";
 
@@ -61,6 +69,7 @@ struct Cli {
     per_app: bool,
     csv: Option<String>,
     json: Option<String>,
+    check_headline: bool,
 }
 
 fn parse_list<T>(
@@ -94,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         per_app: false,
         csv: None,
         json: None,
+        check_headline: false,
     };
     // Axis overrides are applied after the base spec is chosen.
     let mut overrides: Vec<(String, String)> = Vec::new();
@@ -111,7 +121,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--preset" => preset = Some(value("--preset")?),
             "--spec" => spec_file = Some(value("--spec")?),
             "--apps" | "--encodings" | "--nfp-units" | "--clocks" | "--pixels" | "--sram-kb"
-            | "--banks" => {
+            | "--banks" | "--engines" | "--mac-rows" | "--mac-cols" => {
                 let v = value(arg)?;
                 overrides.push((arg.clone(), v));
             }
@@ -137,6 +147,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--per-app" => cli.per_app = true,
             "--csv" => cli.csv = Some(value(arg)?),
             "--json" => cli.json = Some(value(arg)?),
+            "--check-headline" => cli.check_headline = true,
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
@@ -172,33 +183,39 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--pixels" => cli.spec.pixels = parse_list(&flag, &v, |s| s.parse().ok())?,
             "--sram-kb" => cli.spec.grid_sram_kb = parse_list(&flag, &v, |s| s.parse().ok())?,
             "--banks" => cli.spec.grid_sram_banks = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--engines" => cli.spec.encoding_engines = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--mac-rows" => cli.spec.mac_rows = parse_list(&flag, &v, |s| s.parse().ok())?,
+            "--mac-cols" => cli.spec.mac_cols = parse_list(&flag, &v, |s| s.parse().ok())?,
             _ => unreachable!("override flags are filtered above"),
         }
     }
     Ok(Some(cli))
 }
 
-/// For the flagship preset, point out whether the paper's NGPC-64
-/// headline configuration survived frontier extraction.
-fn headline_check(outcome: &ng_dse::SweepOutcome, constraints: &Constraints) {
+/// Whether the paper's NGPC-64 headline configuration survived frontier
+/// extraction. Returns `None` when the headline point was not evaluated
+/// (axis overrides can sweep it away entirely), `Some(on_frontier)`
+/// otherwise.
+fn headline_check(outcome: &ng_dse::SweepOutcome, constraints: &Constraints) -> Option<bool> {
     let is_headline = |a: &&ng_dse::ArchPoint| {
         a.encoding == EncodingKind::MultiResHashGrid
             && a.nfp_units == 64
             && a.clock_ghz == 1.0
             && a.grid_sram_kb == 1024
             && a.grid_sram_banks == 8
+            && a.encoding_engines == 16
+            && a.mac_rows == 64
+            && a.mac_cols == 64
             && a.pixels == FHD_PIXELS
     };
-    // Axis overrides can sweep the headline configuration away
-    // entirely; only judge the frontier when the point was evaluated.
     if !outcome.cross_app().iter().any(|a| is_headline(&a)) {
-        return;
+        return None;
     }
     let frontier = outcome.cross_app_frontier(constraints);
     let headline = frontier.iter().find(is_headline);
     match headline {
         Some(a) => println!(
-            "\npaper check: NGPC-64 (hashgrid, 1 GHz, 1MB/8-bank) is on the frontier — \
+            "\npaper check: NGPC-64 (hashgrid, 1 GHz, 1MB/8-bank, 64x64/16e) is on the frontier — \
              {:.2}x avg, {:.2}% area, {:.2}% power (paper: 39.04x, ~36.2%, ~22.1%)",
             a.avg_speedup, a.area_pct_of_gpu, a.power_pct_of_gpu
         ),
@@ -207,6 +224,7 @@ fn headline_check(outcome: &ng_dse::SweepOutcome, constraints: &Constraints) {
             describe_constraints(constraints)
         ),
     }
+    Some(headline.is_some())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -227,8 +245,23 @@ fn run(args: &[String]) -> Result<(), String> {
     if cli.cache_stats {
         println!("{}", ng_dse::report::cache_stats_line(&outcome));
     }
-    if cli.spec.name == "paper" {
-        headline_check(&outcome, &cli.constraints);
+    let judge_headline =
+        cli.spec.name == "paper" || cli.spec.name == "mac-arrays" || cli.check_headline;
+    let headline = if judge_headline { headline_check(&outcome, &cli.constraints) } else { None };
+    if cli.check_headline {
+        match headline {
+            Some(true) => {}
+            Some(false) => {
+                return Err("--check-headline: the paper's NGPC-64 point dropped off the \
+                            Pareto frontier"
+                    .to_string())
+            }
+            None => {
+                return Err("--check-headline: the sweep does not contain the paper's NGPC-64 \
+                            point"
+                    .to_string())
+            }
+        }
     }
 
     if let Some(path) = &cli.csv {

@@ -55,7 +55,8 @@ impl EvalCache {
     /// [`MODEL_VERSION`] tag and the computed model fingerprint.
     pub fn point_key(point: &DesignPoint) -> u64 {
         ng_neural::math::fnv1a64(&format!(
-            "{MODEL_VERSION};{:016x};app={};enc={};px={};nfp={};clk={:016x};kb={};banks={}",
+            "{MODEL_VERSION};{:016x};app={};enc={};px={};nfp={};clk={:016x};kb={};banks={};\
+             eng={};mrows={};mcols={}",
             model_fingerprint(),
             crate::spec::app_slug(point.app),
             crate::spec::encoding_slug(point.encoding),
@@ -64,6 +65,9 @@ impl EvalCache {
             point.clock_ghz.to_bits(),
             point.grid_sram_kb,
             point.grid_sram_banks,
+            point.encoding_engines,
+            point.mac_rows,
+            point.mac_cols,
         ))
     }
 

@@ -13,7 +13,8 @@ use crate::sweep::{ArchPoint, EvaluatedPoint, SweepOutcome};
 
 /// Column header of the points CSV.
 pub const CSV_HEADER: &str = "index,app,encoding,pixels,nfp_units,clock_ghz,grid_sram_kb,\
-                              grid_sram_banks,speedup,area_pct_of_gpu,power_pct_of_gpu,gpu_ms,\
+                              grid_sram_banks,encoding_engines,mac_rows,mac_cols,speedup,\
+                              area_pct_of_gpu,power_pct_of_gpu,gpu_ms,\
                               ngpc_frame_ms,amdahl_bound,plateaued";
 
 /// One CSV data row of an evaluated point (no trailing newline) — the
@@ -22,7 +23,7 @@ pub const CSV_HEADER: &str = "index,app,encoding,pixels,nfp_units,clock_ghz,grid
 pub fn point_to_row(p: &EvaluatedPoint) -> String {
     let d = &p.point;
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         d.index,
         app_slug(d.app),
         encoding_slug(d.encoding),
@@ -31,6 +32,9 @@ pub fn point_to_row(p: &EvaluatedPoint) -> String {
         d.clock_ghz,
         d.grid_sram_kb,
         d.grid_sram_banks,
+        d.encoding_engines,
+        d.mac_rows,
+        d.mac_cols,
         p.speedup,
         p.area_pct_of_gpu,
         p.power_pct_of_gpu,
@@ -44,8 +48,8 @@ pub fn point_to_row(p: &EvaluatedPoint) -> String {
 /// Parse one [`point_to_row`] data row.
 pub fn point_from_row(line: &str) -> Result<EvaluatedPoint, String> {
     let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != 15 {
-        return Err(format!("expected 15 fields, got {}", fields.len()));
+    if fields.len() != 18 {
+        return Err(format!("expected 18 fields, got {}", fields.len()));
     }
     let err = |what: &str| format!("bad {what}");
     Ok(EvaluatedPoint {
@@ -58,14 +62,17 @@ pub fn point_from_row(line: &str) -> Result<EvaluatedPoint, String> {
             clock_ghz: fields[5].parse().map_err(|_| err("clock_ghz"))?,
             grid_sram_kb: fields[6].parse().map_err(|_| err("grid_sram_kb"))?,
             grid_sram_banks: fields[7].parse().map_err(|_| err("grid_sram_banks"))?,
+            encoding_engines: fields[8].parse().map_err(|_| err("encoding_engines"))?,
+            mac_rows: fields[9].parse().map_err(|_| err("mac_rows"))?,
+            mac_cols: fields[10].parse().map_err(|_| err("mac_cols"))?,
         },
-        speedup: fields[8].parse().map_err(|_| err("speedup"))?,
-        area_pct_of_gpu: fields[9].parse().map_err(|_| err("area_pct_of_gpu"))?,
-        power_pct_of_gpu: fields[10].parse().map_err(|_| err("power_pct_of_gpu"))?,
-        gpu_ms: fields[11].parse().map_err(|_| err("gpu_ms"))?,
-        ngpc_frame_ms: fields[12].parse().map_err(|_| err("ngpc_frame_ms"))?,
-        amdahl_bound: fields[13].parse().map_err(|_| err("amdahl_bound"))?,
-        plateaued: fields[14].parse().map_err(|_| err("plateaued"))?,
+        speedup: fields[11].parse().map_err(|_| err("speedup"))?,
+        area_pct_of_gpu: fields[12].parse().map_err(|_| err("area_pct_of_gpu"))?,
+        power_pct_of_gpu: fields[13].parse().map_err(|_| err("power_pct_of_gpu"))?,
+        gpu_ms: fields[14].parse().map_err(|_| err("gpu_ms"))?,
+        ngpc_frame_ms: fields[15].parse().map_err(|_| err("ngpc_frame_ms"))?,
+        amdahl_bound: fields[16].parse().map_err(|_| err("amdahl_bound"))?,
+        plateaued: fields[17].parse().map_err(|_| err("plateaued"))?,
     })
 }
 
@@ -149,7 +156,8 @@ fn json_point(p: &EvaluatedPoint) -> String {
     let d = &p.point;
     format!(
         "{{\"index\":{},\"app\":{},\"encoding\":{},\"pixels\":{},\"nfp_units\":{},\
-         \"clock_ghz\":{},\"grid_sram_kb\":{},\"grid_sram_banks\":{},\"speedup\":{},\
+         \"clock_ghz\":{},\"grid_sram_kb\":{},\"grid_sram_banks\":{},\"encoding_engines\":{},\
+         \"mac_rows\":{},\"mac_cols\":{},\"speedup\":{},\
          \"area_pct_of_gpu\":{},\"power_pct_of_gpu\":{},\"gpu_ms\":{},\"ngpc_frame_ms\":{},\
          \"amdahl_bound\":{},\"plateaued\":{}}}",
         d.index,
@@ -160,6 +168,9 @@ fn json_point(p: &EvaluatedPoint) -> String {
         json_f64(d.clock_ghz),
         d.grid_sram_kb,
         d.grid_sram_banks,
+        d.encoding_engines,
+        d.mac_rows,
+        d.mac_cols,
         json_f64(p.speedup),
         json_f64(p.area_pct_of_gpu),
         json_f64(p.power_pct_of_gpu),
@@ -173,7 +184,8 @@ fn json_point(p: &EvaluatedPoint) -> String {
 fn json_arch(a: &ArchPoint) -> String {
     format!(
         "{{\"encoding\":{},\"pixels\":{},\"nfp_units\":{},\"clock_ghz\":{},\"grid_sram_kb\":{},\
-         \"grid_sram_banks\":{},\"apps\":{},\"avg_speedup\":{},\"area_pct_of_gpu\":{},\
+         \"grid_sram_banks\":{},\"encoding_engines\":{},\"mac_rows\":{},\"mac_cols\":{},\
+         \"apps\":{},\"avg_speedup\":{},\"area_pct_of_gpu\":{},\
          \"power_pct_of_gpu\":{}}}",
         json_str(encoding_slug(a.encoding)),
         a.pixels,
@@ -181,6 +193,9 @@ fn json_arch(a: &ArchPoint) -> String {
         json_f64(a.clock_ghz),
         a.grid_sram_kb,
         a.grid_sram_banks,
+        a.encoding_engines,
+        a.mac_rows,
+        a.mac_cols,
         a.apps,
         json_f64(a.avg_speedup),
         json_f64(a.area_pct_of_gpu),
@@ -191,7 +206,8 @@ fn json_arch(a: &ArchPoint) -> String {
 fn json_spec(spec: &SweepSpec) -> String {
     format!(
         "{{\"name\":{},\"apps\":{},\"encodings\":{},\"pixels\":{:?},\"nfp_units\":{:?},\
-         \"clock_ghz\":{:?},\"grid_sram_kb\":{:?},\"grid_sram_banks\":{:?}}}",
+         \"clock_ghz\":{:?},\"grid_sram_kb\":{:?},\"grid_sram_banks\":{:?},\
+         \"encoding_engines\":{:?},\"mac_rows\":{:?},\"mac_cols\":{:?}}}",
         json_str(&spec.name),
         app_list(&spec.apps),
         encoding_list(&spec.encodings),
@@ -200,6 +216,9 @@ fn json_spec(spec: &SweepSpec) -> String {
         spec.clock_ghz,
         spec.grid_sram_kb,
         spec.grid_sram_banks,
+        spec.encoding_engines,
+        spec.mac_rows,
+        spec.mac_cols,
     )
 }
 

@@ -53,17 +53,20 @@ pub use sweep::{ArchPoint, EvaluatedPoint, SweepEngine, SweepOutcome, SweepStats
 /// humanly tellable apart on disk — though since
 /// [`model_fingerprint`] is also folded into every key, a forgotten
 /// bump no longer serves stale results.
-pub const MODEL_VERSION: &str = "ngpc-models-v2";
+pub const MODEL_VERSION: &str = "ngpc-models-v3";
 
-/// Fingerprint of the evaluation models' actual *outputs*: the
-/// quick-preset sweep evaluated single-threaded and hashed at 9
-/// significant digits (coarse enough to absorb cross-platform libm
-/// jitter, fine enough that any deliberate model change shifts it).
-/// Folded into every point-cache key next to [`MODEL_VERSION`], so
-/// model drift invalidates cached sweep results automatically; the
+/// Fingerprint of the evaluation models' actual *outputs*: a probe
+/// sweep evaluated single-threaded and hashed at 9 significant digits
+/// (coarse enough to absorb cross-platform libm jitter, fine enough
+/// that any deliberate model change shifts it). The probe is the
+/// quick preset *widened along the MAC-array and engine-count axes*
+/// (2 engine counts x 2 row counts x 2 column counts), so drift in the
+/// compositional timing model — which is invisible at the paper's NFP
+/// by construction — still invalidates cached sweep results.
+/// Folded into every point-cache key next to [`MODEL_VERSION`]; the
 /// pinned value in `tests/model_fingerprint.rs` turns silent drift into
 /// a test failure with bump instructions. Computed once per process:
-/// 16 evaluations — microseconds once the GPU model is calibrated.
+/// 128 evaluations — microseconds once the GPU model is calibrated.
 /// Note the coupling: because the probe runs the real emulator, any
 /// cache-enabled run pays the GPU-model calibration (~1 s) when
 /// `ng-gpu`'s persistent calibration store is cold or disabled
@@ -72,11 +75,15 @@ pub const MODEL_VERSION: &str = "ngpc-models-v2";
 pub fn model_fingerprint() -> u64 {
     static FINGERPRINT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     *FINGERPRINT.get_or_init(|| {
+        let mut probe = SweepSpec::quick();
+        probe.encoding_engines = vec![8, 16];
+        probe.mac_rows = vec![32, 64];
+        probe.mac_cols = vec![32, 64];
         let outcome = SweepEngine::new()
             .without_cache()
             .with_threads(1)
-            .run(&SweepSpec::quick())
-            .expect("the quick preset always validates");
+            .run(&probe)
+            .expect("the probe spec always validates");
         let mut text = String::new();
         for p in &outcome.points {
             text.push_str(&format!(

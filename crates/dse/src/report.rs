@@ -41,14 +41,15 @@ fn arch_row(a: &ArchPoint) -> Vec<String> {
         encoding_slug(a.encoding).to_string(),
         format!("{:.2}", a.clock_ghz),
         format!("{}K/{}", a.grid_sram_kb, a.grid_sram_banks),
+        format!("{}x{}/{}e", a.mac_rows, a.mac_cols, a.encoding_engines),
         format!("{:.2}x", a.avg_speedup),
         format!("{:.2}%", a.area_pct_of_gpu),
         format!("{:.2}%", a.power_pct_of_gpu),
     ]
 }
 
-const ARCH_HEADERS: [&str; 7] =
-    ["config", "encoding", "GHz", "sram/banks", "avg x", "area %", "power %"];
+const ARCH_HEADERS: [&str; 8] =
+    ["config", "encoding", "GHz", "sram/banks", "macs/eng", "avg x", "area %", "power %"];
 
 /// The cross-app-average frontier as a table (top `limit` rows by
 /// ascending area).
@@ -68,6 +69,7 @@ fn point_row(p: &EvaluatedPoint) -> Vec<String> {
         encoding_slug(d.encoding).to_string(),
         format!("{:.2}", d.clock_ghz),
         format!("{}K/{}", d.grid_sram_kb, d.grid_sram_banks),
+        format!("{}x{}/{}e", d.mac_rows, d.mac_cols, d.encoding_engines),
         format!("{:.2}x", p.speedup),
         format!("{:.2}%", p.area_pct_of_gpu),
         format!("{:.2}%", p.power_pct_of_gpu),
@@ -75,8 +77,17 @@ fn point_row(p: &EvaluatedPoint) -> Vec<String> {
     ]
 }
 
-const POINT_HEADERS: [&str; 8] =
-    ["config", "encoding", "GHz", "sram/banks", "speedup", "area %", "power %", "plateau"];
+const POINT_HEADERS: [&str; 9] = [
+    "config",
+    "encoding",
+    "GHz",
+    "sram/banks",
+    "macs/eng",
+    "speedup",
+    "area %",
+    "power %",
+    "plateau",
+];
 
 /// One app's frontier as a table.
 pub fn per_app_table(points: &[EvaluatedPoint], limit: usize) -> String {
@@ -136,7 +147,7 @@ pub fn print_report(outcome: &SweepOutcome, constraints: &Constraints, top: usiz
     let spec = &outcome.spec;
     let stats = &outcome.stats;
     println!(
-        "sweep `{}`: {} points ({} apps x {} encodings x {} resolutions x {} nfp x {} clocks x {} srams x {} banks)",
+        "sweep `{}`: {} points ({} apps x {} encodings x {} resolutions x {} nfp x {} clocks x {} srams x {} banks x {} engines x {} mac-rows x {} mac-cols)",
         spec.name,
         stats.total_points,
         spec.apps.len(),
@@ -146,6 +157,9 @@ pub fn print_report(outcome: &SweepOutcome, constraints: &Constraints, top: usiz
         spec.clock_ghz.len(),
         spec.grid_sram_kb.len(),
         spec.grid_sram_banks.len(),
+        spec.encoding_engines.len(),
+        spec.mac_rows.len(),
+        spec.mac_cols.len(),
     );
     if stats.cache_hit {
         println!(

@@ -101,7 +101,17 @@ pub struct DesignPoint {
     pub grid_sram_kb: u32,
     /// Banks per grid SRAM.
     pub grid_sram_banks: u32,
+    /// Input-encoding engines per NFP.
+    pub encoding_engines: u32,
+    /// MAC array rows of the MLP engine.
+    pub mac_rows: u32,
+    /// MAC array columns of the MLP engine.
+    pub mac_cols: u32,
 }
+
+/// Hashable identity of the architecture axes of a [`DesignPoint`]
+/// (everything except the app).
+pub type ArchKey = (EncodingKind, u64, u32, u64, u32, u32, u32, u32, u32);
 
 impl DesignPoint {
     /// The emulator input for this point.
@@ -114,12 +124,15 @@ impl DesignPoint {
             .clock_ghz(self.clock_ghz)
             .grid_sram_bytes(self.grid_sram_kb as usize * 1024)
             .grid_sram_banks(self.grid_sram_banks)
+            .encoding_engines(self.encoding_engines)
+            .mac_rows(self.mac_rows)
+            .mac_cols(self.mac_cols)
             .build()
     }
 
     /// Hashable identity of the *architecture* axes (everything except
     /// the app), used to group points for cross-app averaging.
-    pub fn arch_key(&self) -> (EncodingKind, u64, u32, u64, u32, u32) {
+    pub fn arch_key(&self) -> ArchKey {
         (
             self.encoding,
             self.pixels,
@@ -127,6 +140,9 @@ impl DesignPoint {
             self.clock_ghz.to_bits(),
             self.grid_sram_kb,
             self.grid_sram_banks,
+            self.encoding_engines,
+            self.mac_rows,
+            self.mac_cols,
         )
     }
 }
@@ -150,6 +166,12 @@ pub struct SweepSpec {
     pub grid_sram_kb: Vec<u32>,
     /// Grid SRAM bank counts (powers of two).
     pub grid_sram_banks: Vec<u32>,
+    /// Input-encoding engine counts per NFP.
+    pub encoding_engines: Vec<u32>,
+    /// MAC array row counts of the MLP engine.
+    pub mac_rows: Vec<u32>,
+    /// MAC array column counts of the MLP engine.
+    pub mac_cols: Vec<u32>,
     /// Default reporting constraints (not part of the cache key: the
     /// full sweep is always evaluated and cached; constraints filter).
     pub constraints: Constraints,
@@ -168,6 +190,9 @@ impl Default for SweepSpec {
             clock_ghz: vec![1.0],
             grid_sram_kb: vec![1024],
             grid_sram_banks: vec![8],
+            encoding_engines: vec![16],
+            mac_rows: vec![64],
+            mac_cols: vec![64],
             constraints: Constraints::default(),
         }
     }
@@ -216,6 +241,21 @@ impl SweepSpec {
         }
     }
 
+    /// The NFP-microarchitecture preset: MAC arrays from 32x32 to
+    /// 128x128 crossed with 8/16/32 encoding engines at the paper's
+    /// scaling factors — the axes the compositional timing model opened
+    /// up. Contains the paper's 64x64 / 16-engine NFP at every unit
+    /// count.
+    pub fn mac_arrays() -> Self {
+        SweepSpec {
+            name: "mac-arrays".to_string(),
+            encoding_engines: vec![8, 16, 32],
+            mac_rows: vec![32, 64, 128],
+            mac_cols: vec![32, 64, 128],
+            ..SweepSpec::default()
+        }
+    }
+
     /// Look up a named preset.
     pub fn preset(name: &str) -> Option<Self> {
         match name {
@@ -223,12 +263,14 @@ impl SweepSpec {
             "quick" => Some(Self::quick()),
             "clocks" => Some(Self::clocks()),
             "resolutions" => Some(Self::resolutions()),
+            "mac-arrays" => Some(Self::mac_arrays()),
             _ => None,
         }
     }
 
     /// Names accepted by [`SweepSpec::preset`].
-    pub const PRESETS: [&'static str; 4] = ["paper", "quick", "clocks", "resolutions"];
+    pub const PRESETS: [&'static str; 5] =
+        ["paper", "quick", "clocks", "resolutions", "mac-arrays"];
 
     /// Number of points in the sweep.
     pub fn point_count(&self) -> usize {
@@ -239,12 +281,15 @@ impl SweepSpec {
             * self.clock_ghz.len()
             * self.grid_sram_kb.len()
             * self.grid_sram_banks.len()
+            * self.encoding_engines.len()
+            * self.mac_rows.len()
+            * self.mac_cols.len()
     }
 
     /// Check the sweep is non-empty and every axis value is one the
     /// emulator accepts.
     pub fn validate(&self) -> Result<(), SpecError> {
-        let axes: [(&str, bool); 7] = [
+        let axes: [(&str, bool); 10] = [
             ("apps", self.apps.is_empty()),
             ("encodings", self.encodings.is_empty()),
             ("pixels", self.pixels.is_empty()),
@@ -252,6 +297,9 @@ impl SweepSpec {
             ("clock_ghz", self.clock_ghz.is_empty()),
             ("grid_sram_kb", self.grid_sram_kb.is_empty()),
             ("grid_sram_banks", self.grid_sram_banks.is_empty()),
+            ("encoding_engines", self.encoding_engines.is_empty()),
+            ("mac_rows", self.mac_rows.is_empty()),
+            ("mac_cols", self.mac_cols.is_empty()),
         ];
         for (name, empty) in axes {
             if empty {
@@ -279,6 +327,9 @@ impl SweepSpec {
         unique("clock_ghz", &self.clock_ghz, |&c| c.to_bits())?;
         unique("grid_sram_kb", &self.grid_sram_kb, |&k| k)?;
         unique("grid_sram_banks", &self.grid_sram_banks, |&b| b)?;
+        unique("encoding_engines", &self.encoding_engines, |&e| e)?;
+        unique("mac_rows", &self.mac_rows, |&r| r)?;
+        unique("mac_cols", &self.mac_cols, |&c| c)?;
         // Upper bound well past 16K-per-eye but far from the u64
         // overflow of downstream `pixels * samples` workload math.
         const MAX_PIXELS: u64 = 1 << 33;
@@ -294,8 +345,26 @@ impl SweepSpec {
                 return Err(SpecError::Invalid(format!("nfp_units {n} outside 1..=1024")));
             }
         }
+        // Degenerate NFP-microarchitecture values get spec-level errors
+        // (a sweep must fail fast, not panic mid-evaluation). The
+        // bounds mirror `NfpConfig::validate`.
+        for &e in &self.encoding_engines {
+            if e == 0 || e > 64 {
+                return Err(SpecError::Invalid(format!("encoding_engines {e} outside 1..=64")));
+            }
+        }
+        for &r in &self.mac_rows {
+            if r == 0 || r > 1024 {
+                return Err(SpecError::Invalid(format!("mac_rows {r} outside 1..=1024")));
+            }
+        }
+        for &c in &self.mac_cols {
+            if c == 0 || c > 1024 {
+                return Err(SpecError::Invalid(format!("mac_cols {c} outside 1..=1024")));
+            }
+        }
         // One emulator-level validation per NFP-axis combination; the
-        // product of the three NFP axes is small by construction.
+        // product of the three swept NFP axes is small by construction.
         for &clock in &self.clock_ghz {
             for &kb in &self.grid_sram_kb {
                 for &banks in &self.grid_sram_banks {
@@ -323,17 +392,26 @@ impl SweepSpec {
                         for &clock_ghz in &self.clock_ghz {
                             for &grid_sram_kb in &self.grid_sram_kb {
                                 for &grid_sram_banks in &self.grid_sram_banks {
-                                    out.push(DesignPoint {
-                                        index,
-                                        app,
-                                        encoding,
-                                        pixels,
-                                        nfp_units,
-                                        clock_ghz,
-                                        grid_sram_kb,
-                                        grid_sram_banks,
-                                    });
-                                    index += 1;
+                                    for &encoding_engines in &self.encoding_engines {
+                                        for &mac_rows in &self.mac_rows {
+                                            for &mac_cols in &self.mac_cols {
+                                                out.push(DesignPoint {
+                                                    index,
+                                                    app,
+                                                    encoding,
+                                                    pixels,
+                                                    nfp_units,
+                                                    clock_ghz,
+                                                    grid_sram_kb,
+                                                    grid_sram_banks,
+                                                    encoding_engines,
+                                                    mac_rows,
+                                                    mac_cols,
+                                                });
+                                                index += 1;
+                                            }
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -350,7 +428,7 @@ impl SweepSpec {
     pub fn canonical(&self) -> String {
         let join = |it: Vec<String>| it.join(",");
         format!(
-            "apps=[{}];encodings=[{}];pixels=[{}];nfp_units=[{}];clock_ghz=[{}];grid_sram_kb=[{}];grid_sram_banks=[{}]",
+            "apps=[{}];encodings=[{}];pixels=[{}];nfp_units=[{}];clock_ghz=[{}];grid_sram_kb=[{}];grid_sram_banks=[{}];encoding_engines=[{}];mac_rows=[{}];mac_cols=[{}]",
             join(self.apps.iter().map(|&a| app_slug(a).to_string()).collect()),
             join(self.encodings.iter().map(|&e| encoding_slug(e).to_string()).collect()),
             join(self.pixels.iter().map(|p| p.to_string()).collect()),
@@ -358,6 +436,9 @@ impl SweepSpec {
             join(self.clock_ghz.iter().map(|c| format!("{:016x}", c.to_bits())).collect()),
             join(self.grid_sram_kb.iter().map(|k| k.to_string()).collect()),
             join(self.grid_sram_banks.iter().map(|b| b.to_string()).collect()),
+            join(self.encoding_engines.iter().map(|e| e.to_string()).collect()),
+            join(self.mac_rows.iter().map(|r| r.to_string()).collect()),
+            join(self.mac_cols.iter().map(|c| c.to_string()).collect()),
         )
     }
 
@@ -521,6 +602,11 @@ fn apply_key(
         "grid_sram_banks" => {
             spec.grid_sram_banks = coerce_vec(value, |v| as_u32(v, "grid_sram_banks"))?
         }
+        "encoding_engines" => {
+            spec.encoding_engines = coerce_vec(value, |v| as_u32(v, "encoding_engines"))?
+        }
+        "mac_rows" => spec.mac_rows = coerce_vec(value, |v| as_u32(v, "mac_rows"))?,
+        "mac_cols" => spec.mac_cols = coerce_vec(value, |v| as_u32(v, "mac_cols"))?,
         _ => return Err(format!("unknown key `{key}`")),
     }
     Ok(())
@@ -568,6 +654,9 @@ mod tests {
             clock_ghz: 1.5,
             grid_sram_kb: 512,
             grid_sram_banks: 4,
+            encoding_engines: 8,
+            mac_rows: 32,
+            mac_cols: 128,
         };
         let input = p.emulator_input();
         assert_eq!(input.app, AppKind::Gia);
@@ -575,6 +664,9 @@ mod tests {
         assert_eq!(input.nfp.grid_sram_bytes, 512 * 1024);
         assert_eq!(input.nfp.grid_sram_banks, 4);
         assert_eq!(input.nfp.clock_ghz, 1.5);
+        assert_eq!(input.nfp.encoding_engines, 8);
+        assert_eq!(input.nfp.mac_rows, 32);
+        assert_eq!(input.nfp.mac_cols, 128);
     }
 
     #[test]
@@ -647,6 +739,72 @@ mod tests {
         let mut spec = SweepSpec::quick();
         spec.pixels = vec![0];
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn mac_arrays_preset_spans_the_new_axes() {
+        let spec = SweepSpec::mac_arrays();
+        spec.validate().unwrap();
+        assert_eq!(spec.encoding_engines, vec![8, 16, 32]);
+        assert_eq!(spec.mac_rows, vec![32, 64, 128]);
+        assert_eq!(spec.mac_cols, vec![32, 64, 128]);
+        // 4 apps x 4 unit counts x 3 engines x 3 rows x 3 cols.
+        assert_eq!(spec.point_count(), 4 * 4 * 3 * 3 * 3);
+        // The paper's NFP is one of the points at every unit count.
+        let paper_points = spec
+            .points()
+            .into_iter()
+            .filter(|p| p.encoding_engines == 16 && p.mac_rows == 64 && p.mac_cols == 64)
+            .count();
+        assert_eq!(paper_points, 4 * 4);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_engine_and_mac_axes() {
+        // Each degenerate value must fail at the spec layer with its
+        // own message, not panic mid-sweep.
+        type Mutator = fn(&mut SweepSpec);
+        let cases: [(&str, Mutator, &str); 6] = [
+            ("zero engines", |s| s.encoding_engines = vec![0], "encoding_engines 0 outside 1..=64"),
+            (
+                "huge engines",
+                |s| s.encoding_engines = vec![128],
+                "encoding_engines 128 outside 1..=64",
+            ),
+            ("zero mac_rows", |s| s.mac_rows = vec![0], "mac_rows 0 outside 1..=1024"),
+            ("huge mac_rows", |s| s.mac_rows = vec![2048], "mac_rows 2048 outside 1..=1024"),
+            ("zero mac_cols", |s| s.mac_cols = vec![0], "mac_cols 0 outside 1..=1024"),
+            ("huge mac_cols", |s| s.mac_cols = vec![4096], "mac_cols 4096 outside 1..=1024"),
+        ];
+        for (what, mutate, message) in cases {
+            let mut spec = SweepSpec::quick();
+            mutate(&mut spec);
+            match spec.validate() {
+                Err(SpecError::Invalid(m)) => assert_eq!(m, message, "{what}"),
+                other => panic!("{what}: expected Invalid, got {other:?}"),
+            }
+        }
+        // Empty axes are rejected like every other axis.
+        let mut spec = SweepSpec::quick();
+        spec.mac_rows.clear();
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::Invalid("axis `mac_rows` is empty".to_string()))
+        );
+    }
+
+    #[test]
+    fn toml_parses_the_new_axes() {
+        let spec = SweepSpec::from_toml_str(
+            "encoding_engines = [8, 16]\nmac_rows = [32, 64]\nmac_cols = 64\n",
+        )
+        .unwrap();
+        assert_eq!(spec.encoding_engines, vec![8, 16]);
+        assert_eq!(spec.mac_rows, vec![32, 64]);
+        assert_eq!(spec.mac_cols, vec![64]);
+        assert_eq!(spec.point_count(), 4 * 4 * 2 * 2);
+        let err = SweepSpec::from_toml_str("mac_rows = [0]\n").unwrap_err();
+        assert!(matches!(err, SpecError::Invalid(_)), "{err}");
     }
 
     #[test]

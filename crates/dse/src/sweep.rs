@@ -62,6 +62,12 @@ pub struct ArchPoint {
     pub grid_sram_kb: u32,
     /// Banks per grid SRAM.
     pub grid_sram_banks: u32,
+    /// Input-encoding engines per NFP.
+    pub encoding_engines: u32,
+    /// MAC array rows of the MLP engine.
+    pub mac_rows: u32,
+    /// MAC array columns of the MLP engine.
+    pub mac_cols: u32,
     /// Number of apps averaged.
     pub apps: u32,
     /// Cross-app average speedup.
@@ -147,9 +153,8 @@ impl SweepOutcome {
     /// Fold per-app results into one [`ArchPoint`] per architecture
     /// (cross-app average speedup), in a deterministic order.
     pub fn cross_app(&self) -> Vec<ArchPoint> {
-        let mut by_arch: HashMap<(EncodingKind, u64, u32, u64, u32, u32), ArchPoint> =
-            HashMap::new();
-        let mut order: Vec<(EncodingKind, u64, u32, u64, u32, u32)> = Vec::new();
+        let mut by_arch: HashMap<crate::spec::ArchKey, ArchPoint> = HashMap::new();
+        let mut order: Vec<crate::spec::ArchKey> = Vec::new();
         for p in &self.points {
             let key = p.point.arch_key();
             let entry = by_arch.entry(key).or_insert_with(|| {
@@ -161,6 +166,9 @@ impl SweepOutcome {
                     clock_ghz: p.point.clock_ghz,
                     grid_sram_kb: p.point.grid_sram_kb,
                     grid_sram_banks: p.point.grid_sram_banks,
+                    encoding_engines: p.point.encoding_engines,
+                    mac_rows: p.point.mac_rows,
+                    mac_cols: p.point.mac_cols,
                     apps: 0,
                     avg_speedup: 0.0,
                     area_pct_of_gpu: p.area_pct_of_gpu,
