@@ -17,7 +17,9 @@
 //! cold_points_per_sec}`) so future PRs have a perf trajectory to
 //! compare against — covering both the flagship paper sweep and the
 //! MAC-array / engine-count space the compositional timing model
-//! opened.
+//! opened — plus a `guided` entry for the budgeted searcher over the
+//! exploded guided-lanes space (`{space_points, budget, evaluations,
+//! wall_s, points_per_sec, recovered_headline}`).
 //!
 //! ```text
 //! bench_dse [--quick] [--check-warm] [--out PATH]
@@ -32,7 +34,7 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ng_dse::{SweepEngine, SweepOutcome, SweepSpec};
+use ng_dse::{SearchSpec, Searcher, SweepEngine, SweepOutcome, SweepSpec};
 
 fn run(spec: &SweepSpec, cache_dir: &std::path::Path) -> (f64, SweepOutcome) {
     let engine = SweepEngine::new().with_cache_dir(cache_dir);
@@ -92,6 +94,44 @@ fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
     }
 }
 
+/// One cold guided search over the exploded preset (its own point
+/// cache, so the searcher really evaluates).
+struct GuidedBench {
+    space_points: usize,
+    budget: usize,
+    evaluations: usize,
+    wall_s: f64,
+    points_per_sec: f64,
+    recovered_headline: bool,
+}
+
+fn bench_guided(scratch: &std::path::Path) -> GuidedBench {
+    let spec = SweepSpec::guided_lanes();
+    let search = SearchSpec::for_space(&spec);
+    let searcher = Searcher::new().with_cache_dir(scratch.join("point-cache-guided-search"));
+    let outcome = searcher.run(&spec, &search).expect("preset validates");
+    let recovered = outcome.frontier.iter().any(|a| a.is_paper_organisation());
+    let stats = &outcome.stats;
+    let wall_s = stats.wall.as_secs_f64();
+    println!("[guided-lanes --search]");
+    println!(
+        "search:      {:8.1} ms  ({} of {} points evaluated, {:.2}% of the space, headline {})",
+        wall_s * 1e3,
+        stats.evaluations,
+        stats.space_points,
+        100.0 * stats.budget_fraction_used(),
+        if recovered { "recovered" } else { "MISSED" },
+    );
+    GuidedBench {
+        space_points: stats.space_points,
+        budget: stats.budget,
+        evaluations: stats.evaluations,
+        wall_s,
+        points_per_sec: if wall_s > 0.0 { stats.evaluations as f64 / wall_s } else { 0.0 },
+        recovered_headline: recovered,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -144,6 +184,9 @@ fn main() -> ExitCode {
     });
 
     let benches: Vec<PresetBench> = specs.iter().map(|s| bench_preset(s, &scratch)).collect();
+    // The guided searcher is benched on the full runs only (its space
+    // is the exploded preset; a --quick run has nothing to search).
+    let guided = if quick { None } else { Some(bench_guided(&scratch)) };
 
     let entries: Vec<String> = benches
         .iter()
@@ -156,7 +199,24 @@ fn main() -> ExitCode {
             )
         })
         .collect();
-    let json = format!("{{\n  \"presets\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
+    let guided_json = guided
+        .as_ref()
+        .map(|g| {
+            format!(
+                ",\n  \"guided\": {{\n    \"preset\": \"guided-lanes\",\n    \
+                 \"space_points\": {},\n    \"budget\": {},\n    \"evaluations\": {},\n    \
+                 \"wall_s\": {},\n    \"points_per_sec\": {},\n    \
+                 \"recovered_headline\": {}\n  }}",
+                g.space_points,
+                g.budget,
+                g.evaluations,
+                g.wall_s,
+                g.points_per_sec,
+                g.recovered_headline,
+            )
+        })
+        .unwrap_or_default();
+    let json = format!("{{\n  \"presets\": [\n{}\n  ]{}\n}}\n", entries.join(",\n"), guided_json);
     if let Err(e) = fs::write(&out_path, &json) {
         eprintln!("bench_dse: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -165,6 +225,16 @@ fn main() -> ExitCode {
     let _ = fs::remove_dir_all(&scratch);
 
     if check_warm {
+        if let Some(g) = &guided {
+            if !g.recovered_headline {
+                eprintln!(
+                    "bench_dse: REGRESSION — guided search missed the NGPC-64 headline \
+                     organisation ({} evaluations of {})",
+                    g.evaluations, g.space_points
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         for b in &benches {
             if b.warm_evaluated != 0 {
                 eprintln!(

@@ -125,6 +125,7 @@ impl NfpConfig {
         let macs = self.mac_count() as u64;
         ng_hw::NfpFloorplan {
             encoding_engines: self.encoding_engines,
+            lanes_per_engine: self.lanes_per_engine,
             grid_sram_bytes: self.grid_sram_bytes as u64,
             grid_sram_banks: self.grid_sram_banks,
             mac_rows: self.mac_rows,
@@ -222,6 +223,8 @@ mod tests {
         let c = NfpConfig::default();
         let f = c.floorplan();
         assert_eq!(f.encoding_engines, 16);
+        assert_eq!(f.lanes_per_engine, 1);
+        assert_eq!(f.input_fifo_depth, 64);
         assert_eq!(f.grid_sram_bytes, 1 << 20);
         assert_eq!(f.mac_rows * f.mac_cols, 4096);
         // The paper's MLP buffering is reproduced exactly at 64x64...

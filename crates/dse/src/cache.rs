@@ -56,7 +56,7 @@ impl EvalCache {
     pub fn point_key(point: &DesignPoint) -> u64 {
         ng_neural::math::fnv1a64(&format!(
             "{MODEL_VERSION};{:016x};app={};enc={};px={};nfp={};clk={:016x};kb={};banks={};\
-             eng={};mrows={};mcols={}",
+             eng={};mrows={};mcols={};lanes={};fifo={}",
             model_fingerprint(),
             crate::spec::app_slug(point.app),
             crate::spec::encoding_slug(point.encoding),
@@ -68,6 +68,8 @@ impl EvalCache {
             point.encoding_engines,
             point.mac_rows,
             point.mac_cols,
+            point.lanes_per_engine,
+            point.input_fifo_depth,
         ))
     }
 
@@ -197,6 +199,18 @@ impl EvalCache {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    /// Load every shard of the current generation into one in-memory
+    /// map — the bulk entry point for guided search, which probes
+    /// points one at a time and must not re-read shard files per probe
+    /// the way per-sweep [`EvalCache::lookup`] may.
+    pub fn load_all(&self) -> HashMap<u64, EvaluatedPoint> {
+        let mut out = HashMap::new();
+        for shard in 0..SHARD_COUNT {
+            out.extend(self.load_shard(shard));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +263,33 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), points.len());
+    }
+
+    #[test]
+    fn point_key_covers_the_lane_and_fifo_axes() {
+        // Stability: the key of the paper point must not move when only
+        // the *spec* grows — and must move when either new axis value
+        // changes, so v4 shards never serve a differently-laned point.
+        let base = SweepSpec::quick().points()[0];
+        assert_eq!(base.lanes_per_engine, 1);
+        assert_eq!(base.input_fifo_depth, 64);
+        let key = EvalCache::point_key(&base);
+        let mut laned = base;
+        laned.lanes_per_engine = 2;
+        assert_ne!(key, EvalCache::point_key(&laned));
+        let mut shallow = base;
+        shallow.input_fifo_depth = 8;
+        assert_ne!(key, EvalCache::point_key(&shallow));
+        // Same axes, same key — regardless of which spec enumerated it.
+        let mut re_spec = SweepSpec::quick();
+        re_spec.lanes_per_engine = vec![1, 2];
+        re_spec.input_fifo_depth = vec![8, 64];
+        let twin = re_spec
+            .points()
+            .into_iter()
+            .find(|p| p.arch_key() == base.arch_key() && p.app == base.app)
+            .expect("grown spec still contains the paper point");
+        assert_eq!(key, EvalCache::point_key(&twin));
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::sweep::{ArchPoint, EvaluatedPoint, SweepOutcome};
 
 /// Column header of the points CSV.
 pub const CSV_HEADER: &str = "index,app,encoding,pixels,nfp_units,clock_ghz,grid_sram_kb,\
-                              grid_sram_banks,encoding_engines,mac_rows,mac_cols,speedup,\
+                              grid_sram_banks,encoding_engines,mac_rows,mac_cols,\
+                              lanes_per_engine,input_fifo_depth,speedup,\
                               area_pct_of_gpu,power_pct_of_gpu,gpu_ms,\
                               ngpc_frame_ms,amdahl_bound,plateaued";
 
@@ -23,7 +24,7 @@ pub const CSV_HEADER: &str = "index,app,encoding,pixels,nfp_units,clock_ghz,grid
 pub fn point_to_row(p: &EvaluatedPoint) -> String {
     let d = &p.point;
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         d.index,
         app_slug(d.app),
         encoding_slug(d.encoding),
@@ -35,6 +36,8 @@ pub fn point_to_row(p: &EvaluatedPoint) -> String {
         d.encoding_engines,
         d.mac_rows,
         d.mac_cols,
+        d.lanes_per_engine,
+        d.input_fifo_depth,
         p.speedup,
         p.area_pct_of_gpu,
         p.power_pct_of_gpu,
@@ -48,8 +51,8 @@ pub fn point_to_row(p: &EvaluatedPoint) -> String {
 /// Parse one [`point_to_row`] data row.
 pub fn point_from_row(line: &str) -> Result<EvaluatedPoint, String> {
     let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != 18 {
-        return Err(format!("expected 18 fields, got {}", fields.len()));
+    if fields.len() != 20 {
+        return Err(format!("expected 20 fields, got {}", fields.len()));
     }
     let err = |what: &str| format!("bad {what}");
     Ok(EvaluatedPoint {
@@ -65,14 +68,16 @@ pub fn point_from_row(line: &str) -> Result<EvaluatedPoint, String> {
             encoding_engines: fields[8].parse().map_err(|_| err("encoding_engines"))?,
             mac_rows: fields[9].parse().map_err(|_| err("mac_rows"))?,
             mac_cols: fields[10].parse().map_err(|_| err("mac_cols"))?,
+            lanes_per_engine: fields[11].parse().map_err(|_| err("lanes_per_engine"))?,
+            input_fifo_depth: fields[12].parse().map_err(|_| err("input_fifo_depth"))?,
         },
-        speedup: fields[11].parse().map_err(|_| err("speedup"))?,
-        area_pct_of_gpu: fields[12].parse().map_err(|_| err("area_pct_of_gpu"))?,
-        power_pct_of_gpu: fields[13].parse().map_err(|_| err("power_pct_of_gpu"))?,
-        gpu_ms: fields[14].parse().map_err(|_| err("gpu_ms"))?,
-        ngpc_frame_ms: fields[15].parse().map_err(|_| err("ngpc_frame_ms"))?,
-        amdahl_bound: fields[16].parse().map_err(|_| err("amdahl_bound"))?,
-        plateaued: fields[17].parse().map_err(|_| err("plateaued"))?,
+        speedup: fields[13].parse().map_err(|_| err("speedup"))?,
+        area_pct_of_gpu: fields[14].parse().map_err(|_| err("area_pct_of_gpu"))?,
+        power_pct_of_gpu: fields[15].parse().map_err(|_| err("power_pct_of_gpu"))?,
+        gpu_ms: fields[16].parse().map_err(|_| err("gpu_ms"))?,
+        ngpc_frame_ms: fields[17].parse().map_err(|_| err("ngpc_frame_ms"))?,
+        amdahl_bound: fields[18].parse().map_err(|_| err("amdahl_bound"))?,
+        plateaued: fields[19].parse().map_err(|_| err("plateaued"))?,
     })
 }
 
@@ -157,7 +162,8 @@ fn json_point(p: &EvaluatedPoint) -> String {
     format!(
         "{{\"index\":{},\"app\":{},\"encoding\":{},\"pixels\":{},\"nfp_units\":{},\
          \"clock_ghz\":{},\"grid_sram_kb\":{},\"grid_sram_banks\":{},\"encoding_engines\":{},\
-         \"mac_rows\":{},\"mac_cols\":{},\"speedup\":{},\
+         \"mac_rows\":{},\"mac_cols\":{},\"lanes_per_engine\":{},\"input_fifo_depth\":{},\
+         \"speedup\":{},\
          \"area_pct_of_gpu\":{},\"power_pct_of_gpu\":{},\"gpu_ms\":{},\"ngpc_frame_ms\":{},\
          \"amdahl_bound\":{},\"plateaued\":{}}}",
         d.index,
@@ -171,6 +177,8 @@ fn json_point(p: &EvaluatedPoint) -> String {
         d.encoding_engines,
         d.mac_rows,
         d.mac_cols,
+        d.lanes_per_engine,
+        d.input_fifo_depth,
         json_f64(p.speedup),
         json_f64(p.area_pct_of_gpu),
         json_f64(p.power_pct_of_gpu),
@@ -185,6 +193,7 @@ fn json_arch(a: &ArchPoint) -> String {
     format!(
         "{{\"encoding\":{},\"pixels\":{},\"nfp_units\":{},\"clock_ghz\":{},\"grid_sram_kb\":{},\
          \"grid_sram_banks\":{},\"encoding_engines\":{},\"mac_rows\":{},\"mac_cols\":{},\
+         \"lanes_per_engine\":{},\"input_fifo_depth\":{},\
          \"apps\":{},\"avg_speedup\":{},\"area_pct_of_gpu\":{},\
          \"power_pct_of_gpu\":{}}}",
         json_str(encoding_slug(a.encoding)),
@@ -196,6 +205,8 @@ fn json_arch(a: &ArchPoint) -> String {
         a.encoding_engines,
         a.mac_rows,
         a.mac_cols,
+        a.lanes_per_engine,
+        a.input_fifo_depth,
         a.apps,
         json_f64(a.avg_speedup),
         json_f64(a.area_pct_of_gpu),
@@ -207,7 +218,8 @@ fn json_spec(spec: &SweepSpec) -> String {
     format!(
         "{{\"name\":{},\"apps\":{},\"encodings\":{},\"pixels\":{:?},\"nfp_units\":{:?},\
          \"clock_ghz\":{:?},\"grid_sram_kb\":{:?},\"grid_sram_banks\":{:?},\
-         \"encoding_engines\":{:?},\"mac_rows\":{:?},\"mac_cols\":{:?}}}",
+         \"encoding_engines\":{:?},\"mac_rows\":{:?},\"mac_cols\":{:?},\
+         \"lanes_per_engine\":{:?},\"input_fifo_depth\":{:?}}}",
         json_str(&spec.name),
         app_list(&spec.apps),
         encoding_list(&spec.encodings),
@@ -219,6 +231,8 @@ fn json_spec(spec: &SweepSpec) -> String {
         spec.encoding_engines,
         spec.mac_rows,
         spec.mac_cols,
+        spec.lanes_per_engine,
+        spec.input_fifo_depth,
     )
 }
 

@@ -39,11 +39,13 @@ pub mod emit;
 pub mod pareto;
 pub mod pool;
 pub mod report;
+pub mod search;
 pub mod spec;
 pub mod sweep;
 
 pub use cache::EvalCache;
-pub use pareto::{pareto_indices, Constraints, Objectives};
+pub use pareto::{pareto_indices, Constraints, Objectives, StreamingFrontier};
+pub use search::{SearchOutcome, SearchSpec, SearchStats, SearchStrategy, Searcher};
 pub use spec::{DesignPoint, SpecError, SweepSpec};
 pub use sweep::{ArchPoint, EvaluatedPoint, SweepEngine, SweepOutcome, SweepStats};
 
@@ -53,16 +55,19 @@ pub use sweep::{ArchPoint, EvaluatedPoint, SweepEngine, SweepOutcome, SweepStats
 /// humanly tellable apart on disk — though since
 /// [`model_fingerprint`] is also folded into every key, a forgotten
 /// bump no longer serves stale results.
-pub const MODEL_VERSION: &str = "ngpc-models-v3";
+pub const MODEL_VERSION: &str = "ngpc-models-v4";
 
 /// Fingerprint of the evaluation models' actual *outputs*: a probe
 /// sweep evaluated single-threaded and hashed at 9 significant digits
 /// (coarse enough to absorb cross-platform libm jitter, fine enough
 /// that any deliberate model change shifts it). The probe is the
-/// quick preset *widened along the MAC-array and engine-count axes*
-/// (2 engine counts x 2 row counts x 2 column counts), so drift in the
+/// quick preset *widened along the MAC-array, engine-count, query-lane
+/// and input-FIFO axes* (2 engine counts x 2 row counts x 2 column
+/// counts x 2 lane counts x 2 FIFO depths), so drift in the
 /// compositional timing model — which is invisible at the paper's NFP
-/// by construction — still invalidates cached sweep results.
+/// by construction — still invalidates cached sweep results, including
+/// drift that only shows on the lane/FIFO axes the guided searcher
+/// explores.
 /// Folded into every point-cache key next to [`MODEL_VERSION`]; the
 /// pinned value in `tests/model_fingerprint.rs` turns silent drift into
 /// a test failure with bump instructions. Computed once per process:
@@ -79,6 +84,8 @@ pub fn model_fingerprint() -> u64 {
         probe.encoding_engines = vec![8, 16];
         probe.mac_rows = vec![32, 64];
         probe.mac_cols = vec![32, 64];
+        probe.lanes_per_engine = vec![1, 2];
+        probe.input_fifo_depth = vec![4, 64];
         let outcome = SweepEngine::new()
             .without_cache()
             .with_threads(1)

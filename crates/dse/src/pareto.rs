@@ -101,6 +101,78 @@ pub fn constrained_pareto(objectives: &[Objectives], constraints: &Constraints) 
     pareto_indices(&sub).into_iter().map(|k| admitted[k]).collect()
 }
 
+/// An incremental Pareto frontier: points stream in one at a time and
+/// the structure maintains exactly the non-dominated set seen so far.
+///
+/// Each insert checks the candidate against the *current frontier only*
+/// (dominated candidates are rejected, newly dominated members are
+/// evicted in the same pass), so a full pass over `n` points costs
+/// `O(n·f)` with `f` the running frontier size — replacing the
+/// collect-everything-then-filter [`constrained_pareto`] pass and, more
+/// importantly, letting a guided searcher keep its archive current
+/// without ever materialising the visited set's objectives. Exact ties
+/// on all three objectives are all kept (equal points do not dominate
+/// each other), matching the batch extractor.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingFrontier<T> {
+    entries: Vec<(Objectives, T)>,
+}
+
+impl<T> StreamingFrontier<T> {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        StreamingFrontier { entries: Vec::new() }
+    }
+
+    /// Offer one point. Returns `true` if it joined the frontier
+    /// (i.e. no current member dominates it); members it dominates are
+    /// evicted.
+    pub fn insert(&mut self, objectives: Objectives, payload: T) -> bool {
+        if self.entries.iter().any(|(o, _)| o.dominates(&objectives)) {
+            return false;
+        }
+        self.entries.retain(|(o, _)| !objectives.dominates(o));
+        self.entries.push((objectives, payload));
+        true
+    }
+
+    /// Offer one point only if `constraints` admit it.
+    pub fn insert_constrained(
+        &mut self,
+        objectives: Objectives,
+        payload: T,
+        constraints: &Constraints,
+    ) -> bool {
+        constraints.admits(&objectives) && self.insert(objectives, payload)
+    }
+
+    /// Current frontier size.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no point has survived (or been offered).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `objectives` is dominated by a current member.
+    pub fn dominated(&self, objectives: &Objectives) -> bool {
+        self.entries.iter().any(|(o, _)| o.dominates(objectives))
+    }
+
+    /// Iterate the frontier in insertion order (survivors only).
+    pub fn iter(&self) -> impl Iterator<Item = &(Objectives, T)> {
+        self.entries.iter()
+    }
+
+    /// Consume the frontier, yielding the surviving payloads in
+    /// insertion order.
+    pub fn into_payloads(self) -> Vec<T> {
+        self.entries.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +225,55 @@ mod tests {
     fn empty_input_gives_empty_frontier() {
         assert!(pareto_indices(&[]).is_empty());
         assert!(constrained_pareto(&[], &Constraints::NONE).is_empty());
+    }
+
+    #[test]
+    fn streaming_frontier_evicts_and_rejects() {
+        let mut f = StreamingFrontier::new();
+        assert!(f.is_empty());
+        assert!(f.insert(o(1.0, 2.0, 2.0), "weak"));
+        // A dominating point evicts the weak one.
+        assert!(f.insert(o(2.0, 1.0, 1.0), "strong"));
+        assert_eq!(f.len(), 1);
+        // A dominated candidate is rejected outright...
+        assert!(!f.insert(o(1.5, 1.5, 1.5), "late"));
+        assert!(f.dominated(&o(1.5, 1.5, 1.5)));
+        // ... an exact tie is kept alongside.
+        assert!(f.insert(o(2.0, 1.0, 1.0), "tie"));
+        // ... and a trade-off joins.
+        assert!(f.insert(o(3.0, 5.0, 5.0), "big"));
+        let mut payloads = f.into_payloads();
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec!["big", "strong", "tie"]);
+    }
+
+    #[test]
+    fn streaming_frontier_respects_constraints() {
+        let budget = Constraints { max_area_pct: Some(3.0), ..Constraints::default() };
+        let mut f = StreamingFrontier::new();
+        assert!(!f.insert_constrained(o(10.0, 8.0, 2.0), 0usize, &budget), "over budget");
+        assert!(f.insert_constrained(o(5.0, 2.0, 2.0), 1usize, &budget));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn streaming_frontier_matches_batch_extractor() {
+        // A mixed cloud with chains, trade-offs and exact ties: the
+        // streamed survivors must be set-equal to `constrained_pareto`.
+        let objs = vec![
+            o(1.0, 3.0, 3.0),
+            o(2.0, 2.0, 2.0),
+            o(3.0, 1.0, 1.0),
+            o(3.0, 1.0, 1.0), // exact tie with the previous
+            o(0.5, 0.5, 9.0),
+            o(9.0, 9.0, 0.5),
+        ];
+        let mut f = StreamingFrontier::new();
+        for (i, &ob) in objs.iter().enumerate() {
+            f.insert(ob, i);
+        }
+        let mut streamed: Vec<usize> = f.into_payloads();
+        streamed.sort_unstable();
+        assert_eq!(streamed, constrained_pareto(&objs, &Constraints::NONE));
     }
 }

@@ -42,14 +42,24 @@ fn arch_row(a: &ArchPoint) -> Vec<String> {
         format!("{:.2}", a.clock_ghz),
         format!("{}K/{}", a.grid_sram_kb, a.grid_sram_banks),
         format!("{}x{}/{}e", a.mac_rows, a.mac_cols, a.encoding_engines),
+        format!("{}l/{}f", a.lanes_per_engine, a.input_fifo_depth),
         format!("{:.2}x", a.avg_speedup),
         format!("{:.2}%", a.area_pct_of_gpu),
         format!("{:.2}%", a.power_pct_of_gpu),
     ]
 }
 
-const ARCH_HEADERS: [&str; 8] =
-    ["config", "encoding", "GHz", "sram/banks", "macs/eng", "avg x", "area %", "power %"];
+const ARCH_HEADERS: [&str; 9] = [
+    "config",
+    "encoding",
+    "GHz",
+    "sram/banks",
+    "macs/eng",
+    "lanes/fifo",
+    "avg x",
+    "area %",
+    "power %",
+];
 
 /// The cross-app-average frontier as a table (top `limit` rows by
 /// ascending area).
@@ -70,6 +80,7 @@ fn point_row(p: &EvaluatedPoint) -> Vec<String> {
         format!("{:.2}", d.clock_ghz),
         format!("{}K/{}", d.grid_sram_kb, d.grid_sram_banks),
         format!("{}x{}/{}e", d.mac_rows, d.mac_cols, d.encoding_engines),
+        format!("{}l/{}f", d.lanes_per_engine, d.input_fifo_depth),
         format!("{:.2}x", p.speedup),
         format!("{:.2}%", p.area_pct_of_gpu),
         format!("{:.2}%", p.power_pct_of_gpu),
@@ -77,12 +88,13 @@ fn point_row(p: &EvaluatedPoint) -> Vec<String> {
     ]
 }
 
-const POINT_HEADERS: [&str; 9] = [
+const POINT_HEADERS: [&str; 10] = [
     "config",
     "encoding",
     "GHz",
     "sram/banks",
     "macs/eng",
+    "lanes/fifo",
     "speedup",
     "area %",
     "power %",
@@ -123,6 +135,39 @@ pub fn cache_stats_line(outcome: &SweepOutcome) -> String {
     )
 }
 
+/// The terminal report of a guided search: space/budget summary and the
+/// recovered frontier (filtered through `constraints`).
+pub fn print_search_report(
+    outcome: &crate::search::SearchOutcome,
+    constraints: &Constraints,
+    top: usize,
+) {
+    let stats = &outcome.stats;
+    println!(
+        "guided search `{}` ({}): {} of {} points evaluated ({:.2}% of the space, budget {}){}",
+        outcome.spec.name,
+        outcome.search.strategy.slug(),
+        stats.evaluations,
+        stats.space_points,
+        100.0 * stats.budget_fraction_used(),
+        stats.budget,
+        if stats.exhaustive { " — budget covers the space: exhaustive scan" } else { "" },
+    );
+    println!(
+        "visited {} of {} architectures in {} round(s), {:.1} ms ({} cache hits)",
+        stats.archs_visited,
+        stats.space_archs,
+        stats.rounds,
+        stats.wall.as_secs_f64() * 1e3,
+        stats.cache_hits,
+    );
+    println!("constraints: {}", describe_constraints(constraints));
+    let shown: Vec<ArchPoint> =
+        outcome.frontier.iter().filter(|a| constraints.admits(&a.objectives())).copied().collect();
+    println!("\nrecovered cross-app Pareto frontier ({} architectures):", shown.len());
+    print!("{}", frontier_table(&shown, top));
+}
+
 /// Describe configured constraints, or "none".
 pub fn describe_constraints(c: &Constraints) -> String {
     if !c.is_constrained() {
@@ -147,7 +192,7 @@ pub fn print_report(outcome: &SweepOutcome, constraints: &Constraints, top: usiz
     let spec = &outcome.spec;
     let stats = &outcome.stats;
     println!(
-        "sweep `{}`: {} points ({} apps x {} encodings x {} resolutions x {} nfp x {} clocks x {} srams x {} banks x {} engines x {} mac-rows x {} mac-cols)",
+        "sweep `{}`: {} points ({} apps x {} encodings x {} resolutions x {} nfp x {} clocks x {} srams x {} banks x {} engines x {} mac-rows x {} mac-cols x {} lanes x {} fifos)",
         spec.name,
         stats.total_points,
         spec.apps.len(),
@@ -160,6 +205,8 @@ pub fn print_report(outcome: &SweepOutcome, constraints: &Constraints, top: usiz
         spec.encoding_engines.len(),
         spec.mac_rows.len(),
         spec.mac_cols.len(),
+        spec.lanes_per_engine.len(),
+        spec.input_fifo_depth.len(),
     );
     if stats.cache_hit {
         println!(

@@ -1,0 +1,793 @@
+//! Budgeted guided search over the design space.
+//!
+//! The exhaustive [`crate::sweep::SweepEngine`] is the right tool up to
+//! a few thousand points; the exploded 11-arch-axis space behind
+//! [`SweepSpec::guided_lanes`] (~260k points) is not a sweep any more,
+//! it is a *search problem*: the architect wants the Pareto frontier —
+//! and in CI, one specific point on it — without paying for the whole
+//! cartesian product.
+//!
+//! This module implements two budgeted strategies over the arch space
+//! (the cartesian product of every [`SweepSpec`] axis *except* `apps`;
+//! evaluating one architecture costs one design-point evaluation per
+//! app, since the objective is the cross-app average of the paper's
+//! Fig. 12):
+//!
+//! * **Hill climbing with random restarts** (the default): each restart
+//!   draws a random weight vector over {log speedup, −log area, −log
+//!   power} and a random starting architecture, then walks single-axis
+//!   neighbour steps uphill on the scalarised objective until a local
+//!   optimum. Different weight draws land on different knees of the
+//!   frontier; the paper's NGPC-64 is one of them.
+//! * **Evolutionary** (μ+λ-flavoured): a population of axis tuples
+//!   evolves by binary tournament (dominance decides, ties go to a
+//!   coin flip), uniform per-axis crossover and ±1-step mutation, with
+//!   the non-dominated archive injected as elites.
+//!
+//! Both strategies share the machinery that makes guided search cheap:
+//!
+//! * a [`StreamingFrontier`] archive maintains the non-dominated set
+//!   incrementally (no collect-then-O(n²) pass at the end);
+//! * a [`PointEvaluator`] owns ONE [`ngpc::EmulationContext`] and one
+//!   preloaded view of the point cache for the whole search — the hot
+//!   path of a probe is a hash lookup plus (on a miss) an emulator
+//!   call, with no per-point context construction, no per-probe shard
+//!   reads and no intermediate vectors;
+//! * revisited architectures are free (an in-search memo), cached
+//!   points are free (the point store), and only *fresh model
+//!   evaluations* consume the budget.
+//!
+//! Determinism: all randomness comes from one seeded
+//! [`ng_neural::math::Pcg32`]; a given `(spec, SearchSpec)` pair
+//! explores the same trajectory on every machine.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ng_neural::math::Pcg32;
+use ngpc::EmulationContext;
+
+use crate::cache::EvalCache;
+use crate::pareto::StreamingFrontier;
+use crate::spec::{DesignPoint, SpecError, SweepSpec};
+use crate::sweep::{ArchPoint, EvaluatedPoint};
+
+/// Which guided strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Scalarised hill climbing with random restarts.
+    HillClimb,
+    /// Mutation/crossover over axis tuples with a dominance tournament.
+    Evolutionary,
+}
+
+impl SearchStrategy {
+    /// Parse a CLI slug.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "hill" | "hill-climb" | "hillclimb" => Some(SearchStrategy::HillClimb),
+            "evolve" | "evo" | "evolutionary" => Some(SearchStrategy::Evolutionary),
+            _ => None,
+        }
+    }
+
+    /// The CLI slug.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            SearchStrategy::HillClimb => "hill",
+            SearchStrategy::Evolutionary => "evolve",
+        }
+    }
+}
+
+/// Parameters of a guided search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSpec {
+    /// Strategy to run.
+    pub strategy: SearchStrategy,
+    /// Maximum *fresh model evaluations* (design points, not
+    /// architectures). Revisits and point-cache hits are free. A budget
+    /// at or above the space's point count degenerates to an exhaustive
+    /// scan — guided search never does worse than the sweep it
+    /// replaces, just never better than its budget.
+    pub budget: usize,
+    /// RNG seed; equal seeds reproduce the exact trajectory.
+    pub seed: u64,
+    /// Consecutive fruitless restarts (hill climb) or generations
+    /// (evolutionary) — "fruitless" meaning the archive did not change —
+    /// after which the search stops early, budget notwithstanding.
+    pub convergence_window: usize,
+    /// Evolutionary population size.
+    pub population: usize,
+}
+
+impl SearchSpec {
+    /// Default budget fraction: 5% of the space (the ISSUE's win
+    /// condition for the exploded preset).
+    pub const DEFAULT_BUDGET_FRACTION: f64 = 0.05;
+
+    /// A search spec with the default 5%-of-space budget for `spec`.
+    pub fn for_space(spec: &SweepSpec) -> Self {
+        SearchSpec {
+            budget: ((spec.point_count() as f64 * Self::DEFAULT_BUDGET_FRACTION) as usize).max(1),
+            ..SearchSpec::default()
+        }
+    }
+}
+
+impl Default for SearchSpec {
+    /// Hill climbing, a 4096-point budget, a fixed seed, and a
+    /// 24-restart convergence window.
+    fn default() -> Self {
+        SearchSpec {
+            strategy: SearchStrategy::HillClimb,
+            budget: 4096,
+            seed: 0x5eed_0001,
+            convergence_window: 24,
+            population: 24,
+        }
+    }
+}
+
+/// How a search executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchStats {
+    /// Points in the full cartesian space (what exhaustive would pay).
+    pub space_points: usize,
+    /// Architectures in the space (points / apps).
+    pub space_archs: usize,
+    /// Distinct architectures actually visited.
+    pub archs_visited: usize,
+    /// Fresh model evaluations spent (the budgeted quantity).
+    pub evaluations: usize,
+    /// Point-cache hits (free under the budget).
+    pub cache_hits: usize,
+    /// The configured budget.
+    pub budget: usize,
+    /// Restarts (hill climb) or generations (evolutionary) executed.
+    pub rounds: usize,
+    /// Whether the search degenerated to an exhaustive scan (budget at
+    /// or above the space size).
+    pub exhaustive: bool,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+impl SearchStats {
+    /// Fraction of the space's evaluations actually spent.
+    pub fn budget_fraction_used(&self) -> f64 {
+        if self.space_points == 0 {
+            0.0
+        } else {
+            self.evaluations as f64 / self.space_points as f64
+        }
+    }
+}
+
+/// A completed guided search: the frontier of every architecture
+/// visited, plus accounting.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The space searched.
+    pub spec: SweepSpec,
+    /// The search parameters.
+    pub search: SearchSpec,
+    /// Non-dominated architectures among those visited, ascending area.
+    pub frontier: Vec<ArchPoint>,
+    /// How the search executed.
+    pub stats: SearchStats,
+    /// Point-store generation directory, when caching was enabled.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// Allocation-lean point evaluation for guided search: one
+/// [`EmulationContext`] and one in-memory view of the point cache serve
+/// every probe; fresh results are buffered and appended to the store in
+/// a single batch by [`PointEvaluator::flush`].
+pub struct PointEvaluator {
+    ctx: EmulationContext,
+    cache: Option<EvalCache>,
+    view: HashMap<u64, EvaluatedPoint>,
+    fresh: Vec<EvaluatedPoint>,
+    /// Fresh model evaluations performed.
+    pub evaluations: usize,
+    /// Probes served from the preloaded cache view.
+    pub cache_hits: usize,
+}
+
+impl PointEvaluator {
+    /// A fresh evaluator; `cache` (if any) is bulk-loaded once, here.
+    pub fn new(cache: Option<EvalCache>) -> Self {
+        let view = cache.as_ref().map(EvalCache::load_all).unwrap_or_default();
+        PointEvaluator {
+            ctx: EmulationContext::new(),
+            cache,
+            view,
+            fresh: Vec::new(),
+            evaluations: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Whether a probe for `point` would be served by the preloaded
+    /// cache view (i.e. cost zero fresh evaluations).
+    pub fn is_cached(&self, point: &DesignPoint) -> bool {
+        match self.view.get(&EvalCache::point_key(point)) {
+            Some(stored) => {
+                stored.point.arch_key() == point.arch_key() && stored.point.app == point.app
+            }
+            None => false,
+        }
+    }
+
+    /// Evaluate one design point: cache-view hit, or emulator call.
+    pub fn eval(&mut self, point: &DesignPoint) -> EvaluatedPoint {
+        let key = EvalCache::point_key(point);
+        if let Some(stored) = self.view.get(&key) {
+            // Rule out a 64-bit collision the same way the sweep cache
+            // does before trusting the hit.
+            if stored.point.arch_key() == point.arch_key() && stored.point.app == point.app {
+                self.cache_hits += 1;
+                return EvaluatedPoint { point: *point, ..*stored };
+            }
+        }
+        let r = self.ctx.eval(&point.emulator_input());
+        let ep = EvaluatedPoint {
+            point: *point,
+            speedup: r.speedup,
+            area_pct_of_gpu: r.area_pct_of_gpu,
+            power_pct_of_gpu: r.power_pct_of_gpu,
+            gpu_ms: r.gpu_ms,
+            ngpc_frame_ms: r.ngpc_frame_ms,
+            amdahl_bound: r.amdahl_bound,
+            plateaued: r.plateaued,
+        };
+        self.evaluations += 1;
+        if self.cache.is_some() {
+            self.view.insert(key, ep);
+            self.fresh.push(ep);
+        }
+        ep
+    }
+
+    /// Append buffered fresh evaluations to the point store (best
+    /// effort, like the sweep engine) and return the generation dir.
+    pub fn flush(&mut self) -> Option<PathBuf> {
+        let cache = self.cache.as_ref()?;
+        let _ = cache.append(&self.fresh);
+        self.fresh.clear();
+        Some(cache.store_dir())
+    }
+}
+
+/// An architecture = one index per arch axis (everything but `apps`),
+/// in [`SweepSpec`] field order.
+const ARCH_AXES: usize = 11;
+type ArchIdx = [u16; ARCH_AXES];
+
+/// The per-axis sizes of a spec's arch space, plus index→point mapping.
+struct Space<'a> {
+    spec: &'a SweepSpec,
+    dims: [usize; ARCH_AXES],
+}
+
+impl<'a> Space<'a> {
+    fn new(spec: &'a SweepSpec) -> Self {
+        let dims = [
+            spec.encodings.len(),
+            spec.pixels.len(),
+            spec.nfp_units.len(),
+            spec.clock_ghz.len(),
+            spec.grid_sram_kb.len(),
+            spec.grid_sram_banks.len(),
+            spec.encoding_engines.len(),
+            spec.mac_rows.len(),
+            spec.mac_cols.len(),
+            spec.lanes_per_engine.len(),
+            spec.input_fifo_depth.len(),
+        ];
+        Space { spec, dims }
+    }
+
+    fn arch_count(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The design point of architecture `idx` under app number
+    /// `app_i`.
+    fn point(&self, idx: &ArchIdx, app_i: usize) -> DesignPoint {
+        let s = self.spec;
+        DesignPoint {
+            index: 0, // spec-local index is meaningless off-sweep; not part of identity
+            app: s.apps[app_i],
+            encoding: s.encodings[idx[0] as usize],
+            pixels: s.pixels[idx[1] as usize],
+            nfp_units: s.nfp_units[idx[2] as usize],
+            clock_ghz: s.clock_ghz[idx[3] as usize],
+            grid_sram_kb: s.grid_sram_kb[idx[4] as usize],
+            grid_sram_banks: s.grid_sram_banks[idx[5] as usize],
+            encoding_engines: s.encoding_engines[idx[6] as usize],
+            mac_rows: s.mac_rows[idx[7] as usize],
+            mac_cols: s.mac_cols[idx[8] as usize],
+            lanes_per_engine: s.lanes_per_engine[idx[9] as usize],
+            input_fifo_depth: s.input_fifo_depth[idx[10] as usize],
+        }
+    }
+
+    /// A uniformly random architecture.
+    fn random(&self, rng: &mut Pcg32) -> ArchIdx {
+        let mut idx = [0u16; ARCH_AXES];
+        for (i, &d) in self.dims.iter().enumerate() {
+            idx[i] = rng.bounded(d as u32) as u16;
+        }
+        idx
+    }
+
+    /// Decode a flat arch number (row-major over `dims`) — the
+    /// exhaustive-degeneration path.
+    fn decode(&self, mut flat: usize) -> ArchIdx {
+        let mut idx = [0u16; ARCH_AXES];
+        for i in (0..ARCH_AXES).rev() {
+            idx[i] = (flat % self.dims[i]) as u16;
+            flat /= self.dims[i];
+        }
+        idx
+    }
+}
+
+/// The cross-app evaluation of one architecture.
+#[derive(Debug, Clone, Copy)]
+struct ArchEval {
+    arch: ArchPoint,
+}
+
+/// Shared search state: the evaluator, the visited memo, the streaming
+/// archive and the budget.
+struct SearchState<'a> {
+    space: Space<'a>,
+    evaluator: PointEvaluator,
+    visited: HashMap<ArchIdx, ArchEval>,
+    archive: StreamingFrontier<(ArchIdx, ArchPoint)>,
+    archive_generation: u64,
+    budget: usize,
+}
+
+impl<'a> SearchState<'a> {
+    /// Whether the search should keep going: budget left for at least
+    /// one more fresh evaluation. (Architectures served entirely by the
+    /// point cache are free and individually exempt from this gate —
+    /// see [`SearchState::eval_arch`].)
+    fn can_afford_arch(&self) -> bool {
+        self.evaluator.evaluations < self.budget
+    }
+
+    /// Fresh evaluations probing `idx` would cost: its points not
+    /// already in the cache view.
+    fn arch_cost(&self, idx: &ArchIdx) -> usize {
+        (0..self.space.spec.apps.len())
+            .filter(|&app_i| !self.evaluator.is_cached(&self.space.point(idx, app_i)))
+            .count()
+    }
+
+    /// Evaluate (or recall) one architecture. Returns `None` only when
+    /// the architecture's *fresh* evaluations (cached points are free,
+    /// as the budget contract promises) do not fit the budget.
+    fn eval_arch(&mut self, idx: &ArchIdx) -> Option<ArchEval> {
+        if let Some(hit) = self.visited.get(idx) {
+            return Some(*hit);
+        }
+        if self.evaluator.evaluations + self.arch_cost(idx) > self.budget {
+            return None;
+        }
+        let apps = self.space.spec.apps.len();
+        let mut avg_speedup = 0.0;
+        let mut first: Option<EvaluatedPoint> = None;
+        for app_i in 0..apps {
+            let point = self.space.point(idx, app_i);
+            let ep = self.evaluator.eval(&point);
+            avg_speedup += ep.speedup;
+            first.get_or_insert(ep);
+        }
+        let sample = first.expect("specs validate non-empty app axes");
+        let d = &sample.point;
+        let arch = ArchPoint {
+            encoding: d.encoding,
+            pixels: d.pixels,
+            nfp_units: d.nfp_units,
+            clock_ghz: d.clock_ghz,
+            grid_sram_kb: d.grid_sram_kb,
+            grid_sram_banks: d.grid_sram_banks,
+            encoding_engines: d.encoding_engines,
+            mac_rows: d.mac_rows,
+            mac_cols: d.mac_cols,
+            lanes_per_engine: d.lanes_per_engine,
+            input_fifo_depth: d.input_fifo_depth,
+            apps: apps as u32,
+            avg_speedup: avg_speedup / apps as f64,
+            // Area and power are app-independent.
+            area_pct_of_gpu: sample.area_pct_of_gpu,
+            power_pct_of_gpu: sample.power_pct_of_gpu,
+        };
+        let eval = ArchEval { arch };
+        self.visited.insert(*idx, eval);
+        if self.archive.insert(arch.objectives(), (*idx, arch)) {
+            self.archive_generation += 1;
+        }
+        Some(eval)
+    }
+
+    /// Pareto local search: walk the archive's neighbourhood until no
+    /// archive member has unexplored single-axis neighbours (or the
+    /// budget runs out). The true frontier is overwhelmingly connected
+    /// under single-axis moves, so once a climb lands on any frontier
+    /// segment this walk recovers the rest of the segment — including
+    /// knee points no scalarisation happens to select.
+    fn explore_archive(&mut self, explored: &mut std::collections::HashSet<ArchIdx>) {
+        loop {
+            let next =
+                self.archive.iter().map(|(_, (idx, _))| *idx).find(|idx| !explored.contains(idx));
+            let Some(current) = next else { return };
+            explored.insert(current);
+            for axis in 0..ARCH_AXES {
+                for dir in [-1isize, 1] {
+                    let pos = current[axis] as isize + dir;
+                    if pos < 0 || pos >= self.space.dims[axis] as isize {
+                        continue;
+                    }
+                    let mut neighbour = current;
+                    neighbour[axis] = pos as u16;
+                    if self.eval_arch(&neighbour).is_none() {
+                        return; // budget exhausted
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scalarisation weights over (speedup, area, power), log-domain.
+#[derive(Debug, Clone, Copy)]
+struct Weights([f64; 3]);
+
+impl Weights {
+    /// Draw from the simplex with a floor, so no objective is ever
+    /// entirely ignored (a zero-weight area axis would climb to the
+    /// biggest cluster every time).
+    fn draw(rng: &mut Pcg32) -> Weights {
+        const FLOOR: f64 = 0.08;
+        let raw = [rng.next_f32() as f64, rng.next_f32() as f64, rng.next_f32() as f64];
+        let sum: f64 = raw.iter().sum::<f64>().max(1e-9);
+        Weights([FLOOR + raw[0] / sum, FLOOR + raw[1] / sum, FLOOR + raw[2] / sum])
+    }
+
+    /// Higher is better: weighted log-speedup minus weighted log-costs.
+    fn fitness(&self, a: &ArchPoint) -> f64 {
+        self.0[0] * a.avg_speedup.max(1e-12).ln()
+            - self.0[1] * a.area_pct_of_gpu.max(1e-12).ln()
+            - self.0[2] * a.power_pct_of_gpu.max(1e-12).ln()
+    }
+}
+
+/// The guided searcher: cache policy mirrors [`crate::SweepEngine`].
+#[derive(Debug, Clone)]
+pub struct Searcher {
+    cache_dir: Option<PathBuf>,
+}
+
+impl Default for Searcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Searcher {
+    /// A searcher sharing the sweep engine's default point cache.
+    pub fn new() -> Self {
+        Searcher { cache_dir: Some(PathBuf::from(crate::SweepEngine::DEFAULT_CACHE_DIR)) }
+    }
+
+    /// Cache evaluations under `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disable the evaluation cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_dir = None;
+        self
+    }
+
+    /// Run a guided search over `spec`'s space.
+    pub fn run(&self, spec: &SweepSpec, search: &SearchSpec) -> Result<SearchOutcome, SpecError> {
+        spec.validate()?;
+        if search.budget == 0 {
+            return Err(SpecError::Invalid("search budget must be nonzero".to_string()));
+        }
+        let started = Instant::now();
+        let cache = self.cache_dir.as_ref().map(|dir| EvalCache::new(dir.clone()));
+        let mut state = SearchState {
+            space: Space::new(spec),
+            evaluator: PointEvaluator::new(cache),
+            visited: HashMap::new(),
+            archive: StreamingFrontier::new(),
+            archive_generation: 0,
+            budget: search.budget,
+        };
+        let space_points = spec.point_count();
+        let space_archs = state.space.arch_count();
+
+        let mut rng = Pcg32::with_stream(search.seed, 0xd5e);
+        let exhaustive = search.budget >= space_points;
+        let rounds = if exhaustive {
+            // The budget covers the whole space: guided search must
+            // degenerate to the exhaustive frontier, so scan it.
+            for flat in 0..space_archs {
+                let idx = state.space.decode(flat);
+                state.eval_arch(&idx).expect("budget covers the space");
+            }
+            1
+        } else {
+            match search.strategy {
+                SearchStrategy::HillClimb => hill_climb(&mut state, search, &mut rng),
+                SearchStrategy::Evolutionary => evolve(&mut state, search, &mut rng),
+            }
+        };
+
+        let cache_path = state.evaluator.flush();
+        let mut frontier: Vec<ArchPoint> =
+            state.archive.into_payloads().into_iter().map(|(_, a)| a).collect();
+        frontier.sort_by(|a, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
+        Ok(SearchOutcome {
+            spec: spec.clone(),
+            search: *search,
+            frontier,
+            stats: SearchStats {
+                space_points,
+                space_archs,
+                archs_visited: state.visited.len(),
+                evaluations: state.evaluator.evaluations,
+                cache_hits: state.evaluator.cache_hits,
+                budget: search.budget,
+                rounds,
+                exhaustive,
+                wall: started.elapsed(),
+            },
+            cache_path,
+        })
+    }
+}
+
+/// Hill climbing with random restarts, interleaved with Pareto local
+/// search over the archive; returns restarts executed.
+///
+/// Each restart draws fresh scalarisation weights and climbs
+/// first-improvement (neighbours probed in a seeded random order, so a
+/// step costs far less than a full 22-neighbour scan) from a random
+/// start to a local optimum. The optimum joins the archive; the
+/// archive's own neighbourhood is then walked exhaustively
+/// ([`SearchState::explore_archive`]), which crawls along the connected
+/// frontier segment the climb landed on and picks up the knee points no
+/// weight draw happens to select.
+fn hill_climb(state: &mut SearchState<'_>, search: &SearchSpec, rng: &mut Pcg32) -> usize {
+    let mut restarts = 0;
+    let mut fruitless = 0;
+    let mut explored = std::collections::HashSet::new();
+    while state.can_afford_arch() && fruitless < search.convergence_window {
+        let before = state.archive_generation;
+        let weights = Weights::draw(rng);
+        let mut current = state.space.random(rng);
+        let Some(mut current_eval) = state.eval_arch(&current) else { break };
+        // Climb: take the first strictly-improving single-axis move,
+        // probing the 2·AXES neighbours in a random rotation.
+        'climb: loop {
+            let offset = rng.bounded(2 * ARCH_AXES as u32) as usize;
+            let current_fit = weights.fitness(&current_eval.arch);
+            for probe in 0..2 * ARCH_AXES {
+                let which = (probe + offset) % (2 * ARCH_AXES);
+                let (axis, dir) = (which / 2, if which.is_multiple_of(2) { -1isize } else { 1 });
+                let pos = current[axis] as isize + dir;
+                if pos < 0 || pos >= state.space.dims[axis] as isize {
+                    continue;
+                }
+                let mut neighbour = current;
+                neighbour[axis] = pos as u16;
+                let Some(eval) = state.eval_arch(&neighbour) else { break 'climb };
+                if weights.fitness(&eval.arch) > current_fit {
+                    current = neighbour;
+                    current_eval = eval;
+                    continue 'climb;
+                }
+            }
+            break; // no improving neighbour: a local optimum
+        }
+        // Flesh out the frontier segment around everything archived.
+        state.explore_archive(&mut explored);
+        restarts += 1;
+        if state.archive_generation == before {
+            fruitless += 1;
+        } else {
+            fruitless = 0;
+        }
+    }
+    restarts
+}
+
+/// μ+λ evolutionary search; returns generations executed.
+fn evolve(state: &mut SearchState<'_>, search: &SearchSpec, rng: &mut Pcg32) -> usize {
+    let pop_size = search.population.max(4);
+    let mut population: Vec<ArchIdx> = Vec::with_capacity(pop_size);
+    while population.len() < pop_size {
+        let idx = state.space.random(rng);
+        if state.eval_arch(&idx).is_none() {
+            return 0;
+        }
+        population.push(idx);
+    }
+
+    let dominates = |state: &SearchState<'_>, a: &ArchIdx, b: &ArchIdx| -> bool {
+        let (ea, eb) = (&state.visited[a].arch, &state.visited[b].arch);
+        ea.objectives().dominates(&eb.objectives())
+    };
+
+    let mut generations = 0;
+    let mut fruitless = 0;
+    while state.can_afford_arch() && fruitless < search.convergence_window {
+        let before = state.archive_generation;
+        let mut next: Vec<ArchIdx> = Vec::with_capacity(pop_size);
+        // Elites: archive members re-enter the pool (up to half of it).
+        for (_, (idx, _)) in state.archive.iter().take(pop_size / 2) {
+            next.push(*idx);
+        }
+        while next.len() < pop_size {
+            // Binary tournaments pick two parents...
+            let mut parent = [population[0]; 2];
+            for p in &mut parent {
+                let a = population[rng.bounded(population.len() as u32) as usize];
+                let b = population[rng.bounded(population.len() as u32) as usize];
+                *p = if dominates(state, &a, &b) {
+                    a
+                } else if dominates(state, &b, &a) {
+                    b
+                } else if rng.next_u32() & 1 == 0 {
+                    a
+                } else {
+                    b
+                };
+            }
+            // ... uniform crossover mixes them per axis ...
+            let mut child = parent[0];
+            for axis in 0..ARCH_AXES {
+                if rng.next_u32() & 1 == 1 {
+                    child[axis] = parent[1][axis];
+                }
+            }
+            // ... and mutation nudges ~2 axes by one step.
+            for (axis, gene) in child.iter_mut().enumerate() {
+                if rng.bounded(ARCH_AXES as u32 / 2) == 0 {
+                    let d = state.space.dims[axis] as isize;
+                    let step = if rng.next_u32() & 1 == 0 { -1isize } else { 1 };
+                    *gene = (*gene as isize + step).clamp(0, d - 1) as u16;
+                }
+            }
+            if state.eval_arch(&child).is_none() {
+                break; // budget exhausted mid-generation
+            }
+            next.push(child);
+        }
+        if next.is_empty() {
+            break;
+        }
+        population = next;
+        generations += 1;
+        if state.archive_generation == before {
+            fruitless += 1;
+        } else {
+            fruitless = 0;
+        }
+    }
+    generations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::Constraints;
+
+    fn small_spec() -> SweepSpec {
+        // 2 x 3 x 2 x 2 = 24 archs, 96 points: big enough to search,
+        // small enough to exhaust in tests.
+        let mut spec = SweepSpec::quick();
+        spec.nfp_units = vec![8, 16, 32];
+        spec.grid_sram_kb = vec![512, 1024];
+        spec.lanes_per_engine = vec![1, 2];
+        spec.encodings = vec![
+            ng_neural::apps::EncodingKind::MultiResHashGrid,
+            ng_neural::apps::EncodingKind::LowResDenseGrid,
+        ];
+        spec
+    }
+
+    fn canon(frontier: &[ArchPoint]) -> Vec<(u64, u64, u64)> {
+        let mut keys: Vec<(u64, u64, u64)> = frontier
+            .iter()
+            .map(|a| {
+                (a.avg_speedup.to_bits(), a.area_pct_of_gpu.to_bits(), a.power_pct_of_gpu.to_bits())
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn saturated_budget_degenerates_to_the_exhaustive_frontier() {
+        let spec = small_spec();
+        let exhaustive = crate::SweepEngine::new().without_cache().run(&spec).unwrap();
+        let expected = exhaustive.cross_app_frontier(&Constraints::NONE);
+        for strategy in [SearchStrategy::HillClimb, SearchStrategy::Evolutionary] {
+            let search =
+                SearchSpec { strategy, budget: spec.point_count(), ..SearchSpec::default() };
+            let outcome = Searcher::new().without_cache().run(&spec, &search).unwrap();
+            assert!(outcome.stats.exhaustive);
+            assert_eq!(outcome.stats.archs_visited, outcome.stats.space_archs);
+            assert_eq!(canon(&outcome.frontier), canon(&expected), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed_and_respects_budget() {
+        let spec = small_spec();
+        for strategy in [SearchStrategy::HillClimb, SearchStrategy::Evolutionary] {
+            let search = SearchSpec { strategy, budget: 40, ..SearchSpec::default() };
+            let a = Searcher::new().without_cache().run(&spec, &search).unwrap();
+            let b = Searcher::new().without_cache().run(&spec, &search).unwrap();
+            assert_eq!(canon(&a.frontier), canon(&b.frontier), "{strategy:?}");
+            assert_eq!(a.stats.evaluations, b.stats.evaluations);
+            assert!(a.stats.evaluations <= 40, "{strategy:?}: {}", a.stats.evaluations);
+            assert!(!a.stats.exhaustive);
+            // Evaluations come in whole architectures.
+            assert_eq!(a.stats.evaluations % spec.apps.len(), 0);
+        }
+    }
+
+    #[test]
+    fn searched_frontier_members_are_mutually_non_dominated() {
+        let spec = small_spec();
+        let search = SearchSpec { budget: 60, ..SearchSpec::default() };
+        let outcome = Searcher::new().without_cache().run(&spec, &search).unwrap();
+        assert!(!outcome.frontier.is_empty());
+        for a in &outcome.frontier {
+            for b in &outcome.frontier {
+                assert!(!a.objectives().dominates(&b.objectives()) || a == b);
+            }
+        }
+        // Sorted by ascending area, like the sweep frontier.
+        for w in outcome.frontier.windows(2) {
+            assert!(w[0].area_pct_of_gpu <= w[1].area_pct_of_gpu);
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let spec = small_spec();
+        let search = SearchSpec { budget: 0, ..SearchSpec::default() };
+        assert!(Searcher::new().without_cache().run(&spec, &search).is_err());
+    }
+
+    #[test]
+    fn point_cache_makes_revisits_free_across_runs() {
+        let dir = std::env::temp_dir().join(format!("ng-dse-search-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+        let search = SearchSpec { budget: spec.point_count(), ..SearchSpec::default() };
+        let cold = Searcher::new().with_cache_dir(&dir).run(&spec, &search).unwrap();
+        assert!(cold.stats.evaluations > 0);
+        assert!(cold.cache_path.is_some());
+        let warm = Searcher::new().with_cache_dir(&dir).run(&spec, &search).unwrap();
+        assert_eq!(warm.stats.evaluations, 0, "every probe served from the store");
+        assert_eq!(warm.stats.cache_hits, cold.stats.evaluations + cold.stats.cache_hits);
+        assert_eq!(canon(&warm.frontier), canon(&cold.frontier));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -107,11 +107,15 @@ pub struct DesignPoint {
     pub mac_rows: u32,
     /// MAC array columns of the MLP engine.
     pub mac_cols: u32,
+    /// Query lanes per encoding engine.
+    pub lanes_per_engine: u32,
+    /// Fusion input-FIFO depth in entries.
+    pub input_fifo_depth: u32,
 }
 
 /// Hashable identity of the architecture axes of a [`DesignPoint`]
 /// (everything except the app).
-pub type ArchKey = (EncodingKind, u64, u32, u64, u32, u32, u32, u32, u32);
+pub type ArchKey = (EncodingKind, u64, u32, u64, u32, u32, u32, u32, u32, u32, u32);
 
 impl DesignPoint {
     /// The emulator input for this point.
@@ -127,6 +131,8 @@ impl DesignPoint {
             .encoding_engines(self.encoding_engines)
             .mac_rows(self.mac_rows)
             .mac_cols(self.mac_cols)
+            .lanes_per_engine(self.lanes_per_engine)
+            .input_fifo_depth(self.input_fifo_depth)
             .build()
     }
 
@@ -143,6 +149,8 @@ impl DesignPoint {
             self.encoding_engines,
             self.mac_rows,
             self.mac_cols,
+            self.lanes_per_engine,
+            self.input_fifo_depth,
         )
     }
 }
@@ -172,6 +180,10 @@ pub struct SweepSpec {
     pub mac_rows: Vec<u32>,
     /// MAC array column counts of the MLP engine.
     pub mac_cols: Vec<u32>,
+    /// Query-lane counts per encoding engine.
+    pub lanes_per_engine: Vec<u32>,
+    /// Fusion input-FIFO depths in entries.
+    pub input_fifo_depth: Vec<u32>,
     /// Default reporting constraints (not part of the cache key: the
     /// full sweep is always evaluated and cached; constraints filter).
     pub constraints: Constraints,
@@ -193,6 +205,8 @@ impl Default for SweepSpec {
             encoding_engines: vec![16],
             mac_rows: vec![64],
             mac_cols: vec![64],
+            lanes_per_engine: vec![1],
+            input_fifo_depth: vec![64],
             constraints: Constraints::default(),
         }
     }
@@ -256,6 +270,39 @@ impl SweepSpec {
         }
     }
 
+    /// The exploded 11-arch-axis space behind the guided searcher: the
+    /// paper preset's axes crossed with the NFP-microarchitecture axes
+    /// *and* the query-lane / input-FIFO axes — ~260k points, ~180x the
+    /// paper preset and far past what an interactive exhaustive sweep
+    /// wants to pay.
+    ///
+    /// Two axis choices keep the paper's NGPC-64 *organisation*
+    /// recoverable from the exploded frontier (the CI win condition):
+    /// the FIFO axis samples below the overlap knee (2, 8) plus the
+    /// paper's 64 — depths in `[16, 64)` match the paper's full stage
+    /// overlap at strictly less FIFO area everywhere and would evict
+    /// the 64-entry design by construction — and the SRAM axis stops at
+    /// the paper's 1 MB: with 2 MB SRAMs, 8 engines serving 2 level
+    /// tables each match 16-engine throughput (the MLP stage is the
+    /// bottleneck) at less area, which would evict every 16-engine
+    /// organisation from the 64-unit frontier. The 2 MB sizing study
+    /// stays covered by the `paper` preset.
+    pub fn guided_lanes() -> Self {
+        SweepSpec {
+            name: "guided-lanes".to_string(),
+            encodings: EncodingKind::ALL.to_vec(),
+            nfp_units: vec![4, 8, 12, 16, 24, 32, 48, 64, 96, 128],
+            grid_sram_kb: vec![256, 512, 1024],
+            grid_sram_banks: vec![2, 4, 8],
+            encoding_engines: vec![8, 16, 32],
+            mac_rows: vec![32, 64, 128],
+            mac_cols: vec![32, 64, 128],
+            lanes_per_engine: vec![1, 2, 4],
+            input_fifo_depth: vec![2, 8, 64],
+            ..SweepSpec::default()
+        }
+    }
+
     /// Look up a named preset.
     pub fn preset(name: &str) -> Option<Self> {
         match name {
@@ -264,13 +311,14 @@ impl SweepSpec {
             "clocks" => Some(Self::clocks()),
             "resolutions" => Some(Self::resolutions()),
             "mac-arrays" => Some(Self::mac_arrays()),
+            "guided-lanes" => Some(Self::guided_lanes()),
             _ => None,
         }
     }
 
     /// Names accepted by [`SweepSpec::preset`].
-    pub const PRESETS: [&'static str; 5] =
-        ["paper", "quick", "clocks", "resolutions", "mac-arrays"];
+    pub const PRESETS: [&'static str; 6] =
+        ["paper", "quick", "clocks", "resolutions", "mac-arrays", "guided-lanes"];
 
     /// Number of points in the sweep.
     pub fn point_count(&self) -> usize {
@@ -284,12 +332,14 @@ impl SweepSpec {
             * self.encoding_engines.len()
             * self.mac_rows.len()
             * self.mac_cols.len()
+            * self.lanes_per_engine.len()
+            * self.input_fifo_depth.len()
     }
 
     /// Check the sweep is non-empty and every axis value is one the
     /// emulator accepts.
     pub fn validate(&self) -> Result<(), SpecError> {
-        let axes: [(&str, bool); 10] = [
+        let axes: [(&str, bool); 12] = [
             ("apps", self.apps.is_empty()),
             ("encodings", self.encodings.is_empty()),
             ("pixels", self.pixels.is_empty()),
@@ -300,6 +350,8 @@ impl SweepSpec {
             ("encoding_engines", self.encoding_engines.is_empty()),
             ("mac_rows", self.mac_rows.is_empty()),
             ("mac_cols", self.mac_cols.is_empty()),
+            ("lanes_per_engine", self.lanes_per_engine.is_empty()),
+            ("input_fifo_depth", self.input_fifo_depth.is_empty()),
         ];
         for (name, empty) in axes {
             if empty {
@@ -330,6 +382,8 @@ impl SweepSpec {
         unique("encoding_engines", &self.encoding_engines, |&e| e)?;
         unique("mac_rows", &self.mac_rows, |&r| r)?;
         unique("mac_cols", &self.mac_cols, |&c| c)?;
+        unique("lanes_per_engine", &self.lanes_per_engine, |&l| l)?;
+        unique("input_fifo_depth", &self.input_fifo_depth, |&d| d)?;
         // Upper bound well past 16K-per-eye but far from the u64
         // overflow of downstream `pixels * samples` workload math.
         const MAX_PIXELS: u64 = 1 << 33;
@@ -361,6 +415,16 @@ impl SweepSpec {
         for &c in &self.mac_cols {
             if c == 0 || c > 1024 {
                 return Err(SpecError::Invalid(format!("mac_cols {c} outside 1..=1024")));
+            }
+        }
+        for &l in &self.lanes_per_engine {
+            if l == 0 || l > 16 {
+                return Err(SpecError::Invalid(format!("lanes_per_engine {l} outside 1..=16")));
+            }
+        }
+        for &d in &self.input_fifo_depth {
+            if d == 0 || d > 4096 {
+                return Err(SpecError::Invalid(format!("input_fifo_depth {d} outside 1..=4096")));
             }
         }
         // One emulator-level validation per NFP-axis combination; the
@@ -395,20 +459,26 @@ impl SweepSpec {
                                     for &encoding_engines in &self.encoding_engines {
                                         for &mac_rows in &self.mac_rows {
                                             for &mac_cols in &self.mac_cols {
-                                                out.push(DesignPoint {
-                                                    index,
-                                                    app,
-                                                    encoding,
-                                                    pixels,
-                                                    nfp_units,
-                                                    clock_ghz,
-                                                    grid_sram_kb,
-                                                    grid_sram_banks,
-                                                    encoding_engines,
-                                                    mac_rows,
-                                                    mac_cols,
-                                                });
-                                                index += 1;
+                                                for &lanes in &self.lanes_per_engine {
+                                                    for &fifo in &self.input_fifo_depth {
+                                                        out.push(DesignPoint {
+                                                            index,
+                                                            app,
+                                                            encoding,
+                                                            pixels,
+                                                            nfp_units,
+                                                            clock_ghz,
+                                                            grid_sram_kb,
+                                                            grid_sram_banks,
+                                                            encoding_engines,
+                                                            mac_rows,
+                                                            mac_cols,
+                                                            lanes_per_engine: lanes,
+                                                            input_fifo_depth: fifo,
+                                                        });
+                                                        index += 1;
+                                                    }
+                                                }
                                             }
                                         }
                                     }
@@ -428,7 +498,7 @@ impl SweepSpec {
     pub fn canonical(&self) -> String {
         let join = |it: Vec<String>| it.join(",");
         format!(
-            "apps=[{}];encodings=[{}];pixels=[{}];nfp_units=[{}];clock_ghz=[{}];grid_sram_kb=[{}];grid_sram_banks=[{}];encoding_engines=[{}];mac_rows=[{}];mac_cols=[{}]",
+            "apps=[{}];encodings=[{}];pixels=[{}];nfp_units=[{}];clock_ghz=[{}];grid_sram_kb=[{}];grid_sram_banks=[{}];encoding_engines=[{}];mac_rows=[{}];mac_cols=[{}];lanes_per_engine=[{}];input_fifo_depth=[{}]",
             join(self.apps.iter().map(|&a| app_slug(a).to_string()).collect()),
             join(self.encodings.iter().map(|&e| encoding_slug(e).to_string()).collect()),
             join(self.pixels.iter().map(|p| p.to_string()).collect()),
@@ -439,6 +509,8 @@ impl SweepSpec {
             join(self.encoding_engines.iter().map(|e| e.to_string()).collect()),
             join(self.mac_rows.iter().map(|r| r.to_string()).collect()),
             join(self.mac_cols.iter().map(|c| c.to_string()).collect()),
+            join(self.lanes_per_engine.iter().map(|l| l.to_string()).collect()),
+            join(self.input_fifo_depth.iter().map(|d| d.to_string()).collect()),
         )
     }
 
@@ -607,6 +679,12 @@ fn apply_key(
         }
         "mac_rows" => spec.mac_rows = coerce_vec(value, |v| as_u32(v, "mac_rows"))?,
         "mac_cols" => spec.mac_cols = coerce_vec(value, |v| as_u32(v, "mac_cols"))?,
+        "lanes_per_engine" => {
+            spec.lanes_per_engine = coerce_vec(value, |v| as_u32(v, "lanes_per_engine"))?
+        }
+        "input_fifo_depth" => {
+            spec.input_fifo_depth = coerce_vec(value, |v| as_u32(v, "input_fifo_depth"))?
+        }
         _ => return Err(format!("unknown key `{key}`")),
     }
     Ok(())
@@ -657,6 +735,8 @@ mod tests {
             encoding_engines: 8,
             mac_rows: 32,
             mac_cols: 128,
+            lanes_per_engine: 2,
+            input_fifo_depth: 32,
         };
         let input = p.emulator_input();
         assert_eq!(input.app, AppKind::Gia);
@@ -667,6 +747,8 @@ mod tests {
         assert_eq!(input.nfp.encoding_engines, 8);
         assert_eq!(input.nfp.mac_rows, 32);
         assert_eq!(input.nfp.mac_cols, 128);
+        assert_eq!(input.nfp.lanes_per_engine, 2);
+        assert_eq!(input.nfp.input_fifo_depth, 32);
     }
 
     #[test]
@@ -805,6 +887,88 @@ mod tests {
         assert_eq!(spec.point_count(), 4 * 4 * 2 * 2);
         let err = SweepSpec::from_toml_str("mac_rows = [0]\n").unwrap_err();
         assert!(matches!(err, SpecError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn guided_lanes_preset_spans_the_full_space() {
+        let spec = SweepSpec::guided_lanes();
+        spec.validate().unwrap();
+        // 1080 points of the paper axes (sans the 2 MB SRAM point) x
+        // 3 engines x 3 rows x 3 cols x 3 lanes x 3 fifos = 262,440 —
+        // the exploded space of the ISSUE.
+        assert_eq!(spec.point_count(), 1080 * 243);
+        assert_eq!(spec.grid_sram_kb, vec![256, 512, 1024]);
+        assert_eq!(spec.lanes_per_engine, vec![1, 2, 4]);
+        assert_eq!(spec.input_fifo_depth, vec![2, 8, 64]);
+        // The FIFO axis must not sample [16, 64): those depths match the
+        // paper's overlap at strictly less area and would evict the
+        // NGPC-64 headline point from the frontier by construction.
+        assert!(spec.input_fifo_depth.iter().all(|&d| !(16..64).contains(&d)));
+        // The paper's NFP (lanes 1, 64-deep FIFO) is in the space.
+        let headline = spec.points().into_iter().find(|p| {
+            p.nfp_units == 64
+                && p.encoding_engines == 16
+                && p.mac_rows == 64
+                && p.mac_cols == 64
+                && p.lanes_per_engine == 1
+                && p.input_fifo_depth == 64
+        });
+        assert!(headline.is_some());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_lane_and_fifo_axes() {
+        // Spec-level errors, not mid-sweep panics, for the new axes.
+        type Mutator = fn(&mut SweepSpec);
+        let cases: [(&str, Mutator, &str); 4] = [
+            ("zero lanes", |s| s.lanes_per_engine = vec![0], "lanes_per_engine 0 outside 1..=16"),
+            ("huge lanes", |s| s.lanes_per_engine = vec![32], "lanes_per_engine 32 outside 1..=16"),
+            ("zero fifo", |s| s.input_fifo_depth = vec![0], "input_fifo_depth 0 outside 1..=4096"),
+            (
+                "huge fifo",
+                |s| s.input_fifo_depth = vec![8192],
+                "input_fifo_depth 8192 outside 1..=4096",
+            ),
+        ];
+        for (what, mutate, message) in cases {
+            let mut spec = SweepSpec::quick();
+            mutate(&mut spec);
+            match spec.validate() {
+                Err(SpecError::Invalid(m)) => assert_eq!(m, message, "{what}"),
+                other => panic!("{what}: expected Invalid, got {other:?}"),
+            }
+        }
+        let mut spec = SweepSpec::quick();
+        spec.input_fifo_depth.clear();
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::Invalid("axis `input_fifo_depth` is empty".to_string()))
+        );
+        let mut spec = SweepSpec::quick();
+        spec.lanes_per_engine = vec![1, 1];
+        assert!(spec.validate().is_err(), "duplicate lane values");
+    }
+
+    #[test]
+    fn toml_parses_the_lane_and_fifo_axes() {
+        let spec =
+            SweepSpec::from_toml_str("lanes_per_engine = [1, 2, 4]\ninput_fifo_depth = [8, 64]\n")
+                .unwrap();
+        assert_eq!(spec.lanes_per_engine, vec![1, 2, 4]);
+        assert_eq!(spec.input_fifo_depth, vec![8, 64]);
+        assert_eq!(spec.point_count(), 4 * 4 * 3 * 2);
+        // Degenerate values error at parse time through validate().
+        let err = SweepSpec::from_toml_str("lanes_per_engine = [0]\n").unwrap_err();
+        assert!(matches!(err, SpecError::Invalid(_)), "{err}");
+        // The canonical encoding covers both axes: growing either
+        // changes the sweep identity.
+        let base = SweepSpec::quick();
+        let mut lanes = base.clone();
+        lanes.lanes_per_engine.push(2);
+        assert_ne!(base.canonical(), lanes.canonical());
+        let mut fifo = base.clone();
+        fifo.input_fifo_depth.push(16);
+        assert_ne!(base.canonical(), fifo.canonical());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use ngpc::EmulationContext;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::EvalCache;
-use crate::pareto::{constrained_pareto, Constraints, Objectives};
+use crate::pareto::{Constraints, Objectives, StreamingFrontier};
 use crate::pool;
 use crate::spec::{DesignPoint, SpecError, SweepSpec};
 
@@ -68,6 +68,10 @@ pub struct ArchPoint {
     pub mac_rows: u32,
     /// MAC array columns of the MLP engine.
     pub mac_cols: u32,
+    /// Query lanes per encoding engine.
+    pub lanes_per_engine: u32,
+    /// Fusion input-FIFO depth in entries.
+    pub input_fifo_depth: u32,
     /// Number of apps averaged.
     pub apps: u32,
     /// Cross-app average speedup.
@@ -86,6 +90,31 @@ impl ArchPoint {
             area_pct: self.area_pct_of_gpu,
             power_pct: self.power_pct_of_gpu,
         }
+    }
+
+    /// Whether this is the paper's published NGPC-64 headline
+    /// *organisation*: hashgrid, FHD, 64 units, 1 GHz, 1 MB/8-bank
+    /// grid SRAMs, 16 engines, 64x64 MACs. The lane/FIFO
+    /// microarchitecture axes are deliberately left free: in the
+    /// exploded lane/FIFO space the model (correctly) finds the
+    /// paper's 64-deep FIFO oversized at plateau scale — every app is
+    /// Amdahl-bound at 64 units, so any depth buys the same speedup
+    /// and the frontier right-sizes the FIFO below the overlap knee.
+    /// In the paper and mac-arrays presets those axes are pinned at
+    /// the paper's 1 lane / 64 entries, so the match is exact there.
+    /// Shared by every headline regression guard (`dse
+    /// --check-headline` in both sweep and search modes, and
+    /// `bench_dse --check-warm`) so the guards cannot drift apart.
+    pub fn is_paper_organisation(&self) -> bool {
+        self.encoding == EncodingKind::MultiResHashGrid
+            && self.pixels == crate::spec::FHD_PIXELS
+            && self.nfp_units == 64
+            && self.clock_ghz == 1.0
+            && self.grid_sram_kb == 1024
+            && self.grid_sram_banks == 8
+            && self.encoding_engines == 16
+            && self.mac_rows == 64
+            && self.mac_cols == 64
     }
 }
 
@@ -141,13 +170,18 @@ impl SweepOutcome {
 
     /// The constrained Pareto frontier of one app's points, sorted by
     /// ascending area (the natural reading order of a frontier).
+    ///
+    /// Streams the points through a [`StreamingFrontier`] — each
+    /// point's objectives are computed exactly once and no intermediate
+    /// per-app or per-objective vectors are materialised.
     pub fn per_app_frontier(&self, app: AppKind, constraints: &Constraints) -> Vec<EvaluatedPoint> {
-        let points = self.for_app(app);
-        let objectives: Vec<Objectives> = points.iter().map(|p| p.objectives()).collect();
-        let mut frontier: Vec<EvaluatedPoint> =
-            constrained_pareto(&objectives, constraints).into_iter().map(|i| points[i]).collect();
-        frontier.sort_by(|a, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
-        frontier
+        let mut frontier = StreamingFrontier::new();
+        for p in self.points.iter().filter(|p| p.point.app == app) {
+            frontier.insert_constrained(p.objectives(), *p, constraints);
+        }
+        let mut out = frontier.into_payloads();
+        out.sort_by(|a: &EvaluatedPoint, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
+        out
     }
 
     /// Fold per-app results into one [`ArchPoint`] per architecture
@@ -169,6 +203,8 @@ impl SweepOutcome {
                     encoding_engines: p.point.encoding_engines,
                     mac_rows: p.point.mac_rows,
                     mac_cols: p.point.mac_cols,
+                    lanes_per_engine: p.point.lanes_per_engine,
+                    input_fifo_depth: p.point.input_fifo_depth,
                     apps: 0,
                     avg_speedup: 0.0,
                     area_pct_of_gpu: p.area_pct_of_gpu,
@@ -189,14 +225,16 @@ impl SweepOutcome {
     }
 
     /// The constrained Pareto frontier of the cross-app-average
-    /// objective, sorted by ascending area.
+    /// objective, sorted by ascending area. Objectives are computed
+    /// once per architecture and streamed with dominance pruning.
     pub fn cross_app_frontier(&self, constraints: &Constraints) -> Vec<ArchPoint> {
-        let archs = self.cross_app();
-        let objectives: Vec<Objectives> = archs.iter().map(|a| a.objectives()).collect();
-        let mut frontier: Vec<ArchPoint> =
-            constrained_pareto(&objectives, constraints).into_iter().map(|i| archs[i]).collect();
-        frontier.sort_by(|a, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
-        frontier
+        let mut frontier = StreamingFrontier::new();
+        for a in self.cross_app() {
+            frontier.insert_constrained(a.objectives(), a, constraints);
+        }
+        let mut out = frontier.into_payloads();
+        out.sort_by(|a: &ArchPoint, b| a.area_pct_of_gpu.total_cmp(&b.area_pct_of_gpu));
+        out
     }
 }
 
@@ -251,22 +289,37 @@ impl SweepEngine {
     /// Run a sweep: validate, partition the points into cached and
     /// missing, evaluate only the misses in parallel, append them back
     /// to the point store, and return the merged results in spec order.
+    ///
+    /// Borrowing callers pay one spec clone (the outcome owns its
+    /// spec); callers that can part with the spec should prefer
+    /// [`SweepEngine::run_owned`], which runs clone-free.
     pub fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, SpecError> {
+        self.run_owned(spec.clone())
+    }
+
+    /// [`SweepEngine::run`] taking the spec by value: no spec clone,
+    /// and the merge fills cache hits and fresh evaluations into a
+    /// single result vector instead of collecting intermediates.
+    pub fn run_owned(&self, spec: SweepSpec) -> Result<SweepOutcome, SpecError> {
         spec.validate()?;
         let started = Instant::now();
         let cache = self.cache_dir.as_ref().map(|dir| EvalCache::new(dir.clone()));
 
         let design_points = spec.points();
-        let cached: Vec<Option<EvaluatedPoint>> = match &cache {
+        // `slots` doubles as the hit/miss partition and the result
+        // buffer: hits are already final, the gaps are filled from the
+        // pool's output below.
+        let mut slots: Vec<Option<EvaluatedPoint>> = match &cache {
             Some(cache) => cache.lookup(&design_points),
             None => vec![None; design_points.len()],
         };
         let missing: Vec<DesignPoint> = design_points
             .iter()
-            .zip(&cached)
+            .zip(&slots)
             .filter(|(_, hit)| hit.is_none())
             .map(|(p, _)| *p)
             .collect();
+        drop(design_points);
 
         // The work-stealing pool sees only the misses; results come
         // back in `missing` (= spec) order.
@@ -297,17 +350,19 @@ impl SweepEngine {
             cache.store_dir()
         });
 
-        // Merge: cached points keep their slot, fresh evaluations fill
-        // the gaps in order — both sides are already in spec order.
+        // Merge in place: cached points keep their slot, fresh
+        // evaluations fill the gaps in order — both sides are already
+        // in spec order.
         let mut fresh = evaluated.into_iter();
-        let points: Vec<EvaluatedPoint> = cached
-            .into_iter()
-            .map(|hit| hit.unwrap_or_else(|| fresh.next().expect("one evaluation per miss")))
-            .collect();
+        for slot in slots.iter_mut().filter(|s| s.is_none()) {
+            *slot = Some(fresh.next().expect("one evaluation per miss"));
+        }
+        let points: Vec<EvaluatedPoint> =
+            slots.into_iter().map(|s| s.expect("every slot filled")).collect();
 
         let cache_hits = points.len() - missing.len();
         Ok(SweepOutcome {
-            spec: spec.clone(),
+            spec,
             stats: SweepStats {
                 total_points: points.len(),
                 evaluated: missing.len(),

@@ -1,0 +1,61 @@
+//! End-to-end CLI checks of guided-search mode (ISSUE 4): `--search`
+//! runs the budgeted searcher instead of the exhaustive sweep, honours
+//! `--budget`/`--seed`, and `--check-headline` gates on recovery.
+
+use std::process::Command;
+
+fn dse(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dse")).args(args).output().expect("dse runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn saturated_search_on_quick_recovers_the_headline() {
+    // The quick preset contains the NGPC-64 point; a budget covering
+    // the whole (64-point) space must recover it and exit zero.
+    let (out, err, ok) =
+        dse(&["--search", "--preset", "quick", "--no-cache", "--budget", "64", "--check-headline"]);
+    assert!(ok, "search run failed:\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("guided search `quick` (hill)"), "{out}");
+    assert!(out.contains("budget covers the space"), "{out}");
+    assert!(out.contains("recovered the NGPC-64 organisation"), "{out}");
+}
+
+#[test]
+fn explicit_strategy_and_seed_are_accepted() {
+    let (out, err, ok) = dse(&[
+        "--search",
+        "evolve",
+        "--preset",
+        "quick",
+        "--no-cache",
+        "--budget",
+        "24",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "evolve run failed:\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("guided search `quick` (evolve)"), "{out}");
+    let (_, err, ok) = dse(&["--search", "anneal", "--preset", "quick"]);
+    assert!(!ok, "unknown strategy must fail");
+    assert!(err.contains("unknown strategy"), "{err}");
+}
+
+#[test]
+fn search_mode_rejects_sweep_only_outputs() {
+    let (_, err, ok) =
+        dse(&["--search", "--preset", "quick", "--no-cache", "--csv", "/tmp/nope.csv"]);
+    assert!(!ok);
+    assert!(err.contains("rerun without --search"), "{err}");
+}
+
+#[test]
+fn budget_zero_is_a_clean_error() {
+    let (_, err, ok) = dse(&["--search", "--preset", "quick", "--no-cache", "--budget", "0"]);
+    assert!(!ok);
+    assert!(err.contains("budget must be nonzero"), "{err}");
+}

@@ -45,6 +45,20 @@ fn grown_axis_cases() -> Vec<(SweepSpec, SweepSpec)> {
     half.pixels.truncate(1);
     cases.push((half, full));
 
+    // The lane/FIFO axes opened in ISSUE 4: growing either must hit the
+    // cached paper-default points and evaluate only the new values.
+    let mut full = SweepSpec::quick();
+    full.lanes_per_engine = vec![1, 2, 4];
+    let mut half = full.clone();
+    half.lanes_per_engine.truncate(1);
+    cases.push((half, full));
+
+    let mut full = SweepSpec::quick();
+    full.input_fifo_depth = vec![64, 8, 2];
+    let mut half = full.clone();
+    half.input_fifo_depth.truncate(1);
+    cases.push((half, full));
+
     cases
 }
 

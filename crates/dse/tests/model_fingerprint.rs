@@ -15,7 +15,7 @@ use ng_dse::{model_fingerprint, MODEL_VERSION};
 fn model_version_is_bumped_with_the_models() {
     assert_eq!(
         (MODEL_VERSION, model_fingerprint()),
-        ("ngpc-models-v3", 4568601522098308640),
+        ("ngpc-models-v4", 3895588123208138528),
         "evaluation-model outputs changed: bump ng_dse::MODEL_VERSION \
          (crates/dse/src/lib.rs) so cache generations stay tellable apart \
          on disk, then update the pinned fingerprint here"

@@ -2,7 +2,8 @@
 //! internal consistency, permutation invariance, and constraint
 //! soundness over randomized objective clouds.
 
-use ng_dse::{pareto_indices, Constraints, Objectives};
+use ng_dse::pareto::constrained_pareto;
+use ng_dse::{pareto_indices, Constraints, Objectives, StreamingFrontier};
 use proptest::prelude::*;
 
 /// Build an objective cloud from a flat coordinate vector (3 per point).
@@ -116,6 +117,67 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streaming_frontier_is_set_equal_to_naive_constrained_pareto(
+        coords in prop::collection::vec(0.0f64..50.0, 0..120),
+        dup_seed in 0u64..1_000_000,
+        max_area in 0.0f64..70.0,
+        min_speedup in 0.0f64..35.0,
+        unconstrained in 0u8..2,
+    ) {
+        // Build a cloud, then splice in exact duplicates of some points
+        // (picked by a seeded walk) so ties-on-all-objectives are
+        // exercised, not just hoped for.
+        let mut objs = cloud(&coords);
+        if !objs.is_empty() {
+            let mut seed = dup_seed | 1;
+            for _ in 0..objs.len() / 4 + 1 {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let copy = objs[(seed % objs.len() as u64) as usize];
+                objs.push(copy);
+            }
+        }
+        let constraints = if unconstrained == 1 {
+            Constraints::NONE
+        } else {
+            Constraints {
+                max_area_pct: Some(max_area),
+                min_speedup: Some(min_speedup),
+                ..Constraints::NONE
+            }
+        };
+        // Naive batch extraction...
+        let expected: Vec<Objectives> =
+            constrained_pareto(&objs, &constraints).into_iter().map(|i| objs[i]).collect();
+        // ... must be set-equal to streamed insert-with-dominance-pruning.
+        let mut streaming = StreamingFrontier::new();
+        for (i, &o) in objs.iter().enumerate() {
+            streaming.insert_constrained(o, i, &constraints);
+        }
+        let streamed: Vec<Objectives> =
+            streaming.into_payloads().into_iter().map(|i| objs[i]).collect();
+        prop_assert_eq!(canonicalize(&streamed), canonicalize(&expected));
+    }
+
+    #[test]
+    fn streaming_insert_order_is_irrelevant(
+        coords in prop::collection::vec(0.0f64..100.0, 0..90),
+        seed in 0u64..1_000_000,
+    ) {
+        let objs = cloud(&coords);
+        let shuffled = permute(&objs, seed);
+        let run = |input: &[Objectives]| -> Vec<Objectives> {
+            let mut f = StreamingFrontier::new();
+            for &o in input {
+                f.insert(o, o);
+            }
+            f.into_payloads()
+        };
+        prop_assert_eq!(canonicalize(&run(&objs)), canonicalize(&run(&shuffled)));
     }
 
     #[test]

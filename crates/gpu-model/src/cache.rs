@@ -8,7 +8,7 @@
 //! resident fraction proportional to its share, and spatially-coherent
 //! rays give neighbouring queries high reuse on coarse levels.
 
-use ng_neural::encoding::MultiResGrid;
+use ng_neural::encoding::GridLayout;
 
 /// Per-level and aggregate hit statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,8 +19,10 @@ pub struct CacheModel {
 
 impl CacheModel {
     /// Estimate hit rates for all levels of `grid` under an L2 of
-    /// `l2_bytes`, given `bytes_per_param` storage.
-    pub fn estimate(grid: &MultiResGrid, l2_bytes: u64, bytes_per_param: usize) -> Self {
+    /// `l2_bytes`, given `bytes_per_param` storage. Takes the table
+    /// *layout* — the model reads shapes, never weights, so callers
+    /// need not materialise (and RNG-fill) the actual tables.
+    pub fn estimate(grid: &GridLayout, l2_bytes: u64, bytes_per_param: usize) -> Self {
         let f = grid.config().features_per_level;
         let footprints: Vec<u64> = (0..grid.levels().len())
             .map(|l| (grid.levels()[l].entries * f * bytes_per_param) as u64)
@@ -83,7 +85,7 @@ mod tests {
 
     #[test]
     fn small_table_hits_everywhere() {
-        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 10, 1.4), 0).unwrap();
+        let grid = GridLayout::new(GridConfig::hashgrid(3, 10, 1.4)).unwrap();
         let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
         assert!(model.aggregate_hit_rate() > 0.95);
     }
@@ -91,14 +93,14 @@ mod tests {
     #[test]
     fn nerf_hashgrid_misses_substantially() {
         // 12 hashed levels x 2 MiB = 24 MiB >> 6 MiB L2.
-        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 19, 1.51572), 0).unwrap();
+        let grid = GridLayout::new(GridConfig::hashgrid(3, 19, 1.51572)).unwrap();
         let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
         assert!(model.miss_rate() > 0.25, "miss rate {}", model.miss_rate());
     }
 
     #[test]
     fn coarse_levels_hit_better_than_fine() {
-        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 19, 1.51572), 0).unwrap();
+        let grid = GridLayout::new(GridConfig::hashgrid(3, 19, 1.51572)).unwrap();
         let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
         let coarse = model.level_hit_rate(0);
         let fine = model.level_hit_rate(grid.levels().len() - 1);
@@ -107,7 +109,7 @@ mod tests {
 
     #[test]
     fn bigger_cache_hits_more() {
-        let grid = MultiResGrid::new(GridConfig::hashgrid(3, 19, 1.51572), 0).unwrap();
+        let grid = GridLayout::new(GridConfig::hashgrid(3, 19, 1.51572)).unwrap();
         let small = CacheModel::estimate(&grid, 2 * 1024 * 1024, 2);
         let large = CacheModel::estimate(&grid, 48 * 1024 * 1024, 2);
         assert!(large.aggregate_hit_rate() > small.aggregate_hit_rate());
@@ -115,7 +117,7 @@ mod tests {
 
     #[test]
     fn hit_rates_are_probabilities() {
-        let grid = MultiResGrid::new(GridConfig::densegrid(3, 19), 0).unwrap();
+        let grid = GridLayout::new(GridConfig::densegrid(3, 19)).unwrap();
         let model = CacheModel::estimate(&grid, 6 * 1024 * 1024, 2);
         for l in 0..grid.levels().len() {
             let h = model.level_hit_rate(l);

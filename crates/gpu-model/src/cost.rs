@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::CacheModel;
 use crate::spec::GpuSpec;
 use crate::workload::{FrameWorkload, BYTES_PER_PARAM};
-use ng_neural::encoding::MultiResGrid;
+use ng_neural::encoding::GridLayout;
 
 /// A kernel-time estimate with its limiting resource.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,7 +79,7 @@ const HASH_COST_OPS: f64 = 12.0;
 
 /// Estimate all three kernel classes of one frame.
 pub fn estimate_frame(gpu: &GpuSpec, workload: &FrameWorkload) -> FrameEstimate {
-    let grid = MultiResGrid::new(table1(workload.app, workload.encoding).grid, 0).expect("valid");
+    let grid = GridLayout::new(table1(workload.app, workload.encoding).grid).expect("valid");
     let cache = CacheModel::estimate(&grid, gpu.l2_bytes, BYTES_PER_PARAM);
 
     // --- Encoding kernel ---

@@ -10,7 +10,7 @@
 //! them.
 
 use ng_neural::apps::{table1, AppKind, EncodingKind};
-use ng_neural::encoding::MultiResGrid;
+use ng_neural::encoding::GridLayout;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheModel;
@@ -93,7 +93,7 @@ const OTHER_CYCLES_PER_QUERY: f64 = 24.0;
 /// frame.
 pub fn op_breakdown(gpu: &GpuSpec, app: AppKind, encoding: EncodingKind) -> OpBreakdown {
     let w = FrameWorkload::derive(app, encoding, 1920 * 1080);
-    let grid = MultiResGrid::new(table1(app, encoding).grid, 0).expect("valid");
+    let grid = GridLayout::new(table1(app, encoding).grid).expect("valid");
     let cache = CacheModel::estimate(&grid, gpu.l2_bytes, BYTES_PER_PARAM);
 
     let q = w.queries as f64;

@@ -2,11 +2,14 @@
 //!
 //! Everything here is counted, not guessed: MAC counts come from the
 //! actual MLP topologies, lookup counts from the grid dimensionality and
-//! level count, and table footprints from instantiating the real
-//! [`ng_neural::encoding::MultiResGrid`].
+//! level count, and table footprints from the exact
+//! [`ng_neural::encoding::GridLayout`] a real
+//! [`ng_neural::encoding::MultiResGrid`](ng_neural::encoding::MultiResGrid)
+//! would allocate (shapes only — deriving a workload does not
+//! materialise the tables).
 
 use ng_neural::apps::{table1, AppKind, EncodingKind};
-use ng_neural::encoding::MultiResGrid;
+use ng_neural::encoding::GridLayout;
 use serde::{Deserialize, Serialize};
 
 /// Bytes per stored feature parameter (tiny-cuda-nn stores fp16 tables).
@@ -66,7 +69,7 @@ impl FrameWorkload {
     /// Derive the workload of one frame at `pixels` resolution.
     pub fn derive(app: AppKind, encoding: EncodingKind, pixels: u64) -> Self {
         let params = table1(app, encoding);
-        let grid = MultiResGrid::new(params.grid, 0).expect("table1 configs are valid");
+        let grid = GridLayout::new(params.grid).expect("table1 configs are valid");
         let d = params.grid.dim as u32;
         let corners = 1u32 << d;
         let levels = params.grid.n_levels as u32;

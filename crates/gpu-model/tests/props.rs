@@ -4,7 +4,7 @@ use ng_gpu::cache::CacheModel;
 use ng_gpu::cost::estimate_frame;
 use ng_gpu::{frame_time_ms, kernel_breakdown, rtx3090, FrameWorkload};
 use ng_neural::apps::{AppKind, EncodingKind};
-use ng_neural::encoding::{GridConfig, MultiResGrid};
+use ng_neural::encoding::{GridConfig, GridLayout};
 use proptest::prelude::*;
 
 fn arb_app() -> impl Strategy<Value = AppKind> {
@@ -62,7 +62,7 @@ proptest! {
         log2_t in 6u32..16,
         l2_mb in 1u64..32,
     ) {
-        let grid = MultiResGrid::new(GridConfig::hashgrid(3, log2_t, 1.5), 0).unwrap();
+        let grid = GridLayout::new(GridConfig::hashgrid(3, log2_t, 1.5)).unwrap();
         let small = CacheModel::estimate(&grid, l2_mb * 1024 * 1024, 2);
         let large = CacheModel::estimate(&grid, 2 * l2_mb * 1024 * 1024, 2);
         prop_assert!((0.0..=1.0).contains(&small.aggregate_hit_rate()));

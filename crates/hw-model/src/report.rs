@@ -13,6 +13,9 @@ pub struct NfpFloorplan {
     /// Input-encoding engines per NFP (16, matching the maximum level
     /// count).
     pub encoding_engines: u32,
+    /// Query lanes per encoding engine: parallel corner-fetch pipelines
+    /// sharing the engine's grid SRAM (1 in the paper).
+    pub lanes_per_engine: u32,
     /// Grid SRAM per encoding engine in bytes (1 MB in the paper).
     pub grid_sram_bytes: u64,
     /// Banks per grid SRAM (supports one lookup per corner per cycle).
@@ -36,6 +39,7 @@ impl Default for NfpFloorplan {
     fn default() -> Self {
         NfpFloorplan {
             encoding_engines: 16,
+            lanes_per_engine: 1,
             grid_sram_bytes: 1 << 20,
             grid_sram_banks: 8,
             mac_rows: 64,
@@ -113,7 +117,11 @@ pub fn ngpc_area_power_vs(
         banks: floorplan.grid_sram_banks,
     });
     let n_eng = floorplan.encoding_engines as f64;
-    let grid_dynamic = n_eng * SRAM_READS_PER_CYCLE * clk * 1e9 * grid.access_energy_pj * 1e-12;
+    // Every extra query lane adds a concurrent corner-fetch stream into
+    // the (shared) grid SRAM.
+    let lanes = floorplan.lanes_per_engine.max(1) as f64;
+    let grid_dynamic =
+        n_eng * lanes * SRAM_READS_PER_CYCLE * clk * 1e9 * grid.access_energy_pj * 1e-12;
     let grid_srams = ComponentBudget {
         area_mm2_45: n_eng * grid.area_mm2,
         watts_45: grid_dynamic + n_eng * grid.leakage_watts,
@@ -147,10 +155,13 @@ pub fn ngpc_area_power_vs(
     // --- Encoding-engine datapaths ---
     let mut enc_synth = SynthEstimate::default();
     let n = floorplan.encoding_engines as u64;
-    enc_synth.add(Module::HashUnit, n, clk);
-    enc_synth.add(Module::GridScale, n, clk);
-    enc_synth.add(Module::PosFract, n, clk);
-    enc_synth.add(Module::InterpolWeights, n, clk);
+    // The corner-fetch pipeline is replicated per query lane; control
+    // and the input FIFO are shared by an engine's lanes.
+    let n_lanes = n * floorplan.lanes_per_engine.max(1) as u64;
+    enc_synth.add(Module::HashUnit, n_lanes, clk);
+    enc_synth.add(Module::GridScale, n_lanes, clk);
+    enc_synth.add(Module::PosFract, n_lanes, clk);
+    enc_synth.add(Module::InterpolWeights, n_lanes, clk);
     enc_synth.add(Module::EngineControl, n, clk);
     enc_synth.add(Module::FifoEntry96b, n * floorplan.input_fifo_depth as u64, clk);
     let encoding_logic =
@@ -191,7 +202,7 @@ pub fn ngpc_area_power(nfp_units: u32) -> AreaPowerReport {
 /// Bit-exact hash key of a floorplan (clock keyed by its bit pattern).
 fn floorplan_key(f: &NfpFloorplan) -> [u64; 8] {
     [
-        f.encoding_engines as u64,
+        ((f.lanes_per_engine as u64) << 32) | f.encoding_engines as u64,
         f.grid_sram_bytes,
         f.grid_sram_banks as u64,
         ((f.mac_rows as u64) << 32) | f.mac_cols as u64,
@@ -335,6 +346,31 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(misses, 3, "one synthesis per distinct floorplan");
         assert_eq!(hits, 9);
+    }
+
+    #[test]
+    fn extra_lanes_cost_area_and_power_but_single_lane_is_free() {
+        // lanes = 1 is the paper's NFP: the lane axis must not perturb
+        // the published Fig. 15 numbers at its default...
+        let r_default = ngpc_area_power(8);
+        let r_one = ngpc_area_power_vs(
+            &NfpFloorplan { lanes_per_engine: 1, ..NfpFloorplan::default() },
+            8,
+            RTX3090,
+        );
+        assert_eq!(r_default, r_one);
+        // ... while every extra lane replicates the corner-fetch
+        // datapath and adds SRAM read pressure.
+        let r_four = ngpc_area_power_vs(
+            &NfpFloorplan { lanes_per_engine: 4, ..NfpFloorplan::default() },
+            8,
+            RTX3090,
+        );
+        assert!(r_four.area_pct_of_gpu > r_one.area_pct_of_gpu);
+        assert!(r_four.power_pct_of_gpu > r_one.power_pct_of_gpu);
+        // Lanes replicate datapath only, not the dominant grid SRAMs:
+        // the area premium is real but small.
+        assert!(r_four.area_pct_of_gpu < r_one.area_pct_of_gpu * 1.25);
     }
 
     #[test]

@@ -175,6 +175,100 @@ pub struct LevelLayout {
     pub offset: usize,
 }
 
+/// The table layout of a grid configuration — every per-level shape a
+/// grid of that configuration would have, computed *without* allocating
+/// or initialising the parameter tables themselves.
+///
+/// Analytical consumers (the GPU cache model, workload derivation, the
+/// NFP SRAM sizing) only ever read shapes, never weights; going through
+/// a layout instead of a full [`MultiResGrid`] turns an
+/// allocate-and-RNG-fill of tens of MiB (the NeRF hash tables) into
+/// `O(levels)` integer math.
+///
+/// ```
+/// use ng_neural::encoding::{GridConfig, GridLayout, MultiResGrid};
+///
+/// # fn main() -> ng_neural::Result<()> {
+/// let cfg = GridConfig::hashgrid(3, 14, 1.5);
+/// let layout = GridLayout::new(cfg)?;
+/// // Bit-identical to the layout of a fully materialised grid.
+/// assert_eq!(layout.levels(), MultiResGrid::new(cfg, 1)?.levels());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridLayout {
+    config: GridConfig,
+    levels: Vec<LevelLayout>,
+    /// Feature vectors across all levels (the end offset).
+    total_entries: usize,
+}
+
+impl GridLayout {
+    /// Compute the per-level layout of `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NgError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: GridConfig) -> Result<Self> {
+        config.validate()?;
+        let table_cap = 1usize << config.log2_table_size;
+        let mut levels = Vec::with_capacity(config.n_levels);
+        let mut offset = 0usize;
+        for l in 0..config.n_levels {
+            let resolution = config.level_resolution(l);
+            let vertices = dense_vertex_count(resolution, config.dim);
+            let (entries, hashed, wrapped) = match config.kind {
+                GridKind::Hash => {
+                    if vertices <= table_cap as u64 {
+                        (vertices as usize, false, false)
+                    } else {
+                        (table_cap, true, false)
+                    }
+                }
+                GridKind::Dense => (vertices as usize, false, false),
+                GridKind::Tiled => {
+                    if vertices <= table_cap as u64 {
+                        (vertices as usize, false, false)
+                    } else {
+                        (table_cap, false, true)
+                    }
+                }
+            };
+            levels.push(LevelLayout { resolution, entries, hashed, wrapped, offset });
+            offset += entries;
+        }
+        Ok(GridLayout { config, levels, total_entries: offset })
+    }
+
+    /// The configuration this layout was computed from.
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// Per-level layout (entries, hashing, offsets).
+    pub fn levels(&self) -> &[LevelLayout] {
+        &self.levels
+    }
+
+    /// Number of `f32` parameters a materialised grid would hold.
+    pub fn param_count(&self) -> usize {
+        self.total_entries * self.config.features_per_level
+    }
+
+    /// Total table footprint in bytes assuming `bytes_per_param`
+    /// storage.
+    pub fn footprint_bytes(&self, bytes_per_param: usize) -> usize {
+        self.param_count() * bytes_per_param
+    }
+
+    /// Footprint in bytes of a single level's table.
+    pub fn level_footprint_bytes(&self, level: usize, bytes_per_param: usize) -> usize {
+        self.levels[level].entries * self.config.features_per_level * bytes_per_param
+    }
+}
+
 /// A trainable multiresolution grid encoding.
 ///
 /// ```
@@ -206,37 +300,11 @@ impl MultiResGrid {
     ///
     /// Returns [`NgError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: GridConfig, seed: u64) -> Result<Self> {
-        config.validate()?;
-        let table_cap = 1usize << config.log2_table_size;
-        let mut levels = Vec::with_capacity(config.n_levels);
-        let mut offset = 0usize;
-        for l in 0..config.n_levels {
-            let resolution = config.level_resolution(l);
-            let vertices = dense_vertex_count(resolution, config.dim);
-            let (entries, hashed, wrapped) = match config.kind {
-                GridKind::Hash => {
-                    if vertices <= table_cap as u64 {
-                        (vertices as usize, false, false)
-                    } else {
-                        (table_cap, true, false)
-                    }
-                }
-                GridKind::Dense => (vertices as usize, false, false),
-                GridKind::Tiled => {
-                    if vertices <= table_cap as u64 {
-                        (vertices as usize, false, false)
-                    } else {
-                        (table_cap, false, true)
-                    }
-                }
-            };
-            levels.push(LevelLayout { resolution, entries, hashed, wrapped, offset });
-            offset += entries;
-        }
-        let mut params = vec![0.0f32; offset * config.features_per_level];
+        let layout = GridLayout::new(config)?;
+        let mut params = vec![0.0f32; layout.param_count()];
         let mut rng = Pcg32::with_stream(seed, 0x9e11);
         rng.fill_uniform(&mut params, -Self::INIT_SCALE, Self::INIT_SCALE);
-        Ok(MultiResGrid { config, levels, params })
+        Ok(MultiResGrid { config, levels: layout.levels, params })
     }
 
     /// The configuration this encoding was built from.

@@ -26,7 +26,7 @@ pub mod hash;
 pub mod interp;
 pub mod sh;
 
-pub use grid::{GridConfig, GridKind, MultiResGrid};
+pub use grid::{GridConfig, GridKind, GridLayout, LevelLayout, MultiResGrid};
 
 use crate::error::{NgError, Result};
 
