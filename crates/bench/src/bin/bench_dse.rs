@@ -19,7 +19,10 @@
 //! MAC-array / engine-count space the compositional timing model
 //! opened — plus a `guided` entry for the budgeted searcher over the
 //! exploded guided-lanes space (`{space_points, budget, evaluations,
-//! wall_s, points_per_sec, recovered_headline}`).
+//! wall_s, points_per_sec, recovered_headline}`) and a `distributed`
+//! entry for a cold sharded run through the multi-writer point store
+//! (`{preset, workers, cold_s, warm_s, points, cold_points_per_sec,
+//! matches_single_process}`).
 //!
 //! ```text
 //! bench_dse [--quick] [--check-warm] [--out PATH]
@@ -132,6 +135,68 @@ fn bench_guided(scratch: &std::path::Path) -> GuidedBench {
     }
 }
 
+/// A cold sharded run of the paper preset through the coordinator/
+/// worker protocol (in-process workers, one shared store), plus the
+/// warm re-run that proves worker appends read back as hits.
+struct DistribBench {
+    preset: String,
+    workers: usize,
+    cold_s: f64,
+    warm_s: f64,
+    points: usize,
+    cold_points_per_sec: f64,
+    matches_single_process: bool,
+    warm_evaluated: usize,
+}
+
+fn bench_distributed(scratch: &std::path::Path) -> DistribBench {
+    let spec = SweepSpec::paper();
+    let workers = 3;
+    let store = scratch.join("point-cache-distributed");
+    let threads = (ng_dse::pool::available_threads() / workers).max(1);
+
+    let started = Instant::now();
+    let cold = ng_dse::distrib::run_sharded_in_process(&spec, workers, threads, &store)
+        .expect("preset validates");
+    let cold_s = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let warm = ng_dse::distrib::run_sharded_in_process(&spec, workers, threads, &store)
+        .expect("preset validates");
+    let warm_s = started.elapsed().as_secs_f64();
+
+    let reference = SweepEngine::new().without_cache().run(&spec).expect("preset validates");
+    let matches =
+        cold.outcome.points == reference.points && warm.outcome.points == reference.points;
+
+    println!("[{} --workers {workers} (sharded store)]", spec.name);
+    println!(
+        "cold:        {:8.1} ms  ({} points evaluated across {workers} workers, {} recovered, \
+         single-process match: {})",
+        cold_s * 1e3,
+        cold.outcome.stats.evaluated,
+        cold.recovered,
+        if matches { "yes" } else { "NO" },
+    );
+    println!(
+        "warm:        {:8.1} ms  ({} points evaluated, {} hits)",
+        warm_s * 1e3,
+        warm.outcome.stats.evaluated,
+        warm.outcome.stats.cache_hits,
+    );
+
+    DistribBench {
+        preset: spec.name.clone(),
+        workers,
+        cold_s,
+        warm_s,
+        points: spec.point_count(),
+        cold_points_per_sec: if cold_s > 0.0 { spec.point_count() as f64 / cold_s } else { 0.0 },
+        matches_single_process: matches,
+        warm_evaluated: warm.outcome.stats.evaluated,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -184,9 +249,11 @@ fn main() -> ExitCode {
     });
 
     let benches: Vec<PresetBench> = specs.iter().map(|s| bench_preset(s, &scratch)).collect();
-    // The guided searcher is benched on the full runs only (its space
-    // is the exploded preset; a --quick run has nothing to search).
+    // The guided searcher and the distributed backend are benched on
+    // the full runs only (their spaces are the full presets; a --quick
+    // run has nothing to search or shard).
     let guided = if quick { None } else { Some(bench_guided(&scratch)) };
+    let distributed = if quick { None } else { Some(bench_distributed(&scratch)) };
 
     let entries: Vec<String> = benches
         .iter()
@@ -216,7 +283,29 @@ fn main() -> ExitCode {
             )
         })
         .unwrap_or_default();
-    let json = format!("{{\n  \"presets\": [\n{}\n  ]{}\n}}\n", entries.join(",\n"), guided_json);
+    let distributed_json = distributed
+        .as_ref()
+        .map(|d| {
+            format!(
+                ",\n  \"distributed\": {{\n    \"preset\": \"{}\",\n    \"workers\": {},\n    \
+                 \"cold_s\": {},\n    \"warm_s\": {},\n    \"points\": {},\n    \
+                 \"cold_points_per_sec\": {},\n    \"matches_single_process\": {}\n  }}",
+                d.preset,
+                d.workers,
+                d.cold_s,
+                d.warm_s,
+                d.points,
+                d.cold_points_per_sec,
+                d.matches_single_process,
+            )
+        })
+        .unwrap_or_default();
+    let json = format!(
+        "{{\n  \"presets\": [\n{}\n  ]{}{}\n}}\n",
+        entries.join(",\n"),
+        guided_json,
+        distributed_json
+    );
     if let Err(e) = fs::write(&out_path, &json) {
         eprintln!("bench_dse: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -225,6 +314,24 @@ fn main() -> ExitCode {
     let _ = fs::remove_dir_all(&scratch);
 
     if check_warm {
+        if let Some(d) = &distributed {
+            if !d.matches_single_process {
+                eprintln!(
+                    "bench_dse: REGRESSION — the sharded `{}` run over {} workers diverged \
+                     from the single-process sweep",
+                    d.preset, d.workers
+                );
+                return ExitCode::FAILURE;
+            }
+            if d.warm_evaluated != 0 {
+                eprintln!(
+                    "bench_dse: REGRESSION — warm re-run after the distributed `{}` sweep \
+                     evaluated {} points (worker appends must read back as hits)",
+                    d.preset, d.warm_evaluated
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         if let Some(g) = &guided {
             if !g.recovered_headline {
                 eprintln!(

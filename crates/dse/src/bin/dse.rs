@@ -9,6 +9,7 @@
 //! dse --search evolve --preset guided-lanes --budget 8000 --seed 7
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use ng_dse::report::{describe_constraints, print_report};
@@ -50,7 +51,18 @@ CONSTRAINTS (filter the reported frontier, not the evaluation):
     --min-speedup X      keep architectures with cross-app speedup ≥ X
 
 EXECUTION:
-    --threads N          worker threads (default: all cores)
+    --threads N          worker threads (default: all cores; with
+                         --workers: threads *per worker process*,
+                         default cores/workers)
+    --workers N          multi-process sweep: spawn N worker processes
+                         that partition the spec into deterministic
+                         canonical-order slices and coordinate through
+                         the shared point store; the coordinator merges
+                         (recovering any crashed worker's slice) and
+                         reports as usual. Requires the cache.
+    --worker-shard i/N   low-level worker mode (what --workers spawns):
+                         evaluate slice i of N, append it to the store,
+                         print a one-line summary, exit
     --cache-dir DIR      evaluation cache location (default: .dse-cache)
     --no-cache           always re-evaluate, never read or write the cache
     --cache-stats        print per-run cache hit/miss/evaluated counts
@@ -73,6 +85,8 @@ struct Cli {
     spec: SweepSpec,
     constraints: Constraints,
     threads: Option<usize>,
+    workers: Option<usize>,
+    worker_shard: Option<(usize, usize)>,
     cache_dir: Option<String>,
     no_cache: bool,
     cache_stats: bool,
@@ -84,6 +98,12 @@ struct Cli {
     search: Option<ng_dse::SearchStrategy>,
     budget: Option<usize>,
     seed: Option<u64>,
+    /// Outcome/report-producing flags seen on the command line, in
+    /// order — worker mode rejects all of them (a worker produces no
+    /// outcome), while constraints arriving via a `--spec` file pass
+    /// through untouched (the coordinator ships constraint-bearing
+    /// specs to its workers).
+    report_flags: Vec<&'static str>,
 }
 
 fn parse_list<T>(
@@ -110,6 +130,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         spec: SweepSpec::paper(),
         constraints: Constraints::NONE,
         threads: None,
+        workers: None,
+        worker_shard: None,
         cache_dir: None,
         no_cache: false,
         cache_stats: false,
@@ -121,6 +143,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         search: None,
         budget: None,
         seed: None,
+        report_flags: Vec::new(),
     };
     // Axis overrides are applied after the base spec is chosen.
     let mut overrides: Vec<(String, String)> = Vec::new();
@@ -161,28 +184,62 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "--seed" => cli.seed = Some(value(arg)?.parse().map_err(|_| "--seed: not a number")?),
             "--max-area" => {
+                cli.report_flags.push("--max-area");
                 cli.constraints.max_area_pct =
                     Some(value(arg)?.parse().map_err(|_| "--max-area: not a number")?)
             }
             "--max-power" => {
+                cli.report_flags.push("--max-power");
                 cli.constraints.max_power_pct =
                     Some(value(arg)?.parse().map_err(|_| "--max-power: not a number")?)
             }
             "--min-speedup" => {
+                cli.report_flags.push("--min-speedup");
                 cli.constraints.min_speedup =
                     Some(value(arg)?.parse().map_err(|_| "--min-speedup: not a number")?)
             }
             "--threads" => {
                 cli.threads = Some(value(arg)?.parse().map_err(|_| "--threads: not a number")?)
             }
+            "--workers" => {
+                let n: usize = value(arg)?.parse().map_err(|_| "--workers: not a number")?;
+                if n == 0 {
+                    return Err("--workers: need at least 1".to_string());
+                }
+                cli.workers = Some(n);
+            }
+            "--worker-shard" => {
+                let v = value(arg)?;
+                cli.worker_shard = Some(ng_dse::distrib::parse_shard_arg(&v).ok_or_else(|| {
+                    format!("--worker-shard: expected i/N with 0 <= i < N, got `{v}`")
+                })?);
+            }
             "--cache-dir" => cli.cache_dir = Some(value(arg)?),
             "--no-cache" => cli.no_cache = true,
-            "--cache-stats" => cli.cache_stats = true,
-            "--top" => cli.top = value(arg)?.parse().map_err(|_| "--top: not a number")?,
-            "--per-app" => cli.per_app = true,
-            "--csv" => cli.csv = Some(value(arg)?),
-            "--json" => cli.json = Some(value(arg)?),
-            "--check-headline" => cli.check_headline = true,
+            "--cache-stats" => {
+                cli.report_flags.push("--cache-stats");
+                cli.cache_stats = true;
+            }
+            "--top" => {
+                cli.report_flags.push("--top");
+                cli.top = value(arg)?.parse().map_err(|_| "--top: not a number")?;
+            }
+            "--per-app" => {
+                cli.report_flags.push("--per-app");
+                cli.per_app = true;
+            }
+            "--csv" => {
+                cli.report_flags.push("--csv");
+                cli.csv = Some(value(arg)?);
+            }
+            "--json" => {
+                cli.report_flags.push("--json");
+                cli.json = Some(value(arg)?);
+            }
+            "--check-headline" => {
+                cli.report_flags.push("--check-headline");
+                cli.check_headline = true;
+            }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
@@ -351,24 +408,100 @@ fn run_search(cli: &Cli, strategy: ng_dse::SearchStrategy) -> Result<(), String>
     Ok(())
 }
 
+/// Worker mode (`--worker-shard i/N`): evaluate one slice, persist it
+/// to the shared store, report one summary line. The coordinator's
+/// merge — not this process — assembles the sweep.
+fn run_worker(cli: &Cli, shard: usize, of: usize) -> Result<(), String> {
+    if cli.no_cache {
+        return Err("--worker-shard: the point store is the result channel; \
+                    --no-cache would discard this worker's output"
+            .to_string());
+    }
+    // A worker produces no outcome of its own — reject flags that
+    // promise one rather than silently ignoring them.
+    if let Some(flag) = cli.report_flags.first() {
+        return Err(format!(
+            "{flag}: a worker evaluates one slice and exits; run {flag} on the \
+             coordinator (--workers) or a plain sweep instead"
+        ));
+    }
+    let cache_dir = cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+    let threads = cli.threads.unwrap_or_else(ng_dse::pool::available_threads);
+    let summary =
+        ng_dse::distrib::run_worker_slice(&cli.spec, shard, of, Path::new(&cache_dir), threads)
+            .map_err(|e| e.to_string())?;
+    println!("{summary}");
+    Ok(())
+}
+
+/// Coordinator mode (`--workers N`): spawn workers, merge from the
+/// store, then report exactly like a single-process sweep.
+fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, String> {
+    if cli.no_cache {
+        return Err("--workers: the multi-process backend coordinates through the point \
+                    store; rerun without --no-cache"
+            .to_string());
+    }
+    let mut coordinator = ng_dse::Coordinator::new(workers);
+    if let Some(dir) = &cli.cache_dir {
+        coordinator = coordinator.with_cache_dir(dir);
+    }
+    if let Some(threads) = cli.threads {
+        coordinator = coordinator.with_threads_per_worker(threads);
+    }
+    let distributed = coordinator.run(&cli.spec).map_err(|e| e.to_string())?;
+    for w in &distributed.workers {
+        if w.ok {
+            println!("{}", w.stdout);
+        } else {
+            eprintln!(
+                "dse: worker {} failed (its slice was recovered by the coordinator){}",
+                w.shard,
+                if w.stderr.is_empty() { String::new() } else { format!(": {}", w.stderr) },
+            );
+        }
+    }
+    if distributed.recovered > 0 {
+        println!("coordinator recovered {} point(s) no worker delivered", distributed.recovered);
+    }
+    Ok(distributed.outcome)
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cli) = parse_args(args)? else { return Ok(()) };
+
+    if cli.workers.is_some() && cli.worker_shard.is_some() {
+        return Err("--workers (coordinator) and --worker-shard (worker) are mutually \
+                    exclusive"
+            .to_string());
+    }
+    if cli.search.is_some() && (cli.workers.is_some() || cli.worker_shard.is_some()) {
+        return Err(
+            "--search is sequential by design; rerun without --workers/--worker-shard".to_string()
+        );
+    }
+    if let Some((shard, of)) = cli.worker_shard {
+        return run_worker(&cli, shard, of);
+    }
 
     if let Some(strategy) = cli.search {
         return run_search(&cli, strategy);
     }
 
-    let mut engine = SweepEngine::new();
-    if let Some(threads) = cli.threads {
-        engine = engine.with_threads(threads);
-    }
-    if cli.no_cache {
-        engine = engine.without_cache();
-    } else if let Some(dir) = &cli.cache_dir {
-        engine = engine.with_cache_dir(dir);
-    }
-
-    let outcome = engine.run(&cli.spec).map_err(|e| e.to_string())?;
+    let outcome = if let Some(workers) = cli.workers {
+        run_distributed(&cli, workers)?
+    } else {
+        let mut engine = SweepEngine::new();
+        if let Some(threads) = cli.threads {
+            engine = engine.with_threads(threads);
+        }
+        if cli.no_cache {
+            engine = engine.without_cache();
+        } else if let Some(dir) = &cli.cache_dir {
+            engine = engine.with_cache_dir(dir);
+        }
+        engine.run(&cli.spec).map_err(|e| e.to_string())?
+    };
     print_report(&outcome, &cli.constraints, cli.top, cli.per_app);
     if cli.cache_stats {
         println!("{}", ng_dse::report::cache_stats_line(&outcome));

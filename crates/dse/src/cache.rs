@@ -12,11 +12,19 @@
 //! * **Layout** — one directory per `(MODEL_VERSION, fingerprint)`
 //!   generation, holding [`SHARD_COUNT`] append-friendly CSV shards; a
 //!   point lives in the shard named by the top nibble of its key.
-//!   Appends are a single `write_all` of whole lines, so a crashed or
-//!   racing writer can at worst leave one torn line.
-//! * **Degradation** — a torn line, a corrupted shard, or a key
-//!   mismatch (the stored axes no longer hash to the stored key) makes
-//!   exactly the affected points misses; everything else keeps hitting.
+//! * **Concurrency** — every append holds the shard's exclusive
+//!   advisory file lock ([`std::fs::File::lock`]) for its whole
+//!   critical section (torn-tail probe, header creation, row write),
+//!   so concurrent writers — threads or processes — never interleave
+//!   mid-line and a fresh shard gets exactly one header. The lock is
+//!   released by the kernel even if the writer dies, and readers never
+//!   lock (a reader racing an append sees either the old or the new
+//!   tail, both parseable). Filesystems without lock support degrade
+//!   to unlocked appends, which only the multi-writer backend notices.
+//! * **Degradation** — a torn line, a duplicate or interior header, a
+//!   corrupted shard, or a key mismatch (the stored axes no longer
+//!   hash to the stored key) makes exactly the affected points misses;
+//!   everything else keeps hitting.
 //!
 //! [`crate::sweep::SweepEngine::run`] partitions a spec into cached and
 //! missing points through [`EvalCache::lookup`], evaluates only the
@@ -90,8 +98,11 @@ impl EvalCache {
     }
 
     /// Parse one shard into key → point, skipping comment, header and
-    /// torn/corrupt lines (those points simply stay misses). A later
-    /// duplicate of a key wins, matching append order.
+    /// torn/corrupt lines (those points simply stay misses). Header
+    /// lines are skipped *wherever* they appear — a duplicate or
+    /// interior header left by a pre-locking writer race costs nothing
+    /// rather than dropping the shard. A later duplicate of a key
+    /// wins, matching append order.
     fn load_shard(&self, shard: usize) -> HashMap<u64, EvaluatedPoint> {
         let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
         let mut out = HashMap::new();
@@ -149,7 +160,17 @@ impl EvalCache {
     }
 
     /// Append freshly evaluated points to their shards. One buffered
-    /// `write_all` per shard; a new shard file gets a header first.
+    /// `write_all` per shard under that shard's exclusive advisory
+    /// lock; the first writer to lock a fresh shard writes its header.
+    ///
+    /// The lock makes concurrent appends — from threads or from other
+    /// processes — safe: a single large `write_all` on an `O_APPEND`
+    /// descriptor is *not* atomic (the kernel may split it, letting
+    /// another writer's rows land mid-line), and without the lock two
+    /// writers can both observe an empty shard and both write the
+    /// header. Both races corrupt rows that then read back as misses —
+    /// silently wrong for the multi-process sweep backend, whose
+    /// workers hand results to the coordinator *through* this store.
     pub fn append(&self, points: &[EvaluatedPoint]) -> io::Result<()> {
         if points.is_empty() {
             return Ok(());
@@ -169,6 +190,20 @@ impl EvalCache {
             let path = dir.join(format!("shard-{shard:x}.csv"));
             let mut file =
                 fs::OpenOptions::new().read(true).create(true).append(true).open(&path)?;
+            // Exclusive advisory lock for the whole critical section
+            // (length probe, header, tail repair, row write). Released
+            // on drop/close — including by the kernel if we crash. A
+            // filesystem that does not support locking degrades to the
+            // old unlocked behaviour; any *other* lock failure (e.g. a
+            // flaky network filesystem) is a real error — proceeding
+            // unlocked would silently void the multi-writer contract.
+            if let Err(e) = file.lock() {
+                if e.kind() != io::ErrorKind::Unsupported {
+                    return Err(e);
+                }
+            }
+            // The length must be read *after* the lock: another writer
+            // may have created the header between open and lock.
             let len = file.metadata()?.len();
             if len == 0 {
                 file.write_all(
@@ -341,6 +376,64 @@ mod tests {
             .collect();
         cache.append(&missing).unwrap();
         assert!(cache.lookup(&spec.points()).iter().all(Option::is_some), "healed in one cycle");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_and_duplicate_headers_are_skipped_not_fatal() {
+        // A pre-locking writer race could leave a second header mid
+        // shard; the reader must keep every data row around it.
+        let dir = tmpdir("dup-header");
+        let spec = SweepSpec::quick();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let cache = EvalCache::new(&dir);
+        cache.append(&outcome.points[..8]).unwrap();
+        for key in outcome.points[..8].iter().map(|p| EvalCache::point_key(&p.point)) {
+            let path = cache.shard_path(key);
+            let mut text = fs::read_to_string(&path).unwrap();
+            text.push_str("# ng-dse point cache | duplicate interior header\n");
+            fs::write(&path, text).unwrap();
+        }
+        cache.append(&outcome.points[8..]).unwrap();
+        assert!(
+            cache.lookup(&spec.points()).iter().all(Option::is_some),
+            "rows on both sides of an interior header must survive"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_thread_appends_lose_no_rows() {
+        // Many writers, one store: every appended row must read back
+        // intact (the locked-append contract, exercised in-process;
+        // the cross-process version lives in tests/distrib.rs).
+        let dir = tmpdir("concurrent");
+        let spec = SweepSpec::mac_arrays();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let writers = 8;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let slice: Vec<EvaluatedPoint> = outcome
+                    .points
+                    .iter()
+                    .filter(|p| p.point.index % writers == w)
+                    .copied()
+                    .collect();
+                let cache = EvalCache::new(&dir);
+                scope.spawn(move || {
+                    // One-row appends maximise interleaving pressure.
+                    for p in &slice {
+                        cache.append(std::slice::from_ref(p)).unwrap();
+                    }
+                });
+            }
+        });
+        let cache = EvalCache::new(&dir);
+        let loaded = cache.lookup(&spec.points());
+        assert_eq!(
+            loaded.into_iter().collect::<Option<Vec<_>>>().expect("no torn or lost rows"),
+            outcome.points,
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,588 @@
+//! Multi-process sharded sweep backend.
+//!
+//! PR 4 made one process fast (~240k points/sec on a warm model); this
+//! module is the bridge to the ROADMAP's cluster-scale north star: a
+//! sweep partitioned over *processes* that coordinate purely through
+//! the (now multi-writer-safe) point store.
+//!
+//! ## Protocol
+//!
+//! * **Partition** — [`shard_points`]: worker `i` of `N` owns the
+//!   points whose canonical spec index `≡ i (mod N)`. Round-robin over
+//!   the deterministic enumeration order balances apps and axis
+//!   extremes across workers and depends on nothing but `(spec, i, N)`,
+//!   so any party can recompute any slice.
+//! * **Worker** — [`run_worker_slice`] (the `dse --worker-shard i/N`
+//!   mode): enumerate the spec, keep the slice, serve what the store
+//!   already has, evaluate the rest on the in-process pool, and append
+//!   the fresh rows back. The store *is* the result channel — a worker
+//!   whose append fails exits non-zero, because results it cannot
+//!   persist are results the coordinator will never see.
+//! * **Coordinator** — [`Coordinator::run`] (the `dse --workers N`
+//!   mode): resolve the spec, ship it to workers as a `to_toml()` file
+//!   (workers re-parse rather than trusting argv to carry eleven
+//!   axes), spawn `N` child processes of the current executable, wait,
+//!   then merge by looking every point up in the store.
+//! * **Crash recovery** — any point still missing after the workers
+//!   exit (a killed worker, a torn row) is evaluated by the
+//!   coordinator itself and appended, so the merged outcome is always
+//!   complete and bit-identical to a single-process run. Resumability
+//!   falls out of the same path: a re-run after `kill -9` finds the
+//!   dead run's appended points as hits and pays only the delta.
+//!
+//! [`run_sharded_in_process`] drives the identical
+//! slice/append/merge protocol on worker *threads* — the form
+//! `bench_dse` measures and the stress tests hammer, with no process
+//! spawn in the loop.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use crate::cache::EvalCache;
+use crate::pool;
+use crate::spec::{DesignPoint, SpecError, SweepSpec};
+use crate::sweep::{evaluate_points, EvaluatedPoint, SweepOutcome, SweepStats};
+
+/// Error raised by the distributed backend.
+#[derive(Debug)]
+pub enum DistribError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// A shard argument is out of range (`shard` must be `< of`,
+    /// `of ≥ 1`).
+    Shard {
+        /// The worker's shard index.
+        shard: usize,
+        /// The shard count.
+        of: usize,
+    },
+    /// Spawning a worker, shipping the spec file, or persisting results
+    /// failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::Spec(e) => write!(f, "{e}"),
+            DistribError::Shard { shard, of } => {
+                write!(f, "worker shard {shard}/{of} out of range (need 0 <= shard < of)")
+            }
+            DistribError::Io(e) => write!(f, "distributed sweep i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistribError {}
+
+impl From<SpecError> for DistribError {
+    fn from(e: SpecError) -> Self {
+        DistribError::Spec(e)
+    }
+}
+
+impl From<io::Error> for DistribError {
+    fn from(e: io::Error) -> Self {
+        DistribError::Io(e)
+    }
+}
+
+/// Parse a `--worker-shard` operand of the form `i/N`.
+pub fn parse_shard_arg(s: &str) -> Option<(usize, usize)> {
+    let (shard, of) = s.split_once('/')?;
+    let (shard, of) = (shard.trim().parse().ok()?, of.trim().parse().ok()?);
+    (shard < of).then_some((shard, of))
+}
+
+/// Worker `shard`'s slice of the canonical point order: every point
+/// with `index ≡ shard (mod of)`. The union of all `of` slices is the
+/// whole spec, the slices are disjoint, and each is computable from
+/// `(spec, shard, of)` alone.
+pub fn shard_points(points: &[DesignPoint], shard: usize, of: usize) -> Vec<DesignPoint> {
+    points.iter().filter(|p| p.index % of == shard).copied().collect()
+}
+
+/// What one worker did, as reported by [`run_worker_slice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// This worker's shard index.
+    pub shard: usize,
+    /// Total shard count.
+    pub of: usize,
+    /// Points in this worker's slice.
+    pub points: usize,
+    /// Slice points already in the store.
+    pub cache_hits: usize,
+    /// Slice points freshly evaluated (and appended).
+    pub evaluated: usize,
+}
+
+impl fmt::Display for WorkerSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker {}/{}: {} points, {} hits, {} evaluated",
+            self.shard, self.of, self.points, self.cache_hits, self.evaluated
+        )
+    }
+}
+
+/// Evaluate one worker's slice of `spec` and append the fresh results
+/// to the shared store under `cache_dir`.
+///
+/// Unlike [`crate::sweep::SweepEngine`], an append failure here is an
+/// *error*, not a downgrade: the store is how results reach the
+/// coordinator.
+pub fn run_worker_slice(
+    spec: &SweepSpec,
+    shard: usize,
+    of: usize,
+    cache_dir: &Path,
+    threads: usize,
+) -> Result<WorkerSummary, DistribError> {
+    if shard >= of {
+        return Err(DistribError::Shard { shard, of });
+    }
+    spec.validate()?;
+    let slice = shard_points(&spec.points(), shard, of);
+    let cache = EvalCache::new(cache_dir);
+    let missing: Vec<DesignPoint> = spec_misses(&cache, &slice);
+    let evaluated = evaluate_points(&missing, threads);
+    cache.append(&evaluated)?;
+    Ok(WorkerSummary {
+        shard,
+        of,
+        points: slice.len(),
+        cache_hits: slice.len() - missing.len(),
+        evaluated: missing.len(),
+    })
+}
+
+/// The subset of `points` the store cannot serve.
+fn spec_misses(cache: &EvalCache, points: &[DesignPoint]) -> Vec<DesignPoint> {
+    points
+        .iter()
+        .zip(cache.lookup(points))
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(p, _)| *p)
+        .collect()
+}
+
+/// How one spawned worker process ended.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The worker's shard index.
+    pub shard: usize,
+    /// Whether the process exited successfully.
+    pub ok: bool,
+    /// The worker's stdout (its [`WorkerSummary`] line on success).
+    pub stdout: String,
+    /// The worker's stderr (diagnostics on failure).
+    pub stderr: String,
+}
+
+/// A completed distributed sweep: the merged outcome plus per-worker
+/// accounting.
+#[derive(Debug)]
+pub struct DistribOutcome {
+    /// The merged result — point-for-point identical to a
+    /// single-process [`crate::sweep::SweepEngine::run`] of the same
+    /// spec.
+    pub outcome: SweepOutcome,
+    /// One report per spawned worker (empty for an in-process run).
+    pub workers: Vec<WorkerReport>,
+    /// Points the coordinator had to evaluate itself because no worker
+    /// delivered them (crashed workers, torn rows). 0 on a clean run.
+    pub recovered: usize,
+}
+
+/// The multi-process sweep coordinator: worker count, per-worker
+/// threads, store location, and which executable to spawn.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    workers: usize,
+    threads_per_worker: Option<usize>,
+    cache_dir: PathBuf,
+    worker_exe: Option<PathBuf>,
+}
+
+impl Coordinator {
+    /// A coordinator for `workers` processes (min 1) writing to the
+    /// default cache dir and spawning the current executable.
+    pub fn new(workers: usize) -> Self {
+        Coordinator {
+            workers: workers.max(1),
+            threads_per_worker: None,
+            cache_dir: PathBuf::from(crate::sweep::SweepEngine::DEFAULT_CACHE_DIR),
+            worker_exe: None,
+        }
+    }
+
+    /// Share the store under `dir` (must be reachable by every worker).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = dir.into();
+        self
+    }
+
+    /// Threads per worker process (default: cores / workers, min 1).
+    pub fn with_threads_per_worker(mut self, threads: usize) -> Self {
+        self.threads_per_worker = Some(threads.max(1));
+        self
+    }
+
+    /// Spawn `exe` instead of `std::env::current_exe()` — the hook that
+    /// lets non-`dse` binaries (tests, benches) drive the process
+    /// backend.
+    pub fn with_worker_exe(mut self, exe: impl Into<PathBuf>) -> Self {
+        self.worker_exe = Some(exe.into());
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Threads each worker will be told to use.
+    pub fn threads_per_worker(&self) -> usize {
+        self.threads_per_worker.unwrap_or_else(|| (pool::available_threads() / self.workers).max(1))
+    }
+
+    /// The shared store location.
+    pub fn cache_dir(&self) -> &Path {
+        &self.cache_dir
+    }
+
+    /// Run `spec` across `workers` processes and merge the results from
+    /// the shared store (see the module docs for the full protocol).
+    ///
+    /// The merged points are bit-identical to a single-process run:
+    /// every result either round-tripped through the store (whose CSV
+    /// encoding is exact) or was evaluated by the deterministic
+    /// emulator directly.
+    pub fn run(&self, spec: &SweepSpec) -> Result<DistribOutcome, DistribError> {
+        drive(spec, &self.cache_dir, self.workers * self.threads_per_worker(), || {
+            self.spawn_and_wait(spec)
+        })
+    }
+
+    /// Ship the spec file, spawn every worker, and wait for all of
+    /// them. Worker failure is *reported*, not fatal — the merge step
+    /// recovers whatever a dead worker did not deliver.
+    fn spawn_and_wait(&self, spec: &SweepSpec) -> Result<Vec<WorkerReport>, DistribError> {
+        let exe = match &self.worker_exe {
+            Some(exe) => exe.clone(),
+            None => std::env::current_exe()?,
+        };
+        // The spec file lives next to the store: a location every
+        // worker can reach by construction, cleaned up after the join.
+        // The name carries pid *and* a per-call counter so concurrent
+        // Coordinator::run calls in one process cannot overwrite (or
+        // clean up) each other's spec file.
+        static SPEC_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::fs::create_dir_all(&self.cache_dir)?;
+        let seq = SPEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let spec_path =
+            self.cache_dir.join(format!("distrib-spec-{}-{seq}.toml", std::process::id()));
+        std::fs::write(&spec_path, spec.to_toml())?;
+        let threads = self.threads_per_worker();
+
+        let spawned: Vec<(usize, io::Result<Child>)> = (0..self.workers)
+            .map(|shard| {
+                let child = Command::new(&exe)
+                    .arg("--worker-shard")
+                    .arg(format!("{shard}/{}", self.workers))
+                    .arg("--spec")
+                    .arg(&spec_path)
+                    .arg("--cache-dir")
+                    .arg(&self.cache_dir)
+                    .arg("--threads")
+                    .arg(threads.to_string())
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::piped())
+                    .spawn();
+                (shard, child)
+            })
+            .collect();
+
+        let mut reports = Vec::with_capacity(self.workers);
+        for (shard, child) in spawned {
+            let report = match child.and_then(|c| c.wait_with_output()) {
+                Ok(out) => WorkerReport {
+                    shard,
+                    ok: out.status.success(),
+                    stdout: String::from_utf8_lossy(&out.stdout).trim().to_string(),
+                    stderr: String::from_utf8_lossy(&out.stderr).trim().to_string(),
+                },
+                Err(e) => WorkerReport {
+                    shard,
+                    ok: false,
+                    stdout: String::new(),
+                    stderr: format!("spawn/wait failed: {e}"),
+                },
+            };
+            reports.push(report);
+        }
+        let _ = std::fs::remove_file(&spec_path);
+        Ok(reports)
+    }
+}
+
+/// The shared coordinator driver: one store read up front (the
+/// resumability accounting — what an earlier, possibly killed, run
+/// already holds is a hit; everything the workers and the recovery path
+/// produce is "evaluated" — and, on a fully warm store, the merge
+/// itself), then `launch` the workers however the caller does it
+/// (spawned processes or scoped threads), then merge-and-recover.
+/// `total_threads` is reporting metadata for [`SweepStats::threads`].
+fn drive(
+    spec: &SweepSpec,
+    cache_dir: &Path,
+    total_threads: usize,
+    launch: impl FnOnce() -> Result<Vec<WorkerReport>, DistribError>,
+) -> Result<DistribOutcome, DistribError> {
+    spec.validate()?;
+    let started = Instant::now();
+    let cache = EvalCache::new(cache_dir);
+    let points = spec.points();
+    let slots = cache.lookup(&points);
+    let pre_hits = slots.iter().filter(|s| s.is_some()).count();
+
+    let (workers, merged, recovered) = if pre_hits == points.len() {
+        // Fully warm: nothing to launch, and the lookup already *is*
+        // the merge — don't re-read the store.
+        let merged: Vec<EvaluatedPoint> = slots.into_iter().map(|s| s.expect("all hits")).collect();
+        (Vec::new(), merged, 0)
+    } else {
+        let mut slots = slots;
+        let missing: Vec<DesignPoint> =
+            points.iter().zip(&slots).filter(|(_, hit)| hit.is_none()).map(|(p, _)| *p).collect();
+        let workers = launch()?;
+        // Merge reuses the pre-launch hits: only the formerly-missing
+        // points are re-read (the workers just appended them), and any
+        // straggler a dead worker failed to deliver is evaluated here —
+        // with every core, since the workers are gone by merge time.
+        let recovered =
+            fill_missing_slots(&cache, &missing, &mut slots, pool::available_threads())?;
+        let merged = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+        (workers, merged, recovered)
+    };
+    let stats = SweepStats {
+        total_points: merged.len(),
+        evaluated: merged.len() - pre_hits,
+        cache_hits: pre_hits,
+        cache_hit: pre_hits == merged.len(),
+        threads: total_threads,
+        wall: started.elapsed(),
+    };
+    Ok(DistribOutcome {
+        outcome: SweepOutcome {
+            spec: spec.clone(),
+            points: merged,
+            stats,
+            cache_path: Some(cache.store_dir()),
+        },
+        workers,
+        recovered,
+    })
+}
+
+/// Assemble a spec's full result set out of the shared store,
+/// evaluating and appending any stragglers locally — the coordinator's
+/// merge step, and the whole crash-recovery path. Returns the points in
+/// spec order plus how many had to be recovered.
+pub fn merge_and_recover(
+    spec: &SweepSpec,
+    cache: &EvalCache,
+    threads: usize,
+) -> Result<(Vec<EvaluatedPoint>, usize), DistribError> {
+    let points = spec.points();
+    let mut slots: Vec<Option<EvaluatedPoint>> = vec![None; points.len()];
+    let recovered = fill_missing_slots(cache, &points, &mut slots, threads)?;
+    let merged = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+    Ok((merged, recovered))
+}
+
+/// Fill every `None` slot from its matching point in `missing` (the
+/// i-th missing point corresponds to the i-th `None` slot, in order):
+/// look the point up in the store once more — workers may have
+/// appended it since the caller's partition — and evaluate it locally
+/// if it is still absent, appending the fresh rows back. Only the
+/// shards the missing keys land in are read. Returns how many points
+/// had to be evaluated locally.
+fn fill_missing_slots(
+    cache: &EvalCache,
+    missing: &[DesignPoint],
+    slots: &mut [Option<EvaluatedPoint>],
+    threads: usize,
+) -> Result<usize, DistribError> {
+    let looked_up = cache.lookup(missing);
+    let stragglers: Vec<DesignPoint> =
+        missing.iter().zip(&looked_up).filter(|(_, hit)| hit.is_none()).map(|(p, _)| *p).collect();
+    let recovered = stragglers.len();
+    let fresh = evaluate_points(&stragglers, threads);
+    cache.append(&fresh)?;
+    let mut looked_up = looked_up.into_iter();
+    let mut fresh = fresh.into_iter();
+    for slot in slots.iter_mut().filter(|s| s.is_none()) {
+        let hit = looked_up.next().expect("one lookup per missing slot");
+        *slot = Some(hit.unwrap_or_else(|| fresh.next().expect("one evaluation per straggler")));
+    }
+    Ok(recovered)
+}
+
+/// Drive the full worker protocol on in-process threads: `workers`
+/// concurrent [`run_worker_slice`] calls against one store, then the
+/// coordinator merge. Exercises every concurrency property of the
+/// store (locked appends, header race, torn-tail repair) without
+/// process-spawn overhead — the distributed form `bench_dse` tracks.
+pub fn run_sharded_in_process(
+    spec: &SweepSpec,
+    workers: usize,
+    threads_per_worker: usize,
+    cache_dir: &Path,
+) -> Result<DistribOutcome, DistribError> {
+    let workers = workers.max(1);
+    drive(spec, cache_dir, workers * threads_per_worker, || {
+        let summaries: Vec<Result<WorkerSummary, DistribError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        run_worker_slice(spec, shard, workers, cache_dir, threads_per_worker)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread never panics")).collect()
+        });
+        // Mirror the process backend: a failed worker is reported and
+        // its slice recovered, not fatal.
+        Ok(summaries
+            .into_iter()
+            .enumerate()
+            .map(|(shard, r)| match r {
+                Ok(s) => {
+                    WorkerReport { shard, ok: true, stdout: s.to_string(), stderr: String::new() }
+                }
+                Err(e) => {
+                    WorkerReport { shard, ok: false, stdout: String::new(), stderr: e.to_string() }
+                }
+            })
+            .collect())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepEngine;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ng-dse-distrib-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shards_partition_the_spec() {
+        let points = SweepSpec::quick().points();
+        for of in [1, 2, 3, 7] {
+            let slices: Vec<Vec<DesignPoint>> =
+                (0..of).map(|s| shard_points(&points, s, of)).collect();
+            let mut union: Vec<DesignPoint> = slices.concat();
+            union.sort_by_key(|p| p.index);
+            assert_eq!(union, points, "of={of}: disjoint slices covering the spec");
+            // Round-robin balance: slice sizes differ by at most one.
+            let sizes: Vec<usize> = slices.iter().map(Vec::len).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "of={of}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_arg_parsing() {
+        assert_eq!(parse_shard_arg("0/3"), Some((0, 3)));
+        assert_eq!(parse_shard_arg("2/3"), Some((2, 3)));
+        assert_eq!(parse_shard_arg(" 1 / 4 "), Some((1, 4)));
+        assert_eq!(parse_shard_arg("3/3"), None, "shard must be < of");
+        assert_eq!(parse_shard_arg("0/0"), None);
+        assert_eq!(parse_shard_arg("1"), None);
+        assert_eq!(parse_shard_arg("a/b"), None);
+    }
+
+    #[test]
+    fn worker_slices_compose_into_the_exact_sweep() {
+        let dir = tmpdir("compose");
+        let spec = SweepSpec::quick();
+        for shard in 0..3 {
+            let summary = run_worker_slice(&spec, shard, 3, &dir, 2).unwrap();
+            assert_eq!(summary.cache_hits, 0, "cold store");
+            assert_eq!(summary.evaluated, summary.points);
+        }
+        let cache = EvalCache::new(&dir);
+        let (merged, recovered) = merge_and_recover(&spec, &cache, 1).unwrap();
+        assert_eq!(recovered, 0, "all three slices delivered");
+        let reference = SweepEngine::new().without_cache().run(&spec).unwrap();
+        assert_eq!(merged, reference.points, "bit-identical to single-process");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_recovers_a_dead_workers_slice() {
+        // Workers 0 and 2 of 3 delivered; worker 1 "was killed". The
+        // coordinator's merge must evaluate exactly that slice itself
+        // and still produce the full, identical result set.
+        let dir = tmpdir("recover");
+        let spec = SweepSpec::quick();
+        run_worker_slice(&spec, 0, 3, &dir, 1).unwrap();
+        run_worker_slice(&spec, 2, 3, &dir, 1).unwrap();
+        let cache = EvalCache::new(&dir);
+        let dead_slice = shard_points(&spec.points(), 1, 3).len();
+        let (merged, recovered) = merge_and_recover(&spec, &cache, 2).unwrap();
+        assert_eq!(recovered, dead_slice, "exactly the dead worker's points");
+        let reference = SweepEngine::new().without_cache().run(&spec).unwrap();
+        assert_eq!(merged, reference.points);
+        // The recovery appended its work: a second merge is all hits.
+        let (again, recovered) = merge_and_recover(&spec, &cache, 1).unwrap();
+        assert_eq!(recovered, 0);
+        assert_eq!(again, merged);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_process_sharded_run_matches_single_process() {
+        let dir = tmpdir("in-process");
+        let spec = SweepSpec::quick();
+        let distributed = run_sharded_in_process(&spec, 3, 1, &dir).unwrap();
+        assert_eq!(distributed.recovered, 0);
+        assert!(distributed.workers.iter().all(|w| w.ok));
+        assert_eq!(distributed.outcome.stats.evaluated, spec.point_count());
+        assert_eq!(distributed.outcome.stats.cache_hits, 0);
+        let reference = SweepEngine::new().without_cache().run(&spec).unwrap();
+        assert_eq!(distributed.outcome.points, reference.points);
+        // Resume: a second distributed run is a pure store hit.
+        let warm = run_sharded_in_process(&spec, 3, 1, &dir).unwrap();
+        assert!(warm.outcome.stats.cache_hit);
+        assert_eq!(warm.outcome.stats.evaluated, 0);
+        assert_eq!(warm.outcome.points, reference.points);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degenerate_worker_counts_are_rejected_or_clamped() {
+        let dir = tmpdir("degenerate");
+        let spec = SweepSpec::quick();
+        assert!(matches!(
+            run_worker_slice(&spec, 5, 3, &dir, 1),
+            Err(DistribError::Shard { shard: 5, of: 3 })
+        ));
+        // Coordinator clamps 0 workers to 1 rather than dividing by it.
+        assert_eq!(Coordinator::new(0).workers(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

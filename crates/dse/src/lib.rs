@@ -17,7 +17,13 @@
 //!   [`Constraints`] and per-app / cross-app-average objectives.
 //! * [`cache`] + [`emit`] — a sharded *point-level* evaluation cache
 //!   (re-runs of an unchanged spec are free, and overlapping or grown
-//!   specs evaluate only their delta) and CSV/JSON emitters.
+//!   specs evaluate only their delta) and CSV/JSON emitters. Appends
+//!   take a per-shard advisory file lock, so any number of threads or
+//!   processes can write one store concurrently.
+//! * [`distrib`] — the multi-process sharded backend behind
+//!   `dse --workers N`: deterministic canonical-order slices, worker
+//!   processes coordinating purely through the point store, and a
+//!   coordinator merge that recovers crashed workers' slices.
 //! * [`report`] — the compact terminal report behind the `dse` binary.
 //!
 //! ## Quickstart
@@ -35,6 +41,7 @@
 //! ```
 
 pub mod cache;
+pub mod distrib;
 pub mod emit;
 pub mod pareto;
 pub mod pool;
@@ -44,6 +51,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use cache::EvalCache;
+pub use distrib::{Coordinator, DistribError, DistribOutcome, WorkerReport, WorkerSummary};
 pub use pareto::{pareto_indices, Constraints, Objectives, StreamingFrontier};
 pub use search::{SearchOutcome, SearchSpec, SearchStats, SearchStrategy, Searcher};
 pub use spec::{DesignPoint, SpecError, SweepSpec};

@@ -238,6 +238,26 @@ impl SweepOutcome {
     }
 }
 
+/// Evaluate design points on the work-stealing pool: one result per
+/// point, in input order, bit-identical regardless of thread count.
+/// Shared by [`SweepEngine::run_owned`] and the distributed backend's
+/// worker slices ([`crate::distrib`]).
+pub fn evaluate_points(points: &[DesignPoint], threads: usize) -> Vec<EvaluatedPoint> {
+    pool::map_stateful(points, threads, EmulationContext::new, |ctx, p: &DesignPoint| {
+        let r = ctx.eval(&p.emulator_input());
+        EvaluatedPoint {
+            point: *p,
+            speedup: r.speedup,
+            area_pct_of_gpu: r.area_pct_of_gpu,
+            power_pct_of_gpu: r.power_pct_of_gpu,
+            gpu_ms: r.gpu_ms,
+            ngpc_frame_ms: r.ngpc_frame_ms,
+            amdahl_bound: r.amdahl_bound,
+            plateaued: r.plateaued,
+        }
+    })
+}
+
 /// The sweep executor: thread count + cache policy.
 #[derive(Debug, Clone)]
 pub struct SweepEngine {
@@ -323,24 +343,7 @@ impl SweepEngine {
 
         // The work-stealing pool sees only the misses; results come
         // back in `missing` (= spec) order.
-        let evaluated = pool::map_stateful(
-            &missing,
-            self.threads,
-            EmulationContext::new,
-            |ctx, p: &DesignPoint| {
-                let r = ctx.eval(&p.emulator_input());
-                EvaluatedPoint {
-                    point: *p,
-                    speedup: r.speedup,
-                    area_pct_of_gpu: r.area_pct_of_gpu,
-                    power_pct_of_gpu: r.power_pct_of_gpu,
-                    gpu_ms: r.gpu_ms,
-                    ngpc_frame_ms: r.ngpc_frame_ms,
-                    amdahl_bound: r.amdahl_bound,
-                    plateaued: r.plateaued,
-                }
-            },
-        );
+        let evaluated = evaluate_points(&missing, self.threads);
 
         // A cache write failure (read-only dir, ...) downgrades to a
         // write-through-less run rather than failing the sweep; the

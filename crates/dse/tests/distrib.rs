@@ -1,0 +1,183 @@
+//! End-to-end checks of the multi-process sweep backend (ISSUE 5):
+//! real `dse` worker processes hammering one point store concurrently,
+//! the coordinator CLI matching the single-process run byte-for-byte,
+//! and kill-and-resume evaluating only the missing delta.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dse(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dse")).args(args).output().expect("dse runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ng-dse-distrib-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stats_line(stdout: &str) -> &str {
+    stdout.lines().find(|l| l.starts_with("cache stats:")).expect("cache stats line printed")
+}
+
+#[test]
+fn concurrent_worker_processes_lose_no_rows() {
+    // The multi-writer stress test of the ISSUE, with real processes:
+    // every worker of a 4-way split appends to the same store at the
+    // same time; afterwards every row must read back intact.
+    let dir = tmpdir("stress");
+    let dir_s = dir.display().to_string();
+    let of = 4;
+    let children: Vec<_> = (0..of)
+        .map(|shard| {
+            Command::new(env!("CARGO_BIN_EXE_dse"))
+                .args([
+                    "--preset",
+                    "mac-arrays",
+                    "--worker-shard",
+                    &format!("{shard}/{of}"),
+                    "--cache-dir",
+                    &dir_s,
+                    "--threads",
+                    "2",
+                ])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+    for mut child in children {
+        assert!(child.wait().expect("worker joins").success(), "worker exited non-zero");
+    }
+
+    // Every point of the 432-point preset must be a hit — no torn or
+    // lost lines anywhere — and bit-identical to a fresh evaluation.
+    let spec = ng_dse::SweepSpec::mac_arrays();
+    let cache = ng_dse::EvalCache::new(&dir);
+    let loaded = cache.lookup(&spec.points());
+    let loaded: Vec<_> =
+        loaded.into_iter().collect::<Option<Vec<_>>>().expect("no torn or lost rows");
+    let reference = ng_dse::SweepEngine::new().without_cache().run(&spec).unwrap();
+    assert_eq!(loaded, reference.points);
+
+    // Exactly one header per shard file: the lock made header creation
+    // race-safe even though all four processes started on a fresh dir.
+    let store = cache.store_dir();
+    for entry in fs::read_dir(&store).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        let headers = text.lines().filter(|l| l.starts_with('#')).count();
+        assert_eq!(headers, 1, "{}: exactly one header", path.display());
+        assert!(text.ends_with('\n'), "{}: no torn tail", path.display());
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn coordinator_matches_single_process_byte_for_byte() {
+    let dir = tmpdir("parity");
+    let dist_csv = dir.join("dist.csv");
+    let single_csv = dir.join("single.csv");
+    fs::create_dir_all(&dir).unwrap();
+
+    let (out, err, ok) = dse(&[
+        "--preset",
+        "quick",
+        "--workers",
+        "3",
+        "--cache-dir",
+        &dir.join("store").display().to_string(),
+        "--csv",
+        &dist_csv.display().to_string(),
+    ]);
+    assert!(ok, "distributed run failed:\nstdout: {out}\nstderr: {err}");
+    assert_eq!(out.matches("worker ").count(), 3, "three worker summaries:\n{out}");
+    assert!(!out.contains("coordinator recovered"), "clean run needs no recovery:\n{out}");
+
+    let (out, _, ok) =
+        dse(&["--preset", "quick", "--no-cache", "--csv", &single_csv.display().to_string()]);
+    assert!(ok, "single-process run failed:\n{out}");
+
+    assert_eq!(
+        fs::read(&dist_csv).unwrap(),
+        fs::read(&single_csv).unwrap(),
+        "distributed CSV must be byte-identical to the single-process CSV"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_run_resumes_with_only_the_missing_delta() {
+    // Simulate a run killed after one worker finished: only shard 0's
+    // slice made it into the store. The restarted distributed run must
+    // serve that slice from the store and evaluate exactly the rest.
+    let dir = tmpdir("resume");
+    let dir_s = dir.display().to_string();
+
+    let (out, err, ok) =
+        dse(&["--preset", "quick", "--worker-shard", "0/3", "--cache-dir", &dir_s]);
+    assert!(ok, "worker failed:\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("worker 0/3: 6 points, 0 hits, 6 evaluated"), "{out}");
+
+    let (out, err, ok) =
+        dse(&["--preset", "quick", "--workers", "3", "--cache-dir", &dir_s, "--cache-stats"]);
+    assert!(ok, "resumed run failed:\nstdout: {out}\nstderr: {err}");
+    assert!(
+        stats_line(&out).contains("6 hits, 10 misses, 10 evaluated"),
+        "resume must pay only the delta: {}",
+        stats_line(&out)
+    );
+    // The worker that re-ran shard 0 found its whole slice cached.
+    assert!(out.contains("worker 0/3: 6 points, 6 hits, 0 evaluated"), "{out}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn coordinator_cli_rejects_bad_combinations() {
+    let (_, err, ok) = dse(&["--preset", "quick", "--workers", "2", "--no-cache"]);
+    assert!(!ok, "--workers needs the store");
+    assert!(err.contains("--no-cache"), "{err}");
+
+    let (_, err, ok) = dse(&["--preset", "quick", "--workers", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--workers"), "{err}");
+
+    let (_, err, ok) = dse(&["--preset", "quick", "--worker-shard", "3/3"]);
+    assert!(!ok);
+    assert!(err.contains("--worker-shard"), "{err}");
+
+    let (_, err, ok) = dse(&["--search", "--preset", "quick", "--workers", "2"]);
+    assert!(!ok, "--search is sequential");
+    assert!(err.contains("--search"), "{err}");
+
+    let (_, err, ok) = dse(&["--preset", "quick", "--workers", "2", "--worker-shard", "0/2"]);
+    assert!(!ok, "coordinator and worker modes are exclusive");
+    assert!(err.contains("mutually"), "{err}");
+
+    // Worker mode must reject outcome-producing flags loudly, not
+    // silently ignore them (a worker writes no CSV/JSON/report and
+    // applies no constraints).
+    for flag in [
+        &["--csv", "x.csv"][..],
+        &["--json", "x.json"],
+        &["--check-headline"],
+        &["--min-speedup", "2"],
+        &["--top", "4"],
+        &["--cache-stats"],
+    ] {
+        let mut args = vec!["--preset", "quick", "--worker-shard", "0/2"];
+        args.extend_from_slice(flag);
+        let (_, err, ok) = dse(&args);
+        assert!(!ok, "{flag:?} must be rejected in worker mode");
+        assert!(err.contains(flag[0]), "{err}");
+    }
+}

@@ -120,11 +120,17 @@ pub fn load_ratios(
 
 /// Persist the ratio table (write-then-rename; best effort — callers
 /// treat failure as "run uncached").
+///
+/// The tmp name carries the pid *and* a per-call counter: two threads
+/// of one process saving concurrently must not share a tmp file, or
+/// one thread's rename can ship the other's half-written body (or fail
+/// outright on the vanished path).
 pub fn save_ratios(
     dir: &std::path::Path,
     fingerprint: u64,
     ratios: &[((AppKind, EncodingKind), f64)],
 ) -> io::Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     fs::create_dir_all(dir)?;
     let mut body = format!(
         "# ngpc calibration cache | scheme {CALIBRATION_SCHEME} | fingerprint {fingerprint:016x}\n"
@@ -133,7 +139,8 @@ pub fn save_ratios(
         body.push_str(&format!("{app:?},{enc:?},{ratio}\n"));
     }
     let path = ratio_path(dir, fingerprint);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
     fs::write(&tmp, body)?;
     fs::rename(&tmp, &path)
 }
@@ -195,5 +202,34 @@ mod tests {
     #[test]
     fn fingerprint_is_stable_within_a_build() {
         assert_eq!(calibration_fingerprint(), calibration_fingerprint());
+    }
+
+    #[test]
+    fn concurrent_saves_in_one_process_never_collide() {
+        // Same pid, many threads: unique tmp names mean every save
+        // either fully lands or is fully replaced — the final file is
+        // always one complete, loadable table.
+        let dir = tmpdir("concurrent-save");
+        let table = sample_table();
+        let fp = 7u64;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (dir, table) = (&dir, &table);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        save_ratios(dir, fp, table).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(load_ratios(&dir, fp).expect("complete table"), table);
+        // No orphaned tmp files: every writer renamed its own.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphaned tmp files: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }
