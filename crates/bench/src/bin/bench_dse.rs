@@ -24,14 +24,27 @@
 //! (`{preset, workers, cold_s, warm_s, points, cold_points_per_sec,
 //! matches_single_process}`).
 //!
+//! Since the observability PR each preset entry also carries the
+//! `ng-obs` counter deltas of its cold run (`counters_cold`) and the
+//! warm run's hit ratio, and the file closes with a `stage_profile_us`
+//! breakdown of where this process's wall time went (per span path) —
+//! the counter/stage snapshots the run ledger records, folded into the
+//! perf trajectory.
+//!
 //! ```text
-//! bench_dse [--quick] [--check-warm] [--out PATH]
+//! bench_dse [--quick] [--check-warm] [--check-overhead] [--out PATH]
 //! ```
 //!
 //! `--quick` benches the 16-point quick preset instead of the tracked
 //! paper + mac-arrays presets; `--check-warm` exits non-zero if any
 //! warm re-run evaluated a point or any incremental run evaluated more
-//! than its delta (the CI guard for the incremental machinery).
+//! than its delta (the CI guard for the incremental machinery);
+//! `--check-overhead` compares this run's tracing-off cold throughput
+//! on the paper preset against the committed `BENCH_dse.json` and
+//! fails if it fell below half the recorded baseline — a deliberately
+//! generous floor (CI machines are noisy) whose job is to catch the
+//! instrumentation becoming accidentally hot, not 5% regressions (the
+//! strict 5% acceptance check is a local, quiet-machine measurement).
 
 use std::fs;
 use std::process::ExitCode;
@@ -56,6 +69,11 @@ struct PresetBench {
     warm_evaluated: usize,
     incremental_evaluated: usize,
     expected_delta: usize,
+    warm_hit_ratio: f64,
+    /// Counter growth during the cold run, `(name, delta)` in name
+    /// order — the observability cross-check that the timing numbers
+    /// measured what they claim (e.g. `sweep.fresh_evals == points`).
+    counters_cold: Vec<(String, u64)>,
 }
 
 fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
@@ -65,7 +83,13 @@ fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
     let mut grown = spec.clone();
     grown.clock_ghz.push(1.25);
 
+    let before_cold = ng_obs::counter::snapshot();
     let (cold_s, cold) = run(spec, &cache_dir);
+    let counters_cold: Vec<(String, u64)> = ng_obs::counter::snapshot()
+        .delta_since(&before_cold)
+        .iter()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
     let (warm_s, warm) = run(spec, &cache_dir);
     let (incremental_s, inc) = run(&grown, &cache_dir);
 
@@ -94,6 +118,12 @@ fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
         warm_evaluated: warm.stats.evaluated,
         incremental_evaluated: inc.stats.evaluated,
         expected_delta: grown.point_count() - spec.point_count(),
+        warm_hit_ratio: if warm.stats.total_points == 0 {
+            0.0
+        } else {
+            warm.stats.cache_hits as f64 / warm.stats.total_points as f64
+        },
+        counters_cold,
     }
 }
 
@@ -197,16 +227,34 @@ fn bench_distributed(scratch: &std::path::Path) -> DistribBench {
     }
 }
 
+/// The `cold_points_per_sec` recorded for `preset` in the committed
+/// trajectory file, extracted with a string scan (the file is written
+/// by this binary, so the shape is known; no JSON dependency needed).
+fn baseline_cold_throughput(path: &str, preset: &str) -> Option<f64> {
+    let text = fs::read_to_string(path).ok()?;
+    let entry = text.find(&format!("\"preset\": \"{preset}\""))?;
+    let tail = &text[entry..];
+    let field = tail.find("\"cold_points_per_sec\":")?;
+    let value = tail[field + "\"cold_points_per_sec\":".len()..].trim_start();
+    let end = value.find([',', '\n', '}'])?;
+    value[..end].trim().parse().ok()
+}
+
 fn main() -> ExitCode {
+    // Honor NG_DSE_TRACE like the `dse` binary: tracing a bench run is
+    // how instrumentation overhead itself gets profiled.
+    ng_obs::sink::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut check_warm = false;
+    let mut check_overhead = false;
     let mut out_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check-warm" => check_warm = true,
+            "--check-overhead" => check_overhead = true,
             "--out" => match it.next() {
                 Some(p) => out_path = Some(p.clone()),
                 None => {
@@ -216,11 +264,30 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("bench_dse: unknown argument `{other}`");
-                eprintln!("usage: bench_dse [--quick] [--check-warm] [--out PATH]");
+                eprintln!(
+                    "usage: bench_dse [--quick] [--check-warm] [--check-overhead] [--out PATH]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    // The overhead baseline comes from the *committed* trajectory file,
+    // read before anything overwrites it.
+    let overhead_baseline = if check_overhead {
+        match baseline_cold_throughput("BENCH_dse.json", "paper") {
+            Some(t) => Some(t),
+            None => {
+                eprintln!(
+                    "bench_dse: --check-overhead needs a committed BENCH_dse.json with a \
+                     `paper` preset entry"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
 
     // Fresh, private stores so a dirty global cache cannot turn a cold
     // run warm. The calibration dir env var has to be set before the
@@ -258,11 +325,24 @@ fn main() -> ExitCode {
     let entries: Vec<String> = benches
         .iter()
         .map(|b| {
+            let counters: Vec<String> = b
+                .counters_cold
+                .iter()
+                .map(|(name, v)| format!("        \"{name}\": {v}"))
+                .collect();
             format!(
                 "    {{\n      \"preset\": \"{}\",\n      \"cold_s\": {},\n      \"warm_s\": {},\n      \
                  \"incremental_s\": {},\n      \"points\": {},\n      \
-                 \"cold_points_per_sec\": {}\n    }}",
-                b.name, b.cold_s, b.warm_s, b.incremental_s, b.points, b.cold_points_per_sec,
+                 \"cold_points_per_sec\": {},\n      \"warm_hit_ratio\": {},\n      \
+                 \"counters_cold\": {{\n{}\n      }}\n    }}",
+                b.name,
+                b.cold_s,
+                b.warm_s,
+                b.incremental_s,
+                b.points,
+                b.cold_points_per_sec,
+                b.warm_hit_ratio,
+                counters.join(",\n"),
             )
         })
         .collect();
@@ -300,11 +380,29 @@ fn main() -> ExitCode {
             )
         })
         .unwrap_or_default();
+    // Where this process's wall time went, per span path — the same
+    // stage breakdown `dse trace` reconstructs from a ledger, taken
+    // from the in-process profile registry.
+    let stage_rows: Vec<String> = ng_obs::profile_snapshot()
+        .iter()
+        .map(|(path, s)| {
+            format!(
+                "    \"{path}\": {{ \"calls\": {}, \"total_us\": {}, \"self_us\": {} }}",
+                s.calls, s.total_us, s.self_us
+            )
+        })
+        .collect();
+    let stage_json = if stage_rows.is_empty() {
+        String::new()
+    } else {
+        format!(",\n  \"stage_profile_us\": {{\n{}\n  }}", stage_rows.join(",\n"))
+    };
     let json = format!(
-        "{{\n  \"presets\": [\n{}\n  ]{}{}\n}}\n",
+        "{{\n  \"presets\": [\n{}\n  ]{}{}{}\n}}\n",
         entries.join(",\n"),
         guided_json,
-        distributed_json
+        distributed_json,
+        stage_json
     );
     if let Err(e) = fs::write(&out_path, &json) {
         eprintln!("bench_dse: cannot write {out_path}: {e}");
@@ -312,6 +410,29 @@ fn main() -> ExitCode {
     }
     println!("wrote {out_path}");
     let _ = fs::remove_dir_all(&scratch);
+
+    if let Some(baseline) = overhead_baseline {
+        let paper = benches.iter().find(|b| b.name == "paper");
+        match paper {
+            Some(b) if b.cold_points_per_sec < baseline * 0.5 => {
+                eprintln!(
+                    "bench_dse: REGRESSION — tracing-off cold throughput on `paper` fell to \
+                     {:.0} points/sec, below half the committed baseline ({:.0}); the \
+                     instrumentation has become hot",
+                    b.cold_points_per_sec, baseline
+                );
+                return ExitCode::FAILURE;
+            }
+            Some(b) => println!(
+                "overhead check: {:.0} points/sec cold vs {:.0} baseline — ok",
+                b.cold_points_per_sec, baseline
+            ),
+            None => {
+                eprintln!("bench_dse: --check-overhead needs the `paper` preset (drop --quick)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if check_warm {
         if let Some(d) = &distributed {

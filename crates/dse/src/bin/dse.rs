@@ -20,6 +20,7 @@ dse — NGPC design-space exploration with Pareto frontier extraction
 
 USAGE:
     dse [--preset NAME | --spec FILE.toml] [OPTIONS]
+    dse trace LEDGER.jsonl [--chrome OUT.json] [--check] [--min-coverage P]
 
 SPEC:
     --preset NAME        paper | quick | clocks | resolutions | mac-arrays |
@@ -65,7 +66,30 @@ EXECUTION:
                          print a one-line summary, exit
     --cache-dir DIR      evaluation cache location (default: .dse-cache)
     --no-cache           always re-evaluate, never read or write the cache
-    --cache-stats        print per-run cache hit/miss/evaluated counts
+    --cache-stats        print per-run cache hit/miss/evaluated counts,
+                         per-shard store row counts, and cumulative shard
+                         lock-wait time
+
+OBSERVABILITY:
+    --trace PATH         record a JSONL run ledger (spans, counters,
+                         heartbeats) to PATH; spawned workers append to
+                         the same ledger. Equivalent env: NG_DSE_TRACE
+    --metrics            print the in-process stage profile and counter
+                         deltas to stderr after the run
+    --quiet              suppress the live stderr progress line (stdout
+                         output is byte-identical either way)
+
+    dse trace LEDGER     summarize a recorded ledger: per-stage profile
+                         table, per-process counters, balance/invariant
+                         verdict
+      --chrome OUT.json  also export the ledger as a Chrome trace
+                         (chrome://tracing, Perfetto)
+      --check            exit non-zero on unbalanced spans, counter
+                         invariant violations, or stage coverage < 95%
+                         of the root span's wall time
+      --min-coverage P   coverage floor (percent) for --check; default
+                         95. Use 0 on very short runs, where fixed
+                         startup costs dominate the root span
 
 OUTPUT:
     --top N              frontier rows to print (default: 16)
@@ -98,6 +122,9 @@ struct Cli {
     search: Option<ng_dse::SearchStrategy>,
     budget: Option<usize>,
     seed: Option<u64>,
+    trace: Option<String>,
+    metrics: bool,
+    quiet: bool,
     /// Outcome/report-producing flags seen on the command line, in
     /// order — worker mode rejects all of them (a worker produces no
     /// outcome), while constraints arriving via a `--spec` file pass
@@ -143,6 +170,9 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         search: None,
         budget: None,
         seed: None,
+        trace: None,
+        metrics: false,
+        quiet: false,
         report_flags: Vec::new(),
     };
     // Axis overrides are applied after the base spec is chosen.
@@ -216,6 +246,9 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "--cache-dir" => cli.cache_dir = Some(value(arg)?),
             "--no-cache" => cli.no_cache = true,
+            "--trace" => cli.trace = Some(value(arg)?),
+            "--metrics" => cli.metrics = true,
+            "--quiet" => cli.quiet = true,
             "--cache-stats" => {
                 cli.report_flags.push("--cache-stats");
                 cli.cache_stats = true;
@@ -351,6 +384,7 @@ fn run_search(cli: &Cli, strategy: ng_dse::SearchStrategy) -> Result<(), String>
         search.seed = seed;
     }
     let outcome = searcher.run(&cli.spec, &search).map_err(|e| e.to_string())?;
+    let _span = ng_obs::span("report");
     ng_dse::report::print_search_report(&outcome, &cli.constraints, cli.top);
     if cli.cache_stats {
         println!(
@@ -442,7 +476,7 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, St
                     store; rerun without --no-cache"
             .to_string());
     }
-    let mut coordinator = ng_dse::Coordinator::new(workers);
+    let mut coordinator = ng_dse::Coordinator::new(workers).with_quiet(cli.quiet);
     if let Some(dir) = &cli.cache_dir {
         coordinator = coordinator.with_cache_dir(dir);
     }
@@ -459,6 +493,7 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, St
                 w.shard,
                 if w.stderr.is_empty() { String::new() } else { format!(": {}", w.stderr) },
             );
+            eprintln!("dse: {}", w.status_line());
         }
     }
     if distributed.recovered > 0 {
@@ -467,9 +502,191 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, St
     Ok(distributed.outcome)
 }
 
+/// `dse trace LEDGER.jsonl`: summarize a recorded run ledger — the
+/// per-stage profile, per-process counters, and the balance/invariant
+/// verdict — with optional Chrome trace export and CI-gate mode.
+fn run_trace(args: &[String]) -> Result<(), String> {
+    let mut ledger_path: Option<String> = None;
+    let mut chrome: Option<String> = None;
+    let mut check = false;
+    let mut min_coverage = 95.0_f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--chrome" => {
+                chrome =
+                    Some(it.next().cloned().ok_or_else(|| "--chrome needs a path".to_string())?)
+            }
+            "--check" => check = true,
+            "--min-coverage" => {
+                let pct = it.next().ok_or_else(|| "--min-coverage needs a percent".to_string())?;
+                min_coverage =
+                    pct.parse().map_err(|_| format!("--min-coverage: `{pct}` is not a number"))?;
+            }
+            other if !other.starts_with("--") && ledger_path.is_none() => {
+                ledger_path = Some(other.to_string())
+            }
+            other => return Err(format!("trace: unexpected argument `{other}` (try --help)")),
+        }
+    }
+    let path = ledger_path.ok_or_else(|| "trace: need a LEDGER.jsonl path".to_string())?;
+    let ledger = ng_obs::Ledger::read(Path::new(&path)).map_err(|e| format!("{path}: {e}"))?;
+    let verdict = ledger.check();
+
+    let pids: std::collections::BTreeSet<u64> =
+        ledger.events.iter().filter_map(|e| e.num_field("pid")).collect();
+    println!(
+        "ledger {path}: {} events from {} process(es), {} skipped line(s)",
+        ledger.events.len(),
+        pids.len(),
+        ledger.skipped_lines
+    );
+
+    let profile = ledger.profile();
+    if profile.is_empty() {
+        println!("no spans recorded");
+    } else {
+        let root_total = verdict.root.as_ref().map(|(_, t)| *t).unwrap_or(0);
+        let rows: Vec<Vec<String>> = profile
+            .iter()
+            .map(|s| {
+                let share = if root_total > 0 {
+                    format!("{:.1}", 100.0 * s.total_us as f64 / root_total as f64)
+                } else {
+                    "-".to_string()
+                };
+                vec![
+                    s.path.clone(),
+                    s.calls.to_string(),
+                    format!("{:.2}", s.total_us as f64 / 1000.0),
+                    format!("{:.2}", s.self_us as f64 / 1000.0),
+                    share,
+                ]
+            })
+            .collect();
+        print!(
+            "\n{}",
+            ng_dse::report::render_table(
+                &["stage", "calls", "total ms", "self ms", "% of root"],
+                &rows
+            )
+        );
+    }
+
+    let counters = ledger.final_counters();
+    if !counters.is_empty() {
+        println!("\ncounters (final cumulative value per process):");
+        for ((pid, name), val) in &counters {
+            println!("  pid {pid}  {name} = {val}");
+        }
+    }
+
+    println!();
+    match verdict.root {
+        Some((ref root, total)) => println!(
+            "root span: {root} ({:.2} ms); stage coverage {:.1}%",
+            total as f64 / 1000.0,
+            100.0 * verdict.coverage
+        ),
+        None => println!("root span: none recorded"),
+    }
+    if verdict.unbalanced.is_empty() {
+        println!("spans: balanced");
+    } else {
+        println!("spans: UNBALANCED — {}", verdict.unbalanced.join(", "));
+    }
+    if verdict.invariant_violations.is_empty() {
+        println!(
+            "counter invariant (hits + fresh == points): holds for {} sweeping process(es)",
+            verdict.sweeping_pids
+        );
+    } else {
+        for v in &verdict.invariant_violations {
+            println!("counter invariant VIOLATED: {v}");
+        }
+    }
+
+    if let Some(out) = chrome {
+        std::fs::write(&out, ledger.chrome_trace())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote Chrome trace to {out} (load in chrome://tracing or Perfetto)");
+    }
+    if check && !verdict.ok(min_coverage / 100.0) {
+        return Err(format!(
+            "trace --check failed: coverage {:.1}% (need >= {min_coverage}%), \
+             {} unbalanced span(s), {} invariant violation(s)",
+            100.0 * verdict.coverage,
+            verdict.unbalanced.len(),
+            verdict.invariant_violations.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `--metrics`: the in-process stage profile and counter growth for
+/// this run, on stderr (stdout stays reserved for the report).
+fn print_metrics(before: &ng_obs::CounterSnapshot) {
+    let profile = ng_obs::profile_snapshot();
+    eprintln!("\n-- stage profile (this process) --");
+    let rows: Vec<Vec<String>> = profile
+        .iter()
+        .map(|(path, s)| {
+            vec![
+                path.clone(),
+                s.calls.to_string(),
+                format!("{:.2}", s.total_us as f64 / 1000.0),
+                format!("{:.2}", s.self_us as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    eprint!("{}", ng_dse::report::render_table(&["stage", "calls", "total ms", "self ms"], &rows));
+    eprintln!("\n-- counters (growth this run) --");
+    let delta = ng_obs::counter::snapshot().delta_since(before);
+    if delta.is_empty() {
+        eprintln!("(no counters moved)");
+    }
+    for (name, val) in delta.iter() {
+        eprintln!("{name} = {val}");
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace(&args[1..]);
+    }
     let Some(cli) = parse_args(args)? else { return Ok(()) };
 
+    // Recording starts before the root span so the ledger sees every
+    // event; `--trace` also exports the path so worker processes
+    // spawned by `--workers` append to the same ledger.
+    if let Some(path) = &cli.trace {
+        let abs = std::path::absolute(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        ng_obs::sink::enable(&abs).map_err(|e| format!("--trace {path}: {e}"))?;
+        std::env::set_var(ng_obs::sink::TRACE_ENV, &abs);
+    } else {
+        ng_obs::sink::init_from_env();
+    }
+    let counters_before = ng_obs::counter::snapshot();
+    let result = {
+        let _root = ng_obs::span("dse");
+        run_mode(&cli)
+    };
+    // The root span is closed: flush final counter values, then the
+    // optional in-process summary.
+    ng_obs::emit_counters();
+    if cli.metrics {
+        print_metrics(&counters_before);
+    }
+    result
+}
+
+/// Everything between the `dse` root span's open and close: mode
+/// dispatch and reporting.
+fn run_mode(cli: &Cli) -> Result<(), String> {
     if cli.workers.is_some() && cli.worker_shard.is_some() {
         return Err("--workers (coordinator) and --worker-shard (worker) are mutually \
                     exclusive"
@@ -481,17 +698,17 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some((shard, of)) = cli.worker_shard {
-        return run_worker(&cli, shard, of);
+        return run_worker(cli, shard, of);
     }
 
     if let Some(strategy) = cli.search {
-        return run_search(&cli, strategy);
+        return run_search(cli, strategy);
     }
 
     let outcome = if let Some(workers) = cli.workers {
-        run_distributed(&cli, workers)?
+        run_distributed(cli, workers)?
     } else {
-        let mut engine = SweepEngine::new();
+        let mut engine = SweepEngine::new().with_quiet(cli.quiet);
         if let Some(threads) = cli.threads {
             engine = engine.with_threads(threads);
         }
@@ -502,9 +719,25 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         engine.run(&cli.spec).map_err(|e| e.to_string())?
     };
+    // Frontier extraction + table rendering is real work on large
+    // sweeps — span it so the ledger's coverage accounting sees it.
+    let _span = ng_obs::span("report");
     print_report(&outcome, &cli.constraints, cli.top, cli.per_app);
     if cli.cache_stats {
         println!("{}", ng_dse::report::cache_stats_line(&outcome));
+        if outcome.cache_path.is_some() {
+            let dir =
+                cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+            let cache = ng_dse::EvalCache::new(&dir);
+            println!(
+                "{}",
+                ng_dse::report::shard_stats_report(
+                    &cache.shard_stats(),
+                    ng_dse::obs_counters::store_lock_wait_us().get(),
+                    ng_dse::obs_counters::store_tail_heals().get(),
+                )
+            );
+        }
     }
     let judge_headline =
         cli.spec.name == "paper" || cli.spec.name == "mac-arrays" || cli.check_headline;

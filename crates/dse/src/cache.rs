@@ -38,6 +38,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::emit::{point_from_row, point_to_row};
+use crate::obs_counters;
 use crate::spec::DesignPoint;
 use crate::sweep::EvaluatedPoint;
 use crate::{model_fingerprint, MODEL_VERSION};
@@ -177,13 +178,14 @@ impl EvalCache {
         }
         let dir = self.store_dir();
         fs::create_dir_all(&dir)?;
-        let mut by_shard: Vec<String> = vec![String::new(); SHARD_COUNT];
+        let mut by_shard: Vec<(String, u64)> = vec![(String::new(), 0); SHARD_COUNT];
         for p in points {
             let key = Self::point_key(&p.point);
-            let buf = &mut by_shard[Self::shard_of(key)];
+            let (buf, rows) = &mut by_shard[Self::shard_of(key)];
             buf.push_str(&format!("{key:016x},{}\n", point_to_row(p)));
+            *rows += 1;
         }
-        for (shard, body) in by_shard.iter().enumerate() {
+        for (shard, (body, rows)) in by_shard.iter().enumerate() {
             if body.is_empty() {
                 continue;
             }
@@ -197,11 +199,13 @@ impl EvalCache {
             // old unlocked behaviour; any *other* lock failure (e.g. a
             // flaky network filesystem) is a real error — proceeding
             // unlocked would silently void the multi-writer contract.
+            let lock_started = std::time::Instant::now();
             if let Err(e) = file.lock() {
                 if e.kind() != io::ErrorKind::Unsupported {
                     return Err(e);
                 }
             }
+            obs_counters::store_lock_wait_us().add(lock_started.elapsed().as_micros() as u64);
             // The length must be read *after* the lock: another writer
             // may have created the header between open and lock.
             let len = file.metadata()?.len();
@@ -223,11 +227,28 @@ impl EvalCache {
                 file.read_exact(&mut last)?;
                 if last != [b'\n'] {
                     file.write_all(b"\n")?;
+                    obs_counters::store_tail_heals().incr();
                 }
             }
             file.write_all(body.as_bytes())?;
+            obs_counters::store_rows_appended().add(*rows);
         }
         Ok(())
+    }
+
+    /// Per-shard row counts of the current generation: `(rows, bytes)`
+    /// indexed by shard, counting only parseable data rows (comments,
+    /// headers and torn lines excluded — the same rows
+    /// [`EvalCache::lookup`] could serve). Powers the per-shard half of
+    /// `dse --cache-stats`.
+    pub fn shard_stats(&self) -> Vec<(usize, u64)> {
+        (0..SHARD_COUNT)
+            .map(|shard| {
+                let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
+                let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                (self.load_shard(shard).len(), bytes)
+            })
+            .collect()
     }
 
     /// The cache's root directory (generations live underneath).

@@ -29,22 +29,58 @@
 //!   complete and bit-identical to a single-process run. Resumability
 //!   falls out of the same path: a re-run after `kill -9` finds the
 //!   dead run's appended points as hits and pays only the delta.
+//! * **Heartbeats** — workers append progress events to
+//!   [`HEARTBEAT_FILE`] in the shared store dir (locked JSONL, the
+//!   same discipline as the shards) every [`HEARTBEAT_EVERY`] while
+//!   evaluating. The coordinator tails the file while polling its
+//!   children, reports live per-worker progress, flags a worker whose
+//!   heartbeat goes quiet ([`Coordinator::with_stall_after`]) *before*
+//!   the merge, and records each child's exit status and
+//!   last-heartbeat age in its [`WorkerReport`] — so a dead worker's
+//!   slice is recovered with a diagnosis, never silently. This is the
+//!   first concrete step toward the lease+heartbeat protocol the
+//!   `dse serve` roadmap item needs.
 //!
 //! [`run_sharded_in_process`] drives the identical
 //! slice/append/merge protocol on worker *threads* — the form
 //! `bench_dse` measures and the stress tests hammer, with no process
 //! spawn in the loop.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io;
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::cache::EvalCache;
+use crate::obs_counters;
 use crate::pool;
 use crate::spec::{DesignPoint, SpecError, SweepSpec};
 use crate::sweep::{evaluate_points, EvaluatedPoint, SweepOutcome, SweepStats};
+
+/// Name of the shared worker-heartbeat file inside the store dir.
+pub const HEARTBEAT_FILE: &str = "heartbeats.jsonl";
+
+/// How often an evaluating worker appends a progress heartbeat.
+pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+
+/// Append one heartbeat to the store-dir heartbeat file (best effort —
+/// observability never fails a worker) and mirror it into the trace
+/// ledger when one is being recorded.
+fn emit_store_heartbeat(
+    cache_dir: &Path,
+    shard: usize,
+    of: usize,
+    done: usize,
+    total: usize,
+    state: &str,
+) {
+    let line = ng_obs::sink::heartbeat_line(shard, of, done, total, state);
+    let _ = ng_obs::append_jsonl_line(&cache_dir.join(HEARTBEAT_FILE), &line);
+    ng_obs::emit_heartbeat(shard, of, done, total, state);
+}
 
 /// Error raised by the distributed backend.
 #[derive(Debug)]
@@ -147,11 +183,74 @@ pub fn run_worker_slice(
         return Err(DistribError::Shard { shard, of });
     }
     spec.validate()?;
+    let _span = ng_obs::span("worker-slice");
     let slice = shard_points(&spec.points(), shard, of);
     let cache = EvalCache::new(cache_dir);
-    let missing: Vec<DesignPoint> = spec_misses(&cache, &slice);
+    let missing: Vec<DesignPoint> = {
+        let _span = ng_obs::span("lookup");
+        spec_misses(&cache, &slice)
+    };
+    obs_counters::sweep_points().add(slice.len() as u64);
+    obs_counters::sweep_cache_hits().add((slice.len() - missing.len()) as u64);
+    obs_counters::sweep_fresh_evals().add(missing.len() as u64);
+
+    // Heartbeat thread: sample the evaluation tick counter while the
+    // pool grinds through the slice. The counter is process-global, so
+    // in-process sharded runs over-attribute concurrent siblings' ticks
+    // to each worker (clamped to `total`); worker *processes* — the
+    // backend heartbeats exist for — count exactly their own progress.
+    let total = missing.len();
+    emit_store_heartbeat(cache_dir, shard, of, 0, total, "start");
+    let ticks = obs_counters::eval_ticks().clone();
+    let base = ticks.get();
+    // Condvar rather than sleep-and-poll so stopping wakes the beater
+    // immediately — a slice that evaluates in microseconds must not
+    // wait out a whole heartbeat period to join.
+    let stop = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let beat = {
+        let stop = std::sync::Arc::clone(&stop);
+        let dir = cache_dir.to_path_buf();
+        std::thread::spawn(move || loop {
+            let (lock, cv) = &*stop;
+            let stopped = cv
+                .wait_timeout_while(
+                    lock.lock().expect("heartbeat stop lock never poisoned"),
+                    HEARTBEAT_EVERY,
+                    |stopped| !*stopped,
+                )
+                .expect("heartbeat stop lock never poisoned")
+                .0;
+            if *stopped {
+                break;
+            }
+            drop(stopped);
+            let done = (ticks.get().saturating_sub(base) as usize).min(total);
+            emit_store_heartbeat(&dir, shard, of, done, total, "run");
+        })
+    };
     let evaluated = evaluate_points(&missing, threads);
-    cache.append(&evaluated)?;
+    {
+        let (lock, cv) = &*stop;
+        *lock.lock().expect("heartbeat stop lock never poisoned") = true;
+        cv.notify_all();
+    }
+    let _ = beat.join();
+
+    let append_result = {
+        let _span = ng_obs::span("append");
+        cache.append(&evaluated)
+    };
+    // The final heartbeat states how the worker ended; the coordinator
+    // shows it when diagnosing a recovery.
+    emit_store_heartbeat(
+        cache_dir,
+        shard,
+        of,
+        total,
+        total,
+        if append_result.is_ok() { "done" } else { "append-failed" },
+    );
+    append_result?;
     Ok(WorkerSummary {
         shard,
         of,
@@ -171,6 +270,32 @@ fn spec_misses(cache: &EvalCache, points: &[DesignPoint]) -> Vec<DesignPoint> {
         .collect()
 }
 
+/// The last heartbeat the coordinator observed from one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerHeartbeat {
+    /// Worker-reported state (`start`, `run`, `done`, `append-failed`).
+    pub state: String,
+    /// Points done at that heartbeat.
+    pub done: u64,
+    /// Points in the worker's evaluation set.
+    pub total: u64,
+    /// How long before the report the heartbeat was observed.
+    pub age: Duration,
+}
+
+impl fmt::Display for WorkerHeartbeat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "last heartbeat {:.1}s ago: {}/{} points, state {}",
+            self.age.as_secs_f64(),
+            self.done,
+            self.total,
+            self.state
+        )
+    }
+}
+
 /// How one spawned worker process ended.
 #[derive(Debug, Clone)]
 pub struct WorkerReport {
@@ -182,6 +307,53 @@ pub struct WorkerReport {
     pub stdout: String,
     /// The worker's stderr (diagnostics on failure).
     pub stderr: String,
+    /// The child's process id, when it spawned at all.
+    pub pid: Option<u32>,
+    /// The child's exit code; `None` if it never spawned or died to a
+    /// signal (the `kill -9` case the recovery path exists for).
+    pub exit: Option<i32>,
+    /// The last heartbeat observed before the child exited, if any.
+    pub last_heartbeat: Option<WorkerHeartbeat>,
+    /// Whether the coordinator flagged this worker as stalled (no
+    /// heartbeat within the stall window) while it was still running.
+    pub stalled: bool,
+}
+
+impl WorkerReport {
+    fn no_process(shard: usize, stderr: String) -> WorkerReport {
+        WorkerReport {
+            shard,
+            ok: false,
+            stdout: String::new(),
+            stderr,
+            pid: None,
+            exit: None,
+            last_heartbeat: None,
+            stalled: false,
+        }
+    }
+
+    /// One diagnostic line for recovery messages: exit status plus
+    /// last-heartbeat age — what `dse --workers N` prints instead of
+    /// silently re-evaluating a dead worker's slice.
+    pub fn status_line(&self) -> String {
+        let pid = match self.pid {
+            Some(pid) => format!(" (pid {pid})"),
+            None => String::new(),
+        };
+        let ended = match (self.ok, self.exit) {
+            (true, _) => "exited cleanly".to_string(),
+            (false, Some(code)) => format!("exited with status {code}"),
+            (false, None) if self.pid.is_some() => "killed by signal".to_string(),
+            (false, None) => "failed to spawn".to_string(),
+        };
+        let beat = match &self.last_heartbeat {
+            Some(hb) => format!("; {hb}"),
+            None => "; no heartbeat ever observed".to_string(),
+        };
+        let stall = if self.stalled { " [was flagged stalled]" } else { "" };
+        format!("worker {}{pid}: {ended}{beat}{stall}", self.shard)
+    }
 }
 
 /// A completed distributed sweep: the merged outcome plus per-worker
@@ -207,9 +379,17 @@ pub struct Coordinator {
     threads_per_worker: Option<usize>,
     cache_dir: PathBuf,
     worker_exe: Option<PathBuf>,
+    stall_after: Duration,
+    quiet: bool,
 }
 
 impl Coordinator {
+    /// Default stall window: a running worker whose last heartbeat is
+    /// older than this is flagged on stderr (heartbeats arrive every
+    /// [`HEARTBEAT_EVERY`] = 200 ms, so 10 s of silence means a worker
+    /// that is livelocked, swapped out, or quietly dead).
+    pub const DEFAULT_STALL_AFTER: Duration = Duration::from_secs(10);
+
     /// A coordinator for `workers` processes (min 1) writing to the
     /// default cache dir and spawning the current executable.
     pub fn new(workers: usize) -> Self {
@@ -218,7 +398,24 @@ impl Coordinator {
             threads_per_worker: None,
             cache_dir: PathBuf::from(crate::sweep::SweepEngine::DEFAULT_CACHE_DIR),
             worker_exe: None,
+            stall_after: Self::DEFAULT_STALL_AFTER,
+            quiet: false,
         }
+    }
+
+    /// Flag a running worker as stalled after this much heartbeat
+    /// silence (see [`Coordinator::DEFAULT_STALL_AFTER`]).
+    pub fn with_stall_after(mut self, window: Duration) -> Self {
+        self.stall_after = window.max(Duration::from_millis(100));
+        self
+    }
+
+    /// Suppress the live per-worker stderr progress line
+    /// (`dse --quiet`). Stall warnings still print — silence about a
+    /// wedged worker is exactly what heartbeats exist to prevent.
+    pub fn with_quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
     }
 
     /// Share the store under `dir` (must be reachable by every worker).
@@ -269,9 +466,12 @@ impl Coordinator {
         })
     }
 
-    /// Ship the spec file, spawn every worker, and wait for all of
-    /// them. Worker failure is *reported*, not fatal — the merge step
-    /// recovers whatever a dead worker did not deliver.
+    /// Ship the spec file, spawn every worker, and supervise them to
+    /// completion: poll each child with `try_wait`, tail the shared
+    /// heartbeat file in between, warn on stderr about workers whose
+    /// heartbeats go quiet, and record exit status + last-heartbeat
+    /// age per worker. Worker failure is *reported*, not fatal — the
+    /// merge step recovers whatever a dead worker did not deliver.
     fn spawn_and_wait(&self, spec: &SweepSpec) -> Result<Vec<WorkerReport>, DistribError> {
         let exe = match &self.worker_exe {
             Some(exe) => exe.clone(),
@@ -290,7 +490,16 @@ impl Coordinator {
         std::fs::write(&spec_path, spec.to_toml())?;
         let threads = self.threads_per_worker();
 
-        let spawned: Vec<(usize, io::Result<Child>)> = (0..self.workers)
+        struct Supervised {
+            shard: usize,
+            child: Option<Child>, // taken once reaped
+            pid: Option<u32>,
+            report: Option<WorkerReport>,
+            spawned_at: Instant,
+            stalled: bool,
+            stall_warned: bool,
+        }
+        let mut supervised: Vec<Supervised> = (0..self.workers)
             .map(|shard| {
                 let child = Command::new(&exe)
                     .arg("--worker-shard")
@@ -305,30 +514,198 @@ impl Coordinator {
                     .stdout(Stdio::piped())
                     .stderr(Stdio::piped())
                     .spawn();
-                (shard, child)
+                let (child, report) = match child {
+                    Ok(c) => {
+                        obs_counters::distrib_workers_spawned().incr();
+                        (Some(c), None)
+                    }
+                    Err(e) => (None, Some(WorkerReport::no_process(shard, format!("spawn: {e}")))),
+                };
+                Supervised {
+                    shard,
+                    pid: child.as_ref().map(Child::id),
+                    child,
+                    report,
+                    spawned_at: Instant::now(),
+                    stalled: false,
+                    stall_warned: false,
+                }
             })
             .collect();
 
-        let mut reports = Vec::with_capacity(self.workers);
-        for (shard, child) in spawned {
-            let report = match child.and_then(|c| c.wait_with_output()) {
-                Ok(out) => WorkerReport {
-                    shard,
-                    ok: out.status.success(),
-                    stdout: String::from_utf8_lossy(&out.stdout).trim().to_string(),
-                    stderr: String::from_utf8_lossy(&out.stderr).trim().to_string(),
-                },
-                Err(e) => WorkerReport {
-                    shard,
-                    ok: false,
-                    stdout: String::new(),
-                    stderr: format!("spawn/wait failed: {e}"),
-                },
-            };
-            reports.push(report);
+        let mut beats = HeartbeatTail::new(self.cache_dir.join(HEARTBEAT_FILE));
+        let draw_progress = ng_obs::stderr_wants_progress(self.quiet);
+        let mut drew = false;
+        let mut last_draw = Instant::now();
+        loop {
+            beats.poll();
+            let mut live = 0;
+            for s in supervised.iter_mut() {
+                let Some(child) = s.child.as_mut() else { continue };
+                let pid = child.id();
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        // Reap: the worker writes one summary line, so
+                        // draining the pipes after exit cannot block.
+                        let mut child = s.child.take().expect("present: matched above");
+                        let mut stdout = String::new();
+                        let mut stderr = String::new();
+                        if let Some(mut out) = child.stdout.take() {
+                            let _ = out.read_to_string(&mut stdout);
+                        }
+                        if let Some(mut err) = child.stderr.take() {
+                            let _ = err.read_to_string(&mut stderr);
+                        }
+                        // try_wait already reaped; this returns the
+                        // cached status and satisfies the no-zombie lint.
+                        let _ = child.wait();
+                        s.report = Some(WorkerReport {
+                            shard: s.shard,
+                            ok: status.success(),
+                            stdout: stdout.trim().to_string(),
+                            stderr: stderr.trim().to_string(),
+                            pid: Some(pid),
+                            exit: status.code(),
+                            last_heartbeat: beats.last_of(pid),
+                            stalled: s.stalled,
+                        });
+                    }
+                    Ok(None) => {
+                        live += 1;
+                        // Stall check: silence since the last heartbeat
+                        // (or since spawn, for a worker that never got
+                        // one out).
+                        let silence = beats
+                            .observed_at(pid)
+                            .map(|at| at.elapsed())
+                            .unwrap_or_else(|| s.spawned_at.elapsed());
+                        if silence > self.stall_after {
+                            s.stalled = true;
+                            if !s.stall_warned {
+                                s.stall_warned = true;
+                                let progress = beats
+                                    .last_of(pid)
+                                    .map(|hb| format!("; {hb}"))
+                                    .unwrap_or_else(|| "; no heartbeat yet".to_string());
+                                eprintln!(
+                                    "dse: worker {} (pid {pid}) stalled: silent for \
+                                     {:.1}s{progress}",
+                                    s.shard,
+                                    silence.as_secs_f64(),
+                                );
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        s.child = None;
+                        s.report =
+                            Some(WorkerReport::no_process(s.shard, format!("wait failed: {e}")));
+                    }
+                }
+            }
+            if live == 0 {
+                break;
+            }
+            // Live per-worker progress: one `\r`-rewritten stderr line
+            // (same contract as the single-process meter — stdout is
+            // never touched), fed purely by the heartbeat tail.
+            if draw_progress && last_draw.elapsed() >= Duration::from_millis(200) {
+                last_draw = Instant::now();
+                let parts: Vec<String> = supervised
+                    .iter()
+                    .map(|s| {
+                        let progress = match (&s.report, s.pid.and_then(|p| beats.last_of(p))) {
+                            (Some(r), _) if r.ok => "done".to_string(),
+                            (Some(_), _) => "failed".to_string(),
+                            (None, Some(hb)) => format!("{}/{}", hb.done, hb.total),
+                            (None, None) => "-".to_string(),
+                        };
+                        format!("{}:{progress}", s.shard)
+                    })
+                    .collect();
+                use std::io::Write as _;
+                let line = format!("workers: {} ({live} live)", parts.join(" "));
+                let mut err = io::stderr().lock();
+                let _ = write!(err, "\r{line:<70}");
+                let _ = err.flush();
+                drew = true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if drew {
+            use std::io::Write as _;
+            let mut err = io::stderr().lock();
+            let _ = write!(err, "\r{:<70}\r", "");
+            let _ = err.flush();
         }
         let _ = std::fs::remove_file(&spec_path);
-        Ok(reports)
+        Ok(supervised
+            .into_iter()
+            .map(|s| s.report.expect("every worker reaped or failed"))
+            .collect())
+    }
+}
+
+/// An incremental reader of the shared heartbeat file: keeps a byte
+/// offset, parses only whole appended lines, and remembers the newest
+/// heartbeat per writer pid (plus when it was *observed* — ages are
+/// measured on the coordinator's clock, immune to cross-process clock
+/// skew).
+struct HeartbeatTail {
+    path: PathBuf,
+    offset: u64,
+    latest: HashMap<u32, (Instant, WorkerHeartbeat)>,
+}
+
+impl HeartbeatTail {
+    fn new(path: PathBuf) -> Self {
+        // Start at the current end: heartbeats from earlier runs
+        // sharing the store dir are history, not this run's workers —
+        // and pids recycle.
+        let offset = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        HeartbeatTail { path, offset, latest: HashMap::new() }
+    }
+
+    /// Read and fold any whole lines appended since the last poll.
+    fn poll(&mut self) {
+        let Ok(mut file) = std::fs::File::open(&self.path) else { return };
+        use std::io::Seek as _;
+        if file.seek(io::SeekFrom::Start(self.offset)).is_err() {
+            return;
+        }
+        let mut chunk = String::new();
+        if file.read_to_string(&mut chunk).is_err() || chunk.is_empty() {
+            return;
+        }
+        // Only complete lines advance the offset; a torn tail (a worker
+        // mid-append on a lock-less filesystem) is re-read next poll.
+        let Some(complete) = chunk.rfind('\n') else { return };
+        self.offset += complete as u64 + 1;
+        for ev in ng_obs::Ledger::parse(&chunk[..=complete]).of_kind("hb") {
+            let (Some(pid), Some(done), Some(total)) =
+                (ev.num_field("pid"), ev.num_field("done"), ev.num_field("total"))
+            else {
+                continue;
+            };
+            obs_counters::distrib_heartbeats_seen().incr();
+            let hb = WorkerHeartbeat {
+                state: ev.str_field("state").unwrap_or("?").to_string(),
+                done,
+                total,
+                age: Duration::ZERO,
+            };
+            self.latest.insert(pid as u32, (Instant::now(), hb));
+        }
+    }
+
+    /// When the newest heartbeat of `pid` was observed.
+    fn observed_at(&self, pid: u32) -> Option<Instant> {
+        self.latest.get(&pid).map(|(at, _)| *at)
+    }
+
+    /// The newest heartbeat of `pid`, with its age filled in.
+    fn last_of(&self, pid: u32) -> Option<WorkerHeartbeat> {
+        self.latest.get(&pid).map(|(at, hb)| WorkerHeartbeat { age: at.elapsed(), ..hb.clone() })
     }
 }
 
@@ -346,11 +723,21 @@ fn drive(
     launch: impl FnOnce() -> Result<Vec<WorkerReport>, DistribError>,
 ) -> Result<DistribOutcome, DistribError> {
     spec.validate()?;
+    let _span = ng_obs::span("distrib");
     let started = Instant::now();
     let cache = EvalCache::new(cache_dir);
     let points = spec.points();
-    let slots = cache.lookup(&points);
+    let slots = {
+        let _span = ng_obs::span("lookup");
+        cache.lookup(&points)
+    };
     let pre_hits = slots.iter().filter(|s| s.is_some()).count();
+    // Coordinator-side sweep accounting: together with the merge step's
+    // hits and straggler evaluations this closes the per-process
+    // `cache_hits + fresh_evals == points` invariant the trace checker
+    // enforces (workers count their own slices in their own processes).
+    obs_counters::sweep_points().add(points.len() as u64);
+    obs_counters::sweep_cache_hits().add(pre_hits as u64);
 
     let (workers, merged, recovered) = if pre_hits == points.len() {
         // Fully warm: nothing to launch, and the lookup already *is*
@@ -361,13 +748,18 @@ fn drive(
         let mut slots = slots;
         let missing: Vec<DesignPoint> =
             points.iter().zip(&slots).filter(|(_, hit)| hit.is_none()).map(|(p, _)| *p).collect();
-        let workers = launch()?;
+        let workers = {
+            let _span = ng_obs::span("launch");
+            launch()?
+        };
         // Merge reuses the pre-launch hits: only the formerly-missing
         // points are re-read (the workers just appended them), and any
         // straggler a dead worker failed to deliver is evaluated here —
         // with every core, since the workers are gone by merge time.
-        let recovered =
-            fill_missing_slots(&cache, &missing, &mut slots, pool::available_threads())?;
+        let recovered = {
+            let _span = ng_obs::span("merge");
+            fill_missing_slots(&cache, &missing, &mut slots, pool::available_threads())?
+        };
         let merged = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
         (workers, merged, recovered)
     };
@@ -424,6 +816,12 @@ fn fill_missing_slots(
     let stragglers: Vec<DesignPoint> =
         missing.iter().zip(&looked_up).filter(|(_, hit)| hit.is_none()).map(|(p, _)| *p).collect();
     let recovered = stragglers.len();
+    // Second-lookup hits are worker deliveries; stragglers we evaluate
+    // here are this process's fresh work (see the invariant note in
+    // [`drive`]).
+    obs_counters::sweep_cache_hits().add((missing.len() - recovered) as u64);
+    obs_counters::sweep_fresh_evals().add(recovered as u64);
+    obs_counters::distrib_recovered_points().add(recovered as u64);
     let fresh = evaluate_points(&stragglers, threads);
     cache.append(&fresh)?;
     let mut looked_up = looked_up.into_iter();
@@ -464,12 +862,12 @@ pub fn run_sharded_in_process(
             .into_iter()
             .enumerate()
             .map(|(shard, r)| match r {
-                Ok(s) => {
-                    WorkerReport { shard, ok: true, stdout: s.to_string(), stderr: String::new() }
-                }
-                Err(e) => {
-                    WorkerReport { shard, ok: false, stdout: String::new(), stderr: e.to_string() }
-                }
+                Ok(s) => WorkerReport {
+                    stdout: s.to_string(),
+                    ok: true,
+                    ..WorkerReport::no_process(shard, String::new())
+                },
+                Err(e) => WorkerReport::no_process(shard, e.to_string()),
             })
             .collect())
     })

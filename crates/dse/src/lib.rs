@@ -25,6 +25,11 @@
 //!   processes coordinating purely through the point store, and a
 //!   coordinator merge that recovers crashed workers' slices.
 //! * [`report`] — the compact terminal report behind the `dse` binary.
+//! * [`obs_counters`] — the crate's hoisted [`ng_obs`] counter handles.
+//!   Every stage is instrumented with `ng-obs` spans and counters:
+//!   `dse --trace PATH` (or `NG_DSE_TRACE`) records a JSONL run ledger,
+//!   `dse trace PATH` summarizes one, and `dse --metrics` prints the
+//!   in-process profile and counters after any run.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +48,7 @@
 pub mod cache;
 pub mod distrib;
 pub mod emit;
+pub mod obs_counters;
 pub mod pareto;
 pub mod pool;
 pub mod report;

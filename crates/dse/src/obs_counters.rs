@@ -1,0 +1,97 @@
+//! Hoisted [`ng_obs`] counter handles for the pipeline's hot paths.
+//!
+//! `ng_obs::counter(name)` takes the registry mutex, so hot loops must
+//! not call it per event. Every counter the crate increments is
+//! declared here once, behind a `OnceLock`: the first use pays the
+//! registry lookup, every later use is a static deref plus one relaxed
+//! `fetch_add`. Centralising the names also makes them greppable — the
+//! ledger checks in `ng_obs::ledger` and the `--metrics` summary key
+//! off these exact strings.
+
+use std::sync::OnceLock;
+
+use ng_obs::Counter;
+
+macro_rules! hoisted {
+    ($(#[$doc:meta])* $fn_name:ident => $name:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Counter {
+            static C: OnceLock<Counter> = OnceLock::new();
+            C.get_or_init(|| ng_obs::counter($name))
+        }
+    };
+}
+
+hoisted!(
+    /// Design points a sweep was asked for (hits + misses).
+    sweep_points => "sweep.points"
+);
+hoisted!(
+    /// Points served from the point store without evaluation.
+    sweep_cache_hits => "sweep.cache_hits"
+);
+hoisted!(
+    /// Points that had to be evaluated. Invariant (checked by
+    /// `ng_obs::Ledger::check`): `sweep.cache_hits + sweep.fresh_evals
+    /// == sweep.points` per process.
+    sweep_fresh_evals => "sweep.fresh_evals"
+);
+hoisted!(
+    /// Per-point tick from inside the evaluation pool — the live
+    /// counter progress meters and worker heartbeats sample.
+    eval_ticks => "eval.ticks"
+);
+hoisted!(
+    /// Microseconds spent waiting for shard file locks in
+    /// `EvalCache::append`.
+    store_lock_wait_us => "store.lock_wait_us"
+);
+hoisted!(
+    /// Torn shard tails terminated before appending.
+    store_tail_heals => "store.tail_heals"
+);
+hoisted!(
+    /// Rows appended to the point store.
+    store_rows_appended => "store.rows_appended"
+);
+hoisted!(
+    /// Points accepted into a streaming Pareto frontier.
+    frontier_inserts => "frontier.inserts"
+);
+hoisted!(
+    /// Archived points evicted by a newly dominant one.
+    frontier_prunes => "frontier.prunes"
+);
+hoisted!(
+    /// Successful steals in the work-stealing pool.
+    pool_steals => "pool.steals"
+);
+hoisted!(
+    /// Hill-climb proposals that improved the incumbent.
+    search_hill_accepted => "search.hill.accepted"
+);
+hoisted!(
+    /// Hill-climb proposals evaluated but not improving.
+    search_hill_rejected => "search.hill.rejected"
+);
+hoisted!(
+    /// Evolutionary offspring that entered the Pareto archive.
+    search_evo_accepted => "search.evo.accepted"
+);
+hoisted!(
+    /// Evolutionary offspring evaluated but dominated.
+    search_evo_rejected => "search.evo.rejected"
+);
+hoisted!(
+    /// Worker child processes the coordinator spawned.
+    distrib_workers_spawned => "distrib.workers_spawned"
+);
+hoisted!(
+    /// Worker heartbeat events the coordinator observed.
+    distrib_heartbeats_seen => "distrib.heartbeats_seen"
+);
+hoisted!(
+    /// Points the coordinator re-evaluated because a worker's slice
+    /// came back incomplete.
+    distrib_recovered_points => "distrib.recovered_points"
+);

@@ -126,12 +126,20 @@ impl<T> StreamingFrontier<T> {
 
     /// Offer one point. Returns `true` if it joined the frontier
     /// (i.e. no current member dominates it); members it dominates are
-    /// evicted.
+    /// evicted. Accepted offers count into `frontier.inserts`, each
+    /// eviction into `frontier.prunes` — the churn pair that tells a
+    /// trace reader whether a search kept improving or went flat.
     pub fn insert(&mut self, objectives: Objectives, payload: T) -> bool {
         if self.entries.iter().any(|(o, _)| o.dominates(&objectives)) {
             return false;
         }
+        let before = self.entries.len();
         self.entries.retain(|(o, _)| !objectives.dominates(o));
+        let evicted = before - self.entries.len();
+        if evicted > 0 {
+            crate::obs_counters::frontier_prunes().add(evicted as u64);
+        }
+        crate::obs_counters::frontier_inserts().incr();
         self.entries.push((objectives, payload));
         true
     }

@@ -44,6 +44,7 @@ where
         .collect();
 
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
+    let steals = crate::obs_counters::pool_steals();
     std::thread::scope(|scope| {
         for me in 0..threads {
             let sender = sender.clone();
@@ -68,6 +69,9 @@ where
                         match victim {
                             Some((len, v)) if len > 0 => {
                                 next = queues[v].lock().unwrap().pop_back();
+                                if next.is_some() {
+                                    steals.incr();
+                                }
                             }
                             _ => break,
                         }

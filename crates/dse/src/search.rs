@@ -49,6 +49,7 @@ use ng_neural::math::Pcg32;
 use ngpc::EmulationContext;
 
 use crate::cache::EvalCache;
+use crate::obs_counters;
 use crate::pareto::StreamingFrontier;
 use crate::spec::{DesignPoint, SpecError, SweepSpec};
 use crate::sweep::{ArchPoint, EvaluatedPoint};
@@ -199,6 +200,7 @@ pub struct PointEvaluator {
 impl PointEvaluator {
     /// A fresh evaluator; `cache` (if any) is bulk-loaded once, here.
     pub fn new(cache: Option<EvalCache>) -> Self {
+        let _span = ng_obs::span("load-view");
         let view = cache.as_ref().map(EvalCache::load_all).unwrap_or_default();
         PointEvaluator {
             ctx: EmulationContext::new(),
@@ -244,6 +246,7 @@ impl PointEvaluator {
             plateaued: r.plateaued,
         };
         self.evaluations += 1;
+        obs_counters::eval_ticks().incr();
         if self.cache.is_some() {
             self.view.insert(key, ep);
             self.fresh.push(ep);
@@ -255,6 +258,7 @@ impl PointEvaluator {
     /// effort, like the sweep engine) and return the generation dir.
     pub fn flush(&mut self) -> Option<PathBuf> {
         let cache = self.cache.as_ref()?;
+        let _span = ng_obs::span("flush");
         let _ = cache.append(&self.fresh);
         self.fresh.clear();
         Some(cache.store_dir())
@@ -505,6 +509,7 @@ impl Searcher {
         if search.budget == 0 {
             return Err(SpecError::Invalid("search budget must be nonzero".to_string()));
         }
+        let _span = ng_obs::span("search");
         let started = Instant::now();
         let cache = self.cache_dir.as_ref().map(|dir| EvalCache::new(dir.clone()));
         let mut state = SearchState {
@@ -520,18 +525,21 @@ impl Searcher {
 
         let mut rng = Pcg32::with_stream(search.seed, 0xd5e);
         let exhaustive = search.budget >= space_points;
-        let rounds = if exhaustive {
-            // The budget covers the whole space: guided search must
-            // degenerate to the exhaustive frontier, so scan it.
-            for flat in 0..space_archs {
-                let idx = state.space.decode(flat);
-                state.eval_arch(&idx).expect("budget covers the space");
-            }
-            1
-        } else {
-            match search.strategy {
-                SearchStrategy::HillClimb => hill_climb(&mut state, search, &mut rng),
-                SearchStrategy::Evolutionary => evolve(&mut state, search, &mut rng),
+        let rounds = {
+            let _span = ng_obs::span("drive");
+            if exhaustive {
+                // The budget covers the whole space: guided search must
+                // degenerate to the exhaustive frontier, so scan it.
+                for flat in 0..space_archs {
+                    let idx = state.space.decode(flat);
+                    state.eval_arch(&idx).expect("budget covers the space");
+                }
+                1
+            } else {
+                match search.strategy {
+                    SearchStrategy::HillClimb => hill_climb(&mut state, search, &mut rng),
+                    SearchStrategy::Evolutionary => evolve(&mut state, search, &mut rng),
+                }
             }
         };
 
@@ -574,6 +582,8 @@ fn hill_climb(state: &mut SearchState<'_>, search: &SearchSpec, rng: &mut Pcg32)
     let mut restarts = 0;
     let mut fruitless = 0;
     let mut explored = std::collections::HashSet::new();
+    let (accepted, rejected) =
+        (obs_counters::search_hill_accepted(), obs_counters::search_hill_rejected());
     while state.can_afford_arch() && fruitless < search.convergence_window {
         let before = state.archive_generation;
         let weights = Weights::draw(rng);
@@ -595,10 +605,12 @@ fn hill_climb(state: &mut SearchState<'_>, search: &SearchSpec, rng: &mut Pcg32)
                 neighbour[axis] = pos as u16;
                 let Some(eval) = state.eval_arch(&neighbour) else { break 'climb };
                 if weights.fitness(&eval.arch) > current_fit {
+                    accepted.incr();
                     current = neighbour;
                     current_eval = eval;
                     continue 'climb;
                 }
+                rejected.incr();
             }
             break; // no improving neighbour: a local optimum
         }
@@ -671,8 +683,17 @@ fn evolve(state: &mut SearchState<'_>, search: &SearchSpec, rng: &mut Pcg32) -> 
                     *gene = (*gene as isize + step).clamp(0, d - 1) as u16;
                 }
             }
+            // An offspring "proposal" is accepted when it moved the
+            // non-dominated archive (eval_arch bumps the generation on
+            // insert); dominated or revisited children are rejections.
+            let archive_before = state.archive_generation;
             if state.eval_arch(&child).is_none() {
                 break; // budget exhausted mid-generation
+            }
+            if state.archive_generation > archive_before {
+                obs_counters::search_evo_accepted().incr();
+            } else {
+                obs_counters::search_evo_rejected().incr();
             }
             next.push(child);
         }

@@ -9,6 +9,7 @@ use ngpc::EmulationContext;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::EvalCache;
+use crate::obs_counters;
 use crate::pareto::{Constraints, Objectives, StreamingFrontier};
 use crate::pool;
 use crate::spec::{DesignPoint, SpecError, SweepSpec};
@@ -243,8 +244,11 @@ impl SweepOutcome {
 /// Shared by [`SweepEngine::run_owned`] and the distributed backend's
 /// worker slices ([`crate::distrib`]).
 pub fn evaluate_points(points: &[DesignPoint], threads: usize) -> Vec<EvaluatedPoint> {
+    let _span = ng_obs::span("evaluate");
+    let ticks = obs_counters::eval_ticks();
     pool::map_stateful(points, threads, EmulationContext::new, |ctx, p: &DesignPoint| {
         let r = ctx.eval(&p.emulator_input());
+        ticks.incr();
         EvaluatedPoint {
             point: *p,
             speedup: r.speedup,
@@ -263,6 +267,7 @@ pub fn evaluate_points(points: &[DesignPoint], threads: usize) -> Vec<EvaluatedP
 pub struct SweepEngine {
     threads: usize,
     cache_dir: Option<PathBuf>,
+    quiet: bool,
 }
 
 impl Default for SweepEngine {
@@ -280,7 +285,16 @@ impl SweepEngine {
         SweepEngine {
             threads: pool::available_threads(),
             cache_dir: Some(PathBuf::from(Self::DEFAULT_CACHE_DIR)),
+            quiet: false,
         }
+    }
+
+    /// Suppress the live stderr progress line even when stderr is a
+    /// terminal (`dse --quiet`). Progress never touches stdout either
+    /// way, so emitters stay byte-identical.
+    pub fn with_quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
     }
 
     /// Use exactly `threads` workers (min 1).
@@ -322,6 +336,7 @@ impl SweepEngine {
     /// single result vector instead of collecting intermediates.
     pub fn run_owned(&self, spec: SweepSpec) -> Result<SweepOutcome, SpecError> {
         spec.validate()?;
+        let _span = ng_obs::span("sweep");
         let started = Instant::now();
         let cache = self.cache_dir.as_ref().map(|dir| EvalCache::new(dir.clone()));
 
@@ -329,9 +344,12 @@ impl SweepEngine {
         // `slots` doubles as the hit/miss partition and the result
         // buffer: hits are already final, the gaps are filled from the
         // pool's output below.
-        let mut slots: Vec<Option<EvaluatedPoint>> = match &cache {
-            Some(cache) => cache.lookup(&design_points),
-            None => vec![None; design_points.len()],
+        let mut slots: Vec<Option<EvaluatedPoint>> = {
+            let _span = ng_obs::span("lookup");
+            match &cache {
+                Some(cache) => cache.lookup(&design_points),
+                None => vec![None; design_points.len()],
+            }
         };
         let missing: Vec<DesignPoint> = design_points
             .iter()
@@ -340,15 +358,29 @@ impl SweepEngine {
             .map(|(p, _)| *p)
             .collect();
         drop(design_points);
+        obs_counters::sweep_points().add(slots.len() as u64);
+        obs_counters::sweep_cache_hits().add((slots.len() - missing.len()) as u64);
+        obs_counters::sweep_fresh_evals().add(missing.len() as u64);
 
         // The work-stealing pool sees only the misses; results come
-        // back in `missing` (= spec) order.
+        // back in `missing` (= spec) order. The meter samples the
+        // shared eval-tick counter from a side thread, so the pool
+        // never blocks on terminal i/o.
+        let meter = ng_obs::Meter::start(
+            "sweep",
+            obs_counters::eval_ticks().clone(),
+            missing.len() as u64,
+            "points",
+            !missing.is_empty() && ng_obs::stderr_wants_progress(self.quiet),
+        );
         let evaluated = evaluate_points(&missing, self.threads);
+        meter.finish();
 
         // A cache write failure (read-only dir, ...) downgrades to a
         // write-through-less run rather than failing the sweep; the
         // store dir is still reported, since hits were read from it.
         let cache_path = cache.as_ref().map(|cache| {
+            let _span = ng_obs::span("append");
             let _ = cache.append(&evaluated);
             cache.store_dir()
         });

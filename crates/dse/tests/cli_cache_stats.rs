@@ -28,6 +28,15 @@ fn grown_clock_axis_evaluates_only_the_new_points() {
         "unexpected cold stats: {}",
         stats_line(&out)
     );
+    // The per-shard extension: row counts across the store's shards
+    // must add up to the 16 appended points, and the lock-wait /
+    // tail-heal line is present.
+    let shards = out.lines().find(|l| l.starts_with("store shards:")).expect("shard row counts");
+    assert!(shards.contains("(16 total"), "shard rows must sum to 16: {shards}");
+    assert!(
+        out.lines().any(|l| l.starts_with("store lock wait:")),
+        "missing lock-wait line:\n{out}"
+    );
 
     // Identical warm re-run: zero points evaluated.
     let (out, ok) = dse(&["--preset", "quick", "--cache-dir", &dir_s, "--cache-stats"]);

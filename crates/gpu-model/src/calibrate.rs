@@ -122,18 +122,36 @@ fn compute_ratio_table() -> Vec<((AppKind, EncodingKind), f64)> {
 /// bit-exactly.
 fn model_ratio(app: AppKind, encoding: EncodingKind) -> f64 {
     static CACHE: OnceLock<Vec<((AppKind, EncodingKind), f64)>> = OnceLock::new();
-    let table = CACHE.get_or_init(|| match crate::store::default_dir() {
-        Some(dir) => {
-            let fp = crate::store::calibration_fingerprint();
-            crate::store::load_ratios(&dir, fp).unwrap_or_else(|| {
-                let out = compute_ratio_table();
-                // Persistence failure (read-only dir, ...) downgrades
-                // to in-process-only memoisation, never to an error.
-                let _ = crate::store::save_ratios(&dir, fp, &out);
-                out
-            })
+    let table = CACHE.get_or_init(|| {
+        // The span lands on whichever thread first needs a ratio —
+        // usually a pool worker mid-sweep, so it shows up as its own
+        // root in a trace while the charged wall time stays inside the
+        // main thread's `evaluate` span (which is waiting on this).
+        let _span = ng_obs::span("calib-ratios");
+        match crate::store::default_dir() {
+            Some(dir) => {
+                let fp = crate::store::calibration_fingerprint();
+                match crate::store::load_ratios(&dir, fp) {
+                    Some(out) => {
+                        ng_obs::counter("calib.store_hits").incr();
+                        out
+                    }
+                    None => {
+                        ng_obs::counter("calib.computes").incr();
+                        let out = compute_ratio_table();
+                        // Persistence failure (read-only dir, ...)
+                        // downgrades to in-process-only memoisation,
+                        // never to an error.
+                        let _ = crate::store::save_ratios(&dir, fp, &out);
+                        out
+                    }
+                }
+            }
+            None => {
+                ng_obs::counter("calib.computes").incr();
+                compute_ratio_table()
+            }
         }
-        None => compute_ratio_table(),
     });
     table
         .iter()

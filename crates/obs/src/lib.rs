@@ -1,0 +1,99 @@
+//! # ng-obs — structured observability for the DSE pipeline
+//!
+//! The pipeline behind `dse` spans sweep → point cache → guided search
+//! → multi-process workers; this crate is the one place all of it
+//! reports *how* a run went, not just what it produced. It is
+//! deliberately dependency-free (not even the vendored workspace
+//! stubs): instrumentation must never constrain who can link it.
+//!
+//! Four pieces, composable but independently usable:
+//!
+//! * [`counter`] — process-global named counters
+//!   ([`counter::counter`]): lock-free atomic adds on the hot path, a
+//!   registry snapshot for end-of-run metrics, and the raw material for
+//!   run invariants (`sweep.cache_hits + sweep.fresh_evals ==
+//!   sweep.points`).
+//! * [`span`] — hierarchical wall-clock spans ([`span::span`]): a
+//!   thread-local stack tracks nesting, every span end folds into an
+//!   in-process profile (call counts, total vs. *self* time), and —
+//!   when recording is on — emits begin/end events to the ledger.
+//! * [`sink`] — the recording layer: a crash-safe append-only JSONL
+//!   event ledger using the same file discipline as the point store
+//!   (exclusive advisory lock per append, every write a whole
+//!   newline-terminated line, torn tails tolerated by readers).
+//!   Enabled by [`sink::enable`] (the `dse --trace` path) or the
+//!   `NG_DSE_TRACE` environment variable; a disabled sink costs one
+//!   relaxed atomic load per would-be event.
+//! * [`ledger`] — the read side: parse a ledger (tolerating a torn
+//!   final line), rebuild the per-stage profile, check span balance,
+//!   stage coverage and counter invariants, and export Chrome
+//!   `trace.json` for chrome://tracing.
+//!
+//! [`progress`] is the small extra: a single-line stderr meter that
+//! samples a counter in the background — long sweeps get a live
+//! `done/total (rate)` line without the evaluation loop knowing
+//! anything about terminals.
+//!
+//! ## Overhead budget
+//!
+//! Counters are one `AtomicU64::fetch_add` each (~1 ns); handles are
+//! looked up once and hoisted out of loops. Spans cost two
+//! `Instant::now` calls plus one short mutex section at end — they are
+//! meant for *stages* (a sweep's lookup/evaluate/append phases), never
+//! for per-point work. With recording off nothing touches a file; with
+//! recording on, span begin/end and heartbeat events each pay one
+//! locked append. The contract, guarded by `bench_dse
+//! --check-overhead`: tracing off must keep cold sweep throughput
+//! within noise of the tracked `BENCH_dse.json` trajectory.
+
+pub mod counter;
+pub mod ledger;
+pub mod progress;
+pub mod sink;
+pub mod span;
+
+pub use counter::{counter, Counter, CounterSnapshot};
+pub use ledger::{Ledger, LedgerCheck, StageProfile};
+pub use progress::{stderr_wants_progress, Meter};
+pub use sink::{append_jsonl_line, emit_counters, emit_heartbeat, emit_meta};
+pub use span::{profile_snapshot, span, SpanGuard};
+
+/// Microseconds since the UNIX epoch — the wall-clock timestamp every
+/// ledger event carries. Wall time (not a process-local monotonic
+/// anchor) so events from coordinator and worker *processes* land on
+/// one comparable axis; durations, by contrast, are always measured
+/// with `Instant`.
+pub fn epoch_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// A small process-stable thread id for trace events (`ThreadId` has no
+/// stable numeric form): the first thread to ask is 0, the next 1, ...
+pub fn trace_tid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,152 @@
+//! A single-line stderr progress meter driven by counter sampling.
+//!
+//! The evaluation loop stays oblivious: it increments a [`Counter`]
+//! per point exactly as it would for metrics, and a [`Meter`] watches
+//! that counter from a background thread, redrawing one `\r`-rewritten
+//! stderr line a few times a second:
+//!
+//! ```text
+//! sweep: 34816/121680 points (174923/s)
+//! ```
+//!
+//! Because the meter only ever writes to stderr, stdout emitters (CSV,
+//! JSON, report tables) are byte-identical with and without it — the
+//! `--quiet` contract the CLI tests pin down.
+//!
+//! Gating lives in [`stderr_wants_progress`]: on by default only when
+//! stderr is a terminal, forced on/off by `NG_DSE_PROGRESS=1`/`0`
+//! (how tests exercise the meter through a pipe), and `--quiet` wins
+//! over everything.
+
+use std::io::{IsTerminal, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::counter::Counter;
+
+/// The environment variable overriding progress-meter gating:
+/// `1` forces the meter on (even into a pipe), `0` forces it off.
+pub const PROGRESS_ENV: &str = "NG_DSE_PROGRESS";
+
+/// Whether a progress meter should draw: `--quiet` always suppresses;
+/// otherwise `NG_DSE_PROGRESS=1` forces on, `0` forces off, and the
+/// default is "stderr is a terminal".
+pub fn stderr_wants_progress(quiet: bool) -> bool {
+    if quiet {
+        return false;
+    }
+    match std::env::var(PROGRESS_ENV).ok().as_deref().map(str::trim) {
+        Some("1") => true,
+        Some("0") => false,
+        _ => std::io::stderr().is_terminal(),
+    }
+}
+
+/// Shared stop flag: the mutex holds "stop requested", the condvar
+/// wakes the sampler out of its wait the moment it flips.
+type StopFlag = Arc<(Mutex<bool>, Condvar)>;
+
+/// A live progress line. Construction spawns a sampler thread; drop
+/// (or [`Meter::finish`]) stops it and wipes the line so subsequent
+/// stderr output starts on a clean column.
+pub struct Meter {
+    stop: Option<(StopFlag, JoinHandle<()>)>,
+}
+
+impl Meter {
+    /// Watch `counter` and draw `label: done/total unit (rate/s)`.
+    /// `total == 0` means unknown, drawing `done unit` only. When
+    /// `enabled` is false this is a no-op meter costing nothing — the
+    /// caller can construct unconditionally and let gating decide.
+    pub fn start(label: &str, counter: Counter, total: u64, unit: &str, enabled: bool) -> Meter {
+        if !enabled {
+            return Meter { stop: None };
+        }
+        // Condvar rather than sleep-and-poll: stopping must wake the
+        // sampler immediately, or joining the meter would stretch every
+        // short run out to one sampling period.
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let flag = Arc::clone(&stop);
+        let label = label.to_string();
+        let unit = unit.to_string();
+        let base = counter.get();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            // Draw first, then wait: even a run shorter than one
+            // sampling period shows (and cleanly wipes) one line.
+            loop {
+                let done = counter.get().saturating_sub(base);
+                let secs = started.elapsed().as_secs_f64();
+                let rate = if secs > 0.0 { (done as f64 / secs) as u64 } else { 0 };
+                let line = if total > 0 {
+                    format!("{label}: {done}/{total} {unit} ({rate}/s)")
+                } else {
+                    format!("{label}: {done} {unit} ({rate}/s)")
+                };
+                // \r + pad-to-fixed-width keeps a shrinking line from
+                // leaving stale characters behind.
+                let mut err = std::io::stderr().lock();
+                let _ = write!(err, "\r{line:<70}");
+                let _ = err.flush();
+                drop(err);
+                let (lock, cv) = &*flag;
+                let stopped = cv
+                    .wait_timeout_while(
+                        lock.lock().expect("meter stop lock never poisoned"),
+                        Duration::from_millis(100),
+                        |stopped| !*stopped,
+                    )
+                    .expect("meter stop lock never poisoned")
+                    .0;
+                if *stopped {
+                    break;
+                }
+            }
+            // The loop drew at least once; leave the column clean.
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r{:<70}\r", "");
+            let _ = err.flush();
+        });
+        Meter { stop: Some((stop, handle)) }
+    }
+
+    /// Stop sampling and wipe the line. Equivalent to dropping.
+    pub fn finish(self) {}
+}
+
+impl Drop for Meter {
+    fn drop(&mut self) {
+        if let Some((stop, handle)) = self.stop.take() {
+            let (lock, cv) = &*stop;
+            *lock.lock().expect("meter stop lock never poisoned") = true;
+            cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::counter;
+
+    #[test]
+    fn disabled_meter_is_inert() {
+        let c = counter("test.progress.inert");
+        let meter = Meter::start("sweep", c.clone(), 100, "points", false);
+        c.add(50);
+        meter.finish();
+    }
+
+    #[test]
+    fn enabled_meter_starts_and_stops_cleanly() {
+        let c = counter("test.progress.live");
+        let meter = Meter::start("sweep", c.clone(), 10, "points", true);
+        for _ in 0..10 {
+            c.incr();
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        meter.finish();
+    }
+}

@@ -1,0 +1,230 @@
+//! The recording layer: a crash-safe append-only JSONL event ledger.
+//!
+//! One file, one JSON object per line, appended under an exclusive
+//! advisory file lock — the exact discipline the point store uses, for
+//! the exact reason: any number of threads *and processes* (a
+//! coordinator plus its spawned workers all pointed at the same
+//! `NG_DSE_TRACE` path) may interleave events without ever tearing a
+//! line, and a crashed writer leaves at worst one torn final line,
+//! which [`crate::ledger`] skips.
+//!
+//! Recording is process-global and off by default. [`enable`] turns it
+//! on (the `dse --trace PATH` path); [`init_from_env`] turns it on
+//! when `NG_DSE_TRACE` names a path. When off, every emit helper
+//! returns after one relaxed atomic load.
+//!
+//! ## Event schema (one object per line)
+//!
+//! | `ev`   | meaning        | fields |
+//! |--------|----------------|--------|
+//! | `meta` | key/value info | `ts`, `pid`, `k`, `v` |
+//! | `sb`   | span begin     | `ts`, `pid`, `tid`, `path` |
+//! | `se`   | span end       | `ts`, `pid`, `tid`, `path`, `dur` (µs) |
+//! | `ctr`  | counter value  | `ts`, `pid`, `name`, `val` (cumulative) |
+//! | `hb`   | worker progress| `ts`, `pid`, `worker`, `of`, `done`, `total`, `state` |
+//!
+//! `ts` is wall-clock microseconds since the epoch ([`crate::epoch_us`])
+//! so multi-process events share one axis; `dur` is measured
+//! monotonically. Counter events carry *cumulative* values — readers
+//! take the last value per `(pid, name)`.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::{epoch_us, json_escape, trace_tid};
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static LEDGER_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Whether a ledger is being recorded. One relaxed load — the guard
+/// every emit helper takes first.
+#[inline]
+pub fn is_recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Start recording events to `path` (appending if it exists, so
+/// coordinator and worker processes can share one ledger). Emits a
+/// `meta` event marking the attach.
+pub fn enable(path: impl Into<PathBuf>) -> io::Result<()> {
+    let path = path.into();
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::create_dir_all(dir)?;
+    }
+    // Probe writability now, so a bad path fails the run loudly instead
+    // of silently dropping every event later.
+    fs::OpenOptions::new().create(true).append(true).open(&path)?;
+    *LEDGER_PATH.lock().expect("ledger path lock never poisoned") = Some(path);
+    RECORDING.store(true, Ordering::Relaxed);
+    emit_meta("attach", &format!("pid {}", std::process::id()));
+    Ok(())
+}
+
+/// Stop recording (the path is kept so a re-enable appends).
+pub fn disable() {
+    RECORDING.store(false, Ordering::Relaxed);
+}
+
+/// The environment variable naming the trace ledger path.
+pub const TRACE_ENV: &str = "NG_DSE_TRACE";
+
+/// Enable recording from `NG_DSE_TRACE` when it names a path (empty,
+/// `0` and `off` mean disabled). Returns the path when enabled.
+pub fn init_from_env() -> Option<PathBuf> {
+    let value = std::env::var(TRACE_ENV).ok()?;
+    let trimmed = value.trim();
+    if trimmed.is_empty() || trimmed == "0" || trimmed.eq_ignore_ascii_case("off") {
+        return None;
+    }
+    let path = PathBuf::from(trimmed);
+    enable(&path).ok()?;
+    Some(path)
+}
+
+/// The current ledger path, when recording.
+pub fn ledger_path() -> Option<PathBuf> {
+    LEDGER_PATH.lock().expect("ledger path lock never poisoned").clone()
+}
+
+/// Append one already-serialised JSON line to `path` under the file's
+/// exclusive advisory lock. The write is a single `write_all` of
+/// `line + '\n'` while the lock is held, so concurrent appenders —
+/// threads or processes — never interleave mid-line; a filesystem
+/// without lock support degrades to a plain append.
+///
+/// Public because it is also the transport for worker heartbeat files,
+/// which live next to the point store rather than in the trace ledger.
+pub fn append_jsonl_line(path: &Path, line: &str) -> io::Result<()> {
+    let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if let Err(e) = file.lock() {
+        if e.kind() != io::ErrorKind::Unsupported {
+            return Err(e);
+        }
+    }
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let mut file = file;
+    file.write_all(buf.as_bytes())
+    // Lock released when `file` drops (kernel-released even on crash).
+}
+
+/// Emit one event line to the ledger, if recording. Emission is best
+/// effort: an I/O error drops the event rather than failing the run —
+/// observability must never turn a working sweep into a broken one.
+fn emit(line: &str) {
+    if !is_recording() {
+        return;
+    }
+    let path = ledger_path();
+    if let Some(path) = path {
+        let _ = append_jsonl_line(&path, line);
+    }
+}
+
+/// Emit a `meta` key/value event.
+pub fn emit_meta(key: &str, value: &str) {
+    if !is_recording() {
+        return;
+    }
+    emit(&format!(
+        "{{\"ev\":\"meta\",\"ts\":{},\"pid\":{},\"k\":\"{}\",\"v\":\"{}\"}}",
+        epoch_us(),
+        std::process::id(),
+        json_escape(key),
+        json_escape(value),
+    ));
+}
+
+/// Emit a span-begin event (called by [`crate::span`]).
+pub(crate) fn emit_span_begin(path: &str) {
+    emit(&format!(
+        "{{\"ev\":\"sb\",\"ts\":{},\"pid\":{},\"tid\":{},\"path\":\"{}\"}}",
+        epoch_us(),
+        std::process::id(),
+        trace_tid(),
+        json_escape(path),
+    ));
+}
+
+/// Emit a span-end event with its measured duration in microseconds.
+pub(crate) fn emit_span_end(path: &str, dur_us: u64) {
+    emit(&format!(
+        "{{\"ev\":\"se\",\"ts\":{},\"pid\":{},\"tid\":{},\"path\":\"{}\",\"dur\":{}}}",
+        epoch_us(),
+        std::process::id(),
+        trace_tid(),
+        json_escape(path),
+        dur_us,
+    ));
+}
+
+/// Emit one `ctr` event per registered counter (cumulative values).
+/// Call at end of run — `dse` does, right before reporting — so a
+/// ledger always closes with the process's final counter state.
+pub fn emit_counters() {
+    if !is_recording() {
+        return;
+    }
+    let ts = epoch_us();
+    let pid = std::process::id();
+    for (name, value) in crate::counter::snapshot().iter() {
+        emit(&format!(
+            "{{\"ev\":\"ctr\",\"ts\":{ts},\"pid\":{pid},\"name\":\"{}\",\"val\":{value}}}",
+            json_escape(name),
+        ));
+    }
+}
+
+/// Serialise a worker progress/heartbeat event (without emitting it) —
+/// the line format shared by the trace ledger and the per-store
+/// heartbeat file the distributed backend maintains.
+pub fn heartbeat_line(worker: usize, of: usize, done: usize, total: usize, state: &str) -> String {
+    format!(
+        "{{\"ev\":\"hb\",\"ts\":{},\"pid\":{},\"worker\":{worker},\"of\":{of},\
+         \"done\":{done},\"total\":{total},\"state\":\"{}\"}}",
+        epoch_us(),
+        std::process::id(),
+        json_escape(state),
+    )
+}
+
+/// Emit a worker heartbeat into the trace ledger, if recording.
+pub fn emit_heartbeat(worker: usize, of: usize, done: usize, total: usize, state: &str) {
+    if !is_recording() {
+        return;
+    }
+    emit(&heartbeat_line(worker, of, done, total, state));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_line_is_one_json_object() {
+        let line = heartbeat_line(2, 5, 40, 100, "run");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"worker\":2"));
+        assert!(line.contains("\"state\":\"run\""));
+    }
+
+    #[test]
+    fn append_creates_and_appends_whole_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "ng-obs-append-{}-{}",
+            std::process::id(),
+            crate::trace_tid()
+        ));
+        let _ = fs::remove_file(&path);
+        append_jsonl_line(&path, "{\"a\":1}").unwrap();
+        append_jsonl_line(&path, "{\"b\":2}").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        fs::remove_file(&path).unwrap();
+    }
+}
