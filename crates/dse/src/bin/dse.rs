@@ -21,6 +21,7 @@ dse — NGPC design-space exploration with Pareto frontier extraction
 USAGE:
     dse [--preset NAME | --spec FILE.toml] [OPTIONS]
     dse trace LEDGER.jsonl [--chrome OUT.json] [--check] [--min-coverage P]
+    dse fsck [--cache-dir DIR] [--ledger PATH] [--repair] [--check]
 
 SPEC:
     --preset NAME        paper | quick | clocks | resolutions | mac-arrays |
@@ -91,6 +92,27 @@ OBSERVABILITY:
                          95. Use 0 on very short runs, where fixed
                          startup costs dominate the root span
 
+    dse fsck             audit the point store (and optionally a run
+                         ledger) for torn rows, interior headers,
+                         duplicate keys, foreign/misplaced rows, and
+                         truncated tails
+      --cache-dir DIR    store to audit (default: .dse-cache)
+      --ledger PATH      also audit a JSONL run ledger for torn lines
+      --repair           rewrite dirty shards into canonical form
+                         (defective lines dropped, misplaced rows moved
+                         home, unreadable shards quarantined to
+                         *.quarantine)
+      --check            exit non-zero if any defect was found
+
+FAULT INJECTION (deterministic chaos testing):
+    --faults PLAN        arm a seeded fault plan in this process and
+                         every spawned worker; equivalent env:
+                         NG_DSE_FAULTS. PLAN is `;`-separated faults,
+                         e.g. `seed=7;append:io@p=0.01,times=3`,
+                         `worker:kill@point=500`, `worker:hang@point=9`,
+                         `heartbeat:delay=5s`, `shard:torn-tail`,
+                         `ledger:io@p=0.05`, `calib:partial-write`
+
 OUTPUT:
     --top N              frontier rows to print (default: 16)
     --per-app            also print each app's own Pareto frontier
@@ -104,6 +126,28 @@ OUTPUT:
                          that point within its budget (the CI guard)
     --help               this text
 ";
+
+/// A CLI failure carrying the process exit code. Plain `String` errors
+/// convert at code 1 (generic failure); usage/spec mistakes exit with
+/// [`ng_dse::distrib::EXIT_USAGE`] and a worker that evaluated its
+/// slice but could not persist it exits with
+/// [`ng_dse::distrib::EXIT_STORE_APPEND`], so the coordinator can map
+/// the code back to a human-readable cause.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+/// A usage/spec mistake: retrying the same invocation cannot help.
+fn usage_err(message: String) -> CliError {
+    CliError { code: ng_dse::distrib::EXIT_USAGE as u8, message }
+}
 
 struct Cli {
     spec: SweepSpec,
@@ -123,6 +167,7 @@ struct Cli {
     budget: Option<usize>,
     seed: Option<u64>,
     trace: Option<String>,
+    faults: Option<String>,
     metrics: bool,
     quiet: bool,
     /// Outcome/report-producing flags seen on the command line, in
@@ -171,6 +216,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         budget: None,
         seed: None,
         trace: None,
+        faults: None,
         metrics: false,
         quiet: false,
         report_flags: Vec::new(),
@@ -247,6 +293,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--cache-dir" => cli.cache_dir = Some(value(arg)?),
             "--no-cache" => cli.no_cache = true,
             "--trace" => cli.trace = Some(value(arg)?),
+            "--faults" => cli.faults = Some(value(arg)?),
             "--metrics" => cli.metrics = true,
             "--quiet" => cli.quiet = true,
             "--cache-stats" => {
@@ -445,25 +492,43 @@ fn run_search(cli: &Cli, strategy: ng_dse::SearchStrategy) -> Result<(), String>
 /// Worker mode (`--worker-shard i/N`): evaluate one slice, persist it
 /// to the shared store, report one summary line. The coordinator's
 /// merge — not this process — assembles the sweep.
-fn run_worker(cli: &Cli, shard: usize, of: usize) -> Result<(), String> {
+fn run_worker(cli: &Cli, shard: usize, of: usize) -> Result<(), CliError> {
+    // Worker-scoped faults (kill/hang/heartbeat-delay) fire only in
+    // processes that declare themselves workers — the coordinator and
+    // in-process backends share the same armed plan but stay immune.
+    ng_fault::mark_worker();
     if cli.no_cache {
-        return Err("--worker-shard: the point store is the result channel; \
-                    --no-cache would discard this worker's output"
-            .to_string());
+        return Err(usage_err(
+            "--worker-shard: the point store is the result channel; \
+             --no-cache would discard this worker's output"
+                .to_string(),
+        ));
     }
     // A worker produces no outcome of its own — reject flags that
     // promise one rather than silently ignoring them.
     if let Some(flag) = cli.report_flags.first() {
-        return Err(format!(
+        return Err(usage_err(format!(
             "{flag}: a worker evaluates one slice and exits; run {flag} on the \
              coordinator (--workers) or a plain sweep instead"
-        ));
+        )));
     }
     let cache_dir = cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
     let threads = cli.threads.unwrap_or_else(ng_dse::pool::available_threads);
     let summary =
         ng_dse::distrib::run_worker_slice(&cli.spec, shard, of, Path::new(&cache_dir), threads)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| {
+                // The exit code tells the coordinator what went wrong:
+                // a spec/usage mistake cannot be fixed by a respawn,
+                // while a store-append failure means the slice was
+                // (probably) evaluated but never persisted.
+                let code = match &e {
+                    ng_dse::DistribError::Io(_) => ng_dse::distrib::EXIT_STORE_APPEND as u8,
+                    ng_dse::DistribError::Spec(_) | ng_dse::DistribError::Shard { .. } => {
+                        ng_dse::distrib::EXIT_USAGE as u8
+                    }
+                };
+                CliError { code, message: e.to_string() }
+            })?;
     println!("{summary}");
     Ok(())
 }
@@ -627,6 +692,80 @@ fn run_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `dse fsck [--repair] [--check]`: the store doctor — audit (and
+/// optionally repair) the point store and a run ledger. See
+/// [`ng_dse::fsck`] for the defect classes and repair guarantees.
+fn run_fsck(args: &[String]) -> Result<(), String> {
+    let mut cache_dir: Option<String> = None;
+    let mut ledger: Option<String> = None;
+    let mut repair = false;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next().cloned().ok_or_else(|| "--cache-dir needs a value".to_string())?,
+                )
+            }
+            "--ledger" => {
+                ledger =
+                    Some(it.next().cloned().ok_or_else(|| "--ledger needs a path".to_string())?)
+            }
+            "--repair" => repair = true,
+            "--check" => check = true,
+            other => return Err(format!("fsck: unexpected argument `{other}` (try --help)")),
+        }
+    }
+    let dir = cache_dir.unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+    let cache = ng_dse::EvalCache::new(&dir);
+    let before = ng_dse::fsck::audit(&cache).map_err(|e| format!("fsck {dir}: {e}"))?;
+    for shard in before.shards.iter().filter(|s| !s.is_clean()) {
+        println!("{shard}");
+    }
+    println!("{}", before.summary());
+    let mut defects = !before.is_clean();
+    if repair && defects {
+        let done = ng_dse::fsck::repair(&cache).map_err(|e| format!("fsck --repair {dir}: {e}"))?;
+        for q in &done.quarantined {
+            println!(
+                "quarantined shard {q:x} -> shard-{q:x}.csv.quarantine (unreadable; its \
+                 points will re-evaluate)"
+            );
+        }
+        let after = ng_dse::fsck::audit(&cache).map_err(|e| format!("fsck {dir}: {e}"))?;
+        if !after.is_clean() {
+            return Err(format!(
+                "fsck --repair: store still dirty after repair: {}",
+                after.summary()
+            ));
+        }
+        println!("{}", after.summary());
+    }
+    if let Some(path) = &ledger {
+        let (events, torn) = ng_dse::fsck::fsck_ledger(Path::new(path), repair)
+            .map_err(|e| format!("fsck {path}: {e}"))?;
+        println!(
+            "ledger {path}: {events} event(s), {torn} torn line(s){}",
+            if torn > 0 && repair { " — removed" } else { "" },
+        );
+        defects |= torn > 0;
+    }
+    if check && defects {
+        return Err(if repair {
+            "fsck --check: defects were found (and repaired); the previous run left damage"
+                .to_string()
+        } else {
+            "fsck --check: defects found — run `dse fsck --repair`".to_string()
+        });
+    }
+    Ok(())
+}
+
 /// `--metrics`: the in-process stage profile and counter growth for
 /// this run, on stderr (stdout stays reserved for the report).
 fn print_metrics(before: &ng_obs::CounterSnapshot) {
@@ -654,11 +793,14 @@ fn print_metrics(before: &ng_obs::CounterSnapshot) {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     if args.first().map(String::as_str) == Some("trace") {
-        return run_trace(&args[1..]);
+        return run_trace(&args[1..]).map_err(CliError::from);
     }
-    let Some(cli) = parse_args(args)? else { return Ok(()) };
+    if args.first().map(String::as_str) == Some("fsck") {
+        return run_fsck(&args[1..]).map_err(CliError::from);
+    }
+    let Some(cli) = parse_args(args).map_err(usage_err)? else { return Ok(()) };
 
     // Recording starts before the root span so the ledger sees every
     // event; `--trace` also exports the path so worker processes
@@ -669,6 +811,16 @@ fn run(args: &[String]) -> Result<(), String> {
         std::env::set_var(ng_obs::sink::TRACE_ENV, &abs);
     } else {
         ng_obs::sink::init_from_env();
+    }
+    // Arm the fault plan before any injection point can fire; `--faults`
+    // also exports the plan so spawned workers inherit it (mirroring
+    // `--trace`).
+    if let Some(plan) = &cli.faults {
+        ng_fault::install_str(plan).map_err(|e| usage_err(format!("--faults: {e}")))?;
+        std::env::set_var(ng_fault::FAULTS_ENV, plan);
+    } else {
+        ng_fault::init_from_env()
+            .map_err(|e| usage_err(format!("{}: {e}", ng_fault::FAULTS_ENV)))?;
     }
     let counters_before = ng_obs::counter::snapshot();
     let result = {
@@ -686,23 +838,24 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Everything between the `dse` root span's open and close: mode
 /// dispatch and reporting.
-fn run_mode(cli: &Cli) -> Result<(), String> {
+fn run_mode(cli: &Cli) -> Result<(), CliError> {
     if cli.workers.is_some() && cli.worker_shard.is_some() {
-        return Err("--workers (coordinator) and --worker-shard (worker) are mutually \
-                    exclusive"
-            .to_string());
+        return Err(usage_err(
+            "--workers (coordinator) and --worker-shard (worker) are mutually exclusive"
+                .to_string(),
+        ));
     }
     if cli.search.is_some() && (cli.workers.is_some() || cli.worker_shard.is_some()) {
-        return Err(
-            "--search is sequential by design; rerun without --workers/--worker-shard".to_string()
-        );
+        return Err(usage_err(
+            "--search is sequential by design; rerun without --workers/--worker-shard".to_string(),
+        ));
     }
     if let Some((shard, of)) = cli.worker_shard {
         return run_worker(cli, shard, of);
     }
 
     if let Some(strategy) = cli.search {
-        return run_search(cli, strategy);
+        return run_search(cli, strategy).map_err(CliError::from);
     }
 
     let outcome = if let Some(workers) = cli.workers {
@@ -735,6 +888,7 @@ fn run_mode(cli: &Cli) -> Result<(), String> {
                     &cache.shard_stats(),
                     ng_dse::obs_counters::store_lock_wait_us().get(),
                     ng_dse::obs_counters::store_tail_heals().get(),
+                    ng_dse::obs_counters::cache_rows_skipped().get(),
                 )
             );
         }
@@ -748,12 +902,14 @@ fn run_mode(cli: &Cli) -> Result<(), String> {
             Some(false) => {
                 return Err("--check-headline: the paper's NGPC-64 point dropped off the \
                             Pareto frontier"
-                    .to_string())
+                    .to_string()
+                    .into())
             }
             None => {
                 return Err("--check-headline: the sweep does not contain the paper's NGPC-64 \
                             point"
-                    .to_string())
+                    .to_string()
+                    .into())
             }
         }
     }
@@ -776,9 +932,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("dse: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("dse: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

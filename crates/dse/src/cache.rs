@@ -89,7 +89,7 @@ impl EvalCache {
         self.dir.join(format!("{MODEL_VERSION}-{:016x}", model_fingerprint()))
     }
 
-    fn shard_of(key: u64) -> usize {
+    pub(crate) fn shard_of(key: u64) -> usize {
         (key >> 60) as usize
     }
 
@@ -104,33 +104,41 @@ impl EvalCache {
     /// interior header left by a pre-locking writer race costs nothing
     /// rather than dropping the shard. A later duplicate of a key
     /// wins, matching append order.
+    ///
+    /// Skipped data lines are not free information loss: each one is a
+    /// point that will silently re-evaluate, so they are counted into
+    /// `cache.rows_skipped` (surfaced by `dse --cache-stats` and
+    /// audited precisely by `dse fsck`).
     fn load_shard(&self, shard: usize) -> HashMap<u64, EvaluatedPoint> {
         let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
         let mut out = HashMap::new();
         let Ok(text) = fs::read_to_string(&path) else {
             return out;
         };
+        let mut skipped = 0u64;
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') || line.starts_with("key,") {
                 continue;
             }
-            let Some((key_hex, row)) = line.split_once(',') else {
-                continue;
-            };
-            let Ok(stated) = u64::from_str_radix(key_hex, 16) else {
-                continue;
-            };
-            let Ok(point) = point_from_row(row) else {
-                continue;
-            };
-            // Integrity: the stored axes must still hash to the stored
-            // key (guards against truncation splices and stale rows
-            // copied across generations).
-            if Self::point_key(&point.point) != stated {
-                continue;
+            let parsed = line
+                .split_once(',')
+                .and_then(|(key_hex, row)| {
+                    Some((u64::from_str_radix(key_hex, 16).ok()?, point_from_row(row).ok()?))
+                })
+                // Integrity: the stored axes must still hash to the
+                // stored key (guards against truncation splices and
+                // stale rows copied across generations).
+                .filter(|(stated, point)| Self::point_key(&point.point) == *stated);
+            match parsed {
+                Some((key, point)) => {
+                    out.insert(key, point);
+                }
+                None => skipped += 1,
             }
-            out.insert(stated, point);
+        }
+        if skipped > 0 {
+            obs_counters::cache_rows_skipped().add(skipped);
         }
         out
     }
@@ -190,49 +198,86 @@ impl EvalCache {
                 continue;
             }
             let path = dir.join(format!("shard-{shard:x}.csv"));
-            let mut file =
-                fs::OpenOptions::new().read(true).create(true).append(true).open(&path)?;
-            // Exclusive advisory lock for the whole critical section
-            // (length probe, header, tail repair, row write). Released
-            // on drop/close — including by the kernel if we crash. A
-            // filesystem that does not support locking degrades to the
-            // old unlocked behaviour; any *other* lock failure (e.g. a
-            // flaky network filesystem) is a real error — proceeding
-            // unlocked would silently void the multi-writer contract.
-            let lock_started = std::time::Instant::now();
-            if let Err(e) = file.lock() {
-                if e.kind() != io::ErrorKind::Unsupported {
-                    return Err(e);
-                }
+            // A transient failure (flaky filesystem, injected
+            // `append:io` fault) is retried with jittered exponential
+            // backoff. The injection point sits *before* the first
+            // write, so a retried attempt never duplicates rows — and
+            // even a mid-write retry would only produce a duplicate
+            // key, which readers resolve (later wins) and `dse fsck`
+            // repairs.
+            let (result, retries) =
+                ng_fault::with_retries("append:io", || Self::append_shard(&path, body, *rows));
+            if retries > 0 {
+                obs_counters::store_retries().add(retries as u64);
             }
-            obs_counters::store_lock_wait_us().add(lock_started.elapsed().as_micros() as u64);
-            // The length must be read *after* the lock: another writer
-            // may have created the header between open and lock.
-            let len = file.metadata()?.len();
-            if len == 0 {
-                file.write_all(
-                    format!(
-                        "# ng-dse point cache | model {MODEL_VERSION} | fingerprint {:016x}\n",
-                        model_fingerprint()
-                    )
-                    .as_bytes(),
-                )?;
-            } else {
-                // A crashed writer can leave the shard without a final
-                // newline; appending onto that torn tail would merge
-                // (and so lose) the first fresh row. Terminate it first.
-                use std::io::{Read, Seek, SeekFrom};
-                let mut last = [0u8; 1];
-                file.seek(SeekFrom::Start(len - 1))?;
-                file.read_exact(&mut last)?;
-                if last != [b'\n'] {
-                    file.write_all(b"\n")?;
-                    obs_counters::store_tail_heals().incr();
-                }
-            }
-            file.write_all(body.as_bytes())?;
-            obs_counters::store_rows_appended().add(*rows);
+            result?;
         }
+        Ok(())
+    }
+
+    /// One locked shard append: the whole critical section (length
+    /// probe, header creation, tail repair, row write) under the
+    /// shard's exclusive advisory lock. Idempotent from the caller's
+    /// perspective until the body write starts, which is why
+    /// [`EvalCache::append`] may retry it.
+    fn append_shard(path: &Path, body: &str, rows: u64) -> io::Result<()> {
+        if let Some(e) = ng_fault::store_append_error() {
+            return Err(e);
+        }
+        let mut file = fs::OpenOptions::new().read(true).create(true).append(true).open(path)?;
+        // Exclusive advisory lock for the whole critical section
+        // (length probe, header, tail repair, row write). Released
+        // on drop/close — including by the kernel if we crash. A
+        // filesystem that does not support locking degrades to the
+        // old unlocked behaviour; any *other* lock failure (e.g. a
+        // flaky network filesystem) is a real error — proceeding
+        // unlocked would silently void the multi-writer contract.
+        let lock_started = std::time::Instant::now();
+        if let Err(e) = file.lock() {
+            if e.kind() != io::ErrorKind::Unsupported {
+                return Err(e);
+            }
+        }
+        obs_counters::store_lock_wait_us().add(lock_started.elapsed().as_micros() as u64);
+        // The length must be read *after* the lock: another writer
+        // may have created the header between open and lock.
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(
+                format!(
+                    "# ng-dse point cache | model {MODEL_VERSION} | fingerprint {:016x}\n",
+                    model_fingerprint()
+                )
+                .as_bytes(),
+            )?;
+        } else {
+            // A crashed writer can leave the shard without a final
+            // newline; appending onto that torn tail would merge
+            // (and so lose) the first fresh row. Terminate it first.
+            use std::io::{Read, Seek, SeekFrom};
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::Start(len - 1))?;
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                file.write_all(b"\n")?;
+                obs_counters::store_tail_heals().incr();
+            }
+        }
+        if ng_fault::take_store_torn_tail() {
+            // Simulate a writer killed mid-`write_all`: persist the
+            // body with its final row cut in half and report success —
+            // the caller believes the rows landed, exactly as a real
+            // crash victim would have. Readers skip the torn row, and
+            // recovery (re-evaluation or `fsck --repair`) heals it.
+            let data = body.strip_suffix('\n').unwrap_or(body);
+            let last_start = data.rfind('\n').map_or(0, |i| i + 1);
+            let torn_end = last_start + (data.len() - last_start) / 2;
+            file.write_all(&body.as_bytes()[..torn_end.max(1)])?;
+            obs_counters::store_rows_appended().add(rows.saturating_sub(1));
+            return Ok(());
+        }
+        file.write_all(body.as_bytes())?;
+        obs_counters::store_rows_appended().add(rows);
         Ok(())
     }
 

@@ -1,0 +1,517 @@
+//! `dse fsck` — the point-store doctor.
+//!
+//! The store's readers are deliberately lenient: [`crate::cache`]
+//! skips torn rows, interior headers, foreign-generation rows and
+//! duplicate keys so that a crashed writer costs misses, never errors.
+//! Leniency hides damage, though — a store that silently re-evaluates
+//! 10% of every sweep *works*, it is just quietly wasting the cluster.
+//! This module is the complementary strict pass: audit every shard of
+//! the current generation (and optionally a JSONL run ledger), name
+//! each defect precisely, and — under `--repair` — rewrite the store
+//! into the canonical form the appenders would have produced without
+//! the crashes.
+//!
+//! ## Defect classes
+//!
+//! | finding            | cause                                     | repair |
+//! |--------------------|-------------------------------------------|--------|
+//! | torn row           | writer died mid-append                    | dropped (point re-evaluates) |
+//! | truncated tail     | final line missing its `\n`               | tail row dropped or healed by rewrite |
+//! | interior header    | pre-locking writer race, file concatenation | dropped |
+//! | duplicate key      | retried append, coordinator + worker both delivering | later copy kept (matches reader semantics) |
+//! | foreign row        | rows copied across generations, truncation splice (axes no longer hash to the stated key) | dropped |
+//! | misplaced row      | valid row in the wrong shard file (no reader ever finds it) | moved to its home shard |
+//! | unreadable shard   | non-UTF-8 bytes, permission damage        | quarantined to `*.quarantine` |
+//!
+//! Repair is conservative by construction: it only ever *drops rows a
+//! reader already refuses to serve* and *moves or deduplicates rows a
+//! reader would serve identically*, so a repaired store returns
+//! exactly the same hits as the damaged one — plus the misplaced rows
+//! nobody could reach. Quarantine (renaming an unreadable shard to
+//! `shard-N.csv.quarantine`) trades those rows for a working shard
+//! file; the points re-evaluate on the next sweep.
+//!
+//! Run the doctor while no sweep is writing: repair rewrites shards
+//! via tmp+rename under the shard lock, which is safe against the
+//! appenders, but an audit racing a live writer will report the
+//! writer's in-flight tail as torn.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::cache::{EvalCache, SHARD_COUNT};
+use crate::emit::{point_from_row, point_to_row};
+use crate::sweep::EvaluatedPoint;
+use crate::{model_fingerprint, MODEL_VERSION};
+
+/// What the audit found in one shard file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardFinding {
+    /// The shard index (file `shard-{shard:x}.csv`).
+    pub shard: usize,
+    /// Rows a reader can serve (after deduplication).
+    pub rows_ok: usize,
+    /// Unparseable data lines (torn appends, splices, garbage).
+    pub torn_rows: usize,
+    /// Header/comment lines anywhere but line one.
+    pub interior_headers: usize,
+    /// Extra copies of an already-present key.
+    pub duplicate_keys: usize,
+    /// Rows whose axes no longer hash to their stated key — stale
+    /// generations or truncation splices.
+    pub foreign_rows: usize,
+    /// Valid rows sitting in a shard file their key does not map to
+    /// (unreachable: lookups only read the key's home shard).
+    pub misplaced_rows: usize,
+    /// File does not end in a newline (a final torn append).
+    pub truncated_tail: bool,
+    /// File exists but cannot be read as text; repair renames it to
+    /// `*.quarantine`.
+    pub unreadable: bool,
+}
+
+impl ShardFinding {
+    /// Whether this shard needs no attention.
+    pub fn is_clean(&self) -> bool {
+        self.torn_rows == 0
+            && self.interior_headers == 0
+            && self.duplicate_keys == 0
+            && self.foreign_rows == 0
+            && self.misplaced_rows == 0
+            && !self.truncated_tail
+            && !self.unreadable
+    }
+}
+
+impl fmt::Display for ShardFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.unreadable {
+            return write!(f, "shard {:x}: UNREADABLE (quarantine candidate)", self.shard);
+        }
+        write!(f, "shard {:x}: {} row(s) ok", self.shard, self.rows_ok)?;
+        let mut issue = |cond: bool, text: String| -> fmt::Result {
+            if cond {
+                write!(f, ", {text}")?;
+            }
+            Ok(())
+        };
+        issue(self.torn_rows > 0, format!("{} torn", self.torn_rows))?;
+        issue(self.interior_headers > 0, format!("{} interior header(s)", self.interior_headers))?;
+        issue(self.duplicate_keys > 0, format!("{} duplicate key(s)", self.duplicate_keys))?;
+        issue(self.foreign_rows > 0, format!("{} foreign row(s)", self.foreign_rows))?;
+        issue(self.misplaced_rows > 0, format!("{} misplaced row(s)", self.misplaced_rows))?;
+        issue(self.truncated_tail, "truncated tail".to_string())?;
+        Ok(())
+    }
+}
+
+/// The full audit of one store generation.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// The generation directory audited.
+    pub store_dir: PathBuf,
+    /// One finding per present shard file (absent shards are fine —
+    /// the store materialises shards lazily).
+    pub shards: Vec<ShardFinding>,
+    /// Shards renamed to `*.quarantine` (repair mode only).
+    pub quarantined: Vec<usize>,
+    /// Whether repair ran.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether every audited shard is clean.
+    pub fn is_clean(&self) -> bool {
+        self.shards.iter().all(ShardFinding::is_clean)
+    }
+
+    /// Total rows a reader can serve across the store.
+    pub fn rows_ok(&self) -> usize {
+        self.shards.iter().map(|s| s.rows_ok).sum()
+    }
+
+    /// One summary line for reports and logs.
+    pub fn summary(&self) -> String {
+        let dirty = self.shards.iter().filter(|s| !s.is_clean()).count();
+        let dropped: usize = self
+            .shards
+            .iter()
+            .map(|s| s.torn_rows + s.duplicate_keys + s.foreign_rows + s.interior_headers)
+            .sum();
+        format!(
+            "fsck {}: {} shard file(s), {} serveable row(s); {dirty} dirty shard(s), \
+             {dropped} defective line(s){}{}",
+            self.store_dir.display(),
+            self.shards.len(),
+            self.rows_ok(),
+            if self.quarantined.is_empty() {
+                String::new()
+            } else {
+                format!(", {} quarantined", self.quarantined.len())
+            },
+            if self.repaired {
+                " — repaired"
+            } else if dirty > 0 {
+                " — run `dse fsck --repair`"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// One shard file's parse, strict form: every line classified.
+struct ParsedShard {
+    finding: ShardFinding,
+    /// Serveable rows in append order, deduplicated later-wins —
+    /// exactly the set (and precedence) [`EvalCache`] readers use.
+    /// Misplaced rows carry their *home* shard so repair can move them.
+    rows: Vec<(u64, usize, EvaluatedPoint)>,
+}
+
+fn parse_shard(path: &Path, shard: usize) -> io::Result<Option<ParsedShard>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // Non-UTF-8 bytes: no reader can use any of it.
+            return Ok(Some(ParsedShard {
+                finding: ShardFinding { shard, unreadable: true, ..ShardFinding::default() },
+                rows: Vec::new(),
+            }));
+        }
+        Err(e) => return Err(e),
+    };
+    let mut finding = ShardFinding { shard, ..ShardFinding::default() };
+    finding.truncated_tail = !text.is_empty() && !text.ends_with('\n');
+    let mut rows: Vec<(u64, usize, EvaluatedPoint)> = Vec::new();
+    let mut index_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') || line.starts_with("key,") {
+            if lineno != 0 {
+                finding.interior_headers += 1;
+            }
+            continue;
+        }
+        let parsed = line.split_once(',').and_then(|(key_hex, row)| {
+            Some((u64::from_str_radix(key_hex, 16).ok()?, point_from_row(row).ok()?))
+        });
+        let Some((stated, point)) = parsed else {
+            finding.torn_rows += 1;
+            continue;
+        };
+        if EvalCache::point_key(&point.point) != stated {
+            finding.foreign_rows += 1;
+            continue;
+        }
+        let home = EvalCache::shard_of(stated);
+        if home != shard {
+            finding.misplaced_rows += 1;
+        }
+        match index_of.get(&stated) {
+            Some(&i) => {
+                finding.duplicate_keys += 1;
+                rows[i] = (stated, home, point); // later wins, reader semantics
+            }
+            None => {
+                index_of.insert(stated, rows.len());
+                rows.push((stated, home, point));
+            }
+        }
+    }
+    finding.rows_ok = rows.len();
+    Ok(Some(ParsedShard { finding, rows }))
+}
+
+/// Audit the current generation of `cache`'s store. Read-only.
+pub fn audit(cache: &EvalCache) -> io::Result<FsckReport> {
+    let store_dir = cache.store_dir();
+    let mut shards = Vec::new();
+    for shard in 0..SHARD_COUNT {
+        let path = store_dir.join(format!("shard-{shard:x}.csv"));
+        if let Some(parsed) = parse_shard(&path, shard)? {
+            shards.push(parsed.finding);
+        }
+    }
+    Ok(FsckReport { store_dir, shards, quarantined: Vec::new(), repaired: false })
+}
+
+/// Audit and repair: rewrite every dirty shard into canonical form
+/// (header + its own deduplicated rows, misplaced rows moved home) and
+/// quarantine unreadable shards to `*.quarantine`. Returns the
+/// *pre-repair* findings plus what was done; a follow-up [`audit`]
+/// must come back clean.
+pub fn repair(cache: &EvalCache) -> io::Result<FsckReport> {
+    let store_dir = cache.store_dir();
+    let mut findings = Vec::new();
+    let mut parsed: Vec<Option<ParsedShard>> = Vec::new();
+    for shard in 0..SHARD_COUNT {
+        let path = store_dir.join(format!("shard-{shard:x}.csv"));
+        parsed.push(parse_shard(&path, shard)?);
+    }
+    // Move misplaced rows home before rewriting, preserving later-wins
+    // precedence: a moved row appends *after* the home shard's own
+    // rows, mirroring the order a correct append would have produced
+    // (nobody could read the misplaced copy, so any home-shard copy
+    // already won).
+    let mut moved: Vec<Vec<(u64, EvaluatedPoint)>> = vec![Vec::new(); SHARD_COUNT];
+    for p in parsed.iter().flatten() {
+        for (key, home, point) in &p.rows {
+            if *home != p.finding.shard {
+                moved[*home].push((*key, *point));
+            }
+        }
+    }
+    let mut quarantined = Vec::new();
+    for (shard, slot) in parsed.iter().enumerate() {
+        let Some(p) = slot else {
+            // Shard file absent — but moved rows may need a home here.
+            if !moved[shard].is_empty() {
+                let rows: Vec<EvaluatedPoint> =
+                    moved[shard].iter().map(|(_, point)| *point).collect();
+                let finding = rewrite_shard(&store_dir, shard, &rows, &[])?;
+                findings.push(finding);
+            }
+            continue;
+        };
+        let path = store_dir.join(format!("shard-{shard:x}.csv"));
+        if p.finding.unreadable {
+            let target = path.with_extension("csv.quarantine");
+            fs::rename(&path, &target)?;
+            quarantined.push(shard);
+            findings.push(p.finding.clone());
+            continue;
+        }
+        if p.finding.is_clean() && moved[shard].is_empty() {
+            findings.push(p.finding.clone());
+            continue;
+        }
+        let mut home_keys: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let own: Vec<EvaluatedPoint> = p
+            .rows
+            .iter()
+            .filter(|(_, home, _)| *home == shard)
+            .map(|(key, _, point)| {
+                home_keys.insert(*key);
+                *point
+            })
+            .collect();
+        let incoming: Vec<EvaluatedPoint> = moved[shard]
+            .iter()
+            .filter(|(key, _)| !home_keys.contains(key))
+            .map(|(_, point)| *point)
+            .collect();
+        let finding = rewrite_shard(&store_dir, shard, &own, &incoming)?;
+        findings.push(ShardFinding { rows_ok: finding.rows_ok, ..p.finding.clone() });
+    }
+    Ok(FsckReport { store_dir, shards: findings, quarantined, repaired: true })
+}
+
+/// Atomically replace one shard with `header + own rows + incoming
+/// rows`, holding the old file's advisory lock across the swap so a
+/// concurrent appender cannot write into the inode being discarded.
+fn rewrite_shard(
+    store_dir: &Path,
+    shard: usize,
+    own: &[EvaluatedPoint],
+    incoming: &[EvaluatedPoint],
+) -> io::Result<ShardFinding> {
+    fs::create_dir_all(store_dir)?;
+    let path = store_dir.join(format!("shard-{shard:x}.csv"));
+    let mut body = format!(
+        "# ng-dse point cache | model {MODEL_VERSION} | fingerprint {:016x}\n",
+        model_fingerprint()
+    );
+    let mut rows_ok = 0usize;
+    for point in own.iter().chain(incoming) {
+        let key = EvalCache::point_key(&point.point);
+        body.push_str(&format!("{key:016x},{}\n", point_to_row(point)));
+        rows_ok += 1;
+    }
+    let lock = fs::OpenOptions::new().read(true).create(true).append(true).open(&path)?;
+    if let Err(e) = lock.lock() {
+        if e.kind() != io::ErrorKind::Unsupported {
+            return Err(e);
+        }
+    }
+    let tmp = path.with_extension(format!("csv.fsck.{}", std::process::id()));
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, &path)?;
+    drop(lock);
+    Ok(ShardFinding { shard, rows_ok, ..ShardFinding::default() })
+}
+
+/// Audit (and optionally repair) a JSONL event ledger: every line must
+/// parse as one flat JSON event. Returns `(events, torn_lines)`;
+/// repair rewrites the file without the torn lines (tmp+rename under
+/// the ledger's lock, same discipline as the writers).
+pub fn fsck_ledger(path: &Path, repair: bool) -> io::Result<(usize, usize)> {
+    let text = fs::read_to_string(path)?;
+    let mut kept = String::with_capacity(text.len());
+    let mut events = 0usize;
+    let mut torn = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let one = ng_obs::Ledger::parse(line);
+        if one.skipped_lines == 0 && one.events.len() == 1 {
+            events += 1;
+            kept.push_str(line);
+            kept.push('\n');
+        } else {
+            torn += 1;
+        }
+    }
+    if repair && torn > 0 {
+        let lock = fs::OpenOptions::new().read(true).append(true).open(path)?;
+        if let Err(e) = lock.lock() {
+            if e.kind() != io::ErrorKind::Unsupported {
+                return Err(e);
+            }
+        }
+        let tmp = path.with_extension(format!("fsck.{}", std::process::id()));
+        fs::write(&tmp, kept)?;
+        fs::rename(&tmp, path)?;
+    }
+    Ok((events, torn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use crate::sweep::SweepEngine;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ng-dse-fsck-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populated(tag: &str) -> (PathBuf, EvalCache, SweepSpec, Vec<EvaluatedPoint>) {
+        let dir = tmpdir(tag);
+        let spec = SweepSpec::quick();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let cache = EvalCache::new(&dir);
+        cache.append(&outcome.points).unwrap();
+        (dir, cache, spec, outcome.points)
+    }
+
+    #[test]
+    fn clean_store_audits_clean() {
+        let (dir, cache, spec, _) = populated("clean");
+        let report = audit(&cache).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.rows_ok(), spec.point_count());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_defect_class_is_detected_and_repaired() {
+        let (dir, cache, spec, points) = populated("defects");
+        let key0 = EvalCache::point_key(&points[0].point);
+        let shard0 = cache.shard_path(key0);
+        // Duplicate key: append the first point again (later wins).
+        cache.append(&points[..1]).unwrap();
+        // Interior header + junk + foreign row + torn tail, all in the
+        // first point's shard.
+        let mut text = fs::read_to_string(&shard0).unwrap();
+        text.push_str("# ng-dse point cache | interior header\n");
+        text.push_str("this is not a row\n");
+        text.push_str(&format!("{:016x},{}\n", key0 ^ 1, point_to_row(&points[0])));
+        let torn = text.lines().last().unwrap()[..20].to_string();
+        text.push_str(&torn);
+        fs::write(&shard0, text).unwrap();
+        // Misplaced row: a valid row of shard0's point written into a
+        // different shard file.
+        let other = cache
+            .store_dir()
+            .join(format!("shard-{:x}.csv", (EvalCache::shard_of(key0) + 1) % SHARD_COUNT));
+        let mut other_text = fs::read_to_string(&other).unwrap_or_default();
+        other_text.push_str(&format!("{key0:016x},{}\n", point_to_row(&points[0])));
+        fs::write(&other, other_text).unwrap();
+
+        let report = audit(&cache).unwrap();
+        assert!(!report.is_clean());
+        let s0 = report.shards.iter().find(|s| s.shard == EvalCache::shard_of(key0)).unwrap();
+        assert!(s0.duplicate_keys >= 1, "{s0:?}");
+        assert_eq!(s0.interior_headers, 1, "{s0:?}");
+        assert!(s0.torn_rows >= 2, "junk + torn tail + foreign-junk: {s0:?}");
+        assert!(s0.truncated_tail, "{s0:?}");
+        let misplaced: usize = report.shards.iter().map(|s| s.misplaced_rows).sum();
+        assert_eq!(misplaced, 1, "{report:?}");
+
+        let repaired = repair(&cache).unwrap();
+        assert!(repaired.repaired);
+        let after = audit(&cache).unwrap();
+        assert!(after.is_clean(), "{after:?}");
+        assert_eq!(after.rows_ok(), spec.point_count(), "no serveable row lost");
+        // The repaired store serves every point bit-identically.
+        let served = cache.lookup(&spec.points());
+        assert_eq!(served.into_iter().collect::<Option<Vec<_>>>().unwrap(), points);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_row_detection_distinguishes_key_mismatch_from_torn() {
+        let (dir, cache, _, points) = populated("foreign");
+        let key0 = EvalCache::point_key(&points[0].point);
+        let shard0 = cache.shard_path(key0);
+        // A parseable row whose stated key belongs to no current-model
+        // point: the stale-generation signature.
+        let mut text = fs::read_to_string(&shard0).unwrap();
+        text.push_str(&format!("{:016x},{}\n", key0 ^ 0xff, point_to_row(&points[0])));
+        fs::write(&shard0, text).unwrap();
+        let report = audit(&cache).unwrap();
+        let s0 = report.shards.iter().find(|s| s.shard == EvalCache::shard_of(key0)).unwrap();
+        assert_eq!(s0.foreign_rows, 1);
+        assert_eq!(s0.torn_rows, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_shard_is_quarantined() {
+        let (dir, cache, spec, points) = populated("quarantine");
+        let key0 = EvalCache::point_key(&points[0].point);
+        let shard0 = cache.shard_path(key0);
+        fs::write(&shard0, [0xff, 0xfe, 0x00, 0x80, b'\n']).unwrap();
+        let report = audit(&cache).unwrap();
+        let s0 = report.shards.iter().find(|s| s.shard == EvalCache::shard_of(key0)).unwrap();
+        assert!(s0.unreadable);
+        let repaired = repair(&cache).unwrap();
+        assert_eq!(repaired.quarantined, vec![EvalCache::shard_of(key0)]);
+        assert!(shard0.with_extension("csv.quarantine").exists());
+        assert!(!shard0.exists(), "quarantined shard moved aside");
+        // Remaining shards still serve; the quarantined points miss.
+        let served = cache.lookup(&spec.points());
+        assert!(served.iter().filter(|s| s.is_some()).count() < spec.point_count());
+        assert!(served.iter().filter(|s| s.is_some()).count() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledger_fsck_counts_and_repairs_torn_lines() {
+        let dir = tmpdir("ledger");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        fs::write(
+            &path,
+            "{\"ev\":\"meta\",\"ts\":1,\"pid\":2,\"k\":\"a\",\"v\":\"b\"}\n\
+             {\"ev\":\"ctr\",\"ts\":2,\"pid\":2,\"name\":\"x\",\"val\":3}\n\
+             {\"ev\":\"sb\",\"ts\":3,\"pid\"",
+        )
+        .unwrap();
+        assert_eq!(fsck_ledger(&path, false).unwrap(), (2, 1));
+        assert_eq!(fsck_ledger(&path, true).unwrap(), (2, 1));
+        assert_eq!(fsck_ledger(&path, false).unwrap(), (2, 0), "repair removed the torn line");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -48,6 +48,7 @@
 pub mod cache;
 pub mod distrib;
 pub mod emit;
+pub mod fsck;
 pub mod obs_counters;
 pub mod pareto;
 pub mod pool;

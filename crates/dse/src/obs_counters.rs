@@ -55,6 +55,17 @@ hoisted!(
     store_rows_appended => "store.rows_appended"
 );
 hoisted!(
+    /// Transient shard-append failures retried (with backoff) before
+    /// the append succeeded or gave up.
+    store_retries => "store.retries"
+);
+hoisted!(
+    /// Torn or corrupt rows skipped while loading shards — rows that
+    /// silently became misses. Non-zero after a crash is expected;
+    /// growth during steady state is a store bug.
+    cache_rows_skipped => "cache.rows_skipped"
+);
+hoisted!(
     /// Points accepted into a streaming Pareto frontier.
     frontier_inserts => "frontier.inserts"
 );
@@ -94,4 +105,17 @@ hoisted!(
     /// Points the coordinator re-evaluated because a worker's slice
     /// came back incomplete.
     distrib_recovered_points => "distrib.recovered_points"
+);
+hoisted!(
+    /// Slice leases the coordinator revoked (stalled heartbeat or
+    /// frozen progress past the stall window).
+    distrib_leases_expired => "distrib.leases_expired"
+);
+hoisted!(
+    /// Stalled worker processes the coordinator killed.
+    distrib_workers_killed => "distrib.workers_killed"
+);
+hoisted!(
+    /// Replacement workers spawned to take over a revoked lease.
+    distrib_leases_reassigned => "distrib.leases_reassigned"
 );

@@ -139,16 +139,23 @@ pub fn cache_stats_line(outcome: &SweepOutcome) -> String {
 /// store's cumulative lock-wait and torn-tail-heal counters for this
 /// process. `shards` pairs each shard's `(rows, bytes)` in shard order
 /// (see [`crate::cache::EvalCache::shard_stats`]).
-pub fn shard_stats_report(shards: &[(usize, u64)], lock_wait_us: u64, heals: u64) -> String {
+pub fn shard_stats_report(
+    shards: &[(usize, u64)],
+    lock_wait_us: u64,
+    heals: u64,
+    rows_skipped: u64,
+) -> String {
     let rows: usize = shards.iter().map(|(r, _)| r).sum();
     let bytes: u64 = shards.iter().map(|(_, b)| b).sum();
     let counts: Vec<String> = shards.iter().map(|(r, _)| r.to_string()).collect();
     format!(
         "store shards: [{}] rows ({rows} total, {:.1} KiB on disk)\n\
-         store lock wait: {:.2} ms cumulative this process; {heals} torn tail(s) healed",
+         store lock wait: {:.2} ms cumulative this process; {heals} torn tail(s) healed; \
+         {rows_skipped} corrupt row(s) skipped{}",
         counts.join(" "),
         bytes as f64 / 1024.0,
         lock_wait_us as f64 / 1000.0,
+        if rows_skipped > 0 { " (run `dse fsck` to audit)" } else { "" },
     )
 }
 

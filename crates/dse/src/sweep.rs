@@ -247,6 +247,11 @@ pub fn evaluate_points(points: &[DesignPoint], threads: usize) -> Vec<EvaluatedP
     let _span = ng_obs::span("evaluate");
     let ticks = obs_counters::eval_ticks();
     pool::map_stateful(points, threads, EmulationContext::new, |ctx, p: &DesignPoint| {
+        // Fault-plan hook: in a marked worker process whose plan names
+        // this tick, the process dies or hangs *here* — before the
+        // point completes — so the slice is genuinely unfinished and
+        // the coordinator's lease recovery has real work to do.
+        ng_fault::on_eval_tick();
         let r = ctx.eval(&p.emulator_input());
         ticks.incr();
         EvaluatedPoint {

@@ -59,3 +59,43 @@ fn grown_clock_axis_evaluates_only_the_new_points() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn corrupt_rows_are_counted_and_surfaced() {
+    let dir = std::env::temp_dir().join(format!("ng-dse-cli-rows-skipped-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.display().to_string();
+
+    let (out, ok) = dse(&["--preset", "quick", "--cache-dir", &dir_s, "--cache-stats"]);
+    assert!(ok, "cold run failed:\n{out}");
+    assert!(
+        out.lines().any(|l| l.contains("0 corrupt row(s) skipped")),
+        "clean store reports zero skips:\n{out}"
+    );
+
+    // Tear one row in one shard: the warm run must skip it (the reader
+    // stays lenient), count it, and point at the doctor.
+    let store = ng_dse::EvalCache::new(&dir).store_dir();
+    let shard = std::fs::read_dir(&store)
+        .unwrap()
+        .filter_map(|e| Some(e.ok()?.path()))
+        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+        .expect("at least one shard file");
+    let mut text = std::fs::read_to_string(&shard).unwrap();
+    text.push_str("torn,row,that,parses,as,nothing\n");
+    std::fs::write(&shard, text).unwrap();
+
+    let (out, ok) = dse(&["--preset", "quick", "--cache-dir", &dir_s, "--cache-stats"]);
+    assert!(ok, "warm run failed:\n{out}");
+    // The count is cumulative for the process (a shard may be read
+    // more than once per run), so assert it moved rather than pinning
+    // the exact load count.
+    assert!(
+        out.lines().any(|l| l.contains("corrupt row(s) skipped")
+            && !l.contains("0 corrupt row(s)")
+            && l.contains("dse fsck")),
+        "skipped rows must be surfaced with the fsck hint:\n{out}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -142,6 +142,112 @@ fn killed_run_resumes_with_only_the_missing_delta() {
 }
 
 #[test]
+fn chaos_kill_plan_still_matches_single_process_byte_for_byte() {
+    // Deterministic chaos: every worker aborts at its second evaluation
+    // (having delivered nothing — workers append only after finishing
+    // their whole slice). The coordinator's merge must recover every
+    // point and the final CSV must be byte-identical to a fault-free
+    // single-process run.
+    let dir = tmpdir("chaos-kill");
+    fs::create_dir_all(&dir).unwrap();
+    let dist_csv = dir.join("dist.csv");
+    let single_csv = dir.join("single.csv");
+
+    let (out, err, ok) = dse(&[
+        "--preset",
+        "quick",
+        "--workers",
+        "3",
+        "--quiet",
+        "--faults",
+        "worker:kill@point=2",
+        "--cache-dir",
+        &dir.join("store").display().to_string(),
+        "--csv",
+        &dist_csv.display().to_string(),
+    ]);
+    assert!(ok, "chaos run must still succeed:\nstdout: {out}\nstderr: {err}");
+    assert!(err.contains("failed (its slice was recovered"), "workers died:\n{err}");
+    assert!(out.contains("coordinator recovered"), "recovery must be reported:\n{out}");
+
+    let (out, _, ok) =
+        dse(&["--preset", "quick", "--no-cache", "--csv", &single_csv.display().to_string()]);
+    assert!(ok, "single-process run failed:\n{out}");
+    assert_eq!(
+        fs::read(&dist_csv).unwrap(),
+        fs::read(&single_csv).unwrap(),
+        "CSV under worker-kill faults must be byte-identical to fault-free"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hung_worker_lease_is_revoked_and_the_run_completes() {
+    // Every worker hangs at its first evaluation; heartbeats (if any)
+    // freeze. The coordinator must revoke each lease, SIGKILL the
+    // worker, burn through the replacement grant (which hangs the same
+    // way — the plan is inherited), and finally evaluate the slices
+    // itself. Slow by design (two stall windows per worker), but the
+    // result must still be bit-identical.
+    let dir = tmpdir("chaos-hang");
+    let spec = ng_dse::SweepSpec::quick();
+    let distributed = ng_dse::Coordinator::new(2)
+        .with_worker_exe(env!("CARGO_BIN_EXE_dse"))
+        .with_worker_env("NG_DSE_FAULTS", "worker:hang@point=1")
+        .with_cache_dir(&dir)
+        .with_threads_per_worker(1)
+        .with_stall_after(std::time::Duration::from_millis(400))
+        .with_quiet(true)
+        .run(&spec)
+        .expect("coordinator completes despite hung workers");
+    assert!(distributed.workers.iter().all(|w| !w.ok), "every worker hung");
+    assert!(
+        distributed.workers.iter().all(|w| w.lease_revoked),
+        "every lease must be revoked: {:?}",
+        distributed.workers
+    );
+    assert!(
+        distributed.workers.iter().any(|w| w.status_line().contains("SIGKILL")),
+        "the kill must be named"
+    );
+    assert_eq!(distributed.recovered, spec.point_count(), "merge evaluated everything");
+    let reference = ng_dse::SweepEngine::new().without_cache().run(&spec).unwrap();
+    assert_eq!(distributed.outcome.points, reference.points);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn store_append_failure_exits_3_and_the_cause_is_named() {
+    // Workers evaluate their slices fine but every append fails
+    // (p=1 exhausts the bounded retries). They must exit with the
+    // dedicated store-append code, the coordinator must translate it
+    // for humans, and the merge must still deliver the full sweep.
+    let dir = tmpdir("chaos-append");
+    let spec = ng_dse::SweepSpec::quick();
+    let distributed = ng_dse::Coordinator::new(2)
+        .with_worker_exe(env!("CARGO_BIN_EXE_dse"))
+        .with_worker_env("NG_DSE_FAULTS", "append:io@p=1")
+        .with_cache_dir(&dir)
+        .with_threads_per_worker(1)
+        .with_quiet(true)
+        .run(&spec)
+        .expect("coordinator recovers undelivered slices");
+    for w in &distributed.workers {
+        assert!(!w.ok, "append must have failed: {w:?}");
+        assert_eq!(w.exit, Some(ng_dse::distrib::EXIT_STORE_APPEND), "{w:?}");
+        assert!(
+            w.status_line().contains("could not persist"),
+            "cause must be human-readable: {}",
+            w.status_line()
+        );
+    }
+    assert_eq!(distributed.recovered, spec.point_count());
+    let reference = ng_dse::SweepEngine::new().without_cache().run(&spec).unwrap();
+    assert_eq!(distributed.outcome.points, reference.points);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn coordinator_cli_rejects_bad_combinations() {
     let (_, err, ok) = dse(&["--preset", "quick", "--workers", "2", "--no-cache"]);
     assert!(!ok, "--workers needs the store");

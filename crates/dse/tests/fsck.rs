@@ -1,0 +1,143 @@
+//! End-to-end checks of `dse fsck` (ISSUE 7): a corrupted store is
+//! audited, `--check` gates on the findings, `--repair` restores the
+//! store to canonical form, and the repaired store serves a 100%-warm
+//! re-run whose CSV is byte-identical to the original.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dse(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dse")).args(args).output().expect("dse runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ng-dse-fsck-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Damage every shard file without destroying any point's last valid
+/// copy: junk lines, interior headers, duplicated rows, and a torn
+/// half-row at the tail.
+fn corrupt_store(store: &PathBuf) {
+    for entry in fs::read_dir(store).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let mut text = fs::read_to_string(&path).unwrap();
+        let last_row = text.lines().rfind(|l| !l.starts_with('#')).unwrap().to_string();
+        text.push_str("this is not a row at all\n");
+        text.push_str("# ng-dse point cache | interior header from a splice\n");
+        text.push_str(&last_row);
+        text.push('\n');
+        text.push_str(&last_row[..last_row.len() / 2]); // torn tail
+        fs::write(&path, text).unwrap();
+    }
+}
+
+#[test]
+fn repair_restores_a_fully_warm_byte_identical_rerun() {
+    let dir = tmpdir("repair");
+    fs::create_dir_all(&dir).unwrap();
+    let store_dir = dir.join("store");
+    let store_s = store_dir.display().to_string();
+    let clean_csv = dir.join("clean.csv");
+    let warm_csv = dir.join("warm.csv");
+
+    let (out, err, code) = dse(&[
+        "--preset",
+        "quick",
+        "--cache-dir",
+        &store_s,
+        "--csv",
+        &clean_csv.display().to_string(),
+    ]);
+    assert_eq!(code, 0, "seed run failed:\nstdout: {out}\nstderr: {err}");
+
+    let store = ng_dse::EvalCache::new(&store_dir).store_dir();
+    corrupt_store(&store);
+
+    // The audit sees the damage; --check turns it into a non-zero exit.
+    let (out, _, code) = dse(&["fsck", "--cache-dir", &store_s]);
+    assert_eq!(code, 0, "plain audit reports, it does not gate:\n{out}");
+    assert!(out.contains("dirty shard"), "{out}");
+    let (_, err, code) = dse(&["fsck", "--cache-dir", &store_s, "--check"]);
+    assert_ne!(code, 0, "--check must gate on findings");
+    assert!(err.contains("--repair"), "points at the fix: {err}");
+
+    // Repair, then verify the doctor's own post-condition.
+    let (out, err, code) = dse(&["fsck", "--cache-dir", &store_s, "--repair"]);
+    assert_eq!(code, 0, "repair failed:\nstdout: {out}\nstderr: {err}");
+    let (_, _, code) = dse(&["fsck", "--cache-dir", &store_s, "--check"]);
+    assert_eq!(code, 0, "store must be clean after repair");
+
+    // The acceptance check: the repaired store serves the whole sweep
+    // warm, and the output is byte-identical to the pre-damage run.
+    let (out, err, code) = dse(&[
+        "--preset",
+        "quick",
+        "--cache-dir",
+        &store_s,
+        "--cache-stats",
+        "--csv",
+        &warm_csv.display().to_string(),
+    ]);
+    assert_eq!(code, 0, "re-run failed:\nstdout: {out}\nstderr: {err}");
+    let stats = out.lines().find(|l| l.starts_with("cache stats:")).expect("stats line");
+    assert!(stats.contains("16 hits, 0 misses, 0 evaluated"), "100% warm: {stats}");
+    assert_eq!(
+        fs::read(&clean_csv).unwrap(),
+        fs::read(&warm_csv).unwrap(),
+        "repaired store must reproduce the original CSV byte-for-byte"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fsck_audits_a_ledger_and_repairs_torn_lines() {
+    let dir = tmpdir("ledger");
+    fs::create_dir_all(&dir).unwrap();
+    let store_s = dir.join("store").display().to_string();
+    let ledger = dir.join("run.jsonl");
+    let ledger_s = ledger.display().to_string();
+
+    let (_, err, code) =
+        dse(&["--preset", "quick", "--cache-dir", &store_s, "--trace", &ledger_s, "--quiet"]);
+    assert_eq!(code, 0, "traced run failed:\n{err}");
+
+    // Tear the ledger's tail, as a killed writer would.
+    let mut text = fs::read_to_string(&ledger).unwrap();
+    let keep = text.len() - 7;
+    text.truncate(keep);
+    fs::write(&ledger, text).unwrap();
+
+    let (out, _, code) = dse(&["fsck", "--cache-dir", &store_s, "--ledger", &ledger_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("1 torn line(s)"), "{out}");
+    let (_, _, code) = dse(&["fsck", "--cache-dir", &store_s, "--ledger", &ledger_s, "--check"]);
+    assert_ne!(code, 0, "--check gates on ledger damage too");
+
+    let (out, _, code) = dse(&["fsck", "--cache-dir", &store_s, "--ledger", &ledger_s, "--repair"]);
+    assert_eq!(code, 0, "{out}");
+    let (out, _, code) = dse(&["fsck", "--cache-dir", &store_s, "--ledger", &ledger_s, "--check"]);
+    assert_eq!(code, 0, "clean after repair: {out}");
+    assert!(out.contains("0 torn line(s)"), "{out}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (_, err, code) = dse(&["--bogus-flag"]);
+    assert_eq!(code, 2, "unknown flags are usage errors: {err}");
+    let (_, err, code) = dse(&["--preset", "no-such-preset"]);
+    assert_eq!(code, 2, "unknown preset is a usage error: {err}");
+    let (_, _, code) = dse(&["fsck", "--bogus"]);
+    assert_eq!(code, 1, "fsck argument errors are plain failures");
+}

@@ -141,6 +141,13 @@ pub fn save_ratios(
     let path = ratio_path(dir, fingerprint);
     let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    if ng_fault::take_calib_partial_write() {
+        // `calib:partial-write` fault: persist a torn table — the bytes
+        // a writer killed between `write` and `rename` would leave if
+        // the rename raced through anyway. `load_ratios` must treat the
+        // result as a miss and recompute, never error.
+        body.truncate(body.len() / 2);
+    }
     fs::write(&tmp, body)?;
     fs::rename(&tmp, &path)
 }
@@ -196,6 +203,27 @@ mod tests {
         assert!(load_ratios(&dir, fp).is_none(), "unparseable");
         fs::write(ratio_path(&dir, fp), "garbage\n").unwrap();
         assert!(load_ratios(&dir, fp).is_none(), "garbage");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_persisted_table_degrades_to_recompute() {
+        // The `calib:partial-write` fault shape: a save that shipped
+        // only a prefix of the table (crash mid-write, full disk). The
+        // loader must treat the torn file as a miss — the caller then
+        // recomputes and a later save replaces the damage — never
+        // serve a partial table.
+        let dir = tmpdir("torn");
+        let fp = calibration_fingerprint();
+        let table = sample_table();
+        save_ratios(&dir, fp, &table).unwrap();
+        let path = ratio_path(&dir, fp);
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(load_ratios(&dir, fp).is_none(), "torn table must miss");
+        // Recompute-and-save heals the store in place.
+        save_ratios(&dir, fp, &table).unwrap();
+        assert_eq!(load_ratios(&dir, fp).unwrap(), table);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -55,7 +55,7 @@ pub mod span;
 pub use counter::{counter, Counter, CounterSnapshot};
 pub use ledger::{Ledger, LedgerCheck, StageProfile};
 pub use progress::{stderr_wants_progress, Meter};
-pub use sink::{append_jsonl_line, emit_counters, emit_heartbeat, emit_meta};
+pub use sink::{append_jsonl_line, emit_counters, emit_heartbeat, emit_lease, emit_meta};
 pub use span::{profile_snapshot, span, SpanGuard};
 
 /// Microseconds since the UNIX epoch — the wall-clock timestamp every

@@ -22,6 +22,7 @@
 //! | `se`   | span end       | `ts`, `pid`, `tid`, `path`, `dur` (µs) |
 //! | `ctr`  | counter value  | `ts`, `pid`, `name`, `val` (cumulative) |
 //! | `hb`   | worker progress| `ts`, `pid`, `worker`, `of`, `done`, `total`, `state` |
+//! | `lease`| slice lease change | `ts`, `pid`, `worker`, `act` (`grant`/`expire`/`kill`/`reassign`/`local`), `why` |
 //!
 //! `ts` is wall-clock microseconds since the epoch ([`crate::epoch_us`])
 //! so multi-process events share one axis; `dur` is measured
@@ -95,21 +96,42 @@ pub fn ledger_path() -> Option<PathBuf> {
 /// threads or processes — never interleave mid-line; a filesystem
 /// without lock support degrades to a plain append.
 ///
+/// Transient failures (flaky filesystem, injected `ledger:io` fault)
+/// are retried with jittered exponential backoff; spent retries are
+/// counted as `ledger.retries`. The injection point precedes the
+/// write, so a retried attempt never duplicates a line.
+///
 /// Public because it is also the transport for worker heartbeat files,
 /// which live next to the point store rather than in the trace ledger.
 pub fn append_jsonl_line(path: &Path, line: &str) -> io::Result<()> {
-    let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
-    if let Err(e) = file.lock() {
-        if e.kind() != io::ErrorKind::Unsupported {
+    let (result, retries) = ng_fault::with_retries("ledger:io", || {
+        if let Some(e) = ng_fault::ledger_append_error() {
             return Err(e);
         }
+        let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        if let Err(e) = file.lock() {
+            if e.kind() != io::ErrorKind::Unsupported {
+                return Err(e);
+            }
+        }
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let mut file = file;
+        file.write_all(buf.as_bytes())
+        // Lock released when `file` drops (kernel-released even on crash).
+    });
+    if retries > 0 {
+        ledger_retries().add(retries as u64);
     }
-    let mut buf = String::with_capacity(line.len() + 1);
-    buf.push_str(line);
-    buf.push('\n');
-    let mut file = file;
-    file.write_all(buf.as_bytes())
-    // Lock released when `file` drops (kernel-released even on crash).
+    result
+}
+
+/// Hoisted `ledger.retries` counter handle (see the counter-hoisting
+/// discipline in `ng-dse`'s `obs_counters`).
+fn ledger_retries() -> &'static crate::Counter {
+    static C: std::sync::OnceLock<crate::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::counter("ledger.retries"))
 }
 
 /// Emit one event line to the ledger, if recording. Emission is best
@@ -198,6 +220,24 @@ pub fn emit_heartbeat(worker: usize, of: usize, done: usize, total: usize, state
         return;
     }
     emit(&heartbeat_line(worker, of, done, total, state));
+}
+
+/// Emit a slice-lease lifecycle event (`act` is one of `grant`,
+/// `expire`, `kill`, `reassign`, `local`) — the distributed
+/// coordinator's recovery decisions, made replayable from the ledger.
+/// Readers that predate the kind simply skip it ([`crate::ledger`]
+/// parses by field, not by a closed `ev` set).
+pub fn emit_lease(worker: usize, act: &str, why: &str) {
+    if !is_recording() {
+        return;
+    }
+    emit(&format!(
+        "{{\"ev\":\"lease\",\"ts\":{},\"pid\":{},\"worker\":{worker},\"act\":\"{}\",\"why\":\"{}\"}}",
+        epoch_us(),
+        std::process::id(),
+        json_escape(act),
+        json_escape(why),
+    ));
 }
 
 #[cfg(test)]
