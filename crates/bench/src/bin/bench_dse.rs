@@ -10,7 +10,10 @@
 //! 2. **warm** — identical re-run: must be served entirely from the
 //!    point cache (zero evaluations);
 //! 3. **incremental** — the same spec grown by one clock value: must
-//!    evaluate only the new points.
+//!    evaluate only the new points;
+//! 4. **compact + warm** — `dse compact` folds the CSV tail into a
+//!    binary generation, then the warm re-run must still be 100% hits
+//!    (now served by the layered base + tail reader).
 //!
 //! Writes a machine-readable `BENCH_dse.json` with one entry per
 //! preset (`{preset, cold_s, warm_s, incremental_s, points,
@@ -22,7 +25,10 @@
 //! wall_s, points_per_sec, recovered_headline}`) and a `distributed`
 //! entry for a cold sharded run through the multi-writer point store
 //! (`{preset, workers, cold_s, warm_s, points, cold_points_per_sec,
-//! matches_single_process}`).
+//! matches_single_process}`), plus a `store_load` entry timing
+//! cold-load-to-serveable on a synthetic million-row store, CSV parse
+//! vs compacted binary generation (`{rows, csv_bytes,
+//! generation_bytes, csv_load_s, compact_s, binary_load_s, speedup}`).
 //!
 //! Since the observability PR each preset entry also carries the
 //! `ng-obs` counter deltas of its cold run (`counters_cold`) and the
@@ -50,7 +56,9 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ng_dse::{SearchSpec, Searcher, SweepEngine, SweepOutcome, SweepSpec};
+use ng_dse::{
+    EvalCache, EvaluatedPoint, SearchSpec, Searcher, SweepEngine, SweepOutcome, SweepSpec,
+};
 
 fn run(spec: &SweepSpec, cache_dir: &std::path::Path) -> (f64, SweepOutcome) {
     let engine = SweepEngine::new().with_cache_dir(cache_dir);
@@ -70,6 +78,9 @@ struct PresetBench {
     incremental_evaluated: usize,
     expected_delta: usize,
     warm_hit_ratio: f64,
+    compact_s: f64,
+    warm_after_compact_s: f64,
+    warm_after_compact_evaluated: usize,
     /// Counter growth during the cold run, `(name, delta)` in name
     /// order — the observability cross-check that the timing numbers
     /// measured what they claim (e.g. `sweep.fresh_evals == points`).
@@ -93,6 +104,15 @@ fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
     let (warm_s, warm) = run(spec, &cache_dir);
     let (incremental_s, inc) = run(&grown, &cache_dir);
 
+    // Fold the whole CSV tail into a binary generation, then prove the
+    // layered reader (compact base + empty tail) still serves every
+    // point of the grown spec warm.
+    let cache = EvalCache::new(&cache_dir);
+    let started = Instant::now();
+    ng_dse::compact(&cache).expect("compaction succeeds");
+    let compact_s = started.elapsed().as_secs_f64();
+    let (warm_after_compact_s, warm2) = run(&grown, &cache_dir);
+
     println!("[{}]", spec.name);
     println!("cold:        {:8.1} ms  ({} points evaluated)", cold_s * 1e3, cold.stats.evaluated);
     println!(
@@ -106,6 +126,13 @@ fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
         incremental_s * 1e3,
         inc.stats.evaluated,
         inc.stats.cache_hits
+    );
+    println!(
+        "compacted:   {:8.1} ms fold + {:8.1} ms warm re-run ({} points evaluated, {} hits)",
+        compact_s * 1e3,
+        warm_after_compact_s * 1e3,
+        warm2.stats.evaluated,
+        warm2.stats.cache_hits
     );
 
     PresetBench {
@@ -123,7 +150,99 @@ fn bench_preset(spec: &SweepSpec, scratch: &std::path::Path) -> PresetBench {
         } else {
             warm.stats.cache_hits as f64 / warm.stats.total_points as f64
         },
+        compact_s,
+        warm_after_compact_s,
+        warm_after_compact_evaluated: warm2.stats.evaluated,
         counters_cold,
+    }
+}
+
+/// Cold-load-to-serveable on a synthetic million-row store: parse the
+/// CSV write-ahead layer vs single-read the compacted binary
+/// generation (the tentpole's headline number).
+struct StoreLoadBench {
+    rows: usize,
+    csv_bytes: u64,
+    generation_bytes: u64,
+    csv_load_s: f64,
+    compact_s: f64,
+    binary_load_s: f64,
+    speedup: f64,
+}
+
+fn bench_store_load(scratch: &std::path::Path) -> StoreLoadBench {
+    const ROWS: usize = 1_000_000;
+    const BATCH: usize = 100_000;
+    let dir = scratch.join("point-cache-store-load");
+    let cache = EvalCache::new(&dir);
+
+    // Fabricate a million distinct points on a fine-grained clock axis
+    // (metrics are synthetic — this benches the store, not the model).
+    let base = SweepSpec::quick().points()[0];
+    let mut appended = 0;
+    while appended < ROWS {
+        let batch: Vec<EvaluatedPoint> = (appended..(appended + BATCH).min(ROWS))
+            .map(|i| {
+                let mut point = base;
+                point.index = i;
+                point.clock_ghz = 0.5 + i as f64 * 1e-6;
+                let s = (i % 9973) as f64;
+                EvaluatedPoint {
+                    point,
+                    speedup: 1.0 + s * 1e-3,
+                    area_pct_of_gpu: 0.5 + s * 1e-4,
+                    power_pct_of_gpu: 1.5 + s * 1e-4,
+                    gpu_ms: 30.0 + s * 1e-2,
+                    ngpc_frame_ms: 5.0 + s * 1e-3,
+                    amdahl_bound: 10.0 + s * 1e-3,
+                    plateaued: i % 2 == 0,
+                }
+            })
+            .collect();
+        cache.append(&batch).expect("synthetic append succeeds");
+        appended += batch.len();
+    }
+    let csv_bytes = cache.store_stats().tail_bytes();
+
+    let started = Instant::now();
+    let loaded = cache.load_all();
+    let csv_load_s = started.elapsed().as_secs_f64();
+    assert_eq!(loaded.len(), ROWS, "every synthetic row must parse");
+    drop(loaded);
+
+    let started = Instant::now();
+    let report = ng_dse::compact(&cache).expect("compaction succeeds");
+    let compact_s = started.elapsed().as_secs_f64();
+    assert_eq!(report.rows_out, ROWS);
+
+    let started = Instant::now();
+    let base = ng_dse::compact::load_latest(&cache.store_dir()).expect("generation loads");
+    let binary_load_s = started.elapsed().as_secs_f64();
+    assert_eq!(base.rows(), ROWS, "the generation must carry every row");
+    let generation_bytes = base.bytes();
+
+    let speedup = if binary_load_s > 0.0 { csv_load_s / binary_load_s } else { f64::INFINITY };
+    println!("[store-load ({ROWS} synthetic rows)]");
+    println!(
+        "csv parse:   {:8.1} ms  ({:.1} MiB live CSV)",
+        csv_load_s * 1e3,
+        csv_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("compaction:  {:8.1} ms  (one-off fold)", compact_s * 1e3);
+    println!(
+        "binary load: {:8.1} ms  ({:.1} MiB generation, {speedup:.1}x faster to serveable)",
+        binary_load_s * 1e3,
+        generation_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    StoreLoadBench {
+        rows: ROWS,
+        csv_bytes,
+        generation_bytes,
+        csv_load_s,
+        compact_s,
+        binary_load_s,
+        speedup,
     }
 }
 
@@ -321,6 +440,7 @@ fn main() -> ExitCode {
     // run has nothing to search or shard).
     let guided = if quick { None } else { Some(bench_guided(&scratch)) };
     let distributed = if quick { None } else { Some(bench_distributed(&scratch)) };
+    let store_load = if quick { None } else { Some(bench_store_load(&scratch)) };
 
     let entries: Vec<String> = benches
         .iter()
@@ -334,6 +454,7 @@ fn main() -> ExitCode {
                 "    {{\n      \"preset\": \"{}\",\n      \"cold_s\": {},\n      \"warm_s\": {},\n      \
                  \"incremental_s\": {},\n      \"points\": {},\n      \
                  \"cold_points_per_sec\": {},\n      \"warm_hit_ratio\": {},\n      \
+                 \"compact_s\": {},\n      \"warm_after_compact_s\": {},\n      \
                  \"counters_cold\": {{\n{}\n      }}\n    }}",
                 b.name,
                 b.cold_s,
@@ -342,6 +463,8 @@ fn main() -> ExitCode {
                 b.points,
                 b.cold_points_per_sec,
                 b.warm_hit_ratio,
+                b.compact_s,
+                b.warm_after_compact_s,
                 counters.join(",\n"),
             )
         })
@@ -380,6 +503,23 @@ fn main() -> ExitCode {
             )
         })
         .unwrap_or_default();
+    let store_load_json = store_load
+        .as_ref()
+        .map(|s| {
+            format!(
+                ",\n  \"store_load\": {{\n    \"rows\": {},\n    \"csv_bytes\": {},\n    \
+                 \"generation_bytes\": {},\n    \"csv_load_s\": {},\n    \"compact_s\": {},\n    \
+                 \"binary_load_s\": {},\n    \"speedup\": {}\n  }}",
+                s.rows,
+                s.csv_bytes,
+                s.generation_bytes,
+                s.csv_load_s,
+                s.compact_s,
+                s.binary_load_s,
+                s.speedup,
+            )
+        })
+        .unwrap_or_default();
     // Where this process's wall time went, per span path — the same
     // stage breakdown `dse trace` reconstructs from a ledger, taken
     // from the in-process profile registry.
@@ -398,10 +538,11 @@ fn main() -> ExitCode {
         format!(",\n  \"stage_profile_us\": {{\n{}\n  }}", stage_rows.join(",\n"))
     };
     let json = format!(
-        "{{\n  \"presets\": [\n{}\n  ]{}{}{}\n}}\n",
+        "{{\n  \"presets\": [\n{}\n  ]{}{}{}{}\n}}\n",
         entries.join(",\n"),
         guided_json,
         distributed_json,
+        store_load_json,
         stage_json
     );
     if let Err(e) = fs::write(&out_path, &json) {
@@ -463,6 +604,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(s) = &store_load {
+            if s.speedup < 10.0 {
+                eprintln!(
+                    "bench_dse: REGRESSION — compacted cold load is only {:.1}x faster than \
+                     CSV parse on the {}-row synthetic store (the binary generation must be \
+                     at least 10x faster to serveable)",
+                    s.speedup, s.rows
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         for b in &benches {
             if b.warm_evaluated != 0 {
                 eprintln!(
@@ -476,6 +628,14 @@ fn main() -> ExitCode {
                 eprintln!(
                     "bench_dse: REGRESSION — grown `{}` spec evaluated {} points (expected {})",
                     b.name, b.incremental_evaluated, b.expected_delta
+                );
+                return ExitCode::FAILURE;
+            }
+            if b.warm_after_compact_evaluated != 0 {
+                eprintln!(
+                    "bench_dse: REGRESSION — warm re-run of `{}` after compaction evaluated \
+                     {} points (the binary base must serve them all)",
+                    b.name, b.warm_after_compact_evaluated
                 );
                 return ExitCode::FAILURE;
             }

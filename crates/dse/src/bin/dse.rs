@@ -22,6 +22,7 @@ USAGE:
     dse [--preset NAME | --spec FILE.toml] [OPTIONS]
     dse trace LEDGER.jsonl [--chrome OUT.json] [--check] [--min-coverage P]
     dse fsck [--cache-dir DIR] [--ledger PATH] [--repair] [--check]
+    dse compact [--cache-dir DIR]
 
 SPEC:
     --preset NAME        paper | quick | clocks | resolutions | mac-arrays |
@@ -68,8 +69,13 @@ EXECUTION:
     --cache-dir DIR      evaluation cache location (default: .dse-cache)
     --no-cache           always re-evaluate, never read or write the cache
     --cache-stats        print per-run cache hit/miss/evaluated counts,
-                         per-shard store row counts, and cumulative shard
-                         lock-wait time
+                         both store layers (compact binary base + live
+                         CSV tail per shard), the base/tail hit split,
+                         and cumulative shard lock-wait time
+    --auto-compact N     opt-in automatic compaction: after this run's
+                         append (for --workers: after the merge), fold
+                         the live CSV tail into a binary generation if
+                         it holds at least N rows (see `dse compact`)
 
 OBSERVABILITY:
     --trace PATH         record a JSONL run ledger (spans, counters,
@@ -94,15 +100,28 @@ OBSERVABILITY:
 
     dse fsck             audit the point store (and optionally a run
                          ledger) for torn rows, interior headers,
-                         duplicate keys, foreign/misplaced rows, and
-                         truncated tails
+                         duplicate keys, foreign/misplaced rows,
+                         truncated tails, and binary-generation damage
+                         (checksum/sort/index corruption, orphaned
+                         generations and compactor tmp leftovers)
       --cache-dir DIR    store to audit (default: .dse-cache)
       --ledger PATH      also audit a JSONL run ledger for torn lines
       --repair           rewrite dirty shards into canonical form
                          (defective lines dropped, misplaced rows moved
                          home, unreadable shards quarantined to
-                         *.quarantine)
+                         *.quarantine); delete orphaned generations and
+                         rebuild a corrupt one by re-compacting from
+                         the surviving layers
       --check            exit non-zero if any defect was found
+
+    dse compact          fold the store's live CSV shards (its
+                         write-ahead layer) into a compacted,
+                         checksummed, key-sorted binary generation the
+                         cache then serves with one read and zero
+                         per-row parsing; safe against concurrent
+                         writers, which keep appending CSV that
+                         overlays the new base
+      --cache-dir DIR    store to compact (default: .dse-cache)
 
 FAULT INJECTION (deterministic chaos testing):
     --faults PLAN        arm a seeded fault plan in this process and
@@ -111,7 +130,10 @@ FAULT INJECTION (deterministic chaos testing):
                          e.g. `seed=7;append:io@p=0.01,times=3`,
                          `worker:kill@point=500`, `worker:hang@point=9`,
                          `heartbeat:delay=5s`, `shard:torn-tail`,
-                         `ledger:io@p=0.05`, `calib:partial-write`
+                         `ledger:io@p=0.05`, `calib:partial-write`,
+                         `compact:crash@stage=2` (1 = generation
+                         written but unverified, 2 = live but CSV not
+                         yet truncated, 3 = mid-truncation)
 
 OUTPUT:
     --top N              frontier rows to print (default: 16)
@@ -158,6 +180,7 @@ struct Cli {
     cache_dir: Option<String>,
     no_cache: bool,
     cache_stats: bool,
+    auto_compact: Option<usize>,
     top: usize,
     per_app: bool,
     csv: Option<String>,
@@ -207,6 +230,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         cache_dir: None,
         no_cache: false,
         cache_stats: false,
+        auto_compact: None,
         top: 16,
         per_app: false,
         csv: None,
@@ -292,6 +316,13 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             }
             "--cache-dir" => cli.cache_dir = Some(value(arg)?),
             "--no-cache" => cli.no_cache = true,
+            "--auto-compact" => {
+                let n: usize = value(arg)?.parse().map_err(|_| "--auto-compact: not a number")?;
+                if n == 0 {
+                    return Err("--auto-compact: threshold must be at least 1".to_string());
+                }
+                cli.auto_compact = Some(n);
+            }
             "--trace" => cli.trace = Some(value(arg)?),
             "--faults" => cli.faults = Some(value(arg)?),
             "--metrics" => cli.metrics = true,
@@ -541,7 +572,8 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, St
                     store; rerun without --no-cache"
             .to_string());
     }
-    let mut coordinator = ng_dse::Coordinator::new(workers).with_quiet(cli.quiet);
+    let mut coordinator =
+        ng_dse::Coordinator::new(workers).with_quiet(cli.quiet).with_auto_compact(cli.auto_compact);
     if let Some(dir) = &cli.cache_dir {
         coordinator = coordinator.with_cache_dir(dir);
     }
@@ -727,6 +759,9 @@ fn run_fsck(args: &[String]) -> Result<(), String> {
     for shard in before.shards.iter().filter(|s| !s.is_clean()) {
         println!("{shard}");
     }
+    for generation in before.generations.iter().filter(|g| !g.is_clean()) {
+        println!("{generation}");
+    }
     println!("{}", before.summary());
     let mut defects = !before.is_clean();
     if repair && defects {
@@ -735,6 +770,12 @@ fn run_fsck(args: &[String]) -> Result<(), String> {
             println!(
                 "quarantined shard {q:x} -> shard-{q:x}.csv.quarantine (unreadable; its \
                  points will re-evaluate)"
+            );
+        }
+        if done.recompacted {
+            println!(
+                "corrupt generation quarantined (*.ngcb.quarantine); base rebuilt from the \
+                 surviving layers"
             );
         }
         let after = ng_dse::fsck::audit(&cache).map_err(|e| format!("fsck {dir}: {e}"))?;
@@ -763,6 +804,45 @@ fn run_fsck(args: &[String]) -> Result<(), String> {
             "fsck --check: defects found — run `dse fsck --repair`".to_string()
         });
     }
+    Ok(())
+}
+
+/// `dse compact [--cache-dir DIR]`: fold the store's live CSV shards
+/// into a fresh binary generation (see [`ng_dse::compact`]). Arms a
+/// fault plan from `--faults`/`NG_DSE_FAULTS` first, so crash-safety
+/// tests can kill the compactor at an exact protocol stage.
+fn run_compact(args: &[String]) -> Result<(), String> {
+    let mut cache_dir: Option<String> = None;
+    let mut faults: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next().cloned().ok_or_else(|| "--cache-dir needs a value".to_string())?,
+                )
+            }
+            "--faults" => {
+                faults =
+                    Some(it.next().cloned().ok_or_else(|| "--faults needs a plan".to_string())?)
+            }
+            other => return Err(format!("compact: unexpected argument `{other}` (try --help)")),
+        }
+    }
+    match &faults {
+        Some(plan) => ng_fault::install_str(plan).map_err(|e| format!("--faults: {e}"))?,
+        None => {
+            ng_fault::init_from_env().map_err(|e| format!("{}: {e}", ng_fault::FAULTS_ENV))?;
+        }
+    }
+    let dir = cache_dir.unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+    let cache = ng_dse::EvalCache::new(&dir);
+    let report = ng_dse::compact::compact(&cache).map_err(|e| format!("compact {dir}: {e}"))?;
+    println!("{report}");
     Ok(())
 }
 
@@ -799,6 +879,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
     if args.first().map(String::as_str) == Some("fsck") {
         return run_fsck(&args[1..]).map_err(CliError::from);
+    }
+    if args.first().map(String::as_str) == Some("compact") {
+        return run_compact(&args[1..]).map_err(CliError::from);
     }
     let Some(cli) = parse_args(args).map_err(usage_err)? else { return Ok(()) };
 
@@ -850,6 +933,11 @@ fn run_mode(cli: &Cli) -> Result<(), CliError> {
             "--search is sequential by design; rerun without --workers/--worker-shard".to_string(),
         ));
     }
+    if cli.auto_compact.is_some() && cli.no_cache {
+        return Err(usage_err(
+            "--auto-compact folds the point store; rerun without --no-cache".to_string(),
+        ));
+    }
     if let Some((shard, of)) = cli.worker_shard {
         return run_worker(cli, shard, of);
     }
@@ -861,7 +949,8 @@ fn run_mode(cli: &Cli) -> Result<(), CliError> {
     let outcome = if let Some(workers) = cli.workers {
         run_distributed(cli, workers)?
     } else {
-        let mut engine = SweepEngine::new().with_quiet(cli.quiet);
+        let mut engine =
+            SweepEngine::new().with_quiet(cli.quiet).with_auto_compact(cli.auto_compact);
         if let Some(threads) = cli.threads {
             engine = engine.with_threads(threads);
         }
@@ -885,7 +974,9 @@ fn run_mode(cli: &Cli) -> Result<(), CliError> {
             println!(
                 "{}",
                 ng_dse::report::shard_stats_report(
-                    &cache.shard_stats(),
+                    &cache.store_stats(),
+                    ng_dse::obs_counters::store_base_hits().get(),
+                    ng_dse::obs_counters::store_tail_hits().get(),
                     ng_dse::obs_counters::store_lock_wait_us().get(),
                     ng_dse::obs_counters::store_tail_heals().get(),
                     ng_dse::obs_counters::cache_rows_skipped().get(),

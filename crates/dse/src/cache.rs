@@ -30,6 +30,13 @@
 //! missing points through [`EvalCache::lookup`], evaluates only the
 //! misses, and appends them back — overlapping or grown specs pay only
 //! for their delta.
+//!
+//! Since PR 8 the CSV shards are only the *write-ahead* layer:
+//! `dse compact` folds them into a binary columnar generation
+//! ([`crate::compact`]) that loads with one `read` and zero per-row
+//! parsing. Readers overlay the live CSV tail (which wins) on that
+//! compact base, so appenders keep writing CSV exactly as before and
+//! never coordinate with the compactor beyond the shard locks.
 
 use std::collections::HashMap;
 use std::fs;
@@ -46,6 +53,60 @@ use crate::{model_fingerprint, MODEL_VERSION};
 /// Number of shard files per cache generation (points are distributed
 /// by the top nibble of their key).
 pub const SHARD_COUNT: usize = 16;
+
+/// Parse one shard file's text into `(key, point)` rows in file order
+/// (callers collapse duplicates later-wins by inserting in order),
+/// plus the count of skipped data lines. Comment, header and
+/// torn/corrupt lines are skipped *wherever* they appear, and a row
+/// whose stored axes no longer hash to its stated key is rejected
+/// (guards against truncation splices and rows copied across
+/// generations). Shared verbatim by the live reader and the compactor
+/// so a row folds into a generation exactly when a reader would have
+/// served it.
+pub(crate) fn parse_shard_text(text: &str) -> (Vec<(u64, EvaluatedPoint)>, u64) {
+    let mut rows = Vec::new();
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("key,") {
+            continue;
+        }
+        let parsed = line
+            .split_once(',')
+            .and_then(|(key_hex, row)| {
+                Some((u64::from_str_radix(key_hex, 16).ok()?, point_from_row(row).ok()?))
+            })
+            .filter(|(stated, point)| EvalCache::point_key(&point.point) == *stated);
+        match parsed {
+            Some(row) => rows.push(row),
+            None => skipped += 1,
+        }
+    }
+    (rows, skipped)
+}
+
+/// One snapshot of the store's two read layers, gathered in a single
+/// pass per file — the `--cache-stats` backing data.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// `(rows, bytes)` per CSV shard of the live tail.
+    pub shards: Vec<(usize, u64)>,
+    /// The compact base, if one exists: `(generation seq, rows,
+    /// bytes)`.
+    pub base: Option<(u64, usize, u64)>,
+}
+
+impl StoreStats {
+    /// Total live CSV tail rows across shards.
+    pub fn tail_rows(&self) -> usize {
+        self.shards.iter().map(|(rows, _)| rows).sum()
+    }
+
+    /// Total live CSV tail bytes across shards.
+    pub fn tail_bytes(&self) -> u64 {
+        self.shards.iter().map(|(_, bytes)| bytes).sum()
+    }
+}
 
 /// A directory of point-level evaluation results.
 #[derive(Debug, Clone)]
@@ -89,7 +150,8 @@ impl EvalCache {
         self.dir.join(format!("{MODEL_VERSION}-{:016x}", model_fingerprint()))
     }
 
-    pub(crate) fn shard_of(key: u64) -> usize {
+    /// The shard index a key lives in (its top nibble).
+    pub fn shard_of(key: u64) -> usize {
         (key >> 60) as usize
     }
 
@@ -111,61 +173,64 @@ impl EvalCache {
     /// audited precisely by `dse fsck`).
     fn load_shard(&self, shard: usize) -> HashMap<u64, EvaluatedPoint> {
         let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
-        let mut out = HashMap::new();
         let Ok(text) = fs::read_to_string(&path) else {
-            return out;
+            return HashMap::new();
         };
-        let mut skipped = 0u64;
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') || line.starts_with("key,") {
-                continue;
-            }
-            let parsed = line
-                .split_once(',')
-                .and_then(|(key_hex, row)| {
-                    Some((u64::from_str_radix(key_hex, 16).ok()?, point_from_row(row).ok()?))
-                })
-                // Integrity: the stored axes must still hash to the
-                // stored key (guards against truncation splices and
-                // stale rows copied across generations).
-                .filter(|(stated, point)| Self::point_key(&point.point) == *stated);
-            match parsed {
-                Some((key, point)) => {
-                    out.insert(key, point);
-                }
-                None => skipped += 1,
-            }
-        }
+        let (rows, skipped) = parse_shard_text(&text);
         if skipped > 0 {
             obs_counters::cache_rows_skipped().add(skipped);
         }
-        out
+        // Later duplicate of a key wins, matching append order.
+        rows.into_iter().collect()
     }
 
     /// Look up every point of a sweep: `Some(result)` per hit (with the
     /// point's *current* spec index, not the index it was stored
-    /// under), `None` per miss. Only the shards the keys land in are
-    /// read.
+    /// under), `None` per miss. Only the CSV shards the keys land in
+    /// are read; the compact base (if any) is loaded once, lazily, the
+    /// first time a key misses the tail. The tail wins on overlap —
+    /// rows appended since (or raced with) the last compaction shadow
+    /// their base copies.
     pub fn lookup(&self, points: &[DesignPoint]) -> Vec<Option<EvaluatedPoint>> {
         let keys: Vec<u64> = points.iter().map(Self::point_key).collect();
         let mut shards: Vec<Option<HashMap<u64, EvaluatedPoint>>> =
             (0..SHARD_COUNT).map(|_| None).collect();
-        points
+        let mut base: Option<Option<crate::compact::CompactBase>> = None;
+        let (mut base_hits, mut tail_hits) = (0u64, 0u64);
+        let out = points
             .iter()
             .zip(&keys)
             .map(|(point, &key)| {
                 let shard = shards[Self::shard_of(key)]
                     .get_or_insert_with(|| self.load_shard(Self::shard_of(key)));
-                let stored = shard.get(&key)?;
+                let stored = match shard.get(&key) {
+                    Some(stored) => {
+                        tail_hits += 1;
+                        *stored
+                    }
+                    None => {
+                        let base = base
+                            .get_or_insert_with(|| crate::compact::load_latest(&self.store_dir()));
+                        let stored = base.as_ref()?.get(key)?;
+                        base_hits += 1;
+                        stored
+                    }
+                };
                 // A 64-bit collision between different axis tuples is
                 // astronomically unlikely but cheap to rule out.
                 if stored.point.arch_key() != point.arch_key() || stored.point.app != point.app {
                     return None;
                 }
-                Some(EvaluatedPoint { point: *point, ..*stored })
+                Some(EvaluatedPoint { point: *point, ..stored })
             })
-            .collect()
+            .collect();
+        if base_hits > 0 {
+            obs_counters::store_base_hits().add(base_hits);
+        }
+        if tail_hits > 0 {
+            obs_counters::store_tail_hits().add(tail_hits);
+        }
+        out
     }
 
     /// Append freshly evaluated points to their shards. One buffered
@@ -224,7 +289,6 @@ impl EvalCache {
         if let Some(e) = ng_fault::store_append_error() {
             return Err(e);
         }
-        let mut file = fs::OpenOptions::new().read(true).create(true).append(true).open(path)?;
         // Exclusive advisory lock for the whole critical section
         // (length probe, header, tail repair, row write). Released
         // on drop/close — including by the kernel if we crash. A
@@ -233,11 +297,26 @@ impl EvalCache {
         // flaky network filesystem) is a real error — proceeding
         // unlocked would silently void the multi-writer contract.
         let lock_started = std::time::Instant::now();
-        if let Err(e) = file.lock() {
-            if e.kind() != io::ErrorKind::Unsupported {
-                return Err(e);
+        let file = loop {
+            let file = fs::OpenOptions::new().read(true).create(true).append(true).open(path)?;
+            if let Err(e) = file.lock() {
+                if e.kind() != io::ErrorKind::Unsupported {
+                    return Err(e);
+                }
             }
-        }
+            // The compactor (and `fsck --repair`) replace shard files
+            // by tmp+rename *while holding the old inode's lock* — so
+            // a writer that blocked on that lock may now hold an
+            // unlinked file whose rows no reader would ever see.
+            // Re-stat the path after locking and start over on the
+            // live inode; the rename has already happened, so this
+            // converges in one extra round.
+            if !Self::same_inode(&file, path) {
+                continue;
+            }
+            break file;
+        };
+        let mut file = file;
         obs_counters::store_lock_wait_us().add(lock_started.elapsed().as_micros() as u64);
         // The length must be read *after* the lock: another writer
         // may have created the header between open and lock.
@@ -281,19 +360,77 @@ impl EvalCache {
         Ok(())
     }
 
-    /// Per-shard row counts of the current generation: `(rows, bytes)`
+    /// Does the open descriptor still name the file at `path`? False
+    /// when a tmp+rename replaced the path while we waited on the old
+    /// inode's lock. On platforms without inode identity this reports
+    /// true — matching the pre-compaction behaviour there.
+    #[cfg(unix)]
+    fn same_inode(file: &fs::File, path: &Path) -> bool {
+        use std::os::unix::fs::MetadataExt;
+        match (file.metadata(), fs::metadata(path)) {
+            (Ok(held), Ok(live)) => held.ino() == live.ino() && held.dev() == live.dev(),
+            _ => false,
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn same_inode(_file: &fs::File, _path: &Path) -> bool {
+        true
+    }
+
+    /// Load every live CSV shard once, returning each shard's parsed
+    /// map alongside its on-disk size. The one pass behind *both*
+    /// [`EvalCache::shard_stats`] and [`EvalCache::load_all`] — the
+    /// stats/bulk-load paths used to call `load_shard` separately per
+    /// consumer and re-parse every shard from disk each time.
+    fn live_shards(&self) -> Vec<(HashMap<u64, EvaluatedPoint>, u64)> {
+        (0..SHARD_COUNT)
+            .map(|shard| {
+                let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
+                let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                (self.load_shard(shard), bytes)
+            })
+            .collect()
+    }
+
+    /// Per-shard row counts of the live CSV tail: `(rows, bytes)`
     /// indexed by shard, counting only parseable data rows (comments,
     /// headers and torn lines excluded — the same rows
     /// [`EvalCache::lookup`] could serve). Powers the per-shard half of
     /// `dse --cache-stats`.
     pub fn shard_stats(&self) -> Vec<(usize, u64)> {
+        self.live_shards().into_iter().map(|(rows, bytes)| (rows.len(), bytes)).collect()
+    }
+
+    /// Both read layers in one pass: per-shard tail stats plus the
+    /// compact base's generation number, row count and file size.
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            shards: self.shard_stats(),
+            base: crate::compact::load_latest(&self.store_dir())
+                .map(|base| (base.seq(), base.rows(), base.bytes())),
+        }
+    }
+
+    /// A cheap upper bound on live CSV tail rows — data-line counts
+    /// without parsing — used by the opt-in auto-compaction trigger.
+    /// Torn or corrupt lines are counted too: they are exactly the
+    /// bloat compaction exists to shed.
+    pub fn tail_row_estimate(&self) -> usize {
         (0..SHARD_COUNT)
             .map(|shard| {
                 let path = self.store_dir().join(format!("shard-{shard:x}.csv"));
-                let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                (self.load_shard(shard).len(), bytes)
+                let Ok(text) = fs::read_to_string(&path) else {
+                    return 0;
+                };
+                text.lines()
+                    .filter(|l| {
+                        let l = l.trim();
+                        !l.is_empty() && !l.starts_with('#') && !l.starts_with("key,")
+                    })
+                    .count()
             })
-            .collect()
+            .sum()
     }
 
     /// The cache's root directory (generations live underneath).
@@ -301,14 +438,19 @@ impl EvalCache {
         &self.dir
     }
 
-    /// Load every shard of the current generation into one in-memory
-    /// map — the bulk entry point for guided search, which probes
-    /// points one at a time and must not re-read shard files per probe
-    /// the way per-sweep [`EvalCache::lookup`] may.
+    /// Load both layers of the current generation into one in-memory
+    /// map (CSV tail over compact base) — the bulk entry point for
+    /// guided search, which probes points one at a time and must not
+    /// re-read shard files per probe the way per-sweep
+    /// [`EvalCache::lookup`] may.
     pub fn load_all(&self) -> HashMap<u64, EvaluatedPoint> {
-        let mut out = HashMap::new();
-        for shard in 0..SHARD_COUNT {
-            out.extend(self.load_shard(shard));
+        let mut out: HashMap<u64, EvaluatedPoint> =
+            match crate::compact::load_latest(&self.store_dir()) {
+                Some(base) => base.iter().collect(),
+                None => HashMap::new(),
+            };
+        for (shard, _) in self.live_shards() {
+            out.extend(shard);
         }
         out
     }

@@ -1,0 +1,1001 @@
+//! Binary point-store generations and the compactor behind
+//! `dse compact`.
+//!
+//! The CSV shards of [`crate::cache`] are a write-ahead log: append-only,
+//! crash-safe, human-auditable — and parsed row by row on every cold
+//! load, which ROADMAP flags as the cold-start bottleneck once stores
+//! reach 10^6+ points. This module adds the checkpoint layer: a
+//! **compacted, checksummed, binary columnar generation** per model
+//! fingerprint that `EvalCache` loads with a single `read` and serves
+//! by binary search, with zero per-row parsing.
+//!
+//! ## File format (`gen-NNNNNN.ngcb`)
+//!
+//! ```text
+//! [ 0.. 8)  magic  "ngDSEcb1"
+//! [ 8..16)  model fingerprint (LE u64; must match the store dir's)
+//! [16..24)  row count
+//! [24..32)  sparse-index stride
+//! [32..40)  section count
+//! [40.. N)  section table: (offset, len, checksum) per section
+//! [ N..N+8) header checksum over bytes [0..N)
+//! [ ...  )  section payloads, in table order
+//! ```
+//!
+//! Sections are fixed-width columns — sorted keys first, then a sparse
+//! key index (every `stride`-th key, so a lookup touches one cache-warm
+//! slice of the key column), then one column per
+//! [`EvaluatedPoint`] field with floats stored as IEEE bit patterns.
+//! The CSV emitter's shortest-round-trip text already made text parsing
+//! bit-exact; the binary path stores the same bits directly, so folding
+//! CSV into a generation can never move a value.
+//!
+//! ## Compaction protocol
+//!
+//! 1. take the store's `compact.lock` (two compactors serialise);
+//! 2. load the newest valid generation (the base being folded);
+//! 3. under each shard's lock, snapshot the shard's bytes and record
+//!    its *fold offset* — appends racing the compactor land past the
+//!    offset and survive step 5;
+//! 4. merge base + CSV rows (CSV wins), write `gen-(seq+1)` via
+//!    tmp + full read-back verification + rename — the old generation
+//!    is untouched until the new one proves loadable;
+//! 5. truncate each CSV shard back to `header + bytes past the fold
+//!    offset` (tmp + rename under the shard lock);
+//! 6. delete superseded generations.
+//!
+//! A crash at any point leaves a store readers serve identically:
+//! before the rename the new generation is an ignored tmp file; after
+//! it, base and CSV tail overlap and the tail's duplicates shadow
+//! bit-identical base rows. `dse fsck` names every leftover
+//! (tmp orphans, superseded generations, corrupt latest) and
+//! `--repair` re-compacts from the surviving layers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use crate::cache::{EvalCache, SHARD_COUNT};
+use crate::obs_counters;
+use crate::spec::DesignPoint;
+use crate::sweep::EvaluatedPoint;
+use crate::{model_fingerprint, MODEL_VERSION};
+use ng_neural::apps::{AppKind, EncodingKind};
+
+/// Magic bytes opening every generation file (the trailing digit is
+/// the format version — bump it and old files read as corrupt, which
+/// `fsck --repair` resolves by re-compacting).
+pub const MAGIC: &[u8; 8] = b"ngDSEcb1";
+
+/// File extension of a generation (`ngcb` = ng compact binary).
+pub const GENERATION_EXT: &str = "ngcb";
+
+/// Every `STRIDE`-th key is mirrored into the sparse index section, so
+/// a lookup binary-searches ~`STRIDE * 8` bytes of the key column
+/// instead of all of it.
+pub const INDEX_STRIDE: usize = 256;
+
+/// Section order in the file. Keys and the sparse index lead; the rest
+/// are one fixed-width column per `EvaluatedPoint` field.
+const SEC_KEYS: usize = 0;
+const SEC_INDEX: usize = 1;
+const SEC_POINT_INDEX: usize = 2;
+const SEC_APP: usize = 3;
+const SEC_ENCODING: usize = 4;
+const SEC_PIXELS: usize = 5;
+const SEC_NFP: usize = 6;
+const SEC_CLOCK: usize = 7;
+const SEC_SRAM_KB: usize = 8;
+const SEC_SRAM_BANKS: usize = 9;
+const SEC_ENGINES: usize = 10;
+const SEC_MAC_ROWS: usize = 11;
+const SEC_MAC_COLS: usize = 12;
+const SEC_LANES: usize = 13;
+const SEC_FIFO: usize = 14;
+const SEC_SPEEDUP: usize = 15;
+const SEC_AREA: usize = 16;
+const SEC_POWER: usize = 17;
+const SEC_GPU_MS: usize = 18;
+const SEC_FRAME_MS: usize = 19;
+const SEC_AMDAHL: usize = 20;
+const SEC_PLATEAU: usize = 21;
+const SECTION_COUNT: usize = 22;
+
+/// Integrity checksum over a byte section: FNV-style over 8-byte
+/// little-endian lanes (with an extra fold so high bytes influence low
+/// ones), seeded with the length. Word-at-a-time keeps verification
+/// off the cold-load critical path even on 10^8-byte generations —
+/// this is torn-write detection, not cryptography.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 =
+        0xCBF2_9CE4_8422_2325 ^ (bytes.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h ^ u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 32;
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn corrupt(path: &Path, what: impl fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: corrupt generation: {what}", path.display()),
+    )
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+/// Stable one-byte encodings of the enum columns. Indexes into the
+/// paper-order `ALL` arrays, which the CSV slugs already froze as the
+/// store vocabulary.
+fn app_code(app: AppKind) -> u8 {
+    AppKind::ALL.iter().position(|a| *a == app).expect("ALL covers every app") as u8
+}
+
+fn app_from_code(code: u8) -> Option<AppKind> {
+    AppKind::ALL.get(code as usize).copied()
+}
+
+fn encoding_code(encoding: EncodingKind) -> u8 {
+    EncodingKind::ALL.iter().position(|e| *e == encoding).expect("ALL covers every encoding") as u8
+}
+
+fn encoding_from_code(code: u8) -> Option<EncodingKind> {
+    EncodingKind::ALL.get(code as usize).copied()
+}
+
+/// A loaded, checksum-verified generation: the raw file bytes plus the
+/// section table. Lookups binary-search the key column in place —
+/// nothing is parsed until a row is actually served.
+#[derive(Debug)]
+pub struct CompactBase {
+    buf: Vec<u8>,
+    rows: usize,
+    stride: usize,
+    /// `(offset, len)` per section, validated against the buffer.
+    sections: Vec<(usize, usize)>,
+    seq: u64,
+    path: PathBuf,
+}
+
+impl CompactBase {
+    /// Load and fully verify one generation file: magic, fingerprint,
+    /// header checksum, section bounds and every section checksum.
+    /// Key-order verification is a separate cheap pass so corrupt
+    /// *sorted-ness* (which would silently break binary search) is
+    /// caught at load time too.
+    pub fn load(path: &Path) -> io::Result<CompactBase> {
+        let buf = fs::read(path)?;
+        let base = Self::from_bytes(buf, path)?;
+        let keys = base.section(SEC_KEYS);
+        let mut prev: Option<u64> = None;
+        for i in 0..base.rows {
+            let key = read_u64(keys, i * 8);
+            if prev.is_some_and(|p| p >= key) {
+                return Err(corrupt(path, format!("keys not strictly ascending at row {i}")));
+            }
+            prev = Some(key);
+        }
+        Ok(base)
+    }
+
+    /// Parse and checksum-verify `buf` (everything except key order).
+    fn from_bytes(buf: Vec<u8>, path: &Path) -> io::Result<CompactBase> {
+        if buf.len() < 48 {
+            return Err(corrupt(path, "shorter than the fixed header"));
+        }
+        if &buf[..8] != MAGIC {
+            return Err(corrupt(path, "bad magic"));
+        }
+        let fingerprint = read_u64(&buf, 8);
+        if fingerprint != model_fingerprint() {
+            return Err(corrupt(
+                path,
+                format!(
+                    "fingerprint {fingerprint:016x} does not match the current models \
+                     ({:016x})",
+                    model_fingerprint()
+                ),
+            ));
+        }
+        let rows = read_u64(&buf, 16) as usize;
+        let stride = read_u64(&buf, 24) as usize;
+        let section_count = read_u64(&buf, 32) as usize;
+        if section_count != SECTION_COUNT {
+            return Err(corrupt(path, format!("expected {SECTION_COUNT} sections")));
+        }
+        if stride == 0 {
+            return Err(corrupt(path, "zero index stride"));
+        }
+        let table_end = 40 + section_count * 24;
+        if buf.len() < table_end + 8 {
+            return Err(corrupt(path, "truncated section table"));
+        }
+        if read_u64(&buf, table_end) != checksum(&buf[..table_end]) {
+            return Err(corrupt(path, "header checksum mismatch"));
+        }
+        let mut sections = Vec::with_capacity(section_count);
+        for s in 0..section_count {
+            let at = 40 + s * 24;
+            let offset = read_u64(&buf, at) as usize;
+            let len = read_u64(&buf, at + 8) as usize;
+            let sum = read_u64(&buf, at + 16);
+            let end = offset.checked_add(len).filter(|e| *e <= buf.len());
+            let Some(end) = end else {
+                return Err(corrupt(path, format!("section {s} out of bounds")));
+            };
+            if checksum(&buf[offset..end]) != sum {
+                return Err(corrupt(path, format!("section {s} checksum mismatch")));
+            }
+            sections.push((offset, len));
+        }
+        let expect = |s: usize, width: usize| -> io::Result<()> {
+            if sections[s].1 != rows * width {
+                return Err(corrupt(path, format!("section {s} has the wrong width")));
+            }
+            Ok(())
+        };
+        for s in [SEC_KEYS, SEC_POINT_INDEX, SEC_PIXELS, SEC_CLOCK] {
+            expect(s, 8)?;
+        }
+        for s in [
+            SEC_NFP,
+            SEC_SRAM_KB,
+            SEC_SRAM_BANKS,
+            SEC_ENGINES,
+            SEC_MAC_ROWS,
+            SEC_MAC_COLS,
+            SEC_LANES,
+            SEC_FIFO,
+        ] {
+            expect(s, 4)?;
+        }
+        for s in [SEC_SPEEDUP, SEC_AREA, SEC_POWER, SEC_GPU_MS, SEC_FRAME_MS, SEC_AMDAHL] {
+            expect(s, 8)?;
+        }
+        for s in [SEC_APP, SEC_ENCODING, SEC_PLATEAU] {
+            expect(s, 1)?;
+        }
+        if sections[SEC_INDEX].1 != rows.div_ceil(stride) * 8 {
+            return Err(corrupt(path, "sparse index has the wrong length"));
+        }
+        let seq = parse_generation_seq(path).unwrap_or(0);
+        Ok(CompactBase { buf, rows, stride, sections, seq, path: path.to_path_buf() })
+    }
+
+    fn section(&self, s: usize) -> &[u8] {
+        let (offset, len) = self.sections[s];
+        &self.buf[offset..offset + len]
+    }
+
+    /// Rows in this generation.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// On-disk size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// This generation's sequence number (from its file name).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The file this base was loaded from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn key_at(&self, i: usize) -> u64 {
+        read_u64(self.section(SEC_KEYS), i * 8)
+    }
+
+    /// The row index holding `key`, via sparse index + bounded binary
+    /// search of the key column. No row is decoded.
+    pub fn find(&self, key: u64) -> Option<usize> {
+        if self.rows == 0 {
+            return None;
+        }
+        let index = self.section(SEC_INDEX);
+        let blocks = self.rows.div_ceil(self.stride);
+        // First indexed block whose leading key exceeds `key` bounds
+        // the search; the block before it may contain the key.
+        let mut lo_block = 0usize;
+        let mut hi_block = blocks;
+        while lo_block < hi_block {
+            let mid = (lo_block + hi_block) / 2;
+            if read_u64(index, mid * 8) <= key {
+                lo_block = mid + 1;
+            } else {
+                hi_block = mid;
+            }
+        }
+        if lo_block == 0 {
+            return None; // key precedes the first stored key
+        }
+        let mut lo = (lo_block - 1) * self.stride;
+        let mut hi = (lo + self.stride).min(self.rows);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.key_at(mid).cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    /// Serve one key, if present.
+    pub fn get(&self, key: u64) -> Option<EvaluatedPoint> {
+        self.find(key).and_then(|i| self.decode_row(i))
+    }
+
+    /// Decode row `i` from the column sections. `None` only if an enum
+    /// code is out of vocabulary — which checksummed sections make
+    /// unreachable short of a format bug, so callers treat it as a
+    /// miss, the store's universal degradation mode.
+    pub fn decode_row(&self, i: usize) -> Option<EvaluatedPoint> {
+        let u64_col = |s: usize| read_u64(self.section(s), i * 8);
+        let u32_col = |s: usize| read_u32(self.section(s), i * 4);
+        let f64_col = |s: usize| f64::from_bits(u64_col(s));
+        Some(EvaluatedPoint {
+            point: DesignPoint {
+                index: u64_col(SEC_POINT_INDEX) as usize,
+                app: app_from_code(self.section(SEC_APP)[i])?,
+                encoding: encoding_from_code(self.section(SEC_ENCODING)[i])?,
+                pixels: u64_col(SEC_PIXELS),
+                nfp_units: u32_col(SEC_NFP),
+                clock_ghz: f64_col(SEC_CLOCK),
+                grid_sram_kb: u32_col(SEC_SRAM_KB),
+                grid_sram_banks: u32_col(SEC_SRAM_BANKS),
+                encoding_engines: u32_col(SEC_ENGINES),
+                mac_rows: u32_col(SEC_MAC_ROWS),
+                mac_cols: u32_col(SEC_MAC_COLS),
+                lanes_per_engine: u32_col(SEC_LANES),
+                input_fifo_depth: u32_col(SEC_FIFO),
+            },
+            speedup: f64_col(SEC_SPEEDUP),
+            area_pct_of_gpu: f64_col(SEC_AREA),
+            power_pct_of_gpu: f64_col(SEC_POWER),
+            gpu_ms: f64_col(SEC_GPU_MS),
+            ngpc_frame_ms: f64_col(SEC_FRAME_MS),
+            amdahl_bound: f64_col(SEC_AMDAHL),
+            plateaued: self.section(SEC_PLATEAU)[i] != 0,
+        })
+    }
+
+    /// Iterate every `(key, row)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, EvaluatedPoint)> + '_ {
+        (0..self.rows).filter_map(|i| Some((self.key_at(i), self.decode_row(i)?)))
+    }
+}
+
+/// Serialise `rows` (sorted by strictly ascending key) into the binary
+/// generation image.
+fn encode_generation(rows: &[(u64, EvaluatedPoint)]) -> Vec<u8> {
+    let n = rows.len();
+    let mut cols: Vec<Vec<u8>> = vec![Vec::new(); SECTION_COUNT];
+    for s in [
+        SEC_KEYS,
+        SEC_POINT_INDEX,
+        SEC_PIXELS,
+        SEC_CLOCK,
+        SEC_SPEEDUP,
+        SEC_AREA,
+        SEC_POWER,
+        SEC_GPU_MS,
+        SEC_FRAME_MS,
+        SEC_AMDAHL,
+    ] {
+        cols[s].reserve(n * 8);
+    }
+    for (key, p) in rows {
+        let d = &p.point;
+        cols[SEC_KEYS].extend_from_slice(&key.to_le_bytes());
+        cols[SEC_POINT_INDEX].extend_from_slice(&(d.index as u64).to_le_bytes());
+        cols[SEC_APP].push(app_code(d.app));
+        cols[SEC_ENCODING].push(encoding_code(d.encoding));
+        cols[SEC_PIXELS].extend_from_slice(&d.pixels.to_le_bytes());
+        cols[SEC_NFP].extend_from_slice(&d.nfp_units.to_le_bytes());
+        cols[SEC_CLOCK].extend_from_slice(&d.clock_ghz.to_bits().to_le_bytes());
+        cols[SEC_SRAM_KB].extend_from_slice(&d.grid_sram_kb.to_le_bytes());
+        cols[SEC_SRAM_BANKS].extend_from_slice(&d.grid_sram_banks.to_le_bytes());
+        cols[SEC_ENGINES].extend_from_slice(&d.encoding_engines.to_le_bytes());
+        cols[SEC_MAC_ROWS].extend_from_slice(&d.mac_rows.to_le_bytes());
+        cols[SEC_MAC_COLS].extend_from_slice(&d.mac_cols.to_le_bytes());
+        cols[SEC_LANES].extend_from_slice(&d.lanes_per_engine.to_le_bytes());
+        cols[SEC_FIFO].extend_from_slice(&d.input_fifo_depth.to_le_bytes());
+        cols[SEC_SPEEDUP].extend_from_slice(&p.speedup.to_bits().to_le_bytes());
+        cols[SEC_AREA].extend_from_slice(&p.area_pct_of_gpu.to_bits().to_le_bytes());
+        cols[SEC_POWER].extend_from_slice(&p.power_pct_of_gpu.to_bits().to_le_bytes());
+        cols[SEC_GPU_MS].extend_from_slice(&p.gpu_ms.to_bits().to_le_bytes());
+        cols[SEC_FRAME_MS].extend_from_slice(&p.ngpc_frame_ms.to_bits().to_le_bytes());
+        cols[SEC_AMDAHL].extend_from_slice(&p.amdahl_bound.to_bits().to_le_bytes());
+        cols[SEC_PLATEAU].push(p.plateaued as u8);
+    }
+    for (i, (key, _)) in rows.iter().enumerate() {
+        if i % INDEX_STRIDE == 0 {
+            cols[SEC_INDEX].extend_from_slice(&key.to_le_bytes());
+        }
+    }
+
+    let table_end = 40 + SECTION_COUNT * 24;
+    let payload: usize = cols.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(table_end + 8 + payload);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&model_fingerprint().to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(INDEX_STRIDE as u64).to_le_bytes());
+    out.extend_from_slice(&(SECTION_COUNT as u64).to_le_bytes());
+    let mut offset = table_end + 8;
+    for col in &cols {
+        out.extend_from_slice(&(offset as u64).to_le_bytes());
+        out.extend_from_slice(&(col.len() as u64).to_le_bytes());
+        out.extend_from_slice(&checksum(col).to_le_bytes());
+        offset += col.len();
+    }
+    let header_sum = checksum(&out[..table_end]);
+    out.extend_from_slice(&header_sum.to_le_bytes());
+    for col in &cols {
+        out.extend_from_slice(col);
+    }
+    out
+}
+
+/// `gen-NNNNNN.ngcb` for sequence `seq`.
+pub fn generation_file_name(seq: u64) -> String {
+    format!("gen-{seq:06}.{GENERATION_EXT}")
+}
+
+/// Parse the sequence number out of a generation file name.
+pub fn parse_generation_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("gen-")?;
+    let seq = rest.strip_suffix(&format!(".{GENERATION_EXT}"))?;
+    seq.parse().ok()
+}
+
+/// Every generation file in `store_dir`, newest sequence first.
+/// Tmp leftovers (`*.ngcb.tmp.*`) are not included — see
+/// [`orphaned_tmp_files`].
+pub fn generation_files(store_dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out: Vec<(u64, PathBuf)> = Vec::new();
+    let Ok(entries) = fs::read_dir(store_dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if let Some(seq) = parse_generation_seq(&path) {
+            out.push((seq, path));
+        }
+    }
+    out.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+    out
+}
+
+/// Tmp files a crashed compactor left behind (never read; deleted by
+/// the next compaction or `fsck --repair`).
+pub fn orphaned_tmp_files(store_dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = fs::read_dir(store_dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("gen-") && n.contains(&format!(".{GENERATION_EXT}.tmp."))
+            })
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The newest generation that loads and verifies cleanly, if any.
+/// A corrupt newer file falls back to the retained older one (the
+/// crash-between-verify-and-cleanup window), so a half-finished
+/// compaction can only ever *shrink* the base, never poison it.
+pub fn load_latest(store_dir: &Path) -> Option<CompactBase> {
+    for (_, path) in generation_files(store_dir) {
+        if let Ok(base) = CompactBase::load(&path) {
+            return Some(base);
+        }
+    }
+    None
+}
+
+/// What one `compact()` run did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// The generation directory compacted.
+    pub store_dir: PathBuf,
+    /// Sequence number of the generation written (`None`: nothing to
+    /// fold, no file written).
+    pub generation: Option<u64>,
+    /// Rows carried over from the previous generation.
+    pub base_rows_in: usize,
+    /// Live CSV rows folded in (reader-visible rows; CSV wins over the
+    /// base on duplicate keys).
+    pub csv_rows_in: usize,
+    /// Rows in the new generation.
+    pub rows_out: usize,
+    /// Size of the new generation file.
+    pub bytes_out: u64,
+    /// CSV shard files truncated back to their unfolded tails.
+    pub shards_truncated: usize,
+    /// Superseded generation files removed.
+    pub removed_generations: usize,
+    /// Stale compactor tmp files swept up.
+    pub removed_tmp_files: usize,
+    /// Misplaced CSV rows (wrong shard file) left for `fsck`; they are
+    /// unreachable to readers, so folding them in would *change*
+    /// lookup results rather than preserve them.
+    pub misplaced_rows_skipped: usize,
+}
+
+impl fmt::Display for CompactReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.generation {
+            None => {
+                write!(f, "compact {}: store is empty — nothing to fold", self.store_dir.display())
+            }
+            Some(seq) => write!(
+                f,
+                "compact {}: wrote generation {seq} ({} row(s), {:.1} KiB) from {} base + {} \
+                 CSV row(s); truncated {} shard(s), removed {} old generation(s){}{}",
+                self.store_dir.display(),
+                self.rows_out,
+                self.bytes_out as f64 / 1024.0,
+                self.base_rows_in,
+                self.csv_rows_in,
+                self.shards_truncated,
+                self.removed_generations,
+                if self.removed_tmp_files > 0 {
+                    format!(", swept {} stale tmp file(s)", self.removed_tmp_files)
+                } else {
+                    String::new()
+                },
+                if self.misplaced_rows_skipped > 0 {
+                    format!(
+                        ", left {} misplaced row(s) for `dse fsck`",
+                        self.misplaced_rows_skipped
+                    )
+                } else {
+                    String::new()
+                },
+            ),
+        }
+    }
+}
+
+/// Open (creating if needed) and exclusively lock a file, tolerating
+/// filesystems without lock support — the same degradation contract as
+/// the shard appenders.
+fn open_locked(path: &Path) -> io::Result<fs::File> {
+    let file = fs::OpenOptions::new().read(true).create(true).append(true).open(path)?;
+    if let Err(e) = file.lock() {
+        if e.kind() != io::ErrorKind::Unsupported {
+            return Err(e);
+        }
+    }
+    Ok(file)
+}
+
+/// One shard's fold snapshot: the parsed reader-visible rows, the byte
+/// offset everything before which is now in the generation, and how
+/// many misplaced rows were skipped.
+struct ShardFold {
+    rows: HashMap<u64, EvaluatedPoint>,
+    folded_len: u64,
+    misplaced: usize,
+}
+
+fn fold_shard(store_dir: &Path, shard: usize) -> io::Result<Option<ShardFold>> {
+    let path = store_dir.join(format!("shard-{shard:x}.csv"));
+    if !path.exists() {
+        return Ok(None);
+    }
+    // Snapshot under the shard's exclusive lock: the recorded length
+    // is then exactly the content parsed, and any append that raced us
+    // lands wholly past it (where step 5 preserves it).
+    let mut file = open_locked(&path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let folded_len = bytes.len() as u64;
+    drop(file);
+    let text = String::from_utf8_lossy(&bytes);
+    let (parsed, _skipped) = crate::cache::parse_shard_text(&text);
+    let mut rows = HashMap::with_capacity(parsed.len());
+    let mut misplaced = 0usize;
+    for (key, point) in parsed {
+        // Rows in a foreign shard file are invisible to readers:
+        // folding them into the base would change lookup results.
+        if EvalCache::shard_of(key) == shard {
+            rows.insert(key, point);
+        } else {
+            misplaced += 1;
+        }
+    }
+    Ok(Some(ShardFold { rows, folded_len, misplaced }))
+}
+
+/// Truncate one CSV shard back to `header + bytes past folded_len`,
+/// via tmp + rename while holding the old inode's lock — an appender
+/// blocked on that lock re-checks the path after acquiring it (see
+/// `EvalCache::append_shard`) and lands its rows in the new file.
+fn truncate_shard(store_dir: &Path, shard: usize, folded_len: u64) -> io::Result<()> {
+    let path = store_dir.join(format!("shard-{shard:x}.csv"));
+    let mut file = open_locked(&path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let tail = bytes.get(folded_len as usize..).unwrap_or(&[]);
+    let mut fresh = format!(
+        "# ng-dse point cache | model {MODEL_VERSION} | fingerprint {:016x}\n",
+        model_fingerprint()
+    )
+    .into_bytes();
+    fresh.extend_from_slice(tail);
+    let tmp = path.with_extension(format!("csv.compact.{}", std::process::id()));
+    fs::write(&tmp, fresh)?;
+    fs::rename(&tmp, &path)?;
+    drop(file);
+    Ok(())
+}
+
+/// Fold the store's live CSV shards (plus the previous generation)
+/// into a fresh binary generation, then truncate the shards back to
+/// their unfolded tails. Safe against concurrent appenders and
+/// readers; a crash at any stage leaves a store that serves
+/// identically (see the module docs for the protocol).
+pub fn compact(cache: &EvalCache) -> io::Result<CompactReport> {
+    let _span = ng_obs::span("compact");
+    let store_dir = cache.store_dir();
+    let mut report = CompactReport { store_dir: store_dir.clone(), ..CompactReport::default() };
+    if !store_dir.exists() {
+        return Ok(report);
+    }
+    // One compactor at a time: a second caller blocks, then folds
+    // whatever (typically nothing) is left.
+    let lock = open_locked(&store_dir.join("compact.lock"))?;
+
+    // Stale tmp files are dead weight from crashed compactors — sweep
+    // them first so they cannot accumulate.
+    for tmp in orphaned_tmp_files(&store_dir) {
+        if fs::remove_file(&tmp).is_ok() {
+            report.removed_tmp_files += 1;
+        }
+    }
+
+    let base = load_latest(&store_dir);
+    let latest_seq = generation_files(&store_dir).first().map(|(seq, _)| *seq);
+    let mut merged: HashMap<u64, EvaluatedPoint> = match &base {
+        Some(base) => base.iter().collect(),
+        None => HashMap::new(),
+    };
+    report.base_rows_in = merged.len();
+
+    let mut folds: Vec<Option<ShardFold>> = Vec::with_capacity(SHARD_COUNT);
+    for shard in 0..SHARD_COUNT {
+        folds.push(fold_shard(&store_dir, shard)?);
+    }
+    for fold in folds.iter().flatten() {
+        report.csv_rows_in += fold.rows.len();
+        report.misplaced_rows_skipped += fold.misplaced;
+        // CSV is the newer layer: it overwrites base rows — which a
+        // reader's tail-wins overlay already preferred.
+        merged.extend(fold.rows.iter().map(|(k, v)| (*k, *v)));
+    }
+    if merged.is_empty() {
+        return Ok(report);
+    }
+
+    let mut rows: Vec<(u64, EvaluatedPoint)> = merged.into_iter().collect();
+    rows.sort_unstable_by_key(|(key, _)| *key);
+    let image = encode_generation(&rows);
+    let seq = latest_seq.map_or(1, |s| s + 1);
+    let final_path = store_dir.join(generation_file_name(seq));
+    let tmp_path =
+        store_dir.join(format!("{}.tmp.{}", generation_file_name(seq), std::process::id()));
+    fs::write(&tmp_path, &image)?;
+    if let Some(e) = ng_fault::compact_crash_at(1) {
+        return Err(e); // generation written but unverified: tmp orphan
+    }
+
+    // Read-back verification before the rename makes the new
+    // generation live: the old base stays authoritative until the new
+    // file proves loadable from disk.
+    let verified = CompactBase::load(&tmp_path)?;
+    if verified.rows() != rows.len() {
+        return Err(corrupt(&tmp_path, "read-back row count mismatch"));
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    if let Some(e) = ng_fault::compact_crash_at(2) {
+        return Err(e); // generation live, CSV tail not yet truncated
+    }
+
+    for (shard, fold) in folds.iter().enumerate() {
+        let Some(fold) = fold else { continue };
+        truncate_shard(&store_dir, shard, fold.folded_len)?;
+        report.shards_truncated += 1;
+        if report.shards_truncated == 1 {
+            if let Some(e) = ng_fault::compact_crash_at(3) {
+                return Err(e); // mid-truncation: shards disagree on layer
+            }
+        }
+    }
+
+    for (old_seq, path) in generation_files(&store_dir) {
+        if old_seq < seq && fs::remove_file(&path).is_ok() {
+            report.removed_generations += 1;
+        }
+    }
+    drop(lock);
+
+    report.generation = Some(seq);
+    report.rows_out = rows.len();
+    report.bytes_out = image.len() as u64;
+    obs_counters::store_compact_runs().incr();
+    obs_counters::store_compact_rows().add(rows.len() as u64);
+    ng_obs::emit_meta(
+        "store.compact",
+        &format!("generation {seq}: {} row(s), {} bytes", rows.len(), image.len()),
+    );
+    Ok(report)
+}
+
+/// Strict single-generation verification for `dse fsck`: every check
+/// [`CompactBase::load`] performs, plus sparse-index consistency and a
+/// full per-row decode with key re-hashing (the binary analogue of the
+/// CSV auditor's foreign-row check). Returns `(rows, bytes, defects)`;
+/// an unloadable file reports itself as one defect.
+pub fn verify_generation(path: &Path) -> (usize, u64, Vec<String>) {
+    let bytes = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let base = match CompactBase::load(path) {
+        Ok(base) => base,
+        Err(e) => return (0, bytes, vec![e.to_string()]),
+    };
+    let mut defects = Vec::new();
+    let index = base.section(SEC_INDEX);
+    for block in 0..base.rows.div_ceil(base.stride) {
+        if read_u64(index, block * 8) != base.key_at(block * base.stride) {
+            defects.push(format!("sparse index entry {block} disagrees with the key column"));
+        }
+    }
+    let mut decoded = 0usize;
+    for i in 0..base.rows {
+        match base.decode_row(i) {
+            Some(point) => {
+                decoded += 1;
+                if EvalCache::point_key(&point.point) != base.key_at(i) {
+                    defects.push(format!("row {i}: axes no longer hash to the stored key"));
+                }
+            }
+            None => defects.push(format!("row {i}: enum code out of vocabulary")),
+        }
+    }
+    (decoded, bytes, defects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use crate::sweep::SweepEngine;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ng-dse-compact-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_points() -> Vec<EvaluatedPoint> {
+        SweepEngine::new().without_cache().run(&SweepSpec::quick()).unwrap().points
+    }
+
+    #[test]
+    fn binary_image_round_trips_every_column_bit_exactly() {
+        let points = quick_points();
+        let mut rows: Vec<(u64, EvaluatedPoint)> =
+            points.iter().map(|p| (EvalCache::point_key(&p.point), *p)).collect();
+        rows.sort_unstable_by_key(|(key, _)| *key);
+        let dir = tmpdir("roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(generation_file_name(1));
+        fs::write(&path, encode_generation(&rows)).unwrap();
+        let base = CompactBase::load(&path).unwrap();
+        assert_eq!(base.rows(), rows.len());
+        for (key, expect) in &rows {
+            assert_eq!(base.get(*key).as_ref(), Some(expect), "key {key:016x}");
+        }
+        assert_eq!(base.get(0), None);
+        assert_eq!(base.get(u64::MAX), None);
+        let via_iter: Vec<(u64, EvaluatedPoint)> = base.iter().collect();
+        assert_eq!(via_iter, rows, "iteration preserves key order and values");
+        let (decoded, bytes, defects) = verify_generation(&path);
+        assert_eq!((decoded, bytes), (rows.len(), base.bytes()));
+        assert!(defects.is_empty(), "{defects:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let points = quick_points();
+        let rows: Vec<(u64, EvaluatedPoint)> = {
+            let mut rows: Vec<_> =
+                points.iter().map(|p| (EvalCache::point_key(&p.point), *p)).collect();
+            rows.sort_unstable_by_key(|(key, _): &(u64, EvaluatedPoint)| *key);
+            rows
+        };
+        let image = encode_generation(&rows);
+        let dir = tmpdir("flip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(generation_file_name(1));
+        // Flip one byte at a spread of offsets across header, table and
+        // payload: every single one must fail verification.
+        for at in (0..image.len()).step_by(image.len() / 97 + 1) {
+            let mut bad = image.clone();
+            bad[at] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(CompactBase::load(&path).is_err(), "flip at {at} went undetected");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_then_lookup_serves_the_same_rows() {
+        let dir = tmpdir("fold");
+        let spec = SweepSpec::quick();
+        let points = quick_points();
+        let cache = EvalCache::new(&dir);
+        cache.append(&points).unwrap();
+        let before = cache.lookup(&spec.points());
+        let report = compact(&cache).unwrap();
+        assert_eq!(report.generation, Some(1));
+        assert_eq!(report.rows_out, points.len());
+        assert_eq!(report.csv_rows_in, points.len());
+        assert_eq!(report.base_rows_in, 0);
+        // The CSV tail is now just headers...
+        assert_eq!(cache.shard_stats().iter().map(|(r, _)| r).sum::<usize>(), 0);
+        // ...and every lookup is served from the base, bit-identically.
+        let after = cache.lookup(&spec.points());
+        assert_eq!(before, after);
+        assert_eq!(
+            after.into_iter().collect::<Option<Vec<_>>>().unwrap(),
+            points,
+            "layered reader serves the full sweep from the generation"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_compaction_folds_base_and_fresh_tail() {
+        let dir = tmpdir("refold");
+        let points = quick_points();
+        let cache = EvalCache::new(&dir);
+        let half = points.len() / 2;
+        cache.append(&points[..half]).unwrap();
+        assert_eq!(compact(&cache).unwrap().generation, Some(1));
+        cache.append(&points[half..]).unwrap();
+        let report = compact(&cache).unwrap();
+        assert_eq!(report.generation, Some(2));
+        assert_eq!(report.base_rows_in, half);
+        assert_eq!(report.csv_rows_in, points.len() - half);
+        assert_eq!(report.rows_out, points.len());
+        assert_eq!(report.removed_generations, 1, "generation 1 superseded and removed");
+        assert_eq!(generation_files(&cache.store_dir()).len(), 1);
+        let loaded = cache.lookup(&SweepSpec::quick().points());
+        assert_eq!(loaded.into_iter().collect::<Option<Vec<_>>>().unwrap(), points);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_keys_fold_latest_wins() {
+        let dir = tmpdir("dups");
+        let points = quick_points();
+        let cache = EvalCache::new(&dir);
+        cache.append(&points).unwrap();
+        // Re-append the first three points with altered metrics: the
+        // appended (later) copy must be the one the generation keeps.
+        let mut altered: Vec<EvaluatedPoint> = points[..3].to_vec();
+        for p in &mut altered {
+            p.speedup *= 2.0;
+            p.plateaued = !p.plateaued;
+        }
+        cache.append(&altered).unwrap();
+        compact(&cache).unwrap();
+        for (i, p) in altered.iter().enumerate() {
+            let served = cache.lookup(&[p.point])[0].expect("hit");
+            assert_eq!(served.speedup, p.speedup, "dup {i}: later copy wins");
+            assert_eq!(served.plateaued, p.plateaued);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_missing_stores_compact_to_nothing() {
+        let dir = tmpdir("empty");
+        let cache = EvalCache::new(&dir);
+        let report = compact(&cache).unwrap();
+        assert_eq!(report.generation, None);
+        assert!(!cache.store_dir().exists(), "no store dir conjured up");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_latest_generation_falls_back_to_the_previous_one() {
+        let dir = tmpdir("fallback");
+        let points = quick_points();
+        let cache = EvalCache::new(&dir);
+        cache.append(&points).unwrap();
+        compact(&cache).unwrap();
+        // Fabricate a corrupt "newer" generation.
+        let store = cache.store_dir();
+        fs::write(store.join(generation_file_name(9)), b"ngDSEcb1 garbage").unwrap();
+        let base = load_latest(&store).expect("fallback base");
+        assert_eq!(base.seq(), 1, "newest *valid* generation wins");
+        let loaded = cache.lookup(&SweepSpec::quick().points());
+        assert_eq!(loaded.into_iter().collect::<Option<Vec<_>>>().unwrap(), points);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_survive_compaction() {
+        // Appenders hammering the store *while* it is being compacted:
+        // every row — folded or raced — must read back afterwards.
+        let dir = tmpdir("race");
+        let spec = SweepSpec::mac_arrays();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let points = outcome.points;
+        let cache = EvalCache::new(&dir);
+        let half = points.len() / 2;
+        cache.append(&points[..half]).unwrap();
+        std::thread::scope(|scope| {
+            let writers = 4;
+            for w in 0..writers {
+                let slice: Vec<EvaluatedPoint> = points[half..]
+                    .iter()
+                    .filter(|p| p.point.index % writers == w)
+                    .copied()
+                    .collect();
+                let cache = EvalCache::new(&dir);
+                scope.spawn(move || {
+                    for p in &slice {
+                        cache.append(std::slice::from_ref(p)).unwrap();
+                    }
+                });
+            }
+            let compactor = EvalCache::new(&dir);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    compact(&compactor).unwrap();
+                }
+            });
+        });
+        compact(&cache).unwrap();
+        let loaded = cache.lookup(&spec.points());
+        assert_eq!(
+            loaded.into_iter().collect::<Option<Vec<_>>>().expect("no row lost to the race"),
+            points,
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -443,6 +443,7 @@ pub struct Coordinator {
     worker_env: Vec<(String, String)>,
     stall_after: Duration,
     quiet: bool,
+    auto_compact: Option<usize>,
 }
 
 impl Coordinator {
@@ -463,7 +464,20 @@ impl Coordinator {
             worker_env: Vec::new(),
             stall_after: Self::DEFAULT_STALL_AFTER,
             quiet: false,
+            auto_compact: None,
         }
+    }
+
+    /// Opt in to post-merge store compaction: after the merge
+    /// completes (every worker done, every straggler recovered), fold
+    /// the CSV tail into a binary generation if it holds at least
+    /// `threshold` rows. The coordinator is the natural compaction
+    /// point of a distributed run — workers are gone, so the fold
+    /// races nobody but the next run's appenders, which the shard
+    /// locks already handle.
+    pub fn with_auto_compact(mut self, threshold: Option<usize>) -> Self {
+        self.auto_compact = threshold;
+        self
     }
 
     /// Flag a running worker as stalled after this much heartbeat
@@ -532,9 +546,13 @@ impl Coordinator {
     /// encoding is exact) or was evaluated by the deterministic
     /// emulator directly.
     pub fn run(&self, spec: &SweepSpec) -> Result<DistribOutcome, DistribError> {
-        drive(spec, &self.cache_dir, self.workers * self.threads_per_worker(), || {
-            self.spawn_and_wait(spec)
-        })
+        drive(
+            spec,
+            &self.cache_dir,
+            self.workers * self.threads_per_worker(),
+            self.auto_compact,
+            || self.spawn_and_wait(spec),
+        )
     }
 
     /// Ship the spec file, spawn every worker, and supervise the slice
@@ -905,6 +923,7 @@ fn drive(
     spec: &SweepSpec,
     cache_dir: &Path,
     total_threads: usize,
+    auto_compact: Option<usize>,
     launch: impl FnOnce() -> Result<Vec<WorkerReport>, DistribError>,
 ) -> Result<DistribOutcome, DistribError> {
     spec.validate()?;
@@ -948,6 +967,16 @@ fn drive(
         let merged = slots.into_iter().map(|s| s.expect("every slot filled")).collect();
         (workers, merged, recovered)
     };
+    // Post-merge compaction (opt-in): the quiet moment of a
+    // distributed run — no workers left to race. Failure downgrades;
+    // the CSV WAL stays authoritative either way.
+    if let Some(threshold) = auto_compact {
+        if cache.tail_row_estimate() >= threshold {
+            if let Err(e) = crate::compact::compact(&cache) {
+                eprintln!("dse: post-merge compaction failed (store still serves): {e}");
+            }
+        }
+    }
     let stats = SweepStats {
         total_points: merged.len(),
         evaluated: merged.len() - pre_hits,
@@ -1043,7 +1072,7 @@ pub fn run_sharded_in_process(
     cache_dir: &Path,
 ) -> Result<DistribOutcome, DistribError> {
     let workers = workers.max(1);
-    drive(spec, cache_dir, workers * threads_per_worker, || {
+    drive(spec, cache_dir, workers * threads_per_worker, None, || {
         let summaries: Vec<Result<WorkerSummary, DistribError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|shard| {

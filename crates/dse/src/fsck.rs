@@ -22,6 +22,8 @@
 //! | foreign row        | rows copied across generations, truncation splice (axes no longer hash to the stated key) | dropped |
 //! | misplaced row      | valid row in the wrong shard file (no reader ever finds it) | moved to its home shard |
 //! | unreadable shard   | non-UTF-8 bytes, permission damage        | quarantined to `*.quarantine` |
+//! | corrupt generation | binary generation fails checksum/sort/index verification | quarantined, then rebuilt from the surviving layers |
+//! | orphaned generation | superseded generation or compactor tmp a crash left behind | deleted (the live base supersedes it) |
 //!
 //! Repair is conservative by construction: it only ever *drops rows a
 //! reader already refuses to serve* and *moves or deduplicates rows a
@@ -42,9 +44,64 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::cache::{EvalCache, SHARD_COUNT};
+use crate::compact;
 use crate::emit::{point_from_row, point_to_row};
 use crate::sweep::EvaluatedPoint;
 use crate::{model_fingerprint, MODEL_VERSION};
+
+/// What the audit found in one binary generation file (or compactor
+/// tmp leftover).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenerationFinding {
+    /// The file audited.
+    pub file: PathBuf,
+    /// Its generation sequence number (0 for tmp leftovers).
+    pub seq: u64,
+    /// Rows that decode cleanly.
+    pub rows: usize,
+    /// File size on disk.
+    pub bytes: u64,
+    /// Verification failures: checksum mismatches, key-sort breaks,
+    /// sparse-index inconsistency, rows whose axes no longer hash to
+    /// their stored key. Non-empty means readers ignore this file.
+    pub defects: Vec<String>,
+    /// Dead weight: a generation superseded by the live base, or a
+    /// crashed compactor's tmp file. Never read; `--repair` deletes it.
+    pub orphaned: bool,
+}
+
+impl GenerationFinding {
+    /// Whether this file needs no attention.
+    pub fn is_clean(&self) -> bool {
+        self.defects.is_empty() && !self.orphaned
+    }
+}
+
+impl fmt::Display for GenerationFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.file.file_name().and_then(|n| n.to_str()).unwrap_or("generation");
+        if self.orphaned {
+            return write!(
+                f,
+                "{name}: ORPHANED ({:.1} KiB dead weight)",
+                self.bytes as f64 / 1024.0
+            );
+        }
+        if !self.defects.is_empty() {
+            return write!(
+                f,
+                "{name}: CORRUPT — {}{}",
+                self.defects[0],
+                if self.defects.len() > 1 {
+                    format!(" (+{} more defect(s))", self.defects.len() - 1)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        write!(f, "{name}: {} row(s) ok, {:.1} KiB", self.rows, self.bytes as f64 / 1024.0)
+    }
+}
 
 /// What the audit found in one shard file.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -115,16 +172,23 @@ pub struct FsckReport {
     /// One finding per present shard file (absent shards are fine —
     /// the store materialises shards lazily).
     pub shards: Vec<ShardFinding>,
+    /// One finding per binary generation file and compactor tmp
+    /// leftover, newest first.
+    pub generations: Vec<GenerationFinding>,
     /// Shards renamed to `*.quarantine` (repair mode only).
     pub quarantined: Vec<usize>,
+    /// Whether repair re-ran the compactor to rebuild a quarantined
+    /// corrupt generation from the surviving layers.
+    pub recompacted: bool,
     /// Whether repair ran.
     pub repaired: bool,
 }
 
 impl FsckReport {
-    /// Whether every audited shard is clean.
+    /// Whether every audited shard and generation is clean.
     pub fn is_clean(&self) -> bool {
         self.shards.iter().all(ShardFinding::is_clean)
+            && self.generations.iter().all(GenerationFinding::is_clean)
     }
 
     /// Total rows a reader can serve across the store.
@@ -132,25 +196,35 @@ impl FsckReport {
         self.shards.iter().map(|s| s.rows_ok).sum()
     }
 
+    /// Total rows the compact base can serve (the newest clean
+    /// generation, if any).
+    pub fn base_rows(&self) -> usize {
+        self.generations.iter().find(|g| g.is_clean()).map_or(0, |g| g.rows)
+    }
+
     /// One summary line for reports and logs.
     pub fn summary(&self) -> String {
-        let dirty = self.shards.iter().filter(|s| !s.is_clean()).count();
+        let dirty = self.shards.iter().filter(|s| !s.is_clean()).count()
+            + self.generations.iter().filter(|g| !g.is_clean()).count();
         let dropped: usize = self
             .shards
             .iter()
             .map(|s| s.torn_rows + s.duplicate_keys + s.foreign_rows + s.interior_headers)
             .sum();
         format!(
-            "fsck {}: {} shard file(s), {} serveable row(s); {dirty} dirty shard(s), \
-             {dropped} defective line(s){}{}",
+            "fsck {}: {} shard file(s), {} generation file(s), {} tail + {} base row(s) \
+             serveable; {dirty} dirty file(s), {dropped} defective line(s){}{}{}",
             self.store_dir.display(),
             self.shards.len(),
+            self.generations.len(),
             self.rows_ok(),
+            self.base_rows(),
             if self.quarantined.is_empty() {
                 String::new()
             } else {
                 format!(", {} quarantined", self.quarantined.len())
             },
+            if self.recompacted { ", recompacted" } else { "" },
             if self.repaired {
                 " — repaired"
             } else if dirty > 0 {
@@ -229,6 +303,29 @@ fn parse_shard(path: &Path, shard: usize) -> io::Result<Option<ParsedShard>> {
     Ok(Some(ParsedShard { finding, rows }))
 }
 
+/// Strictly audit every binary generation file and compactor tmp in
+/// the store, newest first. The newest cleanly-verifying file is the
+/// live base; older generations (and all tmps) are dead weight a crash
+/// or interrupted cleanup left behind, and anything failing
+/// verification is named defect by defect.
+fn audit_generations(store_dir: &Path) -> Vec<GenerationFinding> {
+    let mut out = Vec::new();
+    let mut live_seen = false;
+    for (seq, path) in compact::generation_files(store_dir) {
+        let (rows, bytes, defects) = compact::verify_generation(&path);
+        let clean = defects.is_empty();
+        out.push(GenerationFinding { file: path, seq, rows, bytes, defects, orphaned: live_seen });
+        if clean && !live_seen {
+            live_seen = true;
+        }
+    }
+    for path in compact::orphaned_tmp_files(store_dir) {
+        let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        out.push(GenerationFinding { file: path, bytes, orphaned: true, ..Default::default() });
+    }
+    out
+}
+
 /// Audit the current generation of `cache`'s store. Read-only.
 pub fn audit(cache: &EvalCache) -> io::Result<FsckReport> {
     let store_dir = cache.store_dir();
@@ -239,14 +336,24 @@ pub fn audit(cache: &EvalCache) -> io::Result<FsckReport> {
             shards.push(parsed.finding);
         }
     }
-    Ok(FsckReport { store_dir, shards, quarantined: Vec::new(), repaired: false })
+    let generations = audit_generations(&store_dir);
+    Ok(FsckReport {
+        store_dir,
+        shards,
+        generations,
+        quarantined: Vec::new(),
+        recompacted: false,
+        repaired: false,
+    })
 }
 
 /// Audit and repair: rewrite every dirty shard into canonical form
-/// (header + its own deduplicated rows, misplaced rows moved home) and
-/// quarantine unreadable shards to `*.quarantine`. Returns the
-/// *pre-repair* findings plus what was done; a follow-up [`audit`]
-/// must come back clean.
+/// (header + its own deduplicated rows, misplaced rows moved home),
+/// quarantine unreadable shards to `*.quarantine`, delete orphaned
+/// generations and compactor tmps, and quarantine a corrupt generation
+/// — then rebuild the base by re-compacting from the surviving layers
+/// (older generation + CSV WAL). Returns the *pre-repair* findings
+/// plus what was done; a follow-up [`audit`] must come back clean.
 pub fn repair(cache: &EvalCache) -> io::Result<FsckReport> {
     let store_dir = cache.store_dir();
     let mut findings = Vec::new();
@@ -310,7 +417,31 @@ pub fn repair(cache: &EvalCache) -> io::Result<FsckReport> {
         let finding = rewrite_shard(&store_dir, shard, &own, &incoming)?;
         findings.push(ShardFinding { rows_ok: finding.rows_ok, ..p.finding.clone() });
     }
-    Ok(FsckReport { store_dir, shards: findings, quarantined, repaired: true })
+    // Generation layer: orphans are deleted outright (nothing reads
+    // them); a corrupt non-orphan is quarantined, then the base is
+    // rebuilt from whatever survives — an older clean generation plus
+    // the CSV WAL. Rows that existed *only* in the corrupt file simply
+    // re-evaluate, the store's universal degradation mode.
+    let generations = audit_generations(&store_dir);
+    let mut lost_base = false;
+    for g in &generations {
+        if g.orphaned {
+            let _ = fs::remove_file(&g.file);
+        } else if !g.defects.is_empty() {
+            let target = g.file.with_extension(format!("{}.quarantine", compact::GENERATION_EXT));
+            fs::rename(&g.file, target)?;
+            lost_base = true;
+        }
+    }
+    let recompacted = lost_base && compact::compact(cache)?.generation.is_some();
+    Ok(FsckReport {
+        store_dir,
+        shards: findings,
+        generations,
+        quarantined,
+        recompacted,
+        repaired: true,
+    })
 }
 
 /// Atomically replace one shard with `header + own rows + incoming
@@ -494,6 +625,50 @@ mod tests {
         let served = cache.lookup(&spec.points());
         assert!(served.iter().filter(|s| s.is_some()).count() < spec.point_count());
         assert!(served.iter().filter(|s| s.is_some()).count() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_defects_are_detected_and_repaired_from_surviving_layers() {
+        let (dir, cache, spec, points) = populated("genlayer");
+        compact::compact(&cache).unwrap();
+        assert!(audit(&cache).unwrap().is_clean(), "fresh compaction audits clean");
+        // Re-append every point so the CSV WAL again holds the full
+        // row set — the surviving layer repair will rebuild from.
+        cache.append(&points).unwrap();
+        let store = cache.store_dir();
+        // Orphans: a crashed compactor's tmp and a superseded
+        // generation the cleanup never reached.
+        let live = compact::generation_files(&store)[0].1.clone();
+        fs::copy(&live, store.join("gen-000000.ngcb")).unwrap();
+        fs::write(store.join("gen-000001.ngcb.tmp.999"), b"half-written").unwrap();
+        let report = audit(&cache).unwrap();
+        assert!(!report.is_clean());
+        let orphans = report.generations.iter().filter(|g| g.orphaned).count();
+        assert_eq!(orphans, 2, "superseded copy + tmp: {report:?}");
+
+        // Corruption: flip one payload byte of the live generation —
+        // the clean superseded copy now steps up as the fallback base.
+        let mut bytes = fs::read(&live).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&live, bytes).unwrap();
+        let report = audit(&cache).unwrap();
+        let corrupt =
+            report.generations.iter().filter(|g| !g.defects.is_empty() && !g.orphaned).count();
+        let orphans = report.generations.iter().filter(|g| g.orphaned).count();
+        assert_eq!(corrupt, 1, "{report:?}");
+        assert_eq!(orphans, 1, "only the tmp — the clean copy is now the live base: {report:?}");
+        assert_eq!(report.base_rows(), spec.point_count(), "fallback base still serves");
+
+        let repaired = repair(&cache).unwrap();
+        assert!(repaired.recompacted, "base rebuilt from CSV + older generation");
+        let after = audit(&cache).unwrap();
+        assert!(after.is_clean(), "{after:?}");
+        assert_eq!(after.base_rows(), spec.point_count());
+        assert!(live.with_extension("ngcb.quarantine").exists());
+        let served = cache.lookup(&spec.points());
+        assert_eq!(served.into_iter().collect::<Option<Vec<_>>>().unwrap(), points);
         fs::remove_dir_all(&dir).unwrap();
     }
 

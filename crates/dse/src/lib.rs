@@ -20,6 +20,10 @@
 //!   specs evaluate only their delta) and CSV/JSON emitters. Appends
 //!   take a per-shard advisory file lock, so any number of threads or
 //!   processes can write one store concurrently.
+//! * [`compact`] — the binary columnar generation layer behind
+//!   `dse compact`: sealed CSV shards fold into a checksummed,
+//!   key-sorted file the cache loads with one `read` and zero per-row
+//!   parsing, while readers overlay the live CSV tail on top.
 //! * [`distrib`] — the multi-process sharded backend behind
 //!   `dse --workers N`: deterministic canonical-order slices, worker
 //!   processes coordinating purely through the point store, and a
@@ -46,6 +50,7 @@
 //! ```
 
 pub mod cache;
+pub mod compact;
 pub mod distrib;
 pub mod emit;
 pub mod fsck;
@@ -58,6 +63,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use cache::EvalCache;
+pub use compact::{compact, CompactBase, CompactReport};
 pub use distrib::{Coordinator, DistribError, DistribOutcome, WorkerReport, WorkerSummary};
 pub use pareto::{pareto_indices, Constraints, Objectives, StreamingFrontier};
 pub use search::{SearchOutcome, SearchSpec, SearchStats, SearchStrategy, Searcher};

@@ -66,6 +66,23 @@ hoisted!(
     cache_rows_skipped => "cache.rows_skipped"
 );
 hoisted!(
+    /// Store compactions completed (a binary generation was written).
+    store_compact_runs => "store.compact_runs"
+);
+hoisted!(
+    /// Rows folded into binary generations by the compactor.
+    store_compact_rows => "store.compact_rows"
+);
+hoisted!(
+    /// Lookup hits served from the compact binary base.
+    store_base_hits => "store.base_hits"
+);
+hoisted!(
+    /// Lookup hits served from the live CSV tail (which shadows the
+    /// base on overlap).
+    store_tail_hits => "store.tail_hits"
+);
+hoisted!(
     /// Points accepted into a streaming Pareto frontier.
     frontier_inserts => "frontier.inserts"
 );

@@ -135,25 +135,36 @@ pub fn cache_stats_line(outcome: &SweepOutcome) -> String {
     )
 }
 
-/// The `--cache-stats` extension lines: per-shard row counts plus the
-/// store's cumulative lock-wait and torn-tail-heal counters for this
-/// process. `shards` pairs each shard's `(rows, bytes)` in shard order
-/// (see [`crate::cache::EvalCache::shard_stats`]).
+/// The `--cache-stats` extension lines: both store layers (compact
+/// binary base + live CSV tail, per shard), this process's
+/// base-vs-tail hit split, and the store's cumulative lock-wait and
+/// torn-tail-heal counters. `stats` is one
+/// [`crate::cache::EvalCache::store_stats`] snapshot.
 pub fn shard_stats_report(
-    shards: &[(usize, u64)],
+    stats: &crate::cache::StoreStats,
+    base_hits: u64,
+    tail_hits: u64,
     lock_wait_us: u64,
     heals: u64,
     rows_skipped: u64,
 ) -> String {
-    let rows: usize = shards.iter().map(|(r, _)| r).sum();
-    let bytes: u64 = shards.iter().map(|(_, b)| b).sum();
-    let counts: Vec<String> = shards.iter().map(|(r, _)| r.to_string()).collect();
+    let counts: Vec<String> = stats.shards.iter().map(|(r, _)| r.to_string()).collect();
+    let base_line = match stats.base {
+        Some((seq, rows, bytes)) => format!(
+            "store base: generation {seq}, {rows} row(s), {:.1} KiB binary",
+            bytes as f64 / 1024.0
+        ),
+        None => "store base: none (CSV only — run `dse compact`)".to_string(),
+    };
     format!(
-        "store shards: [{}] rows ({rows} total, {:.1} KiB on disk)\n\
+        "{base_line}\n\
+         store tail: [{}] rows ({} live CSV, {:.1} KiB on disk)\n\
+         store hits this process: {base_hits} from base, {tail_hits} from tail\n\
          store lock wait: {:.2} ms cumulative this process; {heals} torn tail(s) healed; \
          {rows_skipped} corrupt row(s) skipped{}",
         counts.join(" "),
-        bytes as f64 / 1024.0,
+        stats.tail_rows(),
+        stats.tail_bytes() as f64 / 1024.0,
         lock_wait_us as f64 / 1000.0,
         if rows_skipped > 0 { " (run `dse fsck` to audit)" } else { "" },
     )

@@ -273,6 +273,7 @@ pub struct SweepEngine {
     threads: usize,
     cache_dir: Option<PathBuf>,
     quiet: bool,
+    auto_compact: Option<usize>,
 }
 
 impl Default for SweepEngine {
@@ -291,6 +292,7 @@ impl SweepEngine {
             threads: pool::available_threads(),
             cache_dir: Some(PathBuf::from(Self::DEFAULT_CACHE_DIR)),
             quiet: false,
+            auto_compact: None,
         }
     }
 
@@ -317,6 +319,16 @@ impl SweepEngine {
     /// Disable the evaluation cache.
     pub fn without_cache(mut self) -> Self {
         self.cache_dir = None;
+        self
+    }
+
+    /// Opt in to automatic store compaction (`dse --auto-compact N`):
+    /// after a run's append, if the live CSV tail holds at least
+    /// `threshold` rows, fold it into a binary generation. Off by
+    /// default — compaction is cheap but not free, and short-lived
+    /// stores never amortise it.
+    pub fn with_auto_compact(mut self, threshold: Option<usize>) -> Self {
+        self.auto_compact = threshold;
         self
     }
 
@@ -389,6 +401,17 @@ impl SweepEngine {
             let _ = cache.append(&evaluated);
             cache.store_dir()
         });
+
+        // Opt-in auto-compaction: fold a grown CSV tail into a binary
+        // generation once it crosses the threshold. Failure downgrades
+        // like a cache write failure — the WAL stays authoritative.
+        if let (Some(threshold), Some(cache)) = (self.auto_compact, &cache) {
+            if cache.tail_row_estimate() >= threshold {
+                if let Err(e) = crate::compact::compact(cache) {
+                    eprintln!("dse: auto-compaction failed (store still serves): {e}");
+                }
+            }
+        }
 
         // Merge in place: cached points keep their slot, fresh
         // evaluations fill the gaps in order — both sides are already

@@ -28,11 +28,18 @@ fn grown_clock_axis_evaluates_only_the_new_points() {
         "unexpected cold stats: {}",
         stats_line(&out)
     );
-    // The per-shard extension: row counts across the store's shards
-    // must add up to the 16 appended points, and the lock-wait /
+    // The store-layer extension: tail row counts across the shards
+    // must add up to the 16 appended points, the (absent) compact base
+    // and base/tail hit split are reported, and the lock-wait /
     // tail-heal line is present.
-    let shards = out.lines().find(|l| l.starts_with("store shards:")).expect("shard row counts");
-    assert!(shards.contains("(16 total"), "shard rows must sum to 16: {shards}");
+    let tail = out.lines().find(|l| l.starts_with("store tail:")).expect("shard row counts");
+    assert!(tail.contains("(16 live CSV"), "tail rows must sum to 16: {tail}");
+    let base = out.lines().find(|l| l.starts_with("store base:")).expect("base line");
+    assert!(base.contains("none"), "no generation yet: {base}");
+    assert!(
+        out.lines().any(|l| l.starts_with("store hits this process:")),
+        "missing base/tail hit split:\n{out}"
+    );
     assert!(
         out.lines().any(|l| l.starts_with("store lock wait:")),
         "missing lock-wait line:\n{out}"

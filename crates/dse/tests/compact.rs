@@ -1,0 +1,252 @@
+//! End-to-end checks of `dse compact` (ISSUE 8): compaction preserves
+//! every reader-visible row bit-exactly, a compactor killed at any
+//! crash point loses nothing (the CSV write-ahead layer stays
+//! authoritative), `dse fsck` sweeps up the debris, and a randomized
+//! append history round-trips through the binary generation with
+//! latest-wins duplicate semantics.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ng_dse::{DesignPoint, EvalCache, EvaluatedPoint};
+use ng_neural::apps::{AppKind, EncodingKind};
+use proptest::prelude::*;
+
+fn dse(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dse")).args(args).output().expect("dse runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("ng-dse-compact-cli-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stats_line(stdout: &str) -> &str {
+    stdout.lines().find(|l| l.starts_with("cache stats:")).expect("cache stats line printed")
+}
+
+#[test]
+fn compact_preserves_results_and_serves_warm_from_the_base() {
+    let dir = tmpdir("parity");
+    fs::create_dir_all(&dir).unwrap();
+    let store_s = dir.join("store").display().to_string();
+    let pre_csv = dir.join("pre.csv").display().to_string();
+    let post_csv = dir.join("post.csv").display().to_string();
+
+    let (out, err, code) = dse(&["--preset", "quick", "--cache-dir", &store_s, "--csv", &pre_csv]);
+    assert_eq!(code, 0, "seed run failed:\nstdout: {out}\nstderr: {err}");
+
+    let (out, err, code) = dse(&["compact", "--cache-dir", &store_s]);
+    assert_eq!(code, 0, "compact failed:\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("wrote generation 1"), "{out}");
+    assert!(out.contains("16 CSV row(s)"), "all 16 quick-preset rows fold: {out}");
+
+    // The warm re-run is 100% hits — all served from the binary base —
+    // and its CSV is byte-identical to the never-compacted run.
+    let (out, err, code) =
+        dse(&["--preset", "quick", "--cache-dir", &store_s, "--cache-stats", "--csv", &post_csv]);
+    assert_eq!(code, 0, "warm run failed:\nstdout: {out}\nstderr: {err}");
+    assert!(
+        stats_line(&out).contains("16 hits, 0 misses, 0 evaluated"),
+        "100% warm through the base: {}",
+        stats_line(&out)
+    );
+    let base = out.lines().find(|l| l.starts_with("store base:")).expect("base line");
+    assert!(base.contains("generation 1"), "{base}");
+    assert!(
+        out.lines().any(|l| l.starts_with("store hits this process: 16 from base")),
+        "all hits must come from the base layer:\n{out}"
+    );
+    assert_eq!(
+        fs::read(&pre_csv).unwrap(),
+        fs::read(&post_csv).unwrap(),
+        "compaction must not change a single output byte"
+    );
+
+    // An immediate second compaction folds the (empty) tail into a new
+    // generation and still serves the same rows.
+    let (out, _, code) = dse(&["compact", "--cache-dir", &store_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("wrote generation 2"), "{out}");
+    assert!(out.contains("16 base + 0 CSV row(s)"), "{out}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_at_every_stage_loses_no_rows_and_a_retry_succeeds() {
+    // Kill the compactor at each of its three crash points in turn:
+    // after writing the tmp image, after publishing the generation, and
+    // mid-way through truncating the CSV tails. Whatever is left on
+    // disk, the warm re-run must be 100% hits and byte-identical to the
+    // never-compacted run, and a plain retry must complete the fold.
+    for stage in 1..=3u32 {
+        let dir = tmpdir("crash");
+        fs::create_dir_all(&dir).unwrap();
+        let store_s = dir.join("store").display().to_string();
+        let clean_csv = dir.join("clean.csv").display().to_string();
+        let warm_csv = dir.join("warm.csv").display().to_string();
+
+        let (out, err, code) =
+            dse(&["--preset", "quick", "--cache-dir", &store_s, "--csv", &clean_csv]);
+        assert_eq!(code, 0, "seed run failed:\nstdout: {out}\nstderr: {err}");
+
+        let plan = format!("compact:crash@stage={stage}");
+        let (out, err, code) = dse(&["compact", "--cache-dir", &store_s, "--faults", &plan]);
+        assert_ne!(code, 0, "stage {stage}: injected crash must fail the compactor:\n{out}");
+        assert!(err.contains("compact"), "stage {stage}: cause named on stderr: {err}");
+
+        let (out, err, code) = dse(&[
+            "--preset",
+            "quick",
+            "--cache-dir",
+            &store_s,
+            "--cache-stats",
+            "--csv",
+            &warm_csv,
+        ]);
+        assert_eq!(code, 0, "stage {stage}: warm run failed:\nstdout: {out}\nstderr: {err}");
+        assert!(
+            stats_line(&out).contains("16 hits, 0 misses, 0 evaluated"),
+            "stage {stage}: crash debris must not cost a single row: {}",
+            stats_line(&out)
+        );
+        assert_eq!(
+            fs::read(&clean_csv).unwrap(),
+            fs::read(&warm_csv).unwrap(),
+            "stage {stage}: warm CSV must match the never-compacted run byte-for-byte"
+        );
+
+        // The next compactor picks up where the dead one left off.
+        let (out, err, code) = dse(&["compact", "--cache-dir", &store_s]);
+        assert_eq!(code, 0, "stage {stage}: retry failed:\nstdout: {out}\nstderr: {err}");
+        assert!(out.contains("wrote generation"), "stage {stage}: {out}");
+        let (out, _, code) = dse(&["--preset", "quick", "--cache-dir", &store_s, "--cache-stats"]);
+        assert_eq!(code, 0, "stage {stage}: post-retry warm run failed");
+        assert!(
+            stats_line(&out).contains("16 hits, 0 misses, 0 evaluated"),
+            "stage {stage}: still 100% warm after the retry: {}",
+            stats_line(&out)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn fsck_repairs_compactor_crash_debris() {
+    // A compactor killed before publishing leaves a tmp image behind.
+    // It is invisible to readers, but `dse fsck` must flag it, `--check`
+    // must gate on it, and `--repair` must sweep it.
+    let dir = tmpdir("fsck");
+    fs::create_dir_all(&dir).unwrap();
+    let store_s = dir.join("store").display().to_string();
+
+    let (_, err, code) = dse(&["--preset", "quick", "--cache-dir", &store_s, "--quiet"]);
+    assert_eq!(code, 0, "seed run failed:\n{err}");
+    let (_, _, code) =
+        dse(&["compact", "--cache-dir", &store_s, "--faults", "compact:crash@stage=1"]);
+    assert_ne!(code, 0, "injected crash must fail the compactor");
+
+    let (out, _, code) = dse(&["fsck", "--cache-dir", &store_s]);
+    assert_eq!(code, 0, "plain audit reports, it does not gate:\n{out}");
+    assert!(out.contains("ORPHANED"), "the tmp image is flagged:\n{out}");
+    let (_, err, code) = dse(&["fsck", "--cache-dir", &store_s, "--check"]);
+    assert_ne!(code, 0, "--check must gate on the debris");
+    assert!(err.contains("--repair"), "points at the fix: {err}");
+
+    let (out, err, code) = dse(&["fsck", "--cache-dir", &store_s, "--repair"]);
+    assert_eq!(code, 0, "repair failed:\nstdout: {out}\nstderr: {err}");
+    let (_, _, code) = dse(&["fsck", "--cache-dir", &store_s, "--check"]);
+    assert_eq!(code, 0, "store must be clean after repair");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A synthetic design point on a one-dimensional clock axis: distinct
+/// `i` values hash to distinct store keys, repeated `i` values collide
+/// on purpose (duplicate-key appends).
+fn dp(i: usize) -> DesignPoint {
+    DesignPoint {
+        index: i,
+        app: AppKind::ALL[i % AppKind::ALL.len()],
+        encoding: EncodingKind::ALL[i % EncodingKind::ALL.len()],
+        pixels: 2_073_600,
+        nfp_units: 4,
+        clock_ghz: 1.0 + (i as f64) * 0.125,
+        grid_sram_kb: 16,
+        grid_sram_banks: 4,
+        encoding_engines: 2,
+        mac_rows: 4,
+        mac_cols: 16,
+        lanes_per_engine: 4,
+        input_fifo_depth: 8,
+    }
+}
+
+/// Fabricated metrics, a deterministic function of `seed` so that two
+/// appends of the same point are distinguishable.
+fn ep(i: usize, seed: u32) -> EvaluatedPoint {
+    let s = seed as f64;
+    EvaluatedPoint {
+        point: dp(i),
+        speedup: 1.0 + s * 1e-3,
+        area_pct_of_gpu: 0.5 + s * 1e-4,
+        power_pct_of_gpu: 1.5 + s * 1e-4,
+        gpu_ms: 30.0 + s * 1e-2,
+        ngpc_frame_ms: 5.0 + s * 1e-3,
+        amdahl_bound: 10.0 + s * 1e-3,
+        plateaued: seed.is_multiple_of(2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// compact(load(csv)) round-trips every row, including duplicate
+    /// keys where the *latest* append must win — exactly what the CSV
+    /// reader promises — and a lookup against the compacted store is
+    /// indistinguishable from one against the raw CSV.
+    #[test]
+    fn compact_round_trips_every_row_latest_wins(
+        ids in prop::collection::vec(0usize..40, 1..100),
+        seeds in prop::collection::vec(0u32..1_000_000, 1..100),
+    ) {
+        let dir = tmpdir("props");
+        let cache = EvalCache::new(&dir);
+        let rows: Vec<EvaluatedPoint> =
+            ids.iter().zip(&seeds).map(|(&i, &s)| ep(i, s)).collect();
+        cache.append(&rows).unwrap();
+
+        // The reference semantics: later appends shadow earlier ones.
+        let mut expected: HashMap<u64, EvaluatedPoint> = HashMap::new();
+        for row in &rows {
+            expected.insert(EvalCache::point_key(&row.point), *row);
+        }
+
+        let report = ng_dse::compact(&cache).unwrap();
+        prop_assert_eq!(report.rows_out, expected.len(), "one row per distinct key");
+        prop_assert_eq!(report.generation, Some(1));
+        prop_assert_eq!(&cache.load_all(), &expected, "bit-exact round trip");
+
+        // Point lookups go through the layered reader (empty tail,
+        // binary base) and must agree row for row.
+        let points: Vec<DesignPoint> = expected.values().map(|r| r.point).collect();
+        let looked: Vec<EvaluatedPoint> =
+            cache.lookup(&points).into_iter().map(|r| r.unwrap()).collect();
+        for (point, row) in points.iter().zip(&looked) {
+            prop_assert_eq!(row, &expected[&EvalCache::point_key(point)]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

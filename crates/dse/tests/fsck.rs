@@ -67,7 +67,7 @@ fn repair_restores_a_fully_warm_byte_identical_rerun() {
     // The audit sees the damage; --check turns it into a non-zero exit.
     let (out, _, code) = dse(&["fsck", "--cache-dir", &store_s]);
     assert_eq!(code, 0, "plain audit reports, it does not gate:\n{out}");
-    assert!(out.contains("dirty shard"), "{out}");
+    assert!(out.contains("dirty file"), "{out}");
     let (_, err, code) = dse(&["fsck", "--cache-dir", &store_s, "--check"]);
     assert_ne!(code, 0, "--check must gate on findings");
     assert!(err.contains("--repair"), "points at the fix: {err}");

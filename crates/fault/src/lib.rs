@@ -23,6 +23,7 @@
 //! | `worker:kill@point=N`       | a worker process aborts (SIGABRT) while evaluating its `N`-th point |
 //! | `worker:hang@point=N`       | a worker process hangs forever at its `N`-th point |
 //! | `heartbeat:delay=D`         | every worker heartbeat is delayed by `D` (`5s`, `300ms`, ...) |
+//! | `compact:crash@stage=N`     | the store compactor dies at protocol stage `N` (1 = generation written but unverified, 2 = generation live but CSV not yet truncated, 3 = mid-truncation) |
 //!
 //! `worker:*` and `heartbeat:*` faults fire only in processes that
 //! called [`mark_worker`] (the `dse --worker-shard` entry point), so a
@@ -96,6 +97,12 @@ pub enum Fault {
         /// The injected delay.
         delay: Duration,
     },
+    /// The store compactor dies at protocol stage `stage`, leaving the
+    /// exact on-disk state a SIGKILL at that point would leave.
+    CompactCrash {
+        /// 1-based compaction protocol stage to die at.
+        stage: u64,
+    },
 }
 
 /// A parsed, seeded fault plan.
@@ -160,6 +167,10 @@ impl FaultPlan {
                 ("worker", "hang") => Fault::WorkerHang {
                     point: num("point")?
                         .ok_or_else(|| format!("faults: `{token}` needs point=N"))?,
+                },
+                ("compact", "crash") => Fault::CompactCrash {
+                    stage: num("stage")?
+                        .ok_or_else(|| format!("faults: `{token}` needs stage=N"))?,
                 },
                 ("heartbeat", "delay") => Fault::HeartbeatDelay {
                     delay: parse_duration(
@@ -243,6 +254,7 @@ struct Injector {
     ledger_injected: AtomicU64,
     torn_injected: AtomicU64,
     calib_injected: AtomicU64,
+    compact_injected: AtomicU64,
     eval_ticks: AtomicU64,
 }
 
@@ -256,6 +268,7 @@ impl Injector {
             ledger_injected: AtomicU64::new(0),
             torn_injected: AtomicU64::new(0),
             calib_injected: AtomicU64::new(0),
+            compact_injected: AtomicU64::new(0),
             eval_ticks: AtomicU64::new(0),
         }
     }
@@ -437,6 +450,26 @@ pub fn take_calib_partial_write() -> bool {
     )
 }
 
+/// `compact:crash` — the injected death of the store compactor at
+/// protocol stage `stage` (1-based, see the module table). The caller
+/// returns the error *without any cleanup*, so the on-disk state is
+/// exactly what a process SIGKILLed at that stage would leave behind —
+/// which is the state the crash-safety tests assert readers survive.
+/// Not worker-gated: compaction runs in the coordinator / CLI process.
+pub fn compact_crash_at(stage: u64) -> Option<io::Error> {
+    let inj = injector()?;
+    let named = inj
+        .plan
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::CompactCrash { stage: s } if *s == stage));
+    if !named {
+        return None;
+    }
+    inj.compact_injected.fetch_add(1, Ordering::Relaxed);
+    Some(io::Error::other(format!("ng-fault: injected compaction crash (stage {stage})")))
+}
+
 /// `worker:kill` / `worker:hang` — called once per point from the
 /// evaluation pool, *before* the point is evaluated. In a marked
 /// worker process whose plan names this tick, the process aborts (the
@@ -487,6 +520,7 @@ pub fn injected_count(site: &str) -> u64 {
         "ledger:io" => inj.ledger_injected.load(Ordering::Relaxed),
         "torn-tail" => inj.torn_injected.load(Ordering::Relaxed),
         "calib" => inj.calib_injected.load(Ordering::Relaxed),
+        "compact" => inj.compact_injected.load(Ordering::Relaxed),
         _ => 0,
     }
 }
@@ -540,7 +574,7 @@ mod tests {
         let plan = FaultPlan::parse(
             "seed=7;append:io@p=0.01,n=3;ledger:io@p=0.5;shard:torn-tail;\
              calib:partial-write@n=2;worker:kill@point=500;worker:hang@point=3;\
-             heartbeat:delay=5s",
+             heartbeat:delay=5s;compact:crash@stage=2",
         )
         .unwrap();
         assert_eq!(plan.seed, 7);
@@ -554,6 +588,7 @@ mod tests {
                 Fault::WorkerKill { point: 500 },
                 Fault::WorkerHang { point: 3 },
                 Fault::HeartbeatDelay { delay: Duration::from_secs(5) },
+                Fault::CompactCrash { stage: 2 },
             ]
         );
     }
@@ -577,6 +612,7 @@ mod tests {
             "append:io",            // missing p
             "append:io@p=2",        // p out of range
             "worker:kill",          // missing point
+            "compact:crash",        // missing stage
             "heartbeat:delay=fast", // bad duration
             "seed=x",
             "whatever:io@p=0.1",
