@@ -35,7 +35,10 @@
 //! warm run's hit ratio, and the file closes with a `stage_profile_us`
 //! breakdown of where this process's wall time went (per span path) —
 //! the counter/stage snapshots the run ledger records, folded into the
-//! perf trajectory.
+//! perf trajectory. Since the robustness PR a `robustness_counters`
+//! block pins the degraded-append and job-manifest counters (normally
+//! all zero: a bench run that diverted rows to the in-memory overlay
+//! was not measuring the store it claims to).
 //!
 //! ```text
 //! bench_dse [--quick] [--check-warm] [--check-overhead] [--out PATH]
@@ -537,12 +540,25 @@ fn main() -> ExitCode {
     } else {
         format!(",\n  \"stage_profile_us\": {{\n{}\n  }}", stage_rows.join(",\n"))
     };
+    // Pin the robustness counters in the snapshot explicitly: they are
+    // zero on a healthy bench run, so the growth-only `counters_cold`
+    // delta would never show them — but a *nonzero* degraded-append
+    // count means the cold numbers measured the in-memory overlay, not
+    // the store, and that must be visible in the trajectory file.
+    let robustness_json = format!(
+        ",\n  \"robustness_counters\": {{\n    \"store.degraded_appends\": {},\n    \
+         \"jobs.manifests_written\": {},\n    \"jobs.resumed\": {}\n  }}",
+        ng_dse::obs_counters::store_degraded_appends().get(),
+        ng_dse::obs_counters::jobs_manifests_written().get(),
+        ng_dse::obs_counters::jobs_resumed().get(),
+    );
     let json = format!(
-        "{{\n  \"presets\": [\n{}\n  ]{}{}{}{}\n}}\n",
+        "{{\n  \"presets\": [\n{}\n  ]{}{}{}{}{}\n}}\n",
         entries.join(",\n"),
         guided_json,
         distributed_json,
         store_load_json,
+        robustness_json,
         stage_json
     );
     if let Err(e) = fs::write(&out_path, &json) {

@@ -20,9 +20,11 @@ dse — NGPC design-space exploration with Pareto frontier extraction
 
 USAGE:
     dse [--preset NAME | --spec FILE.toml] [OPTIONS]
+    dse resume [JOB] [--cache-dir DIR] [--quiet]
     dse trace LEDGER.jsonl [--chrome OUT.json] [--check] [--min-coverage P]
     dse fsck [--cache-dir DIR] [--ledger PATH] [--repair] [--check]
     dse compact [--cache-dir DIR]
+    dse chaos [--iterations N] [--seed N] [--cache-dir DIR]
 
 SPEC:
     --preset NAME        paper | quick | clocks | resolutions | mac-arrays |
@@ -66,6 +68,9 @@ EXECUTION:
     --worker-shard i/N   low-level worker mode (what --workers spawns):
                          evaluate slice i of N, append it to the store,
                          print a one-line summary, exit
+    --stall-timeout SECS revoke a distributed worker's slice lease after
+                         this many seconds without heartbeat or progress
+                         (default: 10; equivalent env: NG_DSE_STALL_TIMEOUT)
     --cache-dir DIR      evaluation cache location (default: .dse-cache)
     --no-cache           always re-evaluate, never read or write the cache
     --cache-stats        print per-run cache hit/miss/evaluated counts,
@@ -123,6 +128,38 @@ OBSERVABILITY:
                          overlays the new base
       --cache-dir DIR    store to compact (default: .dse-cache)
 
+GRACEFUL SHUTDOWN AND RESUME:
+    The first SIGINT/SIGTERM drains the run: no new points are
+    dispatched, everything already computed is flushed to the point
+    store, the job manifest is marked interrupted, and the process
+    exits 130. A second signal exits 131 immediately (the store's
+    appends are crash-safe either way). Every cache-enabled
+    sweep/search/--workers run writes a durable job manifest to
+    <cache-dir>/jobs/job-*.json before evaluating.
+
+    dse resume [JOB]     re-enter an interrupted job and evaluate only
+                         its missing tail (the store replays the prefix
+                         as warm hits, so the final output is
+                         byte-identical to an uninterrupted run). JOB
+                         is a job id or a manifest path; omitted, the
+                         newest resumable job is picked
+      --cache-dir DIR    where to look for jobs (default: .dse-cache)
+      --quiet            suppress the live progress line
+
+    dse chaos            seeded soak harness: N iterations, each
+                         running a quick sweep in child processes under
+                         a randomized-but-replayable fault schedule
+                         (worker kill/hang, torn tails, transient
+                         append/ledger errors, ENOSPC, mid-run
+                         SIGTERM + resume), then asserting invariants:
+                         fsck-clean store, 100% warm re-run, CSV
+                         byte-parity with the fault-free reference
+      --iterations N     soak iterations (default: 5)
+      --seed N           schedule seed (default: 1); a failing
+                         iteration's banner names the exact seed to
+                         replay it alone
+      --cache-dir DIR    scratch root (default: a fresh temp dir)
+
 FAULT INJECTION (deterministic chaos testing):
     --faults PLAN        arm a seeded fault plan in this process and
                          every spawned worker; equivalent env:
@@ -147,6 +184,16 @@ OUTPUT:
                          additionally requires the searcher to *recover*
                          that point within its budget (the CI guard)
     --help               this text
+
+EXIT CODES (shared by every mode; a worker's code is read back by its
+coordinator, a check's by CI):
+    0    success
+    1    run failed (I/O, bad spec file content, failed paper check)
+    2    usage or spec mistake — retrying the same invocation cannot help
+    3    a worker evaluated its slice but could not persist it to the store
+    4    a --check audit (fsck --check, trace --check) found defects
+    130  drained gracefully after SIGINT/SIGTERM; `dse resume` finishes the job
+    131  hard exit on a second signal before the drain finished
 ";
 
 /// A CLI failure carrying the process exit code. Plain `String` errors
@@ -171,6 +218,17 @@ fn usage_err(message: String) -> CliError {
     CliError { code: ng_dse::distrib::EXIT_USAGE as u8, message }
 }
 
+/// A `--check` audit found defects in the artifact it examined.
+fn check_err(message: String) -> CliError {
+    CliError { code: ng_dse::distrib::EXIT_CHECK_FAILED as u8, message }
+}
+
+/// The run drained gracefully on SIGINT/SIGTERM; `dse resume` owes the
+/// tail.
+fn interrupted_err(message: String) -> CliError {
+    CliError { code: ng_dse::distrib::EXIT_INTERRUPTED as u8, message }
+}
+
 struct Cli {
     spec: SweepSpec,
     constraints: Constraints,
@@ -191,6 +249,7 @@ struct Cli {
     seed: Option<u64>,
     trace: Option<String>,
     faults: Option<String>,
+    stall_timeout: Option<f64>,
     metrics: bool,
     quiet: bool,
     /// Outcome/report-producing flags seen on the command line, in
@@ -241,6 +300,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         seed: None,
         trace: None,
         faults: None,
+        stall_timeout: None,
         metrics: false,
         quiet: false,
         report_flags: Vec::new(),
@@ -313,6 +373,13 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.worker_shard = Some(ng_dse::distrib::parse_shard_arg(&v).ok_or_else(|| {
                     format!("--worker-shard: expected i/N with 0 <= i < N, got `{v}`")
                 })?);
+            }
+            "--stall-timeout" => {
+                let secs: f64 = value(arg)?.parse().map_err(|_| "--stall-timeout: not a number")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--stall-timeout: need a positive number of seconds".to_string());
+                }
+                cli.stall_timeout = Some(secs);
             }
             "--cache-dir" => cli.cache_dir = Some(value(arg)?),
             "--no-cache" => cli.no_cache = true,
@@ -429,23 +496,64 @@ fn is_headline_arch(a: &ng_dse::ArchPoint) -> bool {
     a.is_paper_organisation()
 }
 
+/// Mark a job manifest interrupted (progress snapshot included), save
+/// it, and build the user-facing drain message with its resume hint.
+fn finish_job_interrupted(
+    job: &mut Option<ng_dse::job::JobManifest>,
+    delivered: usize,
+    detail: &str,
+) -> String {
+    let hint = match job {
+        Some(j) => {
+            j.status = ng_dse::job::JobStatus::Interrupted;
+            j.delivered = delivered;
+            if let Err(e) = j.save() {
+                eprintln!("dse: could not update job manifest {} ({e})", j.id);
+            }
+            format!("; finish with `dse resume {}`", j.id)
+        }
+        None => String::new(),
+    };
+    format!("interrupted: {detail}{hint}")
+}
+
+/// Mark a job manifest done and save it (best effort — the results are
+/// already in the store and on stdout).
+fn finish_job_done(job: &mut Option<ng_dse::job::JobManifest>, delivered: usize) {
+    if let Some(j) = job {
+        j.status = ng_dse::job::JobStatus::Done;
+        j.delivered = delivered;
+        if let Err(e) = j.save() {
+            eprintln!("dse: could not update job manifest {} ({e})", j.id);
+        }
+    }
+}
+
 /// Guided-search mode: run the searcher instead of the exhaustive
 /// sweep, and (under `--check-headline`) require the NGPC-64 headline
 /// point to be *recovered* — found and kept non-dominated — within the
 /// budget.
-fn run_search(cli: &Cli, strategy: ng_dse::SearchStrategy) -> Result<(), String> {
+fn run_search(
+    cli: &Cli,
+    strategy: ng_dse::SearchStrategy,
+    mut job: Option<ng_dse::job::JobManifest>,
+) -> Result<(), CliError> {
     if cli.csv.is_some() || cli.json.is_some() {
-        return Err("--csv/--json emit full sweep outcomes; rerun without --search".to_string());
+        return Err(usage_err(
+            "--csv/--json emit full sweep outcomes; rerun without --search".to_string(),
+        ));
     }
     if cli.per_app {
-        return Err(
-            "--per-app reads a full sweep's per-app points; rerun without --search".to_string()
-        );
+        return Err(usage_err(
+            "--per-app reads a full sweep's per-app points; rerun without --search".to_string(),
+        ));
     }
     if cli.threads.is_some() {
-        return Err("--threads: guided search is sequential by design (one memoized \
-                    evaluation context); rerun without --search for the parallel sweep"
-            .to_string());
+        return Err(usage_err(
+            "--threads: guided search is sequential by design (one memoized \
+             evaluation context); rerun without --search for the parallel sweep"
+                .to_string(),
+        ));
     }
     let mut searcher = ng_dse::Searcher::new();
     if cli.no_cache {
@@ -461,7 +569,22 @@ fn run_search(cli: &Cli, strategy: ng_dse::SearchStrategy) -> Result<(), String>
     if let Some(seed) = cli.seed {
         search.seed = seed;
     }
-    let outcome = searcher.run(&cli.spec, &search).map_err(|e| e.to_string())?;
+    let outcome = searcher
+        .run_draining(&cli.spec, &search, ng_dse::cancel::cancelled)
+        .map_err(|e| e.to_string())?;
+    if outcome.stats.interrupted {
+        let delivered = outcome.stats.cache_hits + outcome.stats.evaluations;
+        return Err(interrupted_err(finish_job_interrupted(
+            &mut job,
+            delivered,
+            &format!(
+                "search drained after {} of {} budgeted evaluations; the flushed prefix \
+                 replays as warm hits",
+                outcome.stats.evaluations, outcome.stats.budget
+            ),
+        )));
+    }
+    finish_job_done(&mut job, outcome.stats.cache_hits + outcome.stats.evaluations);
     let _span = ng_obs::span("report");
     ng_dse::report::print_search_report(&outcome, &cli.constraints, cli.top);
     if cli.cache_stats {
@@ -507,13 +630,15 @@ fn run_search(cli: &Cli, strategy: ng_dse::SearchStrategy) -> Result<(), String>
             if headline.is_none() {
                 return Err("--check-headline: guided search failed to recover the paper's \
                             NGPC-64 point within its budget"
-                    .to_string());
+                    .to_string()
+                    .into());
             }
             if outcome.stats.evaluations > outcome.stats.budget {
                 return Err(format!(
                     "--check-headline: search overspent its budget ({} > {})",
                     outcome.stats.evaluations, outcome.stats.budget
-                ));
+                )
+                .into());
             }
         }
     }
@@ -545,28 +670,44 @@ fn run_worker(cli: &Cli, shard: usize, of: usize) -> Result<(), CliError> {
     }
     let cache_dir = cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
     let threads = cli.threads.unwrap_or_else(ng_dse::pool::available_threads);
-    let summary =
-        ng_dse::distrib::run_worker_slice(&cli.spec, shard, of, Path::new(&cache_dir), threads)
-            .map_err(|e| {
-                // The exit code tells the coordinator what went wrong:
-                // a spec/usage mistake cannot be fixed by a respawn,
-                // while a store-append failure means the slice was
-                // (probably) evaluated but never persisted.
-                let code = match &e {
-                    ng_dse::DistribError::Io(_) => ng_dse::distrib::EXIT_STORE_APPEND as u8,
-                    ng_dse::DistribError::Spec(_) | ng_dse::DistribError::Shard { .. } => {
-                        ng_dse::distrib::EXIT_USAGE as u8
-                    }
-                };
-                CliError { code, message: e.to_string() }
-            })?;
+    // The worker drains on a direct signal *or* on the coordinator's
+    // drain flag (forwarded when the coordinator got the signal and the
+    // worker did not share its terminal's process group).
+    let summary = ng_dse::distrib::run_worker_slice_draining(
+        &cli.spec,
+        shard,
+        of,
+        Path::new(&cache_dir),
+        threads,
+        &ng_dse::cancel::cancelled,
+    )
+    .map_err(|e| {
+        // The exit code tells the coordinator what went wrong:
+        // a spec/usage mistake cannot be fixed by a respawn,
+        // while a store-append failure means the slice was
+        // (probably) evaluated but never persisted.
+        let code = match &e {
+            ng_dse::DistribError::Io(_) => ng_dse::distrib::EXIT_STORE_APPEND as u8,
+            ng_dse::DistribError::Spec(_) | ng_dse::DistribError::Shard { .. } => {
+                ng_dse::distrib::EXIT_USAGE as u8
+            }
+        };
+        CliError { code, message: e.to_string() }
+    })?;
     println!("{summary}");
+    if summary.interrupted {
+        return Err(interrupted_err(format!(
+            "worker {shard}/{of} drained early; its completed points are flushed to the store"
+        )));
+    }
     Ok(())
 }
 
 /// Coordinator mode (`--workers N`): spawn workers, merge from the
-/// store, then report exactly like a single-process sweep.
-fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, String> {
+/// store, then report exactly like a single-process sweep — or, on a
+/// signal, forward the drain to the workers and return the drain
+/// record.
+fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::DistribRun, String> {
     if cli.no_cache {
         return Err("--workers: the multi-process backend coordinates through the point \
                     store; rerun without --no-cache"
@@ -580,9 +721,22 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, St
     if let Some(threads) = cli.threads {
         coordinator = coordinator.with_threads_per_worker(threads);
     }
-    let distributed = coordinator.run(&cli.spec).map_err(|e| e.to_string())?;
-    for w in &distributed.workers {
+    if let Some(secs) = cli.stall_timeout {
+        coordinator = coordinator.with_stall_after(std::time::Duration::from_secs_f64(secs));
+    }
+    let run = coordinator
+        .run_draining(&cli.spec, ng_dse::cancel::cancelled)
+        .map_err(|e| e.to_string())?;
+    let worker_reports = match &run {
+        ng_dse::DistribRun::Complete(d) => &d.workers,
+        ng_dse::DistribRun::Interrupted(d) => &d.workers,
+    };
+    for w in worker_reports {
         if w.ok {
+            println!("{}", w.stdout);
+        } else if w.exit == Some(ng_dse::distrib::EXIT_INTERRUPTED) {
+            // A drained worker is not a failure: it flushed what it
+            // had and left the tail for `dse resume`.
             println!("{}", w.stdout);
         } else {
             eprintln!(
@@ -593,16 +747,18 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::SweepOutcome, St
             eprintln!("dse: {}", w.status_line());
         }
     }
-    if distributed.recovered > 0 {
-        println!("coordinator recovered {} point(s) no worker delivered", distributed.recovered);
+    if let ng_dse::DistribRun::Complete(d) = &run {
+        if d.recovered > 0 {
+            println!("coordinator recovered {} point(s) no worker delivered", d.recovered);
+        }
     }
-    Ok(distributed.outcome)
+    Ok(run)
 }
 
 /// `dse trace LEDGER.jsonl`: summarize a recorded run ledger — the
 /// per-stage profile, per-process counters, and the balance/invariant
 /// verdict — with optional Chrome trace export and CI-gate mode.
-fn run_trace(args: &[String]) -> Result<(), String> {
+fn run_trace(args: &[String]) -> Result<(), CliError> {
     let mut ledger_path: Option<String> = None;
     let mut chrome: Option<String> = None;
     let mut check = false;
@@ -615,22 +771,31 @@ fn run_trace(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             "--chrome" => {
-                chrome =
-                    Some(it.next().cloned().ok_or_else(|| "--chrome needs a path".to_string())?)
+                chrome = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--chrome needs a path".to_string()))?,
+                )
             }
             "--check" => check = true,
             "--min-coverage" => {
-                let pct = it.next().ok_or_else(|| "--min-coverage needs a percent".to_string())?;
-                min_coverage =
-                    pct.parse().map_err(|_| format!("--min-coverage: `{pct}` is not a number"))?;
+                let pct = it
+                    .next()
+                    .ok_or_else(|| usage_err("--min-coverage needs a percent".to_string()))?;
+                min_coverage = pct
+                    .parse()
+                    .map_err(|_| usage_err(format!("--min-coverage: `{pct}` is not a number")))?;
             }
             other if !other.starts_with("--") && ledger_path.is_none() => {
                 ledger_path = Some(other.to_string())
             }
-            other => return Err(format!("trace: unexpected argument `{other}` (try --help)")),
+            other => {
+                return Err(usage_err(format!("trace: unexpected argument `{other}` (try --help)")))
+            }
         }
     }
-    let path = ledger_path.ok_or_else(|| "trace: need a LEDGER.jsonl path".to_string())?;
+    let path =
+        ledger_path.ok_or_else(|| usage_err("trace: need a LEDGER.jsonl path".to_string()))?;
     let ledger = ng_obs::Ledger::read(Path::new(&path)).map_err(|e| format!("{path}: {e}"))?;
     let verdict = ledger.check();
 
@@ -713,13 +878,13 @@ fn run_trace(args: &[String]) -> Result<(), String> {
         println!("wrote Chrome trace to {out} (load in chrome://tracing or Perfetto)");
     }
     if check && !verdict.ok(min_coverage / 100.0) {
-        return Err(format!(
+        return Err(check_err(format!(
             "trace --check failed: coverage {:.1}% (need >= {min_coverage}%), \
              {} unbalanced span(s), {} invariant violation(s)",
             100.0 * verdict.coverage,
             verdict.unbalanced.len(),
             verdict.invariant_violations.len()
-        ));
+        )));
     }
     Ok(())
 }
@@ -727,7 +892,7 @@ fn run_trace(args: &[String]) -> Result<(), String> {
 /// `dse fsck [--repair] [--check]`: the store doctor — audit (and
 /// optionally repair) the point store and a run ledger. See
 /// [`ng_dse::fsck`] for the defect classes and repair guarantees.
-fn run_fsck(args: &[String]) -> Result<(), String> {
+fn run_fsck(args: &[String]) -> Result<(), CliError> {
     let mut cache_dir: Option<String> = None;
     let mut ledger: Option<String> = None;
     let mut repair = false;
@@ -741,16 +906,23 @@ fn run_fsck(args: &[String]) -> Result<(), String> {
             }
             "--cache-dir" => {
                 cache_dir = Some(
-                    it.next().cloned().ok_or_else(|| "--cache-dir needs a value".to_string())?,
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--cache-dir needs a value".to_string()))?,
                 )
             }
             "--ledger" => {
-                ledger =
-                    Some(it.next().cloned().ok_or_else(|| "--ledger needs a path".to_string())?)
+                ledger = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--ledger needs a path".to_string()))?,
+                )
             }
             "--repair" => repair = true,
             "--check" => check = true,
-            other => return Err(format!("fsck: unexpected argument `{other}` (try --help)")),
+            other => {
+                return Err(usage_err(format!("fsck: unexpected argument `{other}` (try --help)")))
+            }
         }
     }
     let dir = cache_dir.unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
@@ -783,7 +955,8 @@ fn run_fsck(args: &[String]) -> Result<(), String> {
             return Err(format!(
                 "fsck --repair: store still dirty after repair: {}",
                 after.summary()
-            ));
+            )
+            .into());
         }
         println!("{}", after.summary());
     }
@@ -797,12 +970,181 @@ fn run_fsck(args: &[String]) -> Result<(), String> {
         defects |= torn > 0;
     }
     if check && defects {
-        return Err(if repair {
+        return Err(check_err(if repair {
             "fsck --check: defects were found (and repaired); the previous run left damage"
                 .to_string()
         } else {
             "fsck --check: defects found — run `dse fsck --repair`".to_string()
-        });
+        }));
+    }
+    Ok(())
+}
+
+/// `dse resume [JOB]`: re-enter an interrupted (or crashed) job from
+/// its durable manifest and evaluate only the missing tail — the point
+/// store replays everything already delivered as warm hits, so the
+/// completed run's output is byte-identical to an uninterrupted one.
+fn run_resume(args: &[String]) -> Result<(), CliError> {
+    let mut operand: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--cache-dir" => {
+                cache_dir = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--cache-dir needs a value".to_string()))?,
+                )
+            }
+            "--quiet" => quiet = true,
+            other if !other.starts_with("--") && operand.is_none() => {
+                operand = Some(other.to_string())
+            }
+            other => {
+                return Err(usage_err(format!(
+                    "resume: unexpected argument `{other}` (try --help)"
+                )))
+            }
+        }
+    }
+    let lookup_dir = cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+    let manifest = match &operand {
+        Some(op) => {
+            ng_dse::job::JobManifest::find(Path::new(&lookup_dir), op).map_err(usage_err)?
+        }
+        None => {
+            ng_dse::job::JobManifest::latest_resumable(Path::new(&lookup_dir)).ok_or_else(|| {
+                usage_err(format!(
+                    "resume: no resumable job under {lookup_dir}/jobs (none recorded, or all done)"
+                ))
+            })?
+        }
+    };
+    if manifest.status == ng_dse::job::JobStatus::Done {
+        return Err(usage_err(format!(
+            "resume: job {} already ran to completion; re-run the original command for a \
+             (fully cached) repeat",
+            manifest.id
+        )));
+    }
+    if !manifest.models_match() {
+        return Err(format!(
+            "resume: job {} was computed under models {} fingerprint {:016x}; this binary is \
+             {} fingerprint {:016x} — its results live in a different store generation, so \
+             rerun the sweep instead",
+            manifest.id,
+            manifest.model_version,
+            manifest.fingerprint,
+            ng_dse::MODEL_VERSION,
+            ng_dse::model_fingerprint()
+        )
+        .into());
+    }
+    let spec = manifest
+        .spec()
+        .map_err(|e| CliError::from(format!("resume: manifest {}: {e}", manifest.id)))?;
+    let search = match manifest.search_strategy.as_deref() {
+        Some(s) => Some(ng_dse::SearchStrategy::parse(s).ok_or_else(|| {
+            CliError::from(format!(
+                "resume: manifest {}: unknown search strategy `{s}`",
+                manifest.id
+            ))
+        })?),
+        None => None,
+    };
+    eprintln!(
+        "dse: resuming {} ({} mode; {} of {} points were delivered before the interrupt)",
+        manifest.id,
+        manifest.mode.as_str(),
+        manifest.delivered,
+        manifest.total_points
+    );
+    ng_dse::obs_counters::jobs_resumed().incr();
+    let cli = Cli {
+        spec,
+        constraints: Constraints {
+            max_area_pct: manifest.max_area,
+            max_power_pct: manifest.max_power,
+            min_speedup: manifest.min_speedup,
+        },
+        threads: manifest.threads,
+        workers: manifest.workers,
+        worker_shard: None,
+        cache_dir: Some(manifest.cache_dir.clone()),
+        no_cache: false,
+        cache_stats: false,
+        auto_compact: None,
+        top: 16,
+        per_app: false,
+        csv: manifest.csv.clone(),
+        json: manifest.json_out.clone(),
+        check_headline: false,
+        search,
+        budget: manifest.budget,
+        seed: manifest.seed,
+        trace: None,
+        faults: None,
+        stall_timeout: None,
+        metrics: false,
+        quiet,
+        report_flags: Vec::new(),
+    };
+    run_parsed(&cli, Some(manifest))
+}
+
+/// `dse chaos`: the seeded soak harness — see [`ng_dse::chaos`].
+fn run_chaos(args: &[String]) -> Result<(), CliError> {
+    let mut opts = ng_dse::chaos::ChaosOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--iterations" => {
+                let v =
+                    it.next().ok_or_else(|| usage_err("--iterations needs a count".to_string()))?;
+                opts.iterations = v
+                    .parse()
+                    .map_err(|_| usage_err(format!("--iterations: `{v}` is not a number")))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| usage_err("--seed needs a value".to_string()))?;
+                opts.seed =
+                    v.parse().map_err(|_| usage_err(format!("--seed: `{v}` is not a number")))?;
+            }
+            "--cache-dir" => {
+                let v =
+                    it.next().ok_or_else(|| usage_err("--cache-dir needs a value".to_string()))?;
+                opts.scratch_dir = Some(std::path::PathBuf::from(v));
+            }
+            other => {
+                return Err(usage_err(format!("chaos: unexpected argument `{other}` (try --help)")))
+            }
+        }
+    }
+    if opts.iterations == 0 {
+        return Err(usage_err("--iterations: need at least 1".to_string()));
+    }
+    let report = ng_dse::chaos::run_soak(&opts).map_err(CliError::from)?;
+    print!("{report}");
+    let failed = report.failed_iterations();
+    if !failed.is_empty() {
+        return Err(format!(
+            "chaos: {} of {} iteration(s) failed — replay one alone with \
+             `dse chaos --iterations 1 --seed {}`",
+            failed.len(),
+            opts.iterations,
+            failed[0].schedule_seed
+        )
+        .into());
     }
     Ok(())
 }
@@ -874,17 +1216,28 @@ fn print_metrics(before: &ng_obs::CounterSnapshot) {
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
-    if args.first().map(String::as_str) == Some("trace") {
-        return run_trace(&args[1..]).map_err(CliError::from);
-    }
-    if args.first().map(String::as_str) == Some("fsck") {
-        return run_fsck(&args[1..]).map_err(CliError::from);
-    }
-    if args.first().map(String::as_str) == Some("compact") {
-        return run_compact(&args[1..]).map_err(CliError::from);
+    // The watcher is installed before any work: the first
+    // SIGINT/SIGTERM drains, the second hard-exits (see
+    // `ng_dse::cancel`). Subcommands that never evaluate points keep
+    // the default die-on-signal semantics by simply never checking the
+    // token.
+    ng_dse::cancel::install_signal_watcher();
+    match args.first().map(String::as_str) {
+        Some("trace") => return run_trace(&args[1..]),
+        Some("fsck") => return run_fsck(&args[1..]),
+        Some("compact") => return run_compact(&args[1..]).map_err(CliError::from),
+        Some("resume") => return run_resume(&args[1..]),
+        Some("chaos") => return run_chaos(&args[1..]),
+        _ => {}
     }
     let Some(cli) = parse_args(args).map_err(usage_err)? else { return Ok(()) };
+    run_parsed(&cli, None)
+}
 
+/// Everything after argument parsing: observability/fault arming, the
+/// root span, mode dispatch, counter flush. `resumed` carries the job
+/// manifest when entered through `dse resume`.
+fn run_parsed(cli: &Cli, resumed: Option<ng_dse::job::JobManifest>) -> Result<(), CliError> {
     // Recording starts before the root span so the ledger sees every
     // event; `--trace` also exports the path so worker processes
     // spawned by `--workers` append to the same ledger.
@@ -908,7 +1261,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let counters_before = ng_obs::counter::snapshot();
     let result = {
         let _root = ng_obs::span("dse");
-        run_mode(&cli)
+        run_mode(cli, resumed)
     };
     // The root span is closed: flush final counter values, then the
     // optional in-process summary.
@@ -921,7 +1274,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
 
 /// Everything between the `dse` root span's open and close: mode
 /// dispatch and reporting.
-fn run_mode(cli: &Cli) -> Result<(), CliError> {
+fn run_mode(cli: &Cli, resumed: Option<ng_dse::job::JobManifest>) -> Result<(), CliError> {
     if cli.workers.is_some() && cli.worker_shard.is_some() {
         return Err(usage_err(
             "--workers (coordinator) and --worker-shard (worker) are mutually exclusive"
@@ -942,12 +1295,80 @@ fn run_mode(cli: &Cli) -> Result<(), CliError> {
         return run_worker(cli, shard, of);
     }
 
+    // Every cache-enabled run is durable: write a `Running` job
+    // manifest before evaluating, finish it `Done` or `Interrupted`.
+    // A manifest that cannot be written (exhausted disk) costs
+    // resumability, never the run.
+    let mut job: Option<ng_dse::job::JobManifest> = if cli.no_cache {
+        None
+    } else {
+        let manifest = match resumed {
+            Some(mut m) => {
+                m.status = ng_dse::job::JobStatus::Running;
+                m
+            }
+            None => {
+                let mode = if cli.search.is_some() {
+                    ng_dse::job::JobMode::Search
+                } else if cli.workers.is_some() {
+                    ng_dse::job::JobMode::Distrib
+                } else {
+                    ng_dse::job::JobMode::Sweep
+                };
+                let cache_dir =
+                    cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+                let mut m = ng_dse::job::JobManifest::new(
+                    mode,
+                    &cli.spec,
+                    &cache_dir,
+                    cli.spec.point_count(),
+                );
+                m.threads = cli.threads;
+                m.workers = cli.workers;
+                m.csv = cli.csv.clone();
+                m.json_out = cli.json.clone();
+                m.search_strategy = cli.search.map(|s| s.slug().to_string());
+                m.budget = cli.budget;
+                m.seed = cli.seed;
+                m.max_area = cli.constraints.max_area_pct;
+                m.max_power = cli.constraints.max_power_pct;
+                m.min_speedup = cli.constraints.min_speedup;
+                m
+            }
+        };
+        match manifest.save() {
+            Ok(_) => Some(manifest),
+            Err(e) => {
+                eprintln!(
+                    "dse: could not write job manifest {} ({e}); this run is not resumable",
+                    manifest.id
+                );
+                None
+            }
+        }
+    };
+
     if let Some(strategy) = cli.search {
-        return run_search(cli, strategy).map_err(CliError::from);
+        return run_search(cli, strategy, job);
     }
 
     let outcome = if let Some(workers) = cli.workers {
-        run_distributed(cli, workers)?
+        match run_distributed(cli, workers)? {
+            ng_dse::DistribRun::Complete(d) => d.outcome,
+            ng_dse::DistribRun::Interrupted(drained) => {
+                return Err(interrupted_err(finish_job_interrupted(
+                    &mut job,
+                    drained.delivered,
+                    &format!(
+                        "distributed sweep drained with {} of {} points in the store \
+                         ({} remaining)",
+                        drained.delivered,
+                        drained.total_points,
+                        drained.remaining()
+                    ),
+                )));
+            }
+        }
     } else {
         let mut engine =
             SweepEngine::new().with_quiet(cli.quiet).with_auto_compact(cli.auto_compact);
@@ -959,8 +1380,27 @@ fn run_mode(cli: &Cli) -> Result<(), CliError> {
         } else if let Some(dir) = &cli.cache_dir {
             engine = engine.with_cache_dir(dir);
         }
-        engine.run(&cli.spec).map_err(|e| e.to_string())?
+        match engine
+            .run_draining(cli.spec.clone(), ng_dse::cancel::cancelled)
+            .map_err(|e| e.to_string())?
+        {
+            ng_dse::SweepRun::Complete(outcome) => outcome,
+            ng_dse::SweepRun::Interrupted(drained) => {
+                let delivered = drained.cache_hits + drained.freshly_completed;
+                return Err(interrupted_err(finish_job_interrupted(
+                    &mut job,
+                    delivered,
+                    &format!(
+                        "sweep drained with {} of {} points flushed ({} remaining)",
+                        delivered,
+                        drained.total_points,
+                        drained.remaining()
+                    ),
+                )));
+            }
+        }
     };
+    finish_job_done(&mut job, outcome.points.len());
     // Frontier extraction + table rendering is real work on large
     // sweeps — span it so the ledger's coverage accounting sees it.
     let _span = ng_obs::span("report");
@@ -980,6 +1420,8 @@ fn run_mode(cli: &Cli) -> Result<(), CliError> {
                     ng_dse::obs_counters::store_lock_wait_us().get(),
                     ng_dse::obs_counters::store_tail_heals().get(),
                     ng_dse::obs_counters::cache_rows_skipped().get(),
+                    ng_dse::obs_counters::store_degraded_appends().get(),
+                    &ng_dse::job::JobManifest::list(std::path::Path::new(&dir)),
                 )
             );
         }

@@ -37,12 +37,26 @@
 //! parsing. Readers overlay the live CSV tail (which wins) on that
 //! compact base, so appenders keep writing CSV exactly as before and
 //! never coordinate with the compactor beyond the shard locks.
+//!
+//! **Storage exhaustion degrades, it does not kill.** An append that
+//! fails with a *persistent* capacity error (ENOSPC, EROFS, quota,
+//! permissions — see [`ng_fault::is_exhaustion`]) diverts its rows to
+//! a per-process in-memory overlay instead of failing the run: this
+//! process keeps hitting those points ([`EvalCache::lookup`] and
+//! [`EvalCache::load_all`] consult the overlay after both disk
+//! layers), one stderr warning names the condition, and the
+//! `store.degraded_appends` counter records every diverted row. The
+//! results are lost when the process exits — the next run simply
+//! re-evaluates them — which is strictly better than the alternative
+//! the store used to pick: a worker dying with `EXIT_STORE_APPEND`
+//! and delivering nothing.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, Once, OnceLock};
 
 use crate::emit::{point_from_row, point_to_row};
 use crate::obs_counters;
@@ -53,6 +67,37 @@ use crate::{model_fingerprint, MODEL_VERSION};
 /// Number of shard files per cache generation (points are distributed
 /// by the top nibble of their key).
 pub const SHARD_COUNT: usize = 16;
+
+/// Per-process in-memory overlay holding rows whose disk append hit a
+/// persistent capacity error (ENOSPC/EROFS/quota). Keyed by
+/// `(store dir, point key)` so two caches in one process — the normal
+/// state of the test binary — never see each other's diverted rows.
+/// Never pre-initialised: a healthy process pays one `OnceLock::get`
+/// (a relaxed load) per overlay consult and no allocation.
+static DEGRADED_OVERLAY: OnceLock<Mutex<HashMap<(PathBuf, u64), EvaluatedPoint>>> = OnceLock::new();
+
+fn overlay_get(store_dir: &Path, key: u64) -> Option<EvaluatedPoint> {
+    let map = DEGRADED_OVERLAY.get()?.lock().unwrap();
+    map.get(&(store_dir.to_path_buf(), key)).copied()
+}
+
+fn overlay_insert(store_dir: &Path, rows: &[(u64, EvaluatedPoint)]) {
+    let mut map = DEGRADED_OVERLAY.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+    for (key, point) in rows {
+        map.insert((store_dir.to_path_buf(), *key), *point);
+    }
+}
+
+fn overlay_rows(store_dir: &Path) -> Vec<(u64, EvaluatedPoint)> {
+    let Some(map) = DEGRADED_OVERLAY.get() else {
+        return Vec::new();
+    };
+    let map = map.lock().unwrap();
+    map.iter()
+        .filter(|((dir, _), _)| dir == store_dir)
+        .map(|((_, key), point)| (*key, *point))
+        .collect()
+}
 
 /// Parse one shard file's text into `(key, point)` rows in file order
 /// (callers collapse duplicates later-wins by inserting in order),
@@ -193,6 +238,7 @@ impl EvalCache {
     /// their base copies.
     pub fn lookup(&self, points: &[DesignPoint]) -> Vec<Option<EvaluatedPoint>> {
         let keys: Vec<u64> = points.iter().map(Self::point_key).collect();
+        let store_dir = self.store_dir();
         let mut shards: Vec<Option<HashMap<u64, EvaluatedPoint>>> =
             (0..SHARD_COUNT).map(|_| None).collect();
         let mut base: Option<Option<crate::compact::CompactBase>> = None;
@@ -208,13 +254,19 @@ impl EvalCache {
                         tail_hits += 1;
                         *stored
                     }
-                    None => {
-                        let base = base
-                            .get_or_insert_with(|| crate::compact::load_latest(&self.store_dir()));
-                        let stored = base.as_ref()?.get(key)?;
-                        base_hits += 1;
-                        stored
-                    }
+                    None => match base
+                        .get_or_insert_with(|| crate::compact::load_latest(&store_dir))
+                        .as_ref()
+                        .and_then(|b| b.get(key))
+                    {
+                        Some(stored) => {
+                            base_hits += 1;
+                            stored
+                        }
+                        // Rows whose disk append hit storage exhaustion
+                        // exist only in the per-process overlay.
+                        None => overlay_get(&store_dir, key)?,
+                    },
                 };
                 // A 64-bit collision between different axis tuples is
                 // astronomically unlikely but cheap to rule out.
@@ -250,15 +302,26 @@ impl EvalCache {
             return Ok(());
         }
         let dir = self.store_dir();
-        fs::create_dir_all(&dir)?;
-        let mut by_shard: Vec<(String, u64)> = vec![(String::new(), 0); SHARD_COUNT];
+        if let Err(e) = fs::create_dir_all(&dir) {
+            if !ng_fault::is_exhaustion(&e) {
+                return Err(e);
+            }
+            // The store's filesystem cannot even hold the directory:
+            // divert everything and keep the run alive.
+            let rows: Vec<(u64, EvaluatedPoint)> =
+                points.iter().map(|p| (Self::point_key(&p.point), *p)).collect();
+            self.degrade_append(&dir, &rows, &e);
+            return Ok(());
+        }
+        let mut by_shard: Vec<(String, Vec<(u64, EvaluatedPoint)>)> =
+            vec![(String::new(), Vec::new()); SHARD_COUNT];
         for p in points {
             let key = Self::point_key(&p.point);
             let (buf, rows) = &mut by_shard[Self::shard_of(key)];
             buf.push_str(&format!("{key:016x},{}\n", point_to_row(p)));
-            *rows += 1;
+            rows.push((key, *p));
         }
-        for (shard, (body, rows)) in by_shard.iter().enumerate() {
+        for (shard, (body, shard_rows)) in by_shard.iter().enumerate() {
             if body.is_empty() {
                 continue;
             }
@@ -270,14 +333,53 @@ impl EvalCache {
             // even a mid-write retry would only produce a duplicate
             // key, which readers resolve (later wins) and `dse fsck`
             // repairs.
-            let (result, retries) =
-                ng_fault::with_retries("append:io", || Self::append_shard(&path, body, *rows));
+            let (result, retries) = ng_fault::with_retries("append:io", || {
+                Self::append_shard(&path, body, shard_rows.len() as u64)
+            });
             if retries > 0 {
                 obs_counters::store_retries().add(retries as u64);
+                // The backoff site, in the ledger: a deterministic
+                // fault seed must reproduce not just the retry *count*
+                // but *where* the backoff was spent
+                // (tests/fault_determinism.rs pins both).
+                ng_obs::emit_meta(
+                    "store.retry",
+                    &format!("shard {shard:x}: {retries} retried append attempt(s)"),
+                );
             }
-            result?;
+            match result {
+                Ok(()) => {}
+                // A *persistent* capacity error (ENOSPC, EROFS, quota,
+                // permissions) will not yield to retries or to the next
+                // shard. Divert this shard's rows to the in-memory
+                // overlay and keep going: the sweep completes and
+                // delivers results, at the cost of re-evaluating these
+                // rows next run — strictly better than dying with
+                // `EXIT_STORE_APPEND` and delivering nothing.
+                Err(e) if ng_fault::is_exhaustion(&e) => self.degrade_append(&dir, shard_rows, &e),
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
+    }
+
+    /// Divert rows that could not be persisted to the per-process
+    /// overlay: count them, warn once per process, and carry on.
+    fn degrade_append(&self, store_dir: &Path, rows: &[(u64, EvaluatedPoint)], cause: &io::Error) {
+        overlay_insert(store_dir, rows);
+        obs_counters::store_degraded_appends().add(rows.len() as u64);
+        static WARNED: Once = Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "dse: point store append failed ({cause}); degrading to an in-memory overlay — \
+                 this run completes, but its fresh rows are lost at exit and will re-evaluate \
+                 next run (see the store.degraded_appends counter)"
+            );
+            ng_obs::emit_meta(
+                "store.degraded",
+                &format!("appends diverted to in-memory overlay: {cause}"),
+            );
+        });
     }
 
     /// One locked shard append: the whole critical section (length
@@ -287,6 +389,9 @@ impl EvalCache {
     /// [`EvalCache::append`] may retry it.
     fn append_shard(path: &Path, body: &str, rows: u64) -> io::Result<()> {
         if let Some(e) = ng_fault::store_append_error() {
+            return Err(e);
+        }
+        if let Some(e) = ng_fault::store_append_exhaustion() {
             return Err(e);
         }
         // Exclusive advisory lock for the whole critical section
@@ -452,6 +557,9 @@ impl EvalCache {
         for (shard, _) in self.live_shards() {
             out.extend(shard);
         }
+        // Rows diverted by storage exhaustion are real results too —
+        // guided search must see them like any persisted row.
+        out.extend(overlay_rows(&self.store_dir()));
         out
     }
 }
@@ -660,6 +768,46 @@ mod tests {
         assert_eq!(second.stats.cache_hits, spec.point_count());
         assert_eq!(first.points, second.points, "cache returns bit-identical results");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_appends_serve_from_the_overlay() {
+        // The full append:enospc plan is exercised cross-process in
+        // tests/degrade.rs (one fault plan per process); here the
+        // overlay seam itself: divert rows the way `append` does on a
+        // real ENOSPC and assert every read path still serves them.
+        let dir = tmpdir("degraded");
+        let spec = SweepSpec::quick();
+        let outcome = SweepEngine::new().without_cache().run(&spec).unwrap();
+        let cache = EvalCache::new(&dir);
+        let enospc = io::Error::from_raw_os_error(28);
+        assert!(ng_fault::is_exhaustion(&enospc));
+        let rows: Vec<(u64, EvaluatedPoint)> =
+            outcome.points.iter().map(|p| (EvalCache::point_key(&p.point), *p)).collect();
+        let before = obs_counters::store_degraded_appends().get();
+        cache.degrade_append(&cache.store_dir(), &rows, &enospc);
+        assert!(
+            obs_counters::store_degraded_appends().get() - before >= rows.len() as u64,
+            "every diverted row is counted"
+        );
+        // Nothing reached disk, yet lookup serves every point
+        // bit-identically — and with the current spec's indices.
+        assert!(!cache.store_dir().exists(), "degradation writes nothing to disk");
+        let loaded = cache.lookup(&spec.points());
+        assert_eq!(
+            loaded.into_iter().collect::<Option<Vec<_>>>().unwrap(),
+            outcome.points,
+            "overlay hits are bit-identical warm hits"
+        );
+        // The bulk loader guided search uses sees them too.
+        let all = cache.load_all();
+        assert!(rows.iter().all(|(key, p)| all.get(key) == Some(p)));
+        // A different store root shares the process but not the rows.
+        let other = EvalCache::new(tmpdir("degraded-other"));
+        assert!(
+            other.lookup(&spec.points()).iter().all(Option::is_none),
+            "overlay rows are keyed per store dir"
+        );
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Graceful shutdown: a signal watcher and a global cancellation token.
+//!
+//! The first `SIGINT`/`SIGTERM` sets the process-wide cancellation
+//! token — the evaluation pool stops dispatching new points, the
+//! searcher stops its rounds, the coordinator forwards the drain to its
+//! workers, the compactor aborts before publishing — and every layer
+//! flushes what it already computed to the point store before exiting
+//! with [`EXIT_INTERRUPTED`]. A second signal skips the drain and
+//! hard-exits immediately with [`EXIT_KILLED`]: the store's appends are
+//! crash-safe (locked, tail-healed), so even the hard exit loses at
+//! most the rows not yet appended.
+//!
+//! Dependency-free: the handler is installed through the C runtime's
+//! `signal()` entry point, which std already links on every unix — no
+//! `libc` crate, no `struct sigaction` layout to get wrong per-arch.
+//! The handler body is async-signal-safe (one atomic increment, one
+//! `write(2)`, and on the second signal `_exit`).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Once;
+
+pub use crate::distrib::{EXIT_INTERRUPTED, EXIT_KILLED};
+
+/// How many SIGINT/SIGTERMs this process has received.
+static SIGNALS_SEEN: AtomicU32 = AtomicU32::new(0);
+
+/// Cancellations requested programmatically (drain-flag forwarding,
+/// tests) — folded into [`cancelled`] alongside the signal count.
+static REQUESTED: AtomicU32 = AtomicU32::new(0);
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn _exit(code: i32) -> !;
+    }
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    let prior = SIGNALS_SEEN.fetch_add(1, Ordering::SeqCst);
+    // Async-signal-safe notices only: raw write(2), no stdio locks.
+    unsafe {
+        if prior == 0 {
+            const MSG: &[u8] = b"dse: draining (signal again to exit immediately)\n";
+            sys::write(2, MSG.as_ptr(), MSG.len());
+        } else {
+            const MSG: &[u8] = b"dse: second signal, exiting now\n";
+            sys::write(2, MSG.as_ptr(), MSG.len());
+            sys::_exit(EXIT_KILLED);
+        }
+    }
+}
+
+/// Install the SIGINT/SIGTERM watcher (idempotent). Call once near
+/// process start, before long-running work.
+pub fn install_signal_watcher() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        #[cfg(unix)]
+        unsafe {
+            sys::signal(sys::SIGINT, on_signal as *const () as usize);
+            sys::signal(sys::SIGTERM, on_signal as *const () as usize);
+        }
+    });
+}
+
+/// Whether a drain has been requested — by a signal or by
+/// [`request_cancel`]. Checked between points/rounds on every hot
+/// loop; a relaxed load, free when nothing happened.
+#[inline]
+pub fn cancelled() -> bool {
+    SIGNALS_SEEN.load(Ordering::Relaxed) > 0 || REQUESTED.load(Ordering::Relaxed) > 0
+}
+
+/// Request a drain programmatically — how a worker that sees the
+/// coordinator's drain flag joins the shutdown without a signal of its
+/// own.
+pub fn request_cancel() {
+    REQUESTED.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Clear programmatic cancellation requests (test isolation only —
+/// signal counts are deliberately not resettable).
+#[doc(hidden)]
+pub fn reset_requested_for_tests() {
+    REQUESTED.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_cancel_sets_and_resets() {
+        reset_requested_for_tests();
+        assert!(!cancelled());
+        request_cancel();
+        assert!(cancelled());
+        reset_requested_for_tests();
+        assert!(!cancelled());
+    }
+}

@@ -1,0 +1,643 @@
+//! # `dse chaos` — the seeded soak harness
+//!
+//! Runs N iterations of a quick-preset sweep, each under a
+//! randomized-but-replayable fault schedule, and asserts after every
+//! iteration that the robustness machinery actually delivered its
+//! promise:
+//!
+//! - the run (or, for `signal`, its `dse resume` continuation)
+//!   completes and its CSV is **byte-identical** to a fault-free
+//!   reference run;
+//! - a follow-up run backfills anything the fault destroyed, and the
+//!   run after that is **100% warm** (zero misses, zero evaluations);
+//! - `dse fsck --check` finds the store **clean** at the end.
+//!
+//! Six fault classes are drawn from the schedule seed: `kill` and
+//! `hang` (distributed workers dying / livelocking mid-slice), `torn`
+//! (a crash-shaped torn shard tail), `io` (probabilistic transient
+//! append failures absorbed by retries), `enospc` (storage exhaustion
+//! degrading the store to its in-memory overlay) and `signal`
+//! (SIGTERM mid-sweep, drained and finished by `dse resume`).
+//!
+//! ## Replayability
+//!
+//! Iteration `i` of `dse chaos --seed S` derives its entire schedule
+//! (class and parameters) from `S + i` alone, so a failing iteration
+//! replays exactly — and alone — with
+//! `dse chaos --iterations 1 --seed <that iteration's seed>`; the
+//! report prints the seed next to every iteration.
+//!
+//! Each iteration runs real `dse` child processes (the current
+//! executable): a fault plan arms once per process, and half the point
+//! of the soak is exercising the same process-level drain, recovery
+//! and resume paths a user hits.
+
+use std::fmt;
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ng_fault::splitmix64;
+
+/// Options for [`run_soak`] — the `dse chaos` flags.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// How many fault iterations to run.
+    pub iterations: usize,
+    /// Base seed; iteration `i`'s schedule seed is `seed + i`.
+    pub seed: u64,
+    /// Scratch directory for stores/CSVs (default: a fresh directory
+    /// under the system temp dir, removed when every iteration passes).
+    pub scratch_dir: Option<PathBuf>,
+    /// The `dse` executable to drive (default: the current executable —
+    /// correct when invoked as `dse chaos`; tests pass
+    /// `CARGO_BIN_EXE_dse`).
+    pub exe: Option<PathBuf>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions { iterations: 5, seed: 1, scratch_dir: None, exe: None }
+    }
+}
+
+/// The fault classes the soak draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A distributed worker aborts mid-slice (`worker:kill`).
+    Kill,
+    /// A distributed worker hangs forever (`worker:hang`), caught by
+    /// the coordinator's stall detector.
+    Hang,
+    /// A store append leaves a torn final row (`shard:torn-tail`).
+    Torn,
+    /// Probabilistic transient append failures (`append:io`).
+    Io,
+    /// Storage exhaustion (`append:enospc`) — the degraded-overlay path.
+    Enospc,
+    /// SIGTERM mid-sweep (`signal:term`) — the drain + `dse resume` path.
+    Signal,
+}
+
+impl FaultClass {
+    const ALL: [FaultClass; 6] = [
+        FaultClass::Kill,
+        FaultClass::Hang,
+        FaultClass::Torn,
+        FaultClass::Io,
+        FaultClass::Enospc,
+        FaultClass::Signal,
+    ];
+
+    /// Short name used in the outcome table.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Kill => "kill",
+            FaultClass::Hang => "hang",
+            FaultClass::Torn => "torn-tail",
+            FaultClass::Io => "io",
+            FaultClass::Enospc => "enospc",
+            FaultClass::Signal => "signal",
+        }
+    }
+}
+
+/// One iteration's outcome.
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// 1-based iteration number within this soak.
+    pub index: usize,
+    /// The seed that replays this iteration alone
+    /// (`dse chaos --iterations 1 --seed <this>`).
+    pub schedule_seed: u64,
+    /// The fault class the seed drew.
+    pub class: FaultClass,
+    /// The exact `NG_DSE_FAULTS` plan the faulted child ran under.
+    pub plan: String,
+    /// Whether every invariant held.
+    pub passed: bool,
+    /// What passed, or which invariant broke and how.
+    pub detail: String,
+}
+
+/// The soak's result: every iteration, plus the per-class rollup the
+/// `Display` impl renders.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Base seed the soak ran with.
+    pub base_seed: u64,
+    /// Scratch directory the iterations ran in (kept on failure).
+    pub scratch: PathBuf,
+    /// Per-iteration outcomes, in order.
+    pub iterations: Vec<IterationOutcome>,
+}
+
+impl ChaosReport {
+    /// The iterations whose invariants broke.
+    pub fn failed_iterations(&self) -> Vec<&IterationOutcome> {
+        self.iterations.iter().filter(|i| !i.passed).collect()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos soak: {} iteration(s), base seed {}",
+            self.iterations.len(),
+            self.base_seed
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .iterations
+            .iter()
+            .map(|it| {
+                vec![
+                    it.index.to_string(),
+                    it.schedule_seed.to_string(),
+                    it.class.name().to_string(),
+                    it.plan.clone(),
+                    if it.passed { "pass".to_string() } else { "FAIL".to_string() },
+                ]
+            })
+            .collect();
+        f.write_str(&crate::report::render_table(
+            &["iter", "seed", "class", "fault plan", "result"],
+            &rows,
+        ))?;
+        writeln!(f, "\nper-class outcomes:")?;
+        let class_rows: Vec<Vec<String>> = FaultClass::ALL
+            .iter()
+            .filter_map(|c| {
+                let runs: Vec<&IterationOutcome> =
+                    self.iterations.iter().filter(|i| i.class == *c).collect();
+                if runs.is_empty() {
+                    return None;
+                }
+                let passed = runs.iter().filter(|i| i.passed).count();
+                Some(vec![
+                    c.name().to_string(),
+                    runs.len().to_string(),
+                    passed.to_string(),
+                    (runs.len() - passed).to_string(),
+                ])
+            })
+            .collect();
+        f.write_str(&crate::report::render_table(&["class", "runs", "pass", "fail"], &class_rows))?;
+        for it in self.failed_iterations() {
+            writeln!(
+                f,
+                "iteration {} (seed {}, {}): {}",
+                it.index,
+                it.schedule_seed,
+                it.class.name(),
+                it.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A finished (or killed-on-timeout) child `dse` process.
+struct ChildRun {
+    exit: Option<i32>,
+    stdout: String,
+    stderr: String,
+    timed_out: bool,
+}
+
+impl ChildRun {
+    fn describe(&self) -> String {
+        let code = match (self.timed_out, self.exit) {
+            (true, _) => "timed out".to_string(),
+            (false, Some(c)) => format!("exit {c}"),
+            (false, None) => "killed by signal".to_string(),
+        };
+        let tail = |s: &str| -> String {
+            let lines: Vec<&str> = s.lines().rev().take(3).collect();
+            lines.into_iter().rev().collect::<Vec<_>>().join(" | ")
+        };
+        format!("{code}; stderr: {}", tail(&self.stderr))
+    }
+}
+
+/// How long one child `dse` process may run before the soak kills it
+/// and fails the iteration. Generous: a quick-preset sweep is
+/// milliseconds, and even the hang iteration's stall-detection
+/// round-trips are bounded in single-digit seconds.
+const CHILD_TIMEOUT: Duration = Duration::from_secs(180);
+
+/// Run the `dse` executable with `args`, a scrubbed environment
+/// (`extra_env` on top), and a hard timeout.
+fn run_child(
+    exe: &Path,
+    args: &[&str],
+    extra_env: &[(&str, &str)],
+    timeout: Duration,
+) -> Result<ChildRun, String> {
+    let mut cmd = Command::new(exe);
+    cmd.args(args)
+        // A chaos child's faults and trace are this harness's to
+        // configure — never inherited from the invoking shell.
+        .env_remove(ng_fault::FAULTS_ENV)
+        .env_remove(ng_obs::sink::TRACE_ENV)
+        .env_remove(crate::distrib::STALL_TIMEOUT_ENV)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("chaos: spawn {}: {e}", exe.display()))?;
+    let started = Instant::now();
+    let mut timed_out = false;
+    let status = loop {
+        match child.try_wait().map_err(|e| format!("chaos: wait: {e}"))? {
+            Some(status) => break status,
+            None if started.elapsed() > timeout => {
+                timed_out = true;
+                let _ = child.kill();
+                break child.wait().map_err(|e| format!("chaos: wait after kill: {e}"))?;
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    // A quick-preset child's output is far below the pipe buffer, so
+    // reading after exit cannot deadlock.
+    let mut stdout = String::new();
+    let mut stderr = String::new();
+    if let Some(mut s) = child.stdout.take() {
+        let _ = s.read_to_string(&mut stdout);
+    }
+    if let Some(mut s) = child.stderr.take() {
+        let _ = s.read_to_string(&mut stderr);
+    }
+    Ok(ChildRun { exit: status.code(), stdout, stderr, timed_out })
+}
+
+/// One iteration's derived schedule: the fault class, the plan string,
+/// and whether the faulted run is distributed.
+struct Schedule {
+    class: FaultClass,
+    plan: String,
+    distributed: bool,
+    /// Extra env for the faulted child (stall timeout for `hang`).
+    env: Vec<(&'static str, String)>,
+    /// Expected exit of the faulted child (`signal` drains to 130).
+    expect_exit: i32,
+}
+
+/// Derive iteration `i`'s schedule from its seed alone — the whole
+/// point: `chaos --iterations 1 --seed S` replays any iteration whose
+/// printed seed is `S`.
+fn schedule(seed: u64) -> Schedule {
+    let s0 = splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let s1 = splitmix64(s0);
+    let s2 = splitmix64(s1);
+    let class = FaultClass::ALL[(s0 % FaultClass::ALL.len() as u64) as usize];
+    match class {
+        // Workers evaluate ~8 of the quick preset's 16 points each, so
+        // keep the death tick in 2..=5 — it must actually fire.
+        FaultClass::Kill => Schedule {
+            class,
+            plan: format!("worker:kill@point={}", 2 + s1 % 4),
+            distributed: true,
+            env: Vec::new(),
+            expect_exit: 0,
+        },
+        // A short stall window keeps the hang iteration's
+        // detect-kill-recover loop in seconds, not the default 10s.
+        FaultClass::Hang => Schedule {
+            class,
+            plan: format!("worker:hang@point={}", 2 + s1 % 4),
+            distributed: true,
+            env: vec![(crate::distrib::STALL_TIMEOUT_ENV, "1".to_string())],
+            expect_exit: 0,
+        },
+        FaultClass::Torn => Schedule {
+            class,
+            plan: format!("shard:torn-tail@n={}", 1 + s1 % 2),
+            distributed: false,
+            env: Vec::new(),
+            expect_exit: 0,
+        },
+        // p ≤ 0.3: four retries absorb the flakes, so the run must
+        // still complete (a seed that exhausts retries is a genuine
+        // soak failure worth seeing).
+        FaultClass::Io => Schedule {
+            class,
+            plan: format!("seed={};append:io@p=0.{}", seed, 1 + s1 % 3),
+            distributed: false,
+            env: Vec::new(),
+            expect_exit: 0,
+        },
+        // Sometimes every append fails (uncapped), sometimes only the
+        // first few divert — both must degrade, not die.
+        FaultClass::Enospc => Schedule {
+            class,
+            plan: if s2.is_multiple_of(2) {
+                "append:enospc".to_string()
+            } else {
+                format!("append:enospc@n={}", 2 + s2 % 6)
+            },
+            distributed: false,
+            env: Vec::new(),
+            expect_exit: 0,
+        },
+        // The quick preset has 16 fresh evals; a tick in 2..=11 always
+        // fires with work left, so the drain always leaves a resumable
+        // manifest.
+        FaultClass::Signal => Schedule {
+            class,
+            plan: format!("signal:term@point={}", 2 + s1 % 10),
+            distributed: false,
+            env: Vec::new(),
+            expect_exit: crate::distrib::EXIT_INTERRUPTED,
+        },
+    }
+}
+
+/// Byte-compare a produced CSV against the fault-free reference.
+fn csv_parity(produced: &Path, reference: &[u8]) -> Result<(), String> {
+    let bytes =
+        fs::read(produced).map_err(|e| format!("csv {} unreadable: {e}", produced.display()))?;
+    if bytes == reference {
+        Ok(())
+    } else {
+        Err(format!(
+            "csv {} differs from the fault-free reference ({} vs {} bytes)",
+            produced.display(),
+            bytes.len(),
+            reference.len()
+        ))
+    }
+}
+
+/// Run one iteration; `Ok(detail)` when every invariant held,
+/// `Err(detail)` naming the first one that broke.
+fn run_iteration(
+    exe: &Path,
+    iter_dir: &Path,
+    sched: &Schedule,
+    reference_csv: &[u8],
+) -> Result<String, String> {
+    fs::create_dir_all(iter_dir).map_err(|e| format!("create {}: {e}", iter_dir.display()))?;
+    let store = iter_dir.join("store");
+    let csv = iter_dir.join("out.csv");
+    let store_s = store.display().to_string();
+    let csv_s = csv.display().to_string();
+
+    // Phase 1: the faulted run.
+    let mut args = vec![
+        "--preset",
+        "quick",
+        "--cache-dir",
+        store_s.as_str(),
+        "--csv",
+        csv_s.as_str(),
+        "--threads",
+        "2",
+        "--quiet",
+    ];
+    if sched.distributed {
+        args.extend_from_slice(&["--workers", "2"]);
+    }
+    let mut env: Vec<(&str, &str)> = vec![(ng_fault::FAULTS_ENV, sched.plan.as_str())];
+    for (k, v) in &sched.env {
+        env.push((k, v.as_str()));
+    }
+    let faulted = run_child(exe, &args, &env, CHILD_TIMEOUT)?;
+    if faulted.timed_out || faulted.exit != Some(sched.expect_exit) {
+        return Err(format!(
+            "faulted run: expected exit {}, got {}",
+            sched.expect_exit,
+            faulted.describe()
+        ));
+    }
+    match sched.class {
+        // The degradation path must have announced itself — a plan
+        // that silently injected nothing proves nothing.
+        FaultClass::Enospc if !faulted.stderr.contains("degrading to an in-memory overlay") => {
+            return Err(format!(
+                "faulted run: no degradation warning on stderr ({})",
+                faulted.describe()
+            ));
+        }
+        FaultClass::Signal => {
+            // The drain must have finished the run via `dse resume`,
+            // byte-identically.
+            let resume = run_child(
+                exe,
+                &["resume", "--cache-dir", store_s.as_str(), "--quiet"],
+                &[],
+                CHILD_TIMEOUT,
+            )?;
+            if resume.timed_out || resume.exit != Some(0) {
+                return Err(format!("dse resume: {}", resume.describe()));
+            }
+        }
+        _ => {}
+    }
+    // Every path that reaches here has produced the CSV: completed
+    // faulted runs directly, the signal iteration via its resume.
+    csv_parity(&csv, reference_csv).map_err(|e| format!("after faulted run: {e}"))?;
+
+    // Phase 2: a fault-free backfill run re-evaluates whatever the
+    // fault destroyed (torn rows, overlay-diverted rows) and heals the
+    // store in passing.
+    let plain = [
+        "--preset",
+        "quick",
+        "--cache-dir",
+        store_s.as_str(),
+        "--csv",
+        csv_s.as_str(),
+        "--cache-stats",
+        "--threads",
+        "2",
+        "--quiet",
+    ];
+    let backfill = run_child(exe, &plain, &[], CHILD_TIMEOUT)?;
+    if backfill.timed_out || backfill.exit != Some(0) {
+        return Err(format!("backfill run: {}", backfill.describe()));
+    }
+    csv_parity(&csv, reference_csv).map_err(|e| format!("after backfill run: {e}"))?;
+
+    // Phase 3: the run after that must be 100% warm — the store now
+    // holds every point.
+    let warm = run_child(exe, &plain, &[], CHILD_TIMEOUT)?;
+    if warm.timed_out || warm.exit != Some(0) {
+        return Err(format!("warm run: {}", warm.describe()));
+    }
+    if !warm.stdout.contains(" 0 misses, 0 evaluated (") {
+        let stats = warm
+            .stdout
+            .lines()
+            .find(|l| l.starts_with("cache stats:"))
+            .unwrap_or("<no cache stats line>");
+        return Err(format!("warm run was not 100% warm: {stats}"));
+    }
+    csv_parity(&csv, reference_csv).map_err(|e| format!("after warm run: {e}"))?;
+
+    // Phase 4: the store doctor must be able to leave the store clean.
+    // Repair first — a torn-tail fault leaves an extra torn line that
+    // loses no data (every point still serves, as the warm run just
+    // proved), so nothing ever rewrites that shard on its own; healing
+    // it is exactly what `dse fsck --repair` is for. On an undamaged
+    // store the repair is a no-op.
+    let repair =
+        run_child(exe, &["fsck", "--cache-dir", store_s.as_str(), "--repair"], &[], CHILD_TIMEOUT)?;
+    if repair.timed_out || repair.exit != Some(0) {
+        return Err(format!("fsck --repair: {}", repair.describe()));
+    }
+    let fsck =
+        run_child(exe, &["fsck", "--cache-dir", store_s.as_str(), "--check"], &[], CHILD_TIMEOUT)?;
+    if fsck.timed_out || fsck.exit != Some(0) {
+        return Err(format!("fsck --check after repair: {}", fsck.describe()));
+    }
+
+    Ok("recovered; csv parity; warm re-run; store fsck-clean".to_string())
+}
+
+/// Run the soak. Returns the report (which the caller renders and
+/// turns into an exit code); `Err` only for harness-level failures —
+/// the reference run failing, the scratch dir being unusable.
+pub fn run_soak(opts: &ChaosOptions) -> Result<ChaosReport, String> {
+    let exe = match &opts.exe {
+        Some(exe) => exe.clone(),
+        None => std::env::current_exe().map_err(|e| format!("chaos: current_exe: {e}"))?,
+    };
+    let scratch = match &opts.scratch_dir {
+        Some(dir) => dir.clone(),
+        None => {
+            std::env::temp_dir().join(format!("dse-chaos-{}-{}", std::process::id(), opts.seed))
+        }
+    };
+    fs::create_dir_all(&scratch)
+        .map_err(|e| format!("chaos: create {}: {e}", scratch.display()))?;
+
+    // The fault-free reference everything is byte-compared against.
+    let ref_store = scratch.join("reference/store");
+    let ref_csv = scratch.join("reference/out.csv");
+    let reference = run_child(
+        &exe,
+        &[
+            "--preset",
+            "quick",
+            "--cache-dir",
+            &ref_store.display().to_string(),
+            "--csv",
+            &ref_csv.display().to_string(),
+            "--threads",
+            "2",
+            "--quiet",
+        ],
+        &[],
+        CHILD_TIMEOUT,
+    )?;
+    if reference.timed_out || reference.exit != Some(0) {
+        return Err(format!("chaos: fault-free reference run failed: {}", reference.describe()));
+    }
+    let reference_csv = fs::read(&ref_csv)
+        .map_err(|e| format!("chaos: reference csv {}: {e}", ref_csv.display()))?;
+
+    let mut iterations = Vec::with_capacity(opts.iterations);
+    for i in 0..opts.iterations {
+        let schedule_seed = opts.seed.wrapping_add(i as u64);
+        let sched = schedule(schedule_seed);
+        eprintln!(
+            "chaos: iteration {}/{} (seed {schedule_seed}): {} — {}",
+            i + 1,
+            opts.iterations,
+            sched.class.name(),
+            sched.plan,
+        );
+        let iter_dir = scratch.join(format!("iter-{:02}-{}", i + 1, sched.class.name()));
+        let (passed, detail) = match run_iteration(&exe, &iter_dir, &sched, &reference_csv) {
+            Ok(detail) => (true, detail),
+            Err(detail) => (false, detail),
+        };
+        if passed {
+            // Keep the scratch of failing iterations for post-mortems;
+            // passing ones are just disk.
+            let _ = fs::remove_dir_all(&iter_dir);
+        } else {
+            eprintln!("chaos: iteration {} FAILED: {detail} (kept {})", i + 1, iter_dir.display());
+        }
+        iterations.push(IterationOutcome {
+            index: i + 1,
+            schedule_seed,
+            class: sched.class,
+            plan: sched.plan,
+            passed,
+            detail,
+        });
+    }
+
+    if iterations.iter().all(|i| i.passed) {
+        let _ = fs::remove_dir_all(&scratch);
+    }
+    Ok(ChaosReport { base_seed: opts.seed, scratch, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_the_seed() {
+        for seed in 0..64 {
+            let a = schedule(seed);
+            let b = schedule(seed);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.distributed, b.distributed);
+            assert_eq!(a.expect_exit, b.expect_exit);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_class_and_every_plan_parses() {
+        let mut seen = [false; 6];
+        for seed in 0..64 {
+            let s = schedule(seed);
+            seen[FaultClass::ALL.iter().position(|c| *c == s.class).unwrap()] = true;
+            // A typo'd schedule would inject nothing and pass vacuously.
+            ng_fault::FaultPlan::parse(&s.plan).unwrap();
+        }
+        assert!(seen.iter().all(|s| *s), "64 seeds must draw every class: {seen:?}");
+    }
+
+    #[test]
+    fn report_renders_table_and_failures() {
+        let report = ChaosReport {
+            base_seed: 9,
+            scratch: PathBuf::from("/tmp/x"),
+            iterations: vec![
+                IterationOutcome {
+                    index: 1,
+                    schedule_seed: 9,
+                    class: FaultClass::Torn,
+                    plan: "shard:torn-tail@n=1".to_string(),
+                    passed: true,
+                    detail: "ok".to_string(),
+                },
+                IterationOutcome {
+                    index: 2,
+                    schedule_seed: 10,
+                    class: FaultClass::Signal,
+                    plan: "signal:term@point=4".to_string(),
+                    passed: false,
+                    detail: "dse resume: exit 2".to_string(),
+                },
+            ],
+        };
+        let text = report.to_string();
+        assert!(text.contains("torn-tail"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("per-class outcomes:"));
+        assert!(text.contains("dse resume: exit 2"));
+        assert_eq!(report.failed_iterations().len(), 1);
+    }
+}

@@ -719,6 +719,19 @@ pub fn compact(cache: &EvalCache) -> io::Result<CompactReport> {
         return Err(e); // generation written but unverified: tmp orphan
     }
 
+    // A drain aborts *before publish*: the rename below is the point
+    // of no return, and an interrupted compaction must leave the old
+    // base + CSV tail authoritative. The tmp image is removed here
+    // (and would be swept as an orphan by the next compaction even if
+    // this removal lost a race with the hard-exit path).
+    if crate::cancel::cancelled() {
+        let _ = fs::remove_file(&tmp_path);
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "compaction cancelled before publish; store unchanged",
+        ));
+    }
+
     // Read-back verification before the rename makes the new
     // generation live: the old base stays authoritative until the new
     // file proves loadable from disk.

@@ -70,10 +70,24 @@ use crate::cache::EvalCache;
 use crate::obs_counters;
 use crate::pool;
 use crate::spec::{DesignPoint, SpecError, SweepSpec};
-use crate::sweep::{evaluate_points, EvaluatedPoint, SweepOutcome, SweepStats};
+use crate::sweep::{
+    evaluate_points, evaluate_points_partial, EvaluatedPoint, SweepOutcome, SweepStats,
+};
 
 /// Name of the shared worker-heartbeat file inside the store dir.
 pub const HEARTBEAT_FILE: &str = "heartbeats.jsonl";
+
+/// Name of the drain flag the coordinator drops into the store dir
+/// when it catches SIGINT/SIGTERM: workers poll it on their heartbeat
+/// cadence and join the drain — finish the current point, flush
+/// appends, exit [`EXIT_INTERRUPTED`]. The store is already the
+/// coordination channel, so the drain travels the same way results do.
+pub const DRAIN_FILE: &str = "drain.flag";
+
+/// Environment variable overriding the coordinator stall window, in
+/// seconds (`NG_DSE_STALL_TIMEOUT=2.5`). `--stall-timeout` wins over
+/// the environment; both win over the 10 s default.
+pub const STALL_TIMEOUT_ENV: &str = "NG_DSE_STALL_TIMEOUT";
 
 /// How often an evaluating worker appends a progress heartbeat.
 pub const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
@@ -91,17 +105,43 @@ pub const EXIT_USAGE: i32 = 2;
 
 /// Worker exit code when the slice evaluated but the results could not
 /// be appended to the shared store (the coordinator will never see
-/// them, so the worker refuses to report success).
+/// them, so the worker refuses to report success). Storage
+/// *exhaustion* (ENOSPC/EROFS) no longer takes this path — the cache
+/// degrades to an in-memory overlay and the run completes.
 pub const EXIT_STORE_APPEND: i32 = 3;
 
-/// Human-readable cause for a known worker exit code — the
-/// coordinator's failure reports speak this instead of bare numbers.
+/// Exit code when `dse fsck --check` or `dse trace --check` found
+/// defects: the audit itself ran fine, the artifact failed it.
+/// Distinct from [`EXIT_USAGE`] so CI can tell "bad invocation" from
+/// "bad store".
+pub const EXIT_CHECK_FAILED: i32 = 4;
+
+/// Exit code after a graceful drain: SIGINT/SIGTERM was caught, every
+/// in-flight point finished and flushed, and `dse resume` can finish
+/// the job. 128 + SIGINT's signal number, the shell convention.
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+/// Exit code when a *second* signal arrived before the drain finished
+/// and the process hard-exited from the handler. The store stays
+/// consistent (appends are atomic per row under the shard lock; a torn
+/// tail heals on the next open), but un-flushed points are lost.
+pub const EXIT_KILLED: i32 = 131;
+
+/// Human-readable cause for a known exit code — the one documented
+/// table shared by worker supervision, `dse fsck --check`,
+/// `dse trace --check` and the drain path. Failure reports speak this
+/// instead of bare numbers.
 pub fn exit_code_cause(code: i32) -> Option<&'static str> {
     match code {
         EXIT_USAGE => Some("spec or usage error; a respawn cannot help"),
         EXIT_STORE_APPEND => {
             Some("evaluated its slice but could not persist the results to the store")
         }
+        EXIT_CHECK_FAILED => Some("a --check audit found defects in the artifact"),
+        EXIT_INTERRUPTED => {
+            Some("drained gracefully after SIGINT/SIGTERM; `dse resume` finishes the job")
+        }
+        EXIT_KILLED => Some("hard exit on a second signal before the drain finished"),
         _ => None,
     }
 }
@@ -200,14 +240,24 @@ pub struct WorkerSummary {
     pub cache_hits: usize,
     /// Slice points freshly evaluated (and appended).
     pub evaluated: usize,
+    /// Whether the worker drained early (coordinator drain flag or its
+    /// own signal) — everything it did evaluate is flushed, but the
+    /// slice tail is unevaluated and the caller should exit
+    /// [`EXIT_INTERRUPTED`].
+    pub interrupted: bool,
 }
 
 impl fmt::Display for WorkerSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "worker {}/{}: {} points, {} hits, {} evaluated",
-            self.shard, self.of, self.points, self.cache_hits, self.evaluated
+            "worker {}/{}: {} points, {} hits, {} evaluated{}",
+            self.shard,
+            self.of,
+            self.points,
+            self.cache_hits,
+            self.evaluated,
+            if self.interrupted { " (drained early)" } else { "" },
         )
     }
 }
@@ -225,6 +275,24 @@ pub fn run_worker_slice(
     cache_dir: &Path,
     threads: usize,
 ) -> Result<WorkerSummary, DistribError> {
+    run_worker_slice_draining(spec, shard, of, cache_dir, threads, &|| false)
+}
+
+/// [`run_worker_slice`] with a drain hook: between points the worker
+/// checks `cancel` *and* the coordinator's [`DRAIN_FILE`] (polled on
+/// the heartbeat cadence), and on either signal finishes in-flight
+/// points, flushes what it has, and returns a summary with
+/// `interrupted` set. The `dse --worker-shard` entry point passes the
+/// process signal token here; tests pass local predicates so one
+/// test's drain cannot leak into another.
+pub fn run_worker_slice_draining(
+    spec: &SweepSpec,
+    shard: usize,
+    of: usize,
+    cache_dir: &Path,
+    threads: usize,
+    cancel: &(dyn Fn() -> bool + Sync),
+) -> Result<WorkerSummary, DistribError> {
     if shard >= of {
         return Err(DistribError::Shard { shard, of });
     }
@@ -238,7 +306,6 @@ pub fn run_worker_slice(
     };
     obs_counters::sweep_points().add(slice.len() as u64);
     obs_counters::sweep_cache_hits().add((slice.len() - missing.len()) as u64);
-    obs_counters::sweep_fresh_evals().add(missing.len() as u64);
 
     // Heartbeat thread: sample the evaluation tick counter while the
     // pool grinds through the slice. The counter is process-global, so
@@ -253,8 +320,13 @@ pub fn run_worker_slice(
     // immediately — a slice that evaluates in microseconds must not
     // wait out a whole heartbeat period to join.
     let stop = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    // The beat thread doubles as the drain listener: it already wakes
+    // every heartbeat period, so a coordinator drain flag is noticed
+    // within one beat without a second polling thread.
+    let drain_seen = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let beat = {
         let stop = std::sync::Arc::clone(&stop);
+        let drain_seen = std::sync::Arc::clone(&drain_seen);
         let dir = cache_dir.to_path_buf();
         std::thread::spawn(move || loop {
             let (lock, cv) = &*stop;
@@ -270,11 +342,18 @@ pub fn run_worker_slice(
                 break;
             }
             drop(stopped);
+            if dir.join(DRAIN_FILE).exists() {
+                drain_seen.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
             let done = (ticks.get().saturating_sub(base) as usize).min(total);
             emit_store_heartbeat(&dir, shard, of, done, total, "run");
         })
     };
-    let evaluated = evaluate_points(&missing, threads);
+    let (eval_slots, interrupted) = evaluate_points_partial(&missing, threads, || {
+        cancel() || drain_seen.load(std::sync::atomic::Ordering::Relaxed)
+    });
+    let evaluated: Vec<EvaluatedPoint> = eval_slots.iter().copied().flatten().collect();
+    obs_counters::sweep_fresh_evals().add(evaluated.len() as u64);
     {
         let (lock, cv) = &*stop;
         *lock.lock().expect("heartbeat stop lock never poisoned") = true;
@@ -292,9 +371,13 @@ pub fn run_worker_slice(
         cache_dir,
         shard,
         of,
+        evaluated.len(),
         total,
-        total,
-        if append_result.is_ok() { "done" } else { "append-failed" },
+        match (&append_result, interrupted) {
+            (Err(_), _) => "append-failed",
+            (Ok(()), true) => "interrupted",
+            (Ok(()), false) => "done",
+        },
     );
     append_result?;
     Ok(WorkerSummary {
@@ -302,7 +385,8 @@ pub fn run_worker_slice(
         of,
         points: slice.len(),
         cache_hits: slice.len() - missing.len(),
-        evaluated: missing.len(),
+        evaluated: evaluated.len(),
+        interrupted,
     })
 }
 
@@ -417,6 +501,43 @@ impl WorkerReport {
     }
 }
 
+/// What a cancellable distributed run produced: either the complete
+/// merged sweep, or the drain record of a run that caught a signal.
+// The variants are deliberately unboxed: the value is a transient
+// return, matched and consumed immediately, never stored.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum DistribRun {
+    /// Every point delivered (the only variant when cancellation is
+    /// disabled).
+    Complete(DistribOutcome),
+    /// A signal arrived: workers drained, flushed, and exited; the
+    /// store holds everything delivered so far and `dse resume` pays
+    /// only the remainder.
+    Interrupted(DrainedDistrib),
+}
+
+/// Accounting for a distributed run that drained on a signal.
+#[derive(Debug)]
+pub struct DrainedDistrib {
+    /// Points in the spec.
+    pub total_points: usize,
+    /// Points in the store when the drain settled (pre-run hits plus
+    /// everything the workers delivered before exiting).
+    pub delivered: usize,
+    /// One report per spawned worker, drained and otherwise.
+    pub workers: Vec<WorkerReport>,
+    /// The store the partial results live in.
+    pub cache_path: PathBuf,
+}
+
+impl DrainedDistrib {
+    /// Points a resume still has to evaluate.
+    pub fn remaining(&self) -> usize {
+        self.total_points - self.delivered
+    }
+}
+
 /// A completed distributed sweep: the merged outcome plus per-worker
 /// accounting.
 #[derive(Debug)]
@@ -454,15 +575,25 @@ impl Coordinator {
     pub const DEFAULT_STALL_AFTER: Duration = Duration::from_secs(10);
 
     /// A coordinator for `workers` processes (min 1) writing to the
-    /// default cache dir and spawning the current executable.
+    /// default cache dir and spawning the current executable. The
+    /// stall window honours [`STALL_TIMEOUT_ENV`] when set (seconds,
+    /// fractional allowed); `--stall-timeout` /
+    /// [`Coordinator::with_stall_after`] override it.
     pub fn new(workers: usize) -> Self {
+        let stall_after = std::env::var(STALL_TIMEOUT_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(Duration::from_secs_f64)
+            .unwrap_or(Self::DEFAULT_STALL_AFTER)
+            .max(Duration::from_millis(100));
         Coordinator {
             workers: workers.max(1),
             threads_per_worker: None,
             cache_dir: PathBuf::from(crate::sweep::SweepEngine::DEFAULT_CACHE_DIR),
             worker_exe: None,
             worker_env: Vec::new(),
-            stall_after: Self::DEFAULT_STALL_AFTER,
+            stall_after,
             quiet: false,
             auto_compact: None,
         }
@@ -546,12 +677,38 @@ impl Coordinator {
     /// encoding is exact) or was evaluated by the deterministic
     /// emulator directly.
     pub fn run(&self, spec: &SweepSpec) -> Result<DistribOutcome, DistribError> {
+        match self.run_inner(spec, &|| false)? {
+            DistribRun::Complete(outcome) => Ok(outcome),
+            DistribRun::Interrupted(_) => unreachable!("cancellation disabled"),
+        }
+    }
+
+    /// [`Coordinator::run`] with a drain hook: when `cancel` fires the
+    /// coordinator drops [`DRAIN_FILE`] into the store dir, the
+    /// workers notice within a heartbeat, finish their in-flight
+    /// points, flush, and exit [`EXIT_INTERRUPTED`]; no replacements
+    /// are spawned and the merge step's local recovery is skipped —
+    /// the drain record says what a `dse resume` still owes.
+    pub fn run_draining(
+        &self,
+        spec: &SweepSpec,
+        cancel: impl Fn() -> bool,
+    ) -> Result<DistribRun, DistribError> {
+        self.run_inner(spec, &cancel)
+    }
+
+    fn run_inner(
+        &self,
+        spec: &SweepSpec,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<DistribRun, DistribError> {
         drive(
             spec,
             &self.cache_dir,
             self.workers * self.threads_per_worker(),
             self.auto_compact,
-            || self.spawn_and_wait(spec),
+            cancel,
+            || self.spawn_and_wait(spec, cancel),
         )
     }
 
@@ -564,7 +721,11 @@ impl Coordinator {
     /// Exit status + last-heartbeat age are recorded per worker. Worker
     /// failure is *reported*, not fatal — the merge step recovers
     /// whatever no leaseholder delivered.
-    fn spawn_and_wait(&self, spec: &SweepSpec) -> Result<Vec<WorkerReport>, DistribError> {
+    fn spawn_and_wait(
+        &self,
+        spec: &SweepSpec,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Vec<WorkerReport>, DistribError> {
         let exe = match &self.worker_exe {
             Some(exe) => exe.clone(),
             None => std::env::current_exe()?,
@@ -576,6 +737,10 @@ impl Coordinator {
         // clean up) each other's spec file.
         static SPEC_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         std::fs::create_dir_all(&self.cache_dir)?;
+        // A drain flag left by an interrupted earlier run must not
+        // drain *this* run's workers at birth.
+        let drain_path = self.cache_dir.join(DRAIN_FILE);
+        let _ = std::fs::remove_file(&drain_path);
         let seq = SPEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let spec_path =
             self.cache_dir.join(format!("distrib-spec-{}-{seq}.toml", std::process::id()));
@@ -616,7 +781,14 @@ impl Coordinator {
             .map(|shard| {
                 let (child, report) = match spawn_worker(shard) {
                     Ok(c) => {
-                        ng_obs::emit_lease(shard, "grant", "initial slice lease");
+                        ng_obs::emit_lease(
+                            shard,
+                            "grant",
+                            &format!(
+                                "initial slice lease (stall window {:.1}s)",
+                                self.stall_after.as_secs_f64()
+                            ),
+                        );
                         (Some(c), None)
                     }
                     Err(e) => (None, Some(WorkerReport::no_process(shard, format!("spawn: {e}")))),
@@ -658,7 +830,32 @@ impl Coordinator {
         let draw_progress = ng_obs::stderr_wants_progress(self.quiet);
         let mut drew = false;
         let mut last_draw = Instant::now();
+        let mut draining = false;
         loop {
+            if !draining && cancel() {
+                // Forward the drain through the store — the channel
+                // every worker already watches. From here on leases
+                // are not re-granted: a stalled worker is still
+                // killed, but its slice waits for `dse resume` instead
+                // of a replacement or the merge step.
+                draining = true;
+                if let Err(e) = std::fs::write(&drain_path, b"drain\n") {
+                    // No flag, no graceful path: the workers would
+                    // never notice. Kill them; the store keeps what
+                    // they already appended.
+                    eprintln!("dse: could not write drain flag ({e}); killing workers instead");
+                    for s in supervised.iter_mut() {
+                        if let Some(child) = s.child.as_mut() {
+                            let _ = child.kill();
+                        }
+                    }
+                } else {
+                    eprintln!(
+                        "dse: draining workers (each finishes its current point and flushes)"
+                    );
+                }
+                ng_obs::emit_meta("distrib.drain", "coordinator drain: flag written, respawns off");
+            }
             beats.poll();
             let mut live = 0;
             for s in supervised.iter_mut() {
@@ -742,8 +939,17 @@ impl Coordinator {
                         // ... and re-lease the slice to a replacement,
                         // which resumes from the store (every point the
                         // dead holder persisted is a hit) — unless the
-                        // grant budget is spent, in which case the
-                        // slice falls to the merge step.
+                        // grant budget is spent (slice falls to the
+                        // merge step) or the run is draining (slice
+                        // waits for `dse resume`).
+                        if draining {
+                            ng_obs::emit_lease(
+                                s.shard,
+                                "local",
+                                "drain in progress; slice left for `dse resume`",
+                            );
+                            continue;
+                        }
                         if s.grants >= MAX_LEASE_GRANTS {
                             ng_obs::emit_lease(
                                 s.shard,
@@ -759,7 +965,11 @@ impl Coordinator {
                                 ng_obs::emit_lease(
                                     s.shard,
                                     "reassign",
-                                    &format!("grant {} of {MAX_LEASE_GRANTS}", s.grants),
+                                    &format!(
+                                        "grant {} of {MAX_LEASE_GRANTS} (stall window {:.1}s)",
+                                        s.grants,
+                                        self.stall_after.as_secs_f64()
+                                    ),
                                 );
                                 eprintln!(
                                     "dse: worker {}: slice re-leased to replacement pid {}",
@@ -831,6 +1041,7 @@ impl Coordinator {
             let _ = err.flush();
         }
         let _ = std::fs::remove_file(&spec_path);
+        let _ = std::fs::remove_file(&drain_path);
         Ok(supervised
             .into_iter()
             .map(|s| s.report.expect("every worker reaped or failed"))
@@ -924,8 +1135,9 @@ fn drive(
     cache_dir: &Path,
     total_threads: usize,
     auto_compact: Option<usize>,
+    cancel: &dyn Fn() -> bool,
     launch: impl FnOnce() -> Result<Vec<WorkerReport>, DistribError>,
-) -> Result<DistribOutcome, DistribError> {
+) -> Result<DistribRun, DistribError> {
     spec.validate()?;
     let _span = ng_obs::span("distrib");
     let started = Instant::now();
@@ -949,13 +1161,36 @@ fn drive(
         let merged: Vec<EvaluatedPoint> = slots.into_iter().map(|s| s.expect("all hits")).collect();
         (Vec::new(), merged, 0)
     } else {
-        let mut slots = slots;
         let missing: Vec<DesignPoint> =
             points.iter().zip(&slots).filter(|(_, hit)| hit.is_none()).map(|(p, _)| *p).collect();
+        if cancel() {
+            // Signal before any worker spawned: nothing new delivered.
+            return Ok(DistribRun::Interrupted(DrainedDistrib {
+                total_points: points.len(),
+                delivered: pre_hits,
+                workers: Vec::new(),
+                cache_path: cache.store_dir(),
+            }));
+        }
         let workers = {
             let _span = ng_obs::span("launch");
             launch()?
         };
+        if cancel() {
+            // The drain settled: count what the workers flushed (a
+            // second lookup over the formerly-missing points) but do
+            // NOT evaluate the remainder — that is `dse resume`'s job,
+            // and the user asked us to stop.
+            let delivered_now = cache.lookup(&missing).iter().filter(|s| s.is_some()).count();
+            obs_counters::sweep_cache_hits().add(delivered_now as u64);
+            return Ok(DistribRun::Interrupted(DrainedDistrib {
+                total_points: points.len(),
+                delivered: pre_hits + delivered_now,
+                workers,
+                cache_path: cache.store_dir(),
+            }));
+        }
+        let mut slots = slots;
         // Merge reuses the pre-launch hits: only the formerly-missing
         // points are re-read (the workers just appended them), and any
         // straggler a dead worker failed to deliver is evaluated here —
@@ -985,7 +1220,7 @@ fn drive(
         threads: total_threads,
         wall: started.elapsed(),
     };
-    Ok(DistribOutcome {
+    Ok(DistribRun::Complete(DistribOutcome {
         outcome: SweepOutcome {
             spec: spec.clone(),
             points: merged,
@@ -994,7 +1229,7 @@ fn drive(
         },
         workers,
         recovered,
-    })
+    }))
 }
 
 /// Assemble a spec's full result set out of the shared store,
@@ -1072,7 +1307,7 @@ pub fn run_sharded_in_process(
     cache_dir: &Path,
 ) -> Result<DistribOutcome, DistribError> {
     let workers = workers.max(1);
-    drive(spec, cache_dir, workers * threads_per_worker, None, || {
+    let run = drive(spec, cache_dir, workers * threads_per_worker, None, &|| false, || {
         let summaries: Vec<Result<WorkerSummary, DistribError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|shard| {
@@ -1097,7 +1332,11 @@ pub fn run_sharded_in_process(
                 Err(e) => WorkerReport::no_process(shard, e.to_string()),
             })
             .collect())
-    })
+    })?;
+    match run {
+        DistribRun::Complete(outcome) => Ok(outcome),
+        DistribRun::Interrupted(_) => unreachable!("cancellation disabled"),
+    }
 }
 
 #[cfg(test)]
@@ -1248,8 +1487,64 @@ mod tests {
     fn exit_codes_name_their_causes() {
         assert!(exit_code_cause(EXIT_USAGE).unwrap().contains("spec or usage"));
         assert!(exit_code_cause(EXIT_STORE_APPEND).unwrap().contains("persist"));
+        assert!(exit_code_cause(EXIT_CHECK_FAILED).unwrap().contains("--check"));
+        assert!(exit_code_cause(EXIT_INTERRUPTED).unwrap().contains("resume"));
+        assert!(exit_code_cause(EXIT_KILLED).unwrap().contains("second signal"));
         assert_eq!(exit_code_cause(0), None);
         assert_eq!(exit_code_cause(1), None);
+        // The codes are pairwise distinct — one table, no aliases.
+        let codes =
+            [EXIT_USAGE, EXIT_STORE_APPEND, EXIT_CHECK_FAILED, EXIT_INTERRUPTED, EXIT_KILLED];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn drained_worker_flushes_and_reports_interrupted() {
+        // Drain a worker slice from the first point: it finishes the
+        // in-flight points, appends them, and reports interrupted; a
+        // follow-up full run pays only the remainder, bit-identical.
+        let dir = tmpdir("drain-worker");
+        let spec = SweepSpec::quick();
+        let summary = run_worker_slice_draining(&spec, 0, 1, &dir, 2, &|| true).unwrap();
+        assert!(summary.interrupted);
+        assert!(summary.evaluated < summary.points, "drained before the tail");
+        let resumed = run_worker_slice(&spec, 0, 1, &dir, 2).unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.cache_hits, summary.evaluated, "flushed points are hits");
+        assert_eq!(resumed.cache_hits + resumed.evaluated, resumed.points);
+        let cache = EvalCache::new(&dir);
+        let (merged, recovered) = merge_and_recover(&spec, &cache, 1).unwrap();
+        assert_eq!(recovered, 0);
+        let reference = SweepEngine::new().without_cache().run(&spec).unwrap();
+        assert_eq!(merged, reference.points, "drain + resume is bit-identical");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drain_flag_in_store_dir_drains_a_worker() {
+        // The coordinator's drain travels through the store: a worker
+        // that finds DRAIN_FILE mid-slice stops on its heartbeat
+        // cadence. heartbeat:delay=0 isn't needed — the flag pre-dates
+        // the run, so the first beat sees it.
+        let dir = tmpdir("drain-flag");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(DRAIN_FILE), b"drain\n").unwrap();
+        let spec = SweepSpec::quick();
+        // Single thread so the beat (every 200ms) can fire before the
+        // microsecond-scale slice finishes is not guaranteed — so this
+        // asserts only the *mechanism*: interrupted implies a short
+        // evaluation, and the summary always accounts for every point.
+        let summary = run_worker_slice(&spec, 0, 1, &dir, 1).unwrap();
+        if summary.interrupted {
+            assert!(summary.evaluated < summary.points);
+        } else {
+            assert_eq!(summary.evaluated, summary.points);
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -50,10 +50,13 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
+pub mod chaos;
 pub mod compact;
 pub mod distrib;
 pub mod emit;
 pub mod fsck;
+pub mod job;
 pub mod obs_counters;
 pub mod pareto;
 pub mod pool;
@@ -64,11 +67,16 @@ pub mod sweep;
 
 pub use cache::EvalCache;
 pub use compact::{compact, CompactBase, CompactReport};
-pub use distrib::{Coordinator, DistribError, DistribOutcome, WorkerReport, WorkerSummary};
+pub use distrib::{
+    Coordinator, DistribError, DistribOutcome, DistribRun, DrainedDistrib, WorkerReport,
+    WorkerSummary,
+};
 pub use pareto::{pareto_indices, Constraints, Objectives, StreamingFrontier};
 pub use search::{SearchOutcome, SearchSpec, SearchStats, SearchStrategy, Searcher};
 pub use spec::{DesignPoint, SpecError, SweepSpec};
-pub use sweep::{ArchPoint, EvaluatedPoint, SweepEngine, SweepOutcome, SweepStats};
+pub use sweep::{
+    ArchPoint, DrainedSweep, EvaluatedPoint, SweepEngine, SweepOutcome, SweepRun, SweepStats,
+};
 
 /// Version tag of the underlying evaluation models, mixed into every
 /// cache key. **Bump this whenever `ngpc`'s emulator, the GPU model or
@@ -101,6 +109,12 @@ pub const MODEL_VERSION: &str = "ngpc-models-v4";
 pub fn model_fingerprint() -> u64 {
     static FINGERPRINT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     *FINGERPRINT.get_or_init(|| {
+        // The probe is bookkeeping, not user work: it must not consume
+        // a fault plan's tick numbering or budgets (a
+        // `signal:term@point=5` should interrupt the user's sweep at
+        // its 5th point, not die inside this probe before the sweep
+        // starts).
+        let _probe_is_not_user_work = ng_fault::pause_injection();
         let mut probe = SweepSpec::quick();
         probe.encoding_engines = vec![8, 16];
         probe.mac_rows = vec![32, 64];

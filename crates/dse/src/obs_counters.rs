@@ -66,6 +66,21 @@ hoisted!(
     cache_rows_skipped => "cache.rows_skipped"
 );
 hoisted!(
+    /// Rows diverted to the in-memory overlay because the store's
+    /// filesystem is exhausted (ENOSPC/EROFS/quota): the sweep
+    /// completed, but these rows will re-evaluate next run. Non-zero
+    /// means "free some disk" — the run degraded instead of dying.
+    store_degraded_appends => "store.degraded_appends"
+);
+hoisted!(
+    /// Job manifests persisted (creations and status rewrites alike).
+    jobs_manifests_written => "jobs.manifests_written"
+);
+hoisted!(
+    /// Jobs re-entered via `dse resume`.
+    jobs_resumed => "jobs.resumed"
+);
+hoisted!(
     /// Store compactions completed (a binary generation was written).
     store_compact_runs => "store.compact_runs"
 );

@@ -137,9 +137,11 @@ pub fn cache_stats_line(outcome: &SweepOutcome) -> String {
 
 /// The `--cache-stats` extension lines: both store layers (compact
 /// binary base + live CSV tail, per shard), this process's
-/// base-vs-tail hit split, and the store's cumulative lock-wait and
-/// torn-tail-heal counters. `stats` is one
+/// base-vs-tail hit split, the store's cumulative lock-wait and
+/// torn-tail-heal counters, degraded (overlay-diverted) appends, and
+/// the store's durable job manifests. `stats` is one
 /// [`crate::cache::EvalCache::store_stats`] snapshot.
+#[allow(clippy::too_many_arguments)] // a stats snapshot, not an API
 pub fn shard_stats_report(
     stats: &crate::cache::StoreStats,
     base_hits: u64,
@@ -147,6 +149,8 @@ pub fn shard_stats_report(
     lock_wait_us: u64,
     heals: u64,
     rows_skipped: u64,
+    degraded_appends: u64,
+    jobs: &[crate::job::JobManifest],
 ) -> String {
     let counts: Vec<String> = stats.shards.iter().map(|(r, _)| r.to_string()).collect();
     let base_line = match stats.base {
@@ -156,17 +160,27 @@ pub fn shard_stats_report(
         ),
         None => "store base: none (CSV only — run `dse compact`)".to_string(),
     };
+    let resumable = jobs.iter().filter(|j| j.status != crate::job::JobStatus::Done).count();
     format!(
         "{base_line}\n\
          store tail: [{}] rows ({} live CSV, {:.1} KiB on disk)\n\
          store hits this process: {base_hits} from base, {tail_hits} from tail\n\
          store lock wait: {:.2} ms cumulative this process; {heals} torn tail(s) healed; \
-         {rows_skipped} corrupt row(s) skipped{}",
+         {rows_skipped} corrupt row(s) skipped{}\n\
+         store degraded appends this process: {degraded_appends} row(s){}\n\
+         store jobs: {} manifest(s), {resumable} resumable{}",
         counts.join(" "),
         stats.tail_rows(),
         stats.tail_bytes() as f64 / 1024.0,
         lock_wait_us as f64 / 1000.0,
         if rows_skipped > 0 { " (run `dse fsck` to audit)" } else { "" },
+        if degraded_appends > 0 {
+            " diverted to the in-memory overlay — free some disk; they re-evaluate next run"
+        } else {
+            ""
+        },
+        jobs.len(),
+        if resumable > 0 { " (`dse resume` picks the newest)" } else { "" },
     )
 }
 

@@ -151,6 +151,11 @@ pub struct SearchStats {
     /// Whether the search degenerated to an exhaustive scan (budget at
     /// or above the space size).
     pub exhaustive: bool,
+    /// Whether a drain (SIGINT/SIGTERM) cut the search short. Fresh
+    /// evaluations were flushed to the store, so a re-run with the
+    /// same seed replays the trajectory with the prefix served as
+    /// cache hits — which is how `dse resume` finishes a search.
+    pub interrupted: bool,
     /// Wall-clock time.
     pub wall: Duration,
 }
@@ -234,6 +239,9 @@ impl PointEvaluator {
                 return EvaluatedPoint { point: *point, ..*stored };
             }
         }
+        // Same fault-plan hook as the sweep pool: `signal:term` drives
+        // the drain path from inside a search too.
+        ng_fault::on_eval_tick();
         let r = self.ctx.eval(&point.emulator_input());
         let ep = EvaluatedPoint {
             point: *point,
@@ -355,15 +363,23 @@ struct SearchState<'a> {
     archive: StreamingFrontier<(ArchIdx, ArchPoint)>,
     archive_generation: u64,
     budget: usize,
+    cancel: &'a dyn Fn() -> bool,
 }
 
 impl<'a> SearchState<'a> {
-    /// Whether the search should keep going: budget left for at least
-    /// one more fresh evaluation. (Architectures served entirely by the
-    /// point cache are free and individually exempt from this gate —
-    /// see [`SearchState::eval_arch`].)
+    /// Whether a drain has been requested — every strategy loop treats
+    /// this exactly like budget exhaustion.
+    fn stopped(&self) -> bool {
+        (self.cancel)()
+    }
+
+    /// Whether the search should keep going: no drain requested and
+    /// budget left for at least one more fresh evaluation.
+    /// (Architectures served entirely by the point cache are free and
+    /// individually exempt from the budget gate — see
+    /// [`SearchState::eval_arch`].)
     fn can_afford_arch(&self) -> bool {
-        self.evaluator.evaluations < self.budget
+        !self.stopped() && self.evaluator.evaluations < self.budget
     }
 
     /// Fresh evaluations probing `idx` would cost: its points not
@@ -380,6 +396,11 @@ impl<'a> SearchState<'a> {
     fn eval_arch(&mut self, idx: &ArchIdx) -> Option<ArchEval> {
         if let Some(hit) = self.visited.get(idx) {
             return Some(*hit);
+        }
+        // A drain mid-climb looks like budget exhaustion: every caller
+        // already unwinds cleanly on `None`.
+        if self.stopped() {
+            return None;
         }
         if self.evaluator.evaluations + self.arch_cost(idx) > self.budget {
             return None;
@@ -505,6 +526,28 @@ impl Searcher {
 
     /// Run a guided search over `spec`'s space.
     pub fn run(&self, spec: &SweepSpec, search: &SearchSpec) -> Result<SearchOutcome, SpecError> {
+        self.run_inner(spec, search, &|| false)
+    }
+
+    /// [`Searcher::run`] with a drain predicate (the CLI passes
+    /// [`crate::cancel::cancelled`]): on cancellation the strategy
+    /// loops unwind like budget exhaustion, fresh evaluations are
+    /// flushed, and the outcome is marked `interrupted`.
+    pub fn run_draining(
+        &self,
+        spec: &SweepSpec,
+        search: &SearchSpec,
+        cancel: impl Fn() -> bool,
+    ) -> Result<SearchOutcome, SpecError> {
+        self.run_inner(spec, search, &cancel)
+    }
+
+    fn run_inner(
+        &self,
+        spec: &SweepSpec,
+        search: &SearchSpec,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<SearchOutcome, SpecError> {
         spec.validate()?;
         if search.budget == 0 {
             return Err(SpecError::Invalid("search budget must be nonzero".to_string()));
@@ -519,6 +562,7 @@ impl Searcher {
             archive: StreamingFrontier::new(),
             archive_generation: 0,
             budget: search.budget,
+            cancel,
         };
         let space_points = spec.point_count();
         let space_archs = state.space.arch_count();
@@ -532,7 +576,10 @@ impl Searcher {
                 // degenerate to the exhaustive frontier, so scan it.
                 for flat in 0..space_archs {
                     let idx = state.space.decode(flat);
-                    state.eval_arch(&idx).expect("budget covers the space");
+                    if state.eval_arch(&idx).is_none() {
+                        debug_assert!(state.stopped(), "budget covers the space");
+                        break;
+                    }
                 }
                 1
             } else {
@@ -542,6 +589,7 @@ impl Searcher {
                 }
             }
         };
+        let interrupted = state.stopped();
 
         let cache_path = state.evaluator.flush();
         let mut frontier: Vec<ArchPoint> =
@@ -560,6 +608,7 @@ impl Searcher {
                 budget: search.budget,
                 rounds,
                 exhaustive,
+                interrupted,
                 wall: started.elapsed(),
             },
             cache_path,

@@ -244,27 +244,87 @@ impl SweepOutcome {
 /// Shared by [`SweepEngine::run_owned`] and the distributed backend's
 /// worker slices ([`crate::distrib`]).
 pub fn evaluate_points(points: &[DesignPoint], threads: usize) -> Vec<EvaluatedPoint> {
+    let (slots, interrupted) = evaluate_points_partial(points, threads, || false);
+    debug_assert!(!interrupted, "cancellation disabled");
+    slots.into_iter().map(|s| s.expect("every point evaluated")).collect()
+}
+
+/// [`evaluate_points`] with a drain predicate: once `cancel()` turns
+/// true the pool stops dispatching new points (in-flight ones finish).
+/// Returns one slot per point in input order — `None` marks the
+/// unevaluated tail — plus whether the run was actually cut short.
+pub fn evaluate_points_partial(
+    points: &[DesignPoint],
+    threads: usize,
+    cancel: impl Fn() -> bool + Sync,
+) -> (Vec<Option<EvaluatedPoint>>, bool) {
     let _span = ng_obs::span("evaluate");
     let ticks = obs_counters::eval_ticks();
-    pool::map_stateful(points, threads, EmulationContext::new, |ctx, p: &DesignPoint| {
-        // Fault-plan hook: in a marked worker process whose plan names
-        // this tick, the process dies or hangs *here* — before the
-        // point completes — so the slice is genuinely unfinished and
-        // the coordinator's lease recovery has real work to do.
-        ng_fault::on_eval_tick();
-        let r = ctx.eval(&p.emulator_input());
-        ticks.incr();
-        EvaluatedPoint {
-            point: *p,
-            speedup: r.speedup,
-            area_pct_of_gpu: r.area_pct_of_gpu,
-            power_pct_of_gpu: r.power_pct_of_gpu,
-            gpu_ms: r.gpu_ms,
-            ngpc_frame_ms: r.ngpc_frame_ms,
-            amdahl_bound: r.amdahl_bound,
-            plateaued: r.plateaued,
-        }
-    })
+    let slots = pool::map_stateful_partial(
+        points,
+        threads,
+        EmulationContext::new,
+        |ctx, p: &DesignPoint| {
+            // Fault-plan hook: in a marked worker process whose plan
+            // names this tick, the process dies or hangs *here* —
+            // before the point completes — so the slice is genuinely
+            // unfinished and the coordinator's lease recovery has real
+            // work to do. (`signal:term` raises SIGTERM here instead,
+            // driving the graceful-drain path this function feeds.)
+            ng_fault::on_eval_tick();
+            let r = ctx.eval(&p.emulator_input());
+            ticks.incr();
+            EvaluatedPoint {
+                point: *p,
+                speedup: r.speedup,
+                area_pct_of_gpu: r.area_pct_of_gpu,
+                power_pct_of_gpu: r.power_pct_of_gpu,
+                gpu_ms: r.gpu_ms,
+                ngpc_frame_ms: r.ngpc_frame_ms,
+                amdahl_bound: r.amdahl_bound,
+                plateaued: r.plateaued,
+            }
+        },
+        cancel,
+    );
+    let interrupted = slots.iter().any(Option::is_none);
+    (slots, interrupted)
+}
+
+/// How a cancellable sweep ([`SweepEngine::run_draining`]) ended.
+// The variants are deliberately unboxed: the value is a transient
+// return, matched and consumed immediately, never stored.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepRun {
+    /// The sweep ran to completion.
+    Complete(SweepOutcome),
+    /// A drain was requested mid-evaluation: everything already
+    /// computed was flushed to the point store, the tail was left
+    /// unevaluated.
+    Interrupted(DrainedSweep),
+}
+
+/// The drain record of an interrupted sweep — what made it into the
+/// store before the stop, which is exactly what `dse resume` does not
+/// have to re-evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainedSweep {
+    /// Points in the spec.
+    pub total_points: usize,
+    /// Points served from the cache before the drain.
+    pub cache_hits: usize,
+    /// Points freshly evaluated (and appended) before the drain.
+    pub freshly_completed: usize,
+    /// The store generation directory the completed points live in.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl DrainedSweep {
+    /// Points a resume still has to evaluate.
+    pub fn remaining(&self) -> usize {
+        self.total_points - self.cache_hits - self.freshly_completed
+    }
 }
 
 /// The sweep executor: thread count + cache policy.
@@ -352,6 +412,30 @@ impl SweepEngine {
     /// and the merge fills cache hits and fresh evaluations into a
     /// single result vector instead of collecting intermediates.
     pub fn run_owned(&self, spec: SweepSpec) -> Result<SweepOutcome, SpecError> {
+        match self.run_inner(spec, &|| false)? {
+            SweepRun::Complete(outcome) => Ok(outcome),
+            SweepRun::Interrupted(_) => unreachable!("cancellation disabled"),
+        }
+    }
+
+    /// [`SweepEngine::run_owned`] with a drain predicate (the CLI
+    /// passes [`crate::cancel::cancelled`]): on cancellation the
+    /// completed points are flushed to the store and a
+    /// [`SweepRun::Interrupted`] drain record comes back instead of an
+    /// outcome.
+    pub fn run_draining(
+        &self,
+        spec: SweepSpec,
+        cancel: impl Fn() -> bool + Sync,
+    ) -> Result<SweepRun, SpecError> {
+        self.run_inner(spec, &cancel)
+    }
+
+    fn run_inner(
+        &self,
+        spec: SweepSpec,
+        cancel: &(dyn Fn() -> bool + Sync),
+    ) -> Result<SweepRun, SpecError> {
         spec.validate()?;
         let _span = ng_obs::span("sweep");
         let started = Instant::now();
@@ -377,7 +461,6 @@ impl SweepEngine {
         drop(design_points);
         obs_counters::sweep_points().add(slots.len() as u64);
         obs_counters::sweep_cache_hits().add((slots.len() - missing.len()) as u64);
-        obs_counters::sweep_fresh_evals().add(missing.len() as u64);
 
         // The work-stealing pool sees only the misses; results come
         // back in `missing` (= spec) order. The meter samples the
@@ -390,17 +473,31 @@ impl SweepEngine {
             "points",
             !missing.is_empty() && ng_obs::stderr_wants_progress(self.quiet),
         );
-        let evaluated = evaluate_points(&missing, self.threads);
+        let (eval_slots, interrupted) = evaluate_points_partial(&missing, self.threads, cancel);
         meter.finish();
+        let evaluated: Vec<EvaluatedPoint> = eval_slots.iter().copied().flatten().collect();
+        obs_counters::sweep_fresh_evals().add(evaluated.len() as u64);
 
         // A cache write failure (read-only dir, ...) downgrades to a
         // write-through-less run rather than failing the sweep; the
         // store dir is still reported, since hits were read from it.
+        // On a drain this flush is the whole point: everything already
+        // computed becomes resumable state.
         let cache_path = cache.as_ref().map(|cache| {
             let _span = ng_obs::span("append");
             let _ = cache.append(&evaluated);
             cache.store_dir()
         });
+
+        let cache_hits = slots.len() - missing.len();
+        if interrupted {
+            return Ok(SweepRun::Interrupted(DrainedSweep {
+                total_points: slots.len(),
+                cache_hits,
+                freshly_completed: evaluated.len(),
+                cache_path,
+            }));
+        }
 
         // Opt-in auto-compaction: fold a grown CSV tail into a binary
         // generation once it crosses the threshold. Failure downgrades
@@ -423,8 +520,7 @@ impl SweepEngine {
         let points: Vec<EvaluatedPoint> =
             slots.into_iter().map(|s| s.expect("every slot filled")).collect();
 
-        let cache_hits = points.len() - missing.len();
-        Ok(SweepOutcome {
+        Ok(SweepRun::Complete(SweepOutcome {
             spec,
             stats: SweepStats {
                 total_points: points.len(),
@@ -436,7 +532,7 @@ impl SweepEngine {
             },
             points,
             cache_path,
-        })
+        }))
     }
 }
 

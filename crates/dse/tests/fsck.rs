@@ -139,5 +139,5 @@ fn usage_errors_exit_2() {
     let (_, err, code) = dse(&["--preset", "no-such-preset"]);
     assert_eq!(code, 2, "unknown preset is a usage error: {err}");
     let (_, _, code) = dse(&["fsck", "--bogus"]);
-    assert_eq!(code, 1, "fsck argument errors are plain failures");
+    assert_eq!(code, 2, "fsck argument errors are usage errors like every other entry point");
 }

@@ -1,0 +1,61 @@
+//! Lease lifecycle under a deterministic wedge (ISSUE 9): a worker
+//! whose replacement hangs the same way must burn exactly one respawn
+//! — the second expiry exhausts the grant budget and the slice falls
+//! to the coordinator's local recovery, never a third spawn.
+//!
+//! Lives alone in this file: it asserts process-global counter deltas,
+//! which tests running concurrently in the same process would race.
+
+use std::fs;
+use std::time::Duration;
+
+#[test]
+fn double_lease_expiry_recovers_locally_after_exactly_one_respawn() {
+    let dir = std::env::temp_dir().join(format!("ng-dse-lease-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    let expired_before = ng_dse::obs_counters::distrib_leases_expired().get();
+    let killed_before = ng_dse::obs_counters::distrib_workers_killed().get();
+    let reassigned_before = ng_dse::obs_counters::distrib_leases_reassigned().get();
+
+    // One worker owning the whole slice, hanging at its first
+    // evaluation. The plan is inherited by the replacement, so the
+    // respawn hangs identically — a deterministic wedge.
+    let spec = ng_dse::SweepSpec::quick();
+    let distributed = ng_dse::Coordinator::new(1)
+        .with_worker_exe(env!("CARGO_BIN_EXE_dse"))
+        .with_worker_env("NG_DSE_FAULTS", "worker:hang@point=1")
+        .with_cache_dir(&dir)
+        .with_threads_per_worker(1)
+        .with_stall_after(Duration::from_millis(400))
+        .with_quiet(true)
+        .run(&spec)
+        .expect("coordinator completes despite the wedge");
+
+    // Both the initial holder and its single replacement expired and
+    // were killed; MAX_LEASE_GRANTS=2 means no second replacement.
+    assert_eq!(
+        ng_dse::obs_counters::distrib_leases_expired().get() - expired_before,
+        2,
+        "the lease must expire twice (holder, then replacement)"
+    );
+    assert_eq!(
+        ng_dse::obs_counters::distrib_workers_killed().get() - killed_before,
+        2,
+        "both holders must be SIGKILLed"
+    );
+    assert_eq!(
+        ng_dse::obs_counters::distrib_leases_reassigned().get() - reassigned_before,
+        1,
+        "exactly one respawn: the second expiry must fall to local recovery"
+    );
+
+    // Local recovery delivered the whole slice, bit-identical.
+    let report = &distributed.workers[0];
+    assert!(report.lease_revoked && !report.ok, "{report:?}");
+    assert_eq!(distributed.recovered, spec.point_count(), "the merge evaluated everything");
+    let reference = ng_dse::SweepEngine::new().without_cache().run(&spec).unwrap();
+    assert_eq!(distributed.outcome.points, reference.points);
+
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -24,6 +24,8 @@
 //! | `worker:hang@point=N`       | a worker process hangs forever at its `N`-th point |
 //! | `heartbeat:delay=D`         | every worker heartbeat is delayed by `D` (`5s`, `300ms`, ...) |
 //! | `compact:crash@stage=N`     | the store compactor dies at protocol stage `N` (1 = generation written but unverified, 2 = generation live but CSV not yet truncated, 3 = mid-truncation) |
+//! | `append:enospc[@n=N]`       | point-store shard appends fail with a storage-exhaustion error (ENOSPC-shaped, never retried; at most `N` injections, default unlimited) |
+//! | `signal:term@point=N`       | the process raises SIGTERM against itself at its `N`-th evaluation tick — the drain path a real Ctrl-C / `kill` exercises |
 //!
 //! `worker:*` and `heartbeat:*` faults fire only in processes that
 //! called [`mark_worker`] (the `dse --worker-shard` entry point), so a
@@ -103,6 +105,21 @@ pub enum Fault {
         /// 1-based compaction protocol stage to die at.
         stage: u64,
     },
+    /// Point-store shard appends fail with a storage-exhaustion error
+    /// (the ENOSPC / EROFS / quota family — persistent, never retried,
+    /// the trigger for the cache's degraded in-memory overlay).
+    AppendEnospc {
+        /// Injection cap (`None` = every append fails).
+        times: Option<u64>,
+    },
+    /// The process raises SIGTERM against itself at its `point`-th
+    /// evaluation tick. Unlike `worker:*` this is *not* role-gated: a
+    /// plain `dse` sweep is exactly what the graceful-drain path and
+    /// `dse resume` exist for.
+    SignalTerm {
+        /// 1-based evaluation tick to raise SIGTERM at.
+        point: u64,
+    },
 }
 
 /// A parsed, seeded fault plan.
@@ -155,6 +172,11 @@ impl FaultPlan {
             };
             let fault = match (class, kind) {
                 ("append", "io") => Fault::AppendIo { p: prob()?, times: num("n")? },
+                ("append", "enospc") => Fault::AppendEnospc { times: num("n")? },
+                ("signal", "term") => Fault::SignalTerm {
+                    point: num("point")?
+                        .ok_or_else(|| format!("faults: `{token}` needs point=N"))?,
+                },
                 ("ledger", "io") => Fault::LedgerIo { p: prob()?, times: num("n")? },
                 ("shard", "torn-tail") => Fault::TornTail { times: num("n")?.unwrap_or(1) },
                 ("calib", "partial-write") => {
@@ -255,6 +277,9 @@ struct Injector {
     torn_injected: AtomicU64,
     calib_injected: AtomicU64,
     compact_injected: AtomicU64,
+    enospc_injected: AtomicU64,
+    signal_injected: AtomicU64,
+    signals_raised: AtomicU64,
     eval_ticks: AtomicU64,
 }
 
@@ -269,6 +294,9 @@ impl Injector {
             torn_injected: AtomicU64::new(0),
             calib_injected: AtomicU64::new(0),
             compact_injected: AtomicU64::new(0),
+            enospc_injected: AtomicU64::new(0),
+            signal_injected: AtomicU64::new(0),
+            signals_raised: AtomicU64::new(0),
             eval_ticks: AtomicU64::new(0),
         }
     }
@@ -277,6 +305,30 @@ impl Injector {
 static INJECTOR: OnceLock<Injector> = OnceLock::new();
 static ARMED: AtomicBool = AtomicBool::new(false);
 static WORKER: AtomicBool = AtomicBool::new(false);
+static PAUSED: AtomicU64 = AtomicU64::new(0);
+
+/// RAII guard from [`pause_injection`]: faults resume when it drops.
+#[must_use = "injection resumes when the guard drops"]
+pub struct InjectionPause(());
+
+impl Drop for InjectionPause {
+    fn drop(&mut self) {
+        PAUSED.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Suspend every injection site in this process until the returned
+/// guard drops (nests). For internal bookkeeping work that must not
+/// consume the plan's budgets or tick numbering: the model-fingerprint
+/// probe sweep, for example, runs through the same evaluation pool as
+/// user work, and without this a `signal:term@point=N` or
+/// `worker:kill@point=N` would spend its death on a probe point before
+/// the actual sweep ever starts. Process-global, so it also covers the
+/// worker threads the paused section spawns.
+pub fn pause_injection() -> InjectionPause {
+    PAUSED.fetch_add(1, Ordering::Relaxed);
+    InjectionPause(())
+}
 
 /// Install a plan for this process. At most one plan per process — a
 /// second install is an error (the first plan's counters are already
@@ -332,7 +384,7 @@ pub fn is_worker() -> bool {
 }
 
 fn injector() -> Option<&'static Injector> {
-    if !active() {
+    if !active() || PAUSED.load(Ordering::Relaxed) > 0 {
         return None;
     }
     INJECTOR.get()
@@ -348,6 +400,21 @@ fn injected_io_error(site: &str) -> io::Error {
 /// Whether `e` is one of this crate's injected errors.
 pub fn is_injected(e: &io::Error) -> bool {
     e.to_string().starts_with("ng-fault:")
+}
+
+fn injected_exhaustion_error(site: &str) -> io::Error {
+    io::Error::other(format!("ng-fault: injected storage exhaustion ({site})"))
+}
+
+/// Whether `e` is a resource-exhaustion failure — out of space
+/// (ENOSPC), over quota (EDQUOT), a read-only filesystem (EROFS), or
+/// an unwritable store (EACCES/EPERM). These are persistent: waiting
+/// never frees the disk, so [`is_retryable`] refuses them and the
+/// point-store degrades to its in-memory overlay instead.
+pub fn is_exhaustion(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(28 | 30 | 122)) // ENOSPC, EROFS, EDQUOT
+        || e.kind() == io::ErrorKind::PermissionDenied
+        || e.to_string().contains("injected storage exhaustion")
 }
 
 fn io_site(
@@ -391,6 +458,28 @@ pub fn store_append_error() -> Option<io::Error> {
         inj.plan.seed,
         "append:io",
     )
+}
+
+/// `append:enospc` — an injected storage-exhaustion error for a
+/// point-store shard append, when the plan arms one. Unlike
+/// `append:io` this is not probabilistic: exhaustion is a state, not
+/// an event, so every append fails until the optional `n` cap runs
+/// out.
+pub fn store_append_exhaustion() -> Option<io::Error> {
+    let inj = injector()?;
+    let times = inj.plan.faults.iter().find_map(|f| match f {
+        Fault::AppendEnospc { times } => Some(*times),
+        _ => None,
+    })?;
+    if let Some(cap) = times {
+        if inj.enospc_injected.fetch_add(1, Ordering::Relaxed) >= cap {
+            inj.enospc_injected.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+    } else {
+        inj.enospc_injected.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(injected_exhaustion_error("append:enospc"))
 }
 
 /// `ledger:io` — an injected error for a JSONL ledger/heartbeat append.
@@ -470,24 +559,46 @@ pub fn compact_crash_at(stage: u64) -> Option<io::Error> {
     Some(io::Error::other(format!("ng-fault: injected compaction crash (stage {stage})")))
 }
 
-/// `worker:kill` / `worker:hang` — called once per point from the
-/// evaluation pool, *before* the point is evaluated. In a marked
-/// worker process whose plan names this tick, the process aborts (the
-/// SIGKILL-shaped death the lease recovery path exists for) or hangs
-/// forever (the livelock the progress-stall detector exists for).
+/// `worker:kill` / `worker:hang` / `signal:term` — called once per
+/// point from the evaluation pool, *before* the point is evaluated.
+/// In a marked worker process whose plan names this tick, the process
+/// aborts (the SIGKILL-shaped death the lease recovery path exists
+/// for) or hangs forever (the livelock the progress-stall detector
+/// exists for). `signal:term` fires in *any* process — it raises a
+/// real SIGTERM against the process itself, so whatever drain handler
+/// is installed sees exactly what a `kill` from outside would send.
 pub fn on_eval_tick() {
     let Some(inj) = injector() else { return };
-    if !is_worker() {
-        return;
-    }
     let tick = inj.eval_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+    // Claiming a tick and raising its signal are two steps, and the
+    // claimant can be preempted between them — on a loaded one-core
+    // box the *other* pool workers could then finish every remaining
+    // point before the SIGTERM lands, turning a deterministic
+    // "interrupt at point N" plan into a completed run. Later ticks
+    // therefore wait until every signal due at an earlier tick has
+    // actually been raised.
+    let due = inj
+        .plan
+        .faults
+        .iter()
+        .filter(|f| matches!(f, Fault::SignalTerm { point } if *point < tick))
+        .count() as u64;
+    while inj.signals_raised.load(Ordering::Acquire) < due {
+        std::thread::yield_now();
+    }
     for f in &inj.plan.faults {
         match f {
-            Fault::WorkerKill { point } if *point == tick => {
+            Fault::SignalTerm { point } if *point == tick => {
+                inj.signal_injected.fetch_add(1, Ordering::Relaxed);
+                eprintln!("ng-fault: raising SIGTERM at evaluation tick {tick}");
+                raise_sigterm();
+                inj.signals_raised.fetch_add(1, Ordering::Release);
+            }
+            Fault::WorkerKill { point } if is_worker() && *point == tick => {
                 eprintln!("ng-fault: worker abort at evaluation tick {tick}");
                 std::process::abort();
             }
-            Fault::WorkerHang { point } if *point == tick => {
+            Fault::WorkerHang { point } if is_worker() && *point == tick => {
                 eprintln!("ng-fault: worker hanging at evaluation tick {tick}");
                 loop {
                     std::thread::sleep(Duration::from_secs(3600));
@@ -497,6 +608,22 @@ pub fn on_eval_tick() {
         }
     }
 }
+
+/// Raise SIGTERM against this process. Declared directly against the
+/// C runtime std already links — this crate stays dependency-free.
+#[cfg(unix)]
+fn raise_sigterm() {
+    extern "C" {
+        fn raise(sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        raise(SIGTERM);
+    }
+}
+
+#[cfg(not(unix))]
+fn raise_sigterm() {}
 
 /// `heartbeat:delay` — the delay to impose before each worker
 /// heartbeat append, when armed in a marked worker.
@@ -521,6 +648,8 @@ pub fn injected_count(site: &str) -> u64 {
         "torn-tail" => inj.torn_injected.load(Ordering::Relaxed),
         "calib" => inj.calib_injected.load(Ordering::Relaxed),
         "compact" => inj.compact_injected.load(Ordering::Relaxed),
+        "append:enospc" => inj.enospc_injected.load(Ordering::Relaxed),
+        "signal:term" => inj.signal_injected.load(Ordering::Relaxed),
         _ => 0,
     }
 }
@@ -541,9 +670,12 @@ pub fn backoff_delay(attempt: u32, salt: u64) -> Duration {
 
 /// Whether an error is worth retrying: everything except
 /// `Unsupported`, which signals a structural capability gap (e.g. a
-/// filesystem without locks) that no amount of waiting fixes.
+/// filesystem without locks) that no amount of waiting fixes, and the
+/// [`is_exhaustion`] family — a full or read-only disk does not drain
+/// in four backoff windows, and retrying just quadruples the time to
+/// reach the degraded-overlay path.
 pub fn is_retryable(e: &io::Error) -> bool {
-    e.kind() != io::ErrorKind::Unsupported
+    e.kind() != io::ErrorKind::Unsupported && !is_exhaustion(e)
 }
 
 /// Run `f`, retrying transient failures up to [`MAX_RETRIES`] times
@@ -574,7 +706,8 @@ mod tests {
         let plan = FaultPlan::parse(
             "seed=7;append:io@p=0.01,n=3;ledger:io@p=0.5;shard:torn-tail;\
              calib:partial-write@n=2;worker:kill@point=500;worker:hang@point=3;\
-             heartbeat:delay=5s;compact:crash@stage=2",
+             heartbeat:delay=5s;compact:crash@stage=2;append:enospc@n=4;\
+             signal:term@point=6",
         )
         .unwrap();
         assert_eq!(plan.seed, 7);
@@ -589,7 +722,14 @@ mod tests {
                 Fault::WorkerHang { point: 3 },
                 Fault::HeartbeatDelay { delay: Duration::from_secs(5) },
                 Fault::CompactCrash { stage: 2 },
+                Fault::AppendEnospc { times: Some(4) },
+                Fault::SignalTerm { point: 6 },
             ]
+        );
+        // Bare `append:enospc` (no cap) also parses.
+        assert_eq!(
+            FaultPlan::parse("append:enospc").unwrap().faults,
+            vec![Fault::AppendEnospc { times: None }]
         );
     }
 
@@ -613,6 +753,7 @@ mod tests {
             "append:io@p=2",        // p out of range
             "worker:kill",          // missing point
             "compact:crash",        // missing stage
+            "signal:term",          // missing point
             "heartbeat:delay=fast", // bad duration
             "seed=x",
             "whatever:io@p=0.1",
@@ -679,9 +820,47 @@ mod tests {
     }
 
     #[test]
+    fn paused_injection_consumes_no_budget_or_ticks() {
+        // Pausing gates the injector lookup itself, so no site fires
+        // and no per-site counter moves while a guard is alive. (This
+        // test does not install a plan — installation is once per
+        // process — it checks the gate directly.)
+        let before = PAUSED.load(Ordering::Relaxed);
+        {
+            let _outer = pause_injection();
+            let _inner = pause_injection();
+            assert_eq!(PAUSED.load(Ordering::Relaxed), before + 2, "guards nest");
+            assert!(injector().is_none(), "no site can fire while paused");
+        }
+        assert_eq!(PAUSED.load(Ordering::Relaxed), before, "drop restores");
+    }
+
+    #[test]
     fn injected_errors_are_recognisable() {
         assert!(is_injected(&injected_io_error("x")));
         assert!(!is_injected(&io::Error::other("disk on fire")));
         assert!(is_retryable(&injected_io_error("x")));
+    }
+
+    #[test]
+    fn exhaustion_errors_are_persistent_not_transient() {
+        let injected = injected_exhaustion_error("append:enospc");
+        assert!(is_injected(&injected));
+        assert!(is_exhaustion(&injected));
+        assert!(!is_retryable(&injected), "exhaustion must not burn retries");
+        for errno in [28, 30, 122] {
+            let real = io::Error::from_raw_os_error(errno);
+            assert!(is_exhaustion(&real), "errno {errno}");
+            assert!(!is_retryable(&real), "errno {errno}");
+        }
+        let denied = io::Error::new(io::ErrorKind::PermissionDenied, "store owned by root");
+        assert!(is_exhaustion(&denied));
+        // Transient flakes still retry.
+        assert!(!is_exhaustion(&injected_io_error("append:io")));
+        let (result, retries) = with_retries("test", || -> io::Result<()> {
+            Err(injected_exhaustion_error("append:enospc"))
+        });
+        assert!(result.is_err());
+        assert_eq!(retries, 0, "exhaustion short-circuits the backoff loop");
     }
 }

@@ -33,7 +33,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 use crate::{epoch_us, json_escape, trace_tid};
 
@@ -135,15 +135,30 @@ fn ledger_retries() -> &'static crate::Counter {
 }
 
 /// Emit one event line to the ledger, if recording. Emission is best
-/// effort: an I/O error drops the event rather than failing the run —
-/// observability must never turn a working sweep into a broken one.
+/// effort: a transient I/O error drops the event rather than failing
+/// the run — observability must never turn a working sweep into a
+/// broken one. A *persistent* capacity error (ENOSPC/EROFS/quota —
+/// [`ng_fault::is_exhaustion`]) instead reroutes the event line to
+/// stderr as JSONL, so the trace of a degraded run survives even when
+/// its disk does not; each later emit still tries the file first, so
+/// recording recovers by itself once space frees up.
 fn emit(line: &str) {
     if !is_recording() {
         return;
     }
-    let path = ledger_path();
-    if let Some(path) = path {
-        let _ = append_jsonl_line(&path, line);
+    let Some(path) = ledger_path() else { return };
+    match append_jsonl_line(&path, line) {
+        Ok(()) => {}
+        Err(e) if ng_fault::is_exhaustion(&e) => {
+            static NOTICED: Once = Once::new();
+            NOTICED.call_once(|| {
+                eprintln!(
+                    "ng-obs: ledger append failed ({e}); trace events now mirror to stderr JSONL"
+                );
+            });
+            eprintln!("{line}");
+        }
+        Err(_) => {}
     }
 }
 
