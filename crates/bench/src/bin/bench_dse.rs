@@ -28,7 +28,13 @@
 //! matches_single_process}`), plus a `store_load` entry timing
 //! cold-load-to-serveable on a synthetic million-row store, CSV parse
 //! vs compacted binary generation (`{rows, csv_bytes,
-//! generation_bytes, csv_load_s, compact_s, binary_load_s, speedup}`).
+//! generation_bytes, csv_load_s, compact_s, binary_load_s, speedup}`),
+//! plus a `map_search` entry for the joint mapping search: a cold
+//! annotate pass that searches every distinct `(MAC array, layer
+//! shape)` problem and seeds the memo store, then the warm pass that
+//! must be served entirely from it (`{preset, cold_s, warm_s,
+//! cold_searches, cold_memo_hits, warm_searches, warm_memo_hits,
+//! warm_hit_ratio, max_disagreement}`).
 //!
 //! Since the observability PR each preset entry also carries the
 //! `ng-obs` counter deltas of its cold run (`counters_cold`) and the
@@ -249,6 +255,69 @@ fn bench_store_load(scratch: &std::path::Path) -> StoreLoadBench {
     }
 }
 
+/// Cold vs warm joint mapping search over a preset's evaluated points:
+/// the cold annotate pass searches each distinct `(MAC array, layer
+/// shape)` problem once and seeds the memo store; the warm pass must
+/// be served entirely from it.
+struct MapSearchBench {
+    preset: String,
+    cold_s: f64,
+    warm_s: f64,
+    cold_searches: u64,
+    cold_memo_hits: u64,
+    warm_searches: u64,
+    warm_memo_hits: u64,
+    warm_hit_ratio: f64,
+    max_disagreement: f64,
+}
+
+fn bench_map_search(spec: &SweepSpec, scratch: &std::path::Path) -> MapSearchBench {
+    // A private cache root: the memo store lives beside the point
+    // cache, and the cold pass must really be cold.
+    let cache_dir = scratch.join(format!("point-cache-mapsearch-{}", spec.name));
+    let engine = SweepEngine::new().with_cache_dir(&cache_dir);
+    let outcome = engine.run(spec).expect("preset specs validate");
+    let store = ng_dse::MapMemoStore::new(&cache_dir);
+
+    let started = Instant::now();
+    let cold = ng_dse::annotate(&outcome.points, Some(&store));
+    let cold_s = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let warm = ng_dse::annotate(&outcome.points, Some(&store));
+    let warm_s = started.elapsed().as_secs_f64();
+
+    let warm_lookups = warm.evals + warm.memo_hits;
+    let warm_hit_ratio =
+        if warm_lookups == 0 { 0.0 } else { warm.memo_hits as f64 / warm_lookups as f64 };
+    println!("[{} --map-search]", spec.name);
+    println!(
+        "cold:        {:8.1} ms  ({} search(es), {} memo hit(s))",
+        cold_s * 1e3,
+        cold.evals,
+        cold.memo_hits
+    );
+    println!(
+        "warm:        {:8.1} ms  ({} search(es), {} memo hit(s), {:.0}% served by the memo)",
+        warm_s * 1e3,
+        warm.evals,
+        warm.memo_hits,
+        warm_hit_ratio * 100.0
+    );
+
+    MapSearchBench {
+        preset: spec.name.clone(),
+        cold_s,
+        warm_s,
+        cold_searches: cold.evals,
+        cold_memo_hits: cold.memo_hits,
+        warm_searches: warm.evals,
+        warm_memo_hits: warm.memo_hits,
+        warm_hit_ratio,
+        max_disagreement: cold.max_disagreement(),
+    }
+}
+
 /// One cold guided search over the exploded preset (its own point
 /// cache, so the searcher really evaluates).
 struct GuidedBench {
@@ -441,6 +510,10 @@ fn main() -> ExitCode {
     // The guided searcher and the distributed backend are benched on
     // the full runs only (their spaces are the full presets; a --quick
     // run has nothing to search or shard).
+    // The joint mapping search is benched on the run's first preset in
+    // both modes (it is cheap: one search per distinct MAC-array/layer
+    // problem, not per point).
+    let map_search = bench_map_search(&specs[0], &scratch);
     let guided = if quick { None } else { Some(bench_guided(&scratch)) };
     let distributed = if quick { None } else { Some(bench_distributed(&scratch)) };
     let store_load = if quick { None } else { Some(bench_store_load(&scratch)) };
@@ -523,6 +596,21 @@ fn main() -> ExitCode {
             )
         })
         .unwrap_or_default();
+    let map_search_json = format!(
+        ",\n  \"map_search\": {{\n    \"preset\": \"{}\",\n    \"cold_s\": {},\n    \
+         \"warm_s\": {},\n    \"cold_searches\": {},\n    \"cold_memo_hits\": {},\n    \
+         \"warm_searches\": {},\n    \"warm_memo_hits\": {},\n    \"warm_hit_ratio\": {},\n    \
+         \"max_disagreement\": {}\n  }}",
+        map_search.preset,
+        map_search.cold_s,
+        map_search.warm_s,
+        map_search.cold_searches,
+        map_search.cold_memo_hits,
+        map_search.warm_searches,
+        map_search.warm_memo_hits,
+        map_search.warm_hit_ratio,
+        map_search.max_disagreement,
+    );
     // Where this process's wall time went, per span path — the same
     // stage breakdown `dse trace` reconstructs from a ledger, taken
     // from the in-process profile registry.
@@ -553,11 +641,12 @@ fn main() -> ExitCode {
         ng_dse::obs_counters::jobs_resumed().get(),
     );
     let json = format!(
-        "{{\n  \"presets\": [\n{}\n  ]{}{}{}{}{}\n}}\n",
+        "{{\n  \"presets\": [\n{}\n  ]{}{}{}{}{}{}\n}}\n",
         entries.join(",\n"),
         guided_json,
         distributed_json,
         store_load_json,
+        map_search_json,
         robustness_json,
         stage_json
     );
@@ -592,6 +681,23 @@ fn main() -> ExitCode {
     }
 
     if check_warm {
+        if map_search.warm_searches != 0 {
+            eprintln!(
+                "bench_dse: REGRESSION — warm map-search re-run over `{}` ran {} search(es) \
+                 (expected 0: the memo store must serve every mapping lookup)",
+                map_search.preset, map_search.warm_searches
+            );
+            return ExitCode::FAILURE;
+        }
+        if map_search.warm_hit_ratio < 1.0 {
+            eprintln!(
+                "bench_dse: REGRESSION — warm map-search re-run over `{}` was only {:.1}% \
+                 memo hits (expected 100%)",
+                map_search.preset,
+                map_search.warm_hit_ratio * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
         if let Some(d) = &distributed {
             if !d.matches_single_process {
                 eprintln!(

@@ -172,6 +172,22 @@ FAULT INJECTION (deterministic chaos testing):
                          written but unverified, 2 = live but CSV not
                          yet truncated, 3 = mid-truncation)
 
+MAPPING SEARCH (joint mapping search through timeloop-lite):
+    --map-search         per candidate MAC array, search the best
+                         mapping of every MLP layer with ng-timeloop,
+                         re-evaluate each point under the winners, and
+                         report/emit fixed-vs-searched columns (the
+                         point rows themselves are untouched — the
+                         plain CSV stays byte-identical). Searches are
+                         memoized in a mapping-memo store beside the
+                         point store (same locked-append + compacted
+                         discipline) and shared by --workers processes
+    --check-map-agreement
+                         exit non-zero if ng-timeloop's mapping
+                         evaluation and ngpc's tile model disagree by
+                         more than the ~7% cross-validation band on any
+                         point (the CI gate; implies --map-search)
+
 OUTPUT:
     --top N              frontier rows to print (default: 16)
     --per-app            also print each app's own Pareto frontier
@@ -244,6 +260,10 @@ struct Cli {
     csv: Option<String>,
     json: Option<String>,
     check_headline: bool,
+    /// Deliberately NOT a report flag: workers accept `--map-search`
+    /// and seed the shared mapping memo with their own slices.
+    map_search: bool,
+    check_map_agreement: bool,
     search: Option<ng_dse::SearchStrategy>,
     budget: Option<usize>,
     seed: Option<u64>,
@@ -295,6 +315,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         csv: None,
         json: None,
         check_headline: false,
+        map_search: false,
+        check_map_agreement: false,
         search: None,
         budget: None,
         seed: None,
@@ -417,6 +439,12 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--check-headline" => {
                 cli.report_flags.push("--check-headline");
                 cli.check_headline = true;
+            }
+            "--map-search" => cli.map_search = true,
+            "--check-map-agreement" => {
+                cli.report_flags.push("--check-map-agreement");
+                cli.check_map_agreement = true;
+                cli.map_search = true;
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -599,6 +627,55 @@ fn run_search(
         );
     }
 
+    if cli.map_search {
+        // The search reports an architecture-level frontier; rebuild
+        // one point per (frontier architecture, app) and annotate those
+        // — the mapping comparison for exactly the designs the search
+        // recommends.
+        let apps = &cli.spec.apps;
+        let points: Vec<ng_dse::DesignPoint> = outcome
+            .frontier
+            .iter()
+            .enumerate()
+            .flat_map(|(i, arch)| {
+                let arch = *arch;
+                apps.iter().enumerate().map(move |(j, &app)| ng_dse::DesignPoint {
+                    index: i * apps.len() + j,
+                    app,
+                    encoding: arch.encoding,
+                    pixels: arch.pixels,
+                    nfp_units: arch.nfp_units,
+                    clock_ghz: arch.clock_ghz,
+                    grid_sram_kb: arch.grid_sram_kb,
+                    grid_sram_banks: arch.grid_sram_banks,
+                    encoding_engines: arch.encoding_engines,
+                    mac_rows: arch.mac_rows,
+                    mac_cols: arch.mac_cols,
+                    lanes_per_engine: arch.lanes_per_engine,
+                    input_fifo_depth: arch.input_fifo_depth,
+                })
+            })
+            .collect();
+        let evaluated = ng_dse::sweep::evaluate_points(&points, 1);
+        let store = if cli.no_cache {
+            None
+        } else {
+            let dir =
+                cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+            Some(ng_dse::MapMemoStore::new(dir))
+        };
+        let annotated = ng_dse::annotate(&evaluated, store.as_ref());
+        println!("{}", annotated.headline());
+        if cli.check_map_agreement && annotated.max_disagreement() > ng_dse::AGREEMENT_BAND {
+            return Err(check_err(format!(
+                "--check-map-agreement: timeloop-vs-ngpc max disagreement {:.2}% exceeds \
+                 the {:.0}% cross-validation band",
+                annotated.max_disagreement() * 100.0,
+                ng_dse::AGREEMENT_BAND * 100.0
+            )));
+        }
+    }
+
     if cli.check_headline || cli.spec.name == "guided-lanes" {
         let headline = outcome
             .frontier
@@ -700,6 +777,23 @@ fn run_worker(cli: &Cli, shard: usize, of: usize) -> Result<(), CliError> {
             "worker {shard}/{of} drained early; its completed points are flushed to the store"
         )));
     }
+    // `--map-search` workers seed the shared mapping memo with their own
+    // slices: re-read the slice (all hits now — the worker just appended
+    // it) and annotate against the memo store, so concurrent workers
+    // split the mapspace enumerations and the coordinator's post-merge
+    // annotation runs warm.
+    if cli.map_search {
+        let cache = ng_dse::EvalCache::new(&cache_dir);
+        let slice = ng_dse::distrib::shard_points(&cli.spec.points(), shard, of);
+        let points: Vec<ng_dse::EvaluatedPoint> =
+            cache.lookup(&slice).into_iter().flatten().collect();
+        let store = ng_dse::MapMemoStore::new(&cache_dir);
+        let a = ng_dse::annotate(&points, Some(&store));
+        println!(
+            "worker {shard}/{of} map-search: {} search(es), {} memo hit(s)",
+            a.evals, a.memo_hits
+        );
+    }
     Ok(())
 }
 
@@ -713,8 +807,10 @@ fn run_distributed(cli: &Cli, workers: usize) -> Result<ng_dse::DistribRun, Stri
                     store; rerun without --no-cache"
             .to_string());
     }
-    let mut coordinator =
-        ng_dse::Coordinator::new(workers).with_quiet(cli.quiet).with_auto_compact(cli.auto_compact);
+    let mut coordinator = ng_dse::Coordinator::new(workers)
+        .with_quiet(cli.quiet)
+        .with_auto_compact(cli.auto_compact)
+        .with_map_search(cli.map_search);
     if let Some(dir) = &cli.cache_dir {
         coordinator = coordinator.with_cache_dir(dir);
     }
@@ -934,6 +1030,12 @@ fn run_fsck(args: &[String]) -> Result<(), CliError> {
     for generation in before.generations.iter().filter(|g| !g.is_clean()) {
         println!("{generation}");
     }
+    for shard in before.memo_shards.iter().filter(|s| !s.is_clean()) {
+        println!("mapmemo {shard}");
+    }
+    for base in before.memo_bases.iter().filter(|g| !g.is_clean()) {
+        println!("mapmemo {base}");
+    }
     println!("{}", before.summary());
     let mut defects = !before.is_clean();
     if repair && defects {
@@ -942,6 +1044,12 @@ fn run_fsck(args: &[String]) -> Result<(), CliError> {
             println!(
                 "quarantined shard {q:x} -> shard-{q:x}.csv.quarantine (unreadable; its \
                  points will re-evaluate)"
+            );
+        }
+        for q in &done.memo_quarantined {
+            println!(
+                "quarantined mapmemo shard {q:x} -> mapmemo/shard-{q:x}.csv.quarantine \
+                 (unreadable; its mappings will re-search)"
             );
         }
         if done.recompacted {
@@ -1085,6 +1193,8 @@ fn run_resume(args: &[String]) -> Result<(), CliError> {
         csv: manifest.csv.clone(),
         json: manifest.json_out.clone(),
         check_headline: false,
+        map_search: manifest.map_search,
+        check_map_agreement: false,
         search,
         budget: manifest.budget,
         seed: manifest.seed,
@@ -1185,6 +1295,16 @@ fn run_compact(args: &[String]) -> Result<(), String> {
     let cache = ng_dse::EvalCache::new(&dir);
     let report = ng_dse::compact::compact(&cache).map_err(|e| format!("compact {dir}: {e}"))?;
     println!("{report}");
+    // The mapping memo follows the same compaction cadence: fold its
+    // CSV shards into a fresh checksummed base generation.
+    let memo = ng_dse::MapMemoStore::new(&dir);
+    let memo_report = memo.compact().map_err(|e| format!("compact mapmemo {dir}: {e}"))?;
+    match (memo_report.rows, memo_report.seq) {
+        (Some(rows), Some(seq)) => {
+            println!("mapping memo: folded {rows} row(s) into base generation {seq}")
+        }
+        _ => println!("mapping memo: nothing to fold"),
+    }
     Ok(())
 }
 
@@ -1330,6 +1450,7 @@ fn run_mode(cli: &Cli, resumed: Option<ng_dse::job::JobManifest>) -> Result<(), 
                 m.search_strategy = cli.search.map(|s| s.slug().to_string());
                 m.budget = cli.budget;
                 m.seed = cli.seed;
+                m.map_search = cli.map_search;
                 m.max_area = cli.constraints.max_area_pct;
                 m.max_power = cli.constraints.max_power_pct;
                 m.min_speedup = cli.constraints.min_speedup;
@@ -1401,10 +1522,28 @@ fn run_mode(cli: &Cli, resumed: Option<ng_dse::job::JobManifest>) -> Result<(), 
         }
     };
     finish_job_done(&mut job, outcome.points.len());
+    // The `--map-search` side table: computed post-merge against the
+    // mapping memo beside the point store, never mutating the points —
+    // everything downstream is byte-identical with the flag off.
+    let annotations = if cli.map_search {
+        let store = if cli.no_cache {
+            None
+        } else {
+            let dir =
+                cli.cache_dir.clone().unwrap_or_else(|| SweepEngine::DEFAULT_CACHE_DIR.into());
+            Some(ng_dse::MapMemoStore::new(dir))
+        };
+        Some(ng_dse::annotate(&outcome.points, store.as_ref()))
+    } else {
+        None
+    };
     // Frontier extraction + table rendering is real work on large
     // sweeps — span it so the ledger's coverage accounting sees it.
     let _span = ng_obs::span("report");
     print_report(&outcome, &cli.constraints, cli.top, cli.per_app);
+    if let Some(a) = &annotations {
+        println!("{}", a.headline());
+    }
     if cli.cache_stats {
         println!("{}", ng_dse::report::cache_stats_line(&outcome));
         if outcome.cache_path.is_some() {
@@ -1424,6 +1563,31 @@ fn run_mode(cli: &Cli, resumed: Option<ng_dse::job::JobManifest>) -> Result<(), 
                     &ng_dse::job::JobManifest::list(std::path::Path::new(&dir)),
                 )
             );
+            if cli.map_search {
+                let store = ng_dse::MapMemoStore::new(&dir);
+                println!(
+                    "{}",
+                    ng_dse::report::mapmemo_stats_report(
+                        &store.store_stats(),
+                        ng_dse::obs_counters::mapsearch_evals().get(),
+                        ng_dse::obs_counters::mapsearch_memo_hits().get(),
+                        ng_dse::obs_counters::mapmemo_rows_appended().get(),
+                        ng_dse::obs_counters::mapmemo_rows_skipped().get(),
+                    )
+                );
+            }
+        }
+    }
+    if cli.check_map_agreement {
+        let a = annotations.as_ref().expect("--check-map-agreement implies --map-search");
+        let disagreement = a.max_disagreement();
+        if disagreement > ng_dse::AGREEMENT_BAND {
+            return Err(check_err(format!(
+                "--check-map-agreement: timeloop-vs-ngpc max disagreement {:.2}% exceeds \
+                 the {:.0}% cross-validation band",
+                disagreement * 100.0,
+                ng_dse::AGREEMENT_BAND * 100.0
+            )));
         }
     }
     let judge_headline =
@@ -1448,13 +1612,19 @@ fn run_mode(cli: &Cli, resumed: Option<ng_dse::job::JobManifest>) -> Result<(), 
     }
 
     if let Some(path) = &cli.csv {
-        let csv = ng_dse::emit::points_to_csv(&outcome.points);
+        let csv = match &annotations {
+            Some(a) => ng_dse::emit::points_to_csv_with_mapping(&outcome.points, a),
+            None => ng_dse::emit::points_to_csv(&outcome.points),
+        };
         std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {} points to {path}", outcome.points.len());
     }
     if let Some(path) = &cli.json {
         let frontier = outcome.cross_app_frontier(&cli.constraints);
-        let json = ng_dse::emit::outcome_to_json(&outcome, &frontier);
+        let json = match &annotations {
+            Some(a) => ng_dse::emit::outcome_to_json_with_mapping(&outcome, &frontier, a),
+            None => ng_dse::emit::outcome_to_json(&outcome, &frontier),
+        };
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote outcome JSON to {path}");
     }

@@ -12,12 +12,14 @@
 //!   run after that is **100% warm** (zero misses, zero evaluations);
 //! - `dse fsck --check` finds the store **clean** at the end.
 //!
-//! Six fault classes are drawn from the schedule seed: `kill` and
+//! Seven fault classes are drawn from the schedule seed: `kill` and
 //! `hang` (distributed workers dying / livelocking mid-slice), `torn`
 //! (a crash-shaped torn shard tail), `io` (probabilistic transient
 //! append failures absorbed by retries), `enospc` (storage exhaustion
-//! degrading the store to its in-memory overlay) and `signal`
-//! (SIGTERM mid-sweep, drained and finished by `dse resume`).
+//! degrading the store to its in-memory overlay), `signal` (SIGTERM
+//! mid-sweep, drained and finished by `dse resume`) and `mapmemo-torn`
+//! (a torn `--map-search` memo append, healed by re-search and
+//! `fsck --repair`).
 //!
 //! ## Replayability
 //!
@@ -79,16 +81,22 @@ pub enum FaultClass {
     Enospc,
     /// SIGTERM mid-sweep (`signal:term`) — the drain + `dse resume` path.
     Signal,
+    /// A `--map-search` memo append leaves a torn final row
+    /// (`mapmemo:torn-tail`) — the run is unaffected (its in-memory
+    /// table holds the values), the next run re-searches the gap, and
+    /// `fsck --repair` heals the shard.
+    MapMemoTorn,
 }
 
 impl FaultClass {
-    const ALL: [FaultClass; 6] = [
+    const ALL: [FaultClass; 7] = [
         FaultClass::Kill,
         FaultClass::Hang,
         FaultClass::Torn,
         FaultClass::Io,
         FaultClass::Enospc,
         FaultClass::Signal,
+        FaultClass::MapMemoTorn,
     ];
 
     /// Short name used in the outcome table.
@@ -100,6 +108,7 @@ impl FaultClass {
             FaultClass::Io => "io",
             FaultClass::Enospc => "enospc",
             FaultClass::Signal => "signal",
+            FaultClass::MapMemoTorn => "mapmemo-torn",
         }
     }
 }
@@ -282,6 +291,9 @@ struct Schedule {
     class: FaultClass,
     plan: String,
     distributed: bool,
+    /// Run every phase with `--map-search` (and byte-compare against
+    /// the map-search reference CSV instead of the plain one).
+    map_search: bool,
     /// Extra env for the faulted child (stall timeout for `hang`).
     env: Vec<(&'static str, String)>,
     /// Expected exit of the faulted child (`signal` drains to 130).
@@ -303,6 +315,7 @@ fn schedule(seed: u64) -> Schedule {
             class,
             plan: format!("worker:kill@point={}", 2 + s1 % 4),
             distributed: true,
+            map_search: false,
             env: Vec::new(),
             expect_exit: 0,
         },
@@ -312,6 +325,7 @@ fn schedule(seed: u64) -> Schedule {
             class,
             plan: format!("worker:hang@point={}", 2 + s1 % 4),
             distributed: true,
+            map_search: false,
             env: vec![(crate::distrib::STALL_TIMEOUT_ENV, "1".to_string())],
             expect_exit: 0,
         },
@@ -319,6 +333,7 @@ fn schedule(seed: u64) -> Schedule {
             class,
             plan: format!("shard:torn-tail@n={}", 1 + s1 % 2),
             distributed: false,
+            map_search: false,
             env: Vec::new(),
             expect_exit: 0,
         },
@@ -329,6 +344,7 @@ fn schedule(seed: u64) -> Schedule {
             class,
             plan: format!("seed={};append:io@p=0.{}", seed, 1 + s1 % 3),
             distributed: false,
+            map_search: false,
             env: Vec::new(),
             expect_exit: 0,
         },
@@ -342,6 +358,7 @@ fn schedule(seed: u64) -> Schedule {
                 format!("append:enospc@n={}", 2 + s2 % 6)
             },
             distributed: false,
+            map_search: false,
             env: Vec::new(),
             expect_exit: 0,
         },
@@ -352,8 +369,19 @@ fn schedule(seed: u64) -> Schedule {
             class,
             plan: format!("signal:term@point={}", 2 + s1 % 10),
             distributed: false,
+            map_search: false,
             env: Vec::new(),
             expect_exit: crate::distrib::EXIT_INTERRUPTED,
+        },
+        // The memo appends once, post-merge, so tick 1 always fires;
+        // tick 2 exercises the second shard touched (when one exists).
+        FaultClass::MapMemoTorn => Schedule {
+            class,
+            plan: format!("mapmemo:torn-tail@n={}", 1 + s1 % 2),
+            distributed: false,
+            map_search: true,
+            env: Vec::new(),
+            expect_exit: 0,
         },
     }
 }
@@ -380,9 +408,11 @@ fn run_iteration(
     exe: &Path,
     iter_dir: &Path,
     sched: &Schedule,
-    reference_csv: &[u8],
+    plain_reference_csv: &[u8],
+    map_reference_csv: &[u8],
 ) -> Result<String, String> {
     fs::create_dir_all(iter_dir).map_err(|e| format!("create {}: {e}", iter_dir.display()))?;
+    let reference_csv = if sched.map_search { map_reference_csv } else { plain_reference_csv };
     let store = iter_dir.join("store");
     let csv = iter_dir.join("out.csv");
     let store_s = store.display().to_string();
@@ -402,6 +432,9 @@ fn run_iteration(
     ];
     if sched.distributed {
         args.extend_from_slice(&["--workers", "2"]);
+    }
+    if sched.map_search {
+        args.push("--map-search");
     }
     let mut env: Vec<(&str, &str)> = vec![(ng_fault::FAULTS_ENV, sched.plan.as_str())];
     for (k, v) in &sched.env {
@@ -444,9 +477,9 @@ fn run_iteration(
     csv_parity(&csv, reference_csv).map_err(|e| format!("after faulted run: {e}"))?;
 
     // Phase 2: a fault-free backfill run re-evaluates whatever the
-    // fault destroyed (torn rows, overlay-diverted rows) and heals the
-    // store in passing.
-    let plain = [
+    // fault destroyed (torn rows, overlay-diverted rows, torn memo
+    // rows) and heals the store in passing.
+    let mut plain = vec![
         "--preset",
         "quick",
         "--cache-dir",
@@ -458,6 +491,9 @@ fn run_iteration(
         "2",
         "--quiet",
     ];
+    if sched.map_search {
+        plain.push("--map-search");
+    }
     let backfill = run_child(exe, &plain, &[], CHILD_TIMEOUT)?;
     if backfill.timed_out || backfill.exit != Some(0) {
         return Err(format!("backfill run: {}", backfill.describe()));
@@ -541,6 +577,36 @@ pub fn run_soak(opts: &ChaosOptions) -> Result<ChaosReport, String> {
     }
     let reference_csv = fs::read(&ref_csv)
         .map_err(|e| format!("chaos: reference csv {}: {e}", ref_csv.display()))?;
+    // A second, `--map-search` reference for the mapmemo iterations —
+    // their CSV carries the mapping columns, so it byte-compares
+    // against this one. Reusing the reference store makes the point
+    // evaluations warm; only the mapping search is new work.
+    let ref_map_csv = scratch.join("reference/out-map.csv");
+    let map_reference = run_child(
+        &exe,
+        &[
+            "--preset",
+            "quick",
+            "--cache-dir",
+            &ref_store.display().to_string(),
+            "--csv",
+            &ref_map_csv.display().to_string(),
+            "--map-search",
+            "--threads",
+            "2",
+            "--quiet",
+        ],
+        &[],
+        CHILD_TIMEOUT,
+    )?;
+    if map_reference.timed_out || map_reference.exit != Some(0) {
+        return Err(format!(
+            "chaos: fault-free --map-search reference run failed: {}",
+            map_reference.describe()
+        ));
+    }
+    let map_reference_csv = fs::read(&ref_map_csv)
+        .map_err(|e| format!("chaos: reference csv {}: {e}", ref_map_csv.display()))?;
 
     let mut iterations = Vec::with_capacity(opts.iterations);
     for i in 0..opts.iterations {
@@ -554,10 +620,11 @@ pub fn run_soak(opts: &ChaosOptions) -> Result<ChaosReport, String> {
             sched.plan,
         );
         let iter_dir = scratch.join(format!("iter-{:02}-{}", i + 1, sched.class.name()));
-        let (passed, detail) = match run_iteration(&exe, &iter_dir, &sched, &reference_csv) {
-            Ok(detail) => (true, detail),
-            Err(detail) => (false, detail),
-        };
+        let (passed, detail) =
+            match run_iteration(&exe, &iter_dir, &sched, &reference_csv, &map_reference_csv) {
+                Ok(detail) => (true, detail),
+                Err(detail) => (false, detail),
+            };
         if passed {
             // Keep the scratch of failing iterations for post-mortems;
             // passing ones are just disk.
@@ -599,7 +666,7 @@ mod tests {
 
     #[test]
     fn seeds_cover_every_class_and_every_plan_parses() {
-        let mut seen = [false; 6];
+        let mut seen = [false; 7];
         for seed in 0..64 {
             let s = schedule(seed);
             seen[FaultClass::ALL.iter().position(|c| *c == s.class).unwrap()] = true;

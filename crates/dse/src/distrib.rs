@@ -565,6 +565,7 @@ pub struct Coordinator {
     stall_after: Duration,
     quiet: bool,
     auto_compact: Option<usize>,
+    map_search: bool,
 }
 
 impl Coordinator {
@@ -596,7 +597,17 @@ impl Coordinator {
             stall_after,
             quiet: false,
             auto_compact: None,
+            map_search: false,
         }
+    }
+
+    /// Pass `--map-search` to every spawned worker: each one annotates
+    /// its own slice after flushing it, seeding the shared mapping memo
+    /// in parallel so the coordinator's post-merge annotation runs
+    /// warm.
+    pub fn with_map_search(mut self, on: bool) -> Self {
+        self.map_search = on;
+        self
     }
 
     /// Opt in to post-merge store compaction: after the merge
@@ -747,15 +758,19 @@ impl Coordinator {
         std::fs::write(&spec_path, spec.to_toml())?;
         let threads = self.threads_per_worker();
         let spawn_worker = |shard: usize| -> io::Result<Child> {
-            let child = Command::new(&exe)
-                .arg("--worker-shard")
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--worker-shard")
                 .arg(format!("{shard}/{}", self.workers))
                 .arg("--spec")
                 .arg(&spec_path)
                 .arg("--cache-dir")
                 .arg(&self.cache_dir)
                 .arg("--threads")
-                .arg(threads.to_string())
+                .arg(threads.to_string());
+            if self.map_search {
+                cmd.arg("--map-search");
+            }
+            let child = cmd
                 .envs(self.worker_env.iter().map(|(k, v)| (k.as_str(), v.as_str())))
                 .stdin(Stdio::null())
                 .stdout(Stdio::piped())

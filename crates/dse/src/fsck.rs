@@ -46,6 +46,7 @@ use std::path::{Path, PathBuf};
 use crate::cache::{EvalCache, SHARD_COUNT};
 use crate::compact;
 use crate::emit::{point_from_row, point_to_row};
+use crate::mapmemo::{MapMemoStore, MapRecord};
 use crate::sweep::EvaluatedPoint;
 use crate::{model_fingerprint, MODEL_VERSION};
 
@@ -175,8 +176,16 @@ pub struct FsckReport {
     /// One finding per binary generation file and compactor tmp
     /// leftover, newest first.
     pub generations: Vec<GenerationFinding>,
+    /// One finding per present mapping-memo shard file (the
+    /// `--map-search` memo lives inside this generation and shares the
+    /// store's failure model, so the doctor audits it too).
+    pub memo_shards: Vec<ShardFinding>,
+    /// One finding per mapping-memo base file, newest first.
+    pub memo_bases: Vec<GenerationFinding>,
     /// Shards renamed to `*.quarantine` (repair mode only).
     pub quarantined: Vec<usize>,
+    /// Memo shards renamed to `*.quarantine` (repair mode only).
+    pub memo_quarantined: Vec<usize>,
     /// Whether repair re-ran the compactor to rebuild a quarantined
     /// corrupt generation from the surviving layers.
     pub recompacted: bool,
@@ -189,6 +198,8 @@ impl FsckReport {
     pub fn is_clean(&self) -> bool {
         self.shards.iter().all(ShardFinding::is_clean)
             && self.generations.iter().all(GenerationFinding::is_clean)
+            && self.memo_shards.iter().all(ShardFinding::is_clean)
+            && self.memo_bases.iter().all(GenerationFinding::is_clean)
     }
 
     /// Total rows a reader can serve across the store.
@@ -205,24 +216,36 @@ impl FsckReport {
     /// One summary line for reports and logs.
     pub fn summary(&self) -> String {
         let dirty = self.shards.iter().filter(|s| !s.is_clean()).count()
-            + self.generations.iter().filter(|g| !g.is_clean()).count();
+            + self.generations.iter().filter(|g| !g.is_clean()).count()
+            + self.memo_shards.iter().filter(|s| !s.is_clean()).count()
+            + self.memo_bases.iter().filter(|g| !g.is_clean()).count();
         let dropped: usize = self
             .shards
             .iter()
+            .chain(&self.memo_shards)
             .map(|s| s.torn_rows + s.duplicate_keys + s.foreign_rows + s.interior_headers)
             .sum();
+        let memo = if self.memo_shards.is_empty() && self.memo_bases.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", mapmemo {} row(s) in {} file(s)",
+                self.memo_shards.iter().map(|s| s.rows_ok).sum::<usize>(),
+                self.memo_shards.len() + self.memo_bases.len(),
+            )
+        };
         format!(
             "fsck {}: {} shard file(s), {} generation file(s), {} tail + {} base row(s) \
-             serveable; {dirty} dirty file(s), {dropped} defective line(s){}{}{}",
+             serveable{memo}; {dirty} dirty file(s), {dropped} defective line(s){}{}{}",
             self.store_dir.display(),
             self.shards.len(),
             self.generations.len(),
             self.rows_ok(),
             self.base_rows(),
-            if self.quarantined.is_empty() {
+            if self.quarantined.is_empty() && self.memo_quarantined.is_empty() {
                 String::new()
             } else {
-                format!(", {} quarantined", self.quarantined.len())
+                format!(", {} quarantined", self.quarantined.len() + self.memo_quarantined.len())
             },
             if self.recompacted { ", recompacted" } else { "" },
             if self.repaired {
@@ -326,6 +349,101 @@ fn audit_generations(store_dir: &Path) -> Vec<GenerationFinding> {
     out
 }
 
+/// One mapping-memo shard's strict parse — the memo analogue of
+/// [`ParsedShard`], classifying every line against [`MapRecord`]'s
+/// format and key discipline.
+struct ParsedMemoShard {
+    finding: ShardFinding,
+    /// Serveable rows in append order, deduplicated later-wins, each
+    /// carrying its *home* shard so repair can move misplaced rows.
+    rows: Vec<(u64, usize, MapRecord)>,
+}
+
+fn parse_memo_shard(path: &Path, shard: usize) -> io::Result<Option<ParsedMemoShard>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Ok(Some(ParsedMemoShard {
+                finding: ShardFinding { shard, unreadable: true, ..ShardFinding::default() },
+                rows: Vec::new(),
+            }));
+        }
+        Err(e) => return Err(e),
+    };
+    let mut finding = ShardFinding { shard, ..ShardFinding::default() };
+    finding.truncated_tail = !text.is_empty() && !text.ends_with('\n');
+    let mut rows: Vec<(u64, usize, MapRecord)> = Vec::new();
+    let mut index_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') || line.starts_with("key,") {
+            if lineno != 0 {
+                finding.interior_headers += 1;
+            }
+            continue;
+        }
+        let parsed = line.split_once(',').and_then(|(key_hex, row)| {
+            Some((u64::from_str_radix(key_hex, 16).ok()?, MapRecord::from_row(row).ok()?))
+        });
+        let Some((stated, record)) = parsed else {
+            finding.torn_rows += 1;
+            continue;
+        };
+        if record.key() != stated {
+            finding.foreign_rows += 1;
+            continue;
+        }
+        let home = MapMemoStore::shard_of(stated);
+        if home != shard {
+            finding.misplaced_rows += 1;
+        }
+        match index_of.get(&stated) {
+            Some(&i) => {
+                finding.duplicate_keys += 1;
+                rows[i] = (stated, home, record); // later wins, reader semantics
+            }
+            None => {
+                index_of.insert(stated, rows.len());
+                rows.push((stated, home, record));
+            }
+        }
+    }
+    finding.rows_ok = rows.len();
+    Ok(Some(ParsedMemoShard { finding, rows }))
+}
+
+/// Strictly verify one memo base file: decode, checksum, and row-count
+/// check. Returns `(rows, defects)` — non-empty defects means the
+/// reader ignores the file.
+fn verify_memo_base(path: &Path) -> (usize, Vec<String>) {
+    match MapMemoStore::read_base(path) {
+        Some(rows) => (rows.len(), Vec::new()),
+        None => (0, vec!["checksum/row-count verification failed".to_string()]),
+    }
+}
+
+/// Audit every mapping-memo base file, newest first: the newest
+/// cleanly-verifying one is live, older ones are orphans a crashed
+/// memo compaction left behind.
+fn audit_memo_bases(memo_dir: &Path) -> Vec<GenerationFinding> {
+    let mut out = Vec::new();
+    let mut live_seen = false;
+    for (seq, path) in MapMemoStore::base_files(memo_dir) {
+        let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let (rows, defects) = verify_memo_base(&path);
+        let clean = defects.is_empty();
+        out.push(GenerationFinding { file: path, seq, rows, bytes, defects, orphaned: live_seen });
+        if clean && !live_seen {
+            live_seen = true;
+        }
+    }
+    out
+}
+
 /// Audit the current generation of `cache`'s store. Read-only.
 pub fn audit(cache: &EvalCache) -> io::Result<FsckReport> {
     let store_dir = cache.store_dir();
@@ -337,11 +455,23 @@ pub fn audit(cache: &EvalCache) -> io::Result<FsckReport> {
         }
     }
     let generations = audit_generations(&store_dir);
+    let memo_dir = store_dir.join("mapmemo");
+    let mut memo_shards = Vec::new();
+    for shard in 0..SHARD_COUNT {
+        let path = memo_dir.join(format!("shard-{shard:x}.csv"));
+        if let Some(parsed) = parse_memo_shard(&path, shard)? {
+            memo_shards.push(parsed.finding);
+        }
+    }
+    let memo_bases = audit_memo_bases(&memo_dir);
     Ok(FsckReport {
         store_dir,
         shards,
         generations,
+        memo_shards,
+        memo_bases,
         quarantined: Vec::new(),
+        memo_quarantined: Vec::new(),
         recompacted: false,
         repaired: false,
     })
@@ -434,14 +564,121 @@ pub fn repair(cache: &EvalCache) -> io::Result<FsckReport> {
         }
     }
     let recompacted = lost_base && compact::compact(cache)?.generation.is_some();
+
+    // Mapping-memo layer: same shard discipline at lower stakes — a
+    // dropped memo row re-searches, it never corrupts results. Dirty
+    // shards rewrite canonically (misplaced rows moved home),
+    // unreadable shards quarantine, orphaned bases are deleted and
+    // corrupt ones quarantined (the next `dse compact` rebuilds a base
+    // from the surviving tail; until then lookups re-search the gap).
+    let memo_dir = store_dir.join("mapmemo");
+    let mut memo_parsed: Vec<Option<ParsedMemoShard>> = Vec::new();
+    for shard in 0..SHARD_COUNT {
+        let path = memo_dir.join(format!("shard-{shard:x}.csv"));
+        memo_parsed.push(parse_memo_shard(&path, shard)?);
+    }
+    let mut memo_moved: Vec<Vec<(u64, MapRecord)>> = vec![Vec::new(); SHARD_COUNT];
+    for p in memo_parsed.iter().flatten() {
+        for (key, home, record) in &p.rows {
+            if *home != p.finding.shard {
+                memo_moved[*home].push((*key, *record));
+            }
+        }
+    }
+    let mut memo_findings = Vec::new();
+    let mut memo_quarantined = Vec::new();
+    for (shard, slot) in memo_parsed.iter().enumerate() {
+        let Some(p) = slot else {
+            if !memo_moved[shard].is_empty() {
+                let rows: Vec<MapRecord> =
+                    memo_moved[shard].iter().map(|(_, record)| *record).collect();
+                memo_findings.push(rewrite_memo_shard(&memo_dir, shard, &rows, &[])?);
+            }
+            continue;
+        };
+        let path = memo_dir.join(format!("shard-{shard:x}.csv"));
+        if p.finding.unreadable {
+            fs::rename(&path, path.with_extension("csv.quarantine"))?;
+            memo_quarantined.push(shard);
+            memo_findings.push(p.finding.clone());
+            continue;
+        }
+        if p.finding.is_clean() && memo_moved[shard].is_empty() {
+            memo_findings.push(p.finding.clone());
+            continue;
+        }
+        let mut home_keys: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let own: Vec<MapRecord> = p
+            .rows
+            .iter()
+            .filter(|(_, home, _)| *home == shard)
+            .map(|(key, _, record)| {
+                home_keys.insert(*key);
+                *record
+            })
+            .collect();
+        let incoming: Vec<MapRecord> = memo_moved[shard]
+            .iter()
+            .filter(|(key, _)| !home_keys.contains(key))
+            .map(|(_, record)| *record)
+            .collect();
+        let finding = rewrite_memo_shard(&memo_dir, shard, &own, &incoming)?;
+        memo_findings.push(ShardFinding { rows_ok: finding.rows_ok, ..p.finding.clone() });
+    }
+    let memo_bases = audit_memo_bases(&memo_dir);
+    for g in &memo_bases {
+        if g.orphaned {
+            let _ = fs::remove_file(&g.file);
+        } else if !g.defects.is_empty() {
+            fs::rename(&g.file, g.file.with_extension("csv.quarantine"))?;
+        }
+    }
+
     Ok(FsckReport {
         store_dir,
         shards: findings,
         generations,
+        memo_shards: memo_findings,
+        memo_bases,
         quarantined,
+        memo_quarantined,
         recompacted,
         repaired: true,
     })
+}
+
+/// Atomically replace one memo shard with `header + own rows +
+/// incoming rows`, holding the old file's advisory lock across the
+/// swap (same protocol as [`rewrite_shard`]; the appenders' same-inode
+/// re-check makes this safe against concurrent writers).
+fn rewrite_memo_shard(
+    memo_dir: &Path,
+    shard: usize,
+    own: &[MapRecord],
+    incoming: &[MapRecord],
+) -> io::Result<ShardFinding> {
+    fs::create_dir_all(memo_dir)?;
+    let path = memo_dir.join(format!("shard-{shard:x}.csv"));
+    let mut body = format!(
+        "# ng-dse mapping memo | model {MODEL_VERSION} | fingerprint {:016x}\n",
+        model_fingerprint()
+    );
+    let mut rows_ok = 0usize;
+    for record in own.iter().chain(incoming) {
+        body.push_str(&format!("{:016x},{}\n", record.key(), record.to_row()));
+        rows_ok += 1;
+    }
+    let lock = fs::OpenOptions::new().read(true).create(true).append(true).open(&path)?;
+    if let Err(e) = lock.lock() {
+        if e.kind() != io::ErrorKind::Unsupported {
+            return Err(e);
+        }
+    }
+    let tmp = path.with_extension(format!("csv.fsck.{}", std::process::id()));
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, &path)?;
+    drop(lock);
+    Ok(ShardFinding { shard, rows_ok, ..ShardFinding::default() })
 }
 
 /// Atomically replace one shard with `header + own rows + incoming
@@ -669,6 +906,86 @@ mod tests {
         assert!(live.with_extension("ngcb.quarantine").exists());
         let served = cache.lookup(&spec.points());
         assert_eq!(served.into_iter().collect::<Option<Vec<_>>>().unwrap(), points);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapmemo_defects_are_detected_and_repaired() {
+        let (dir, cache, _, _) = populated("mapmemo");
+        let store = crate::mapmemo::MapMemoStore::new(&dir);
+        let records = [
+            crate::mapmemo::MapRecord {
+                mac_rows: 64,
+                mac_cols: 64,
+                rows: 64,
+                cols: 32,
+                spatial_n: 64,
+                spatial_k: 32,
+                weight_stationary: true,
+                cycles: crate::mapmemo::MAP_SEARCH_BATCH,
+                energy_uj: 1.5,
+                candidates: 98,
+            },
+            crate::mapmemo::MapRecord {
+                mac_rows: 32,
+                mac_cols: 32,
+                rows: 64,
+                cols: 64,
+                spatial_n: 32,
+                spatial_k: 32,
+                weight_stationary: false,
+                cycles: 4 * crate::mapmemo::MAP_SEARCH_BATCH,
+                energy_uj: 2.25,
+                candidates: 60,
+            },
+        ];
+        store.append(&records).unwrap();
+        store.compact().unwrap();
+        store.append(&records[..1]).unwrap();
+        assert!(audit(&cache).unwrap().is_clean(), "fresh memo audits clean");
+
+        // Torn tail + junk row in the first record's shard; a misplaced
+        // copy of it in a neighbouring shard; a corrupt base.
+        let key0 = records[0].key();
+        let shard0 = store.shard_path(key0);
+        let mut text = fs::read_to_string(&shard0).unwrap();
+        text.push_str("not a memo row\n");
+        let torn = format!("{key0:016x},{}", records[0].to_row());
+        text.push_str(&torn[..torn.len() / 2]);
+        fs::write(&shard0, text).unwrap();
+        let other_shard =
+            (crate::mapmemo::MapMemoStore::shard_of(key0) + 1) % crate::mapmemo::SHARD_COUNT;
+        let other = store.store_dir().join(format!("shard-{other_shard:x}.csv"));
+        fs::write(&other, format!("{key0:016x},{}\n", records[0].to_row())).unwrap();
+        let base = crate::mapmemo::MapMemoStore::base_files(&store.store_dir())[0].1.clone();
+        let mut bytes = fs::read(&base).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        fs::write(&base, bytes).unwrap();
+
+        let report = audit(&cache).unwrap();
+        assert!(!report.is_clean());
+        let s0 = report
+            .memo_shards
+            .iter()
+            .find(|s| s.shard == crate::mapmemo::MapMemoStore::shard_of(key0))
+            .unwrap();
+        assert!(s0.torn_rows >= 1, "{s0:?}");
+        assert!(s0.truncated_tail, "{s0:?}");
+        let misplaced: usize = report.memo_shards.iter().map(|s| s.misplaced_rows).sum();
+        assert_eq!(misplaced, 1, "{report:?}");
+        assert_eq!(report.memo_bases.iter().filter(|g| !g.defects.is_empty()).count(), 1);
+
+        let repaired = repair(&cache).unwrap();
+        assert!(repaired.repaired);
+        let after = audit(&cache).unwrap();
+        assert!(after.is_clean(), "{after:?}");
+        // The corrupt base is quarantined, the tail rows survive — both
+        // records still serve (record 0 from its healed shard, record 1
+        // from the misplaced copy moved home).
+        assert!(base.with_extension("csv.quarantine").exists());
+        let served = store.load_all();
+        assert_eq!(served.get(&records[0].key()), Some(&records[0]));
         fs::remove_dir_all(&dir).unwrap();
     }
 

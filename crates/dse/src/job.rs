@@ -147,6 +147,9 @@ pub struct JobManifest {
     pub max_power: Option<f64>,
     /// `--min-speedup` constraint.
     pub min_speedup: Option<f64>,
+    /// `--map-search`: annotate points with searched mappings on
+    /// resume too (the memo store makes the replay warm).
+    pub map_search: bool,
 }
 
 /// Where a store's job manifests live.
@@ -186,6 +189,7 @@ impl JobManifest {
             max_area: None,
             max_power: None,
             min_speedup: None,
+            map_search: false,
         }
     }
 
@@ -264,6 +268,9 @@ impl JobManifest {
         if let Some(v) = self.min_speedup {
             fields.push(format!("\"min_speedup\":{v}"));
         }
+        if self.map_search {
+            fields.push("\"map_search\":1".to_string());
+        }
         format!("{{{}}}\n", fields.join(","))
     }
 
@@ -323,6 +330,7 @@ impl JobManifest {
             max_area: num_field("max_area"),
             max_power: num_field("max_power"),
             min_speedup: num_field("min_speedup"),
+            map_search: int_field("map_search").map(|n| n != 0).unwrap_or(false),
         })
     }
 
@@ -508,6 +516,7 @@ mod tests {
             max_area: Some(3.5),
             max_power: None,
             min_speedup: None,
+            map_search: true,
         };
         m.spec_toml.push_str("# trailing \"quoted\" comment\n");
         m

@@ -28,6 +28,11 @@
 //!   `dse --workers N`: deterministic canonical-order slices, worker
 //!   processes coordinating purely through the point store, and a
 //!   coordinator merge that recovers crashed workers' slices.
+//! * [`mapsearch`] + [`mapmemo`] — the joint mapping search behind
+//!   `dse --map-search`: per-layer `ng-timeloop` mapping searches fed
+//!   back through the timing stack, memoized in a mapping-memo store
+//!   that mirrors the point store's locked-append + compacted-base
+//!   discipline (and doubles as the Fig. 13 cross-validation seam).
 //! * [`report`] — the compact terminal report behind the `dse` binary.
 //! * [`obs_counters`] — the crate's hoisted [`ng_obs`] counter handles.
 //!   Every stage is instrumented with `ng-obs` spans and counters:
@@ -57,6 +62,8 @@ pub mod distrib;
 pub mod emit;
 pub mod fsck;
 pub mod job;
+pub mod mapmemo;
+pub mod mapsearch;
 pub mod obs_counters;
 pub mod pareto;
 pub mod pool;
@@ -71,6 +78,8 @@ pub use distrib::{
     Coordinator, DistribError, DistribOutcome, DistribRun, DrainedDistrib, WorkerReport,
     WorkerSummary,
 };
+pub use mapmemo::{MapMemoStore, MapRecord, MAP_SEARCH_BATCH};
+pub use mapsearch::{annotate, MapMetrics, MapSearchOutcome, AGREEMENT_BAND};
 pub use pareto::{pareto_indices, Constraints, Objectives, StreamingFrontier};
 pub use search::{SearchOutcome, SearchSpec, SearchStats, SearchStrategy, Searcher};
 pub use spec::{DesignPoint, SpecError, SweepSpec};

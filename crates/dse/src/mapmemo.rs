@@ -1,0 +1,601 @@
+//! The mapping-memo store behind `dse --map-search`.
+//!
+//! A mapping search ([`ng_timeloop::best_mapping`]) enumerates the full
+//! mapspace of one `(MAC array, layer shape)` problem — cheap once,
+//! wasteful when every sweep, worker process and re-run repeats it for
+//! the same handful of layer shapes. This store memoizes the winning
+//! mapping per problem with the same on-disk discipline as the point
+//! store ([`crate::cache`]): a generation directory keyed by
+//! `(MODEL_VERSION, model fingerprint)`, [`SHARD_COUNT`] locked-append
+//! CSV shards as the write-ahead tail, and a compacted base generation
+//! (`base-NNNNNN.csv`, checksummed) the tail overlays. Distributed
+//! workers share searches through it exactly like they share point
+//! evaluations.
+//!
+//! ## Key
+//!
+//! [`MapMemoStore::layer_key`] hashes only `(mac_rows, mac_cols, layer
+//! rows, layer cols)` under the generation's model fingerprint. That is
+//! deliberate: a mapping's cycle count and energy depend on nothing
+//! else — clock cancels out of cycle counts, and the engine's SRAM
+//! provisioning follows the MAC dimensions through the floorplan — so
+//! two architectures differing only in clock, SRAM or lane axes share
+//! one memo row per layer shape.
+//!
+//! ## Robustness
+//!
+//! The same failure model as the point store, at memo stakes (a lost
+//! row re-searches, it never corrupts results):
+//!
+//! * appends hold the shard's exclusive advisory lock (header-once,
+//!   torn-tail heal, `ng_fault::with_retries` backoff);
+//! * `mapmemo:torn-tail` ([`ng_fault::take_mapmemo_torn_tail`]) tears
+//!   an append mid-row the way a killed writer would — readers skip the
+//!   torn row (counted into `mapmemo.rows_skipped`) and `dse fsck`
+//!   names and repairs it;
+//! * a persistent capacity error drops the rows with one warning — the
+//!   in-process [`ngpc::MappingTable`] already holds the values, so the
+//!   run's output is unaffected.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use crate::obs_counters;
+use crate::{model_fingerprint, MODEL_VERSION};
+
+/// Number of shard files per memo generation (same fan-out as the
+/// point store: rows are distributed by the top nibble of their key).
+pub const SHARD_COUNT: usize = crate::cache::SHARD_COUNT;
+
+/// The canonical query batch every memoized search is evaluated at.
+/// Cycle counts scale linearly in the batch (one query streams per
+/// cycle per tile), so one batch size serves every caller; per-query
+/// cycles are `cycles / MAP_SEARCH_BATCH`, exact because every stored
+/// cycle count is a multiple of the batch.
+pub const MAP_SEARCH_BATCH: u64 = 4096;
+
+/// One memoized mapping-search result: the problem's identity, the
+/// winning mapping and its cost at [`MAP_SEARCH_BATCH`] queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapRecord {
+    /// MAC array rows of the engine searched.
+    pub mac_rows: u32,
+    /// MAC array columns of the engine searched.
+    pub mac_cols: u32,
+    /// Layer weight-matrix rows (output neurons).
+    pub rows: u32,
+    /// Layer weight-matrix columns (input neurons).
+    pub cols: u32,
+    /// Winning spatial tile of the output-neuron dimension.
+    pub spatial_n: u64,
+    /// Winning spatial tile of the input-neuron dimension.
+    pub spatial_k: u64,
+    /// Whether the winning dataflow is weight-stationary.
+    pub weight_stationary: bool,
+    /// Total cycles at [`MAP_SEARCH_BATCH`] queries.
+    pub cycles: u64,
+    /// Total energy at [`MAP_SEARCH_BATCH`] queries, microjoules.
+    pub energy_uj: f64,
+    /// Mapspace candidates the search evaluated.
+    pub candidates: u32,
+}
+
+impl MapRecord {
+    /// This record's store key (see the module docs for why only the
+    /// array and layer dimensions enter it).
+    pub fn key(&self) -> u64 {
+        MapMemoStore::layer_key(self.mac_rows, self.mac_cols, self.rows, self.cols)
+    }
+
+    /// Serialize the payload (everything after the key column). The
+    /// energy is stored as raw f64 bits so a warm run reproduces a cold
+    /// run's report byte-identically.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{:016x},{}",
+            self.mac_rows,
+            self.mac_cols,
+            self.rows,
+            self.cols,
+            self.spatial_n,
+            self.spatial_k,
+            if self.weight_stationary { "ws" } else { "os" },
+            self.cycles,
+            self.energy_uj.to_bits(),
+            self.candidates,
+        )
+    }
+
+    /// Parse a payload serialized by [`MapRecord::to_row`].
+    pub fn from_row(row: &str) -> Result<MapRecord, String> {
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 10 {
+            return Err(format!("mapmemo row has {} fields, expected 10", fields.len()));
+        }
+        let int = |i: usize| -> Result<u64, String> {
+            fields[i].parse().map_err(|_| format!("mapmemo field {i} `{}` not a number", fields[i]))
+        };
+        let weight_stationary = match fields[6] {
+            "ws" => true,
+            "os" => false,
+            other => return Err(format!("mapmemo dataflow `{other}` is neither ws nor os")),
+        };
+        Ok(MapRecord {
+            mac_rows: int(0)? as u32,
+            mac_cols: int(1)? as u32,
+            rows: int(2)? as u32,
+            cols: int(3)? as u32,
+            spatial_n: int(4)?,
+            spatial_k: int(5)?,
+            weight_stationary,
+            cycles: int(7)?,
+            energy_uj: f64::from_bits(
+                u64::from_str_radix(fields[8], 16)
+                    .map_err(|_| format!("mapmemo energy `{}` not hex bits", fields[8]))?,
+            ),
+            candidates: int(9)? as u32,
+        })
+    }
+}
+
+/// Parse one memo shard (or base body) text into `(key, record)` rows
+/// in file order plus the count of skipped data lines — the same
+/// lenient contract as the point store's `parse_shard_text`: comments,
+/// headers, torn lines and rows whose dimensions no longer hash to
+/// their stated key are skipped, never fatal.
+pub(crate) fn parse_memo_text(text: &str) -> (Vec<(u64, MapRecord)>, u64) {
+    let mut rows = Vec::new();
+    let mut skipped = 0u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("key,") {
+            continue;
+        }
+        let parsed = line
+            .split_once(',')
+            .and_then(|(key_hex, row)| {
+                Some((u64::from_str_radix(key_hex, 16).ok()?, MapRecord::from_row(row).ok()?))
+            })
+            .filter(|(stated, record)| record.key() == *stated);
+        match parsed {
+            Some(row) => rows.push(row),
+            None => skipped += 1,
+        }
+    }
+    (rows, skipped)
+}
+
+/// One snapshot of the memo store's two read layers — the mapping half
+/// of `dse --cache-stats`, mirroring [`crate::cache::StoreStats`].
+#[derive(Debug, Clone, Default)]
+pub struct MapMemoStats {
+    /// `(rows, bytes)` per CSV shard of the live tail.
+    pub shards: Vec<(usize, u64)>,
+    /// The compacted base, if one exists: `(seq, rows, bytes)`.
+    pub base: Option<(u64, usize, u64)>,
+}
+
+impl MapMemoStats {
+    /// Total live CSV tail rows across shards.
+    pub fn tail_rows(&self) -> usize {
+        self.shards.iter().map(|(rows, _)| rows).sum()
+    }
+
+    /// Total live CSV tail bytes across shards.
+    pub fn tail_bytes(&self) -> u64 {
+        self.shards.iter().map(|(_, bytes)| bytes).sum()
+    }
+}
+
+/// What one memo compaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapMemoCompactReport {
+    /// Rows folded into the new base (`None` when there was nothing to
+    /// fold and no base was written).
+    pub rows: Option<usize>,
+    /// The new base's sequence number, when one was written.
+    pub seq: Option<u64>,
+}
+
+/// A directory of memoized mapping-search results, rooted at the same
+/// cache root as the point store (the memo generation lives *inside*
+/// the point store's generation directory, so one `--cache-dir` governs
+/// both).
+#[derive(Debug, Clone)]
+pub struct MapMemoStore {
+    dir: PathBuf,
+}
+
+impl MapMemoStore {
+    /// A memo store rooted at the cache root `dir` (created lazily).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        MapMemoStore { dir: dir.into() }
+    }
+
+    /// The memo key of one `(MAC array, layer shape)` problem under the
+    /// current models.
+    pub fn layer_key(mac_rows: u32, mac_cols: u32, rows: u32, cols: u32) -> u64 {
+        ng_neural::math::fnv1a64(&format!(
+            "mapmemo;{MODEL_VERSION};{:016x};mrows={mac_rows};mcols={mac_cols};\
+             rows={rows};cols={cols}",
+            model_fingerprint(),
+        ))
+    }
+
+    /// The shard index a key lives in (its top nibble).
+    pub fn shard_of(key: u64) -> usize {
+        (key >> 60) as usize
+    }
+
+    /// The memo generation directory: `mapmemo/` inside the point
+    /// store's `(MODEL_VERSION, fingerprint)` generation, so model
+    /// drift retires both stores together.
+    pub fn store_dir(&self) -> PathBuf {
+        self.dir.join(format!("{MODEL_VERSION}-{:016x}", model_fingerprint())).join("mapmemo")
+    }
+
+    /// The shard file a key lives in.
+    pub fn shard_path(&self, key: u64) -> PathBuf {
+        self.store_dir().join(format!("shard-{:x}.csv", Self::shard_of(key)))
+    }
+
+    pub(crate) fn base_files(store_dir: &Path) -> Vec<(u64, PathBuf)> {
+        let Ok(entries) = fs::read_dir(store_dir) else { return Vec::new() };
+        let mut out: Vec<(u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().to_str()?.to_string();
+                let seq = name.strip_prefix("base-")?.strip_suffix(".csv")?.parse::<u64>().ok()?;
+                Some((seq, e.path()))
+            })
+            .collect();
+        out.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq)); // newest first
+        out
+    }
+
+    /// Read and verify one base file: `Some(rows)` when the header's
+    /// row count and checksum match the body, `None` otherwise.
+    pub(crate) fn read_base(path: &Path) -> Option<Vec<(u64, MapRecord)>> {
+        let text = fs::read_to_string(path).ok()?;
+        let (header, body) = text.split_once('\n')?;
+        let mut declared_rows: Option<usize> = None;
+        let mut declared_sum: Option<u64> = None;
+        for part in header.trim_start_matches('#').split('|').map(str::trim) {
+            if let Some(v) = part.strip_prefix("rows ") {
+                declared_rows = v.trim().parse().ok();
+            } else if let Some(v) = part.strip_prefix("sum ") {
+                declared_sum = u64::from_str_radix(v.trim(), 16).ok();
+            }
+        }
+        if declared_sum != Some(ng_neural::math::fnv1a64(body)) {
+            return None;
+        }
+        let (rows, skipped) = parse_memo_text(body);
+        (skipped == 0 && declared_rows == Some(rows.len())).then_some(rows)
+    }
+
+    /// Load both layers into one map (tail over base). Torn or corrupt
+    /// tail rows are counted into `mapmemo.rows_skipped` and skipped —
+    /// those problems simply re-search.
+    pub fn load_all(&self) -> HashMap<u64, MapRecord> {
+        let store_dir = self.store_dir();
+        let mut out: HashMap<u64, MapRecord> = HashMap::new();
+        for (_, path) in Self::base_files(&store_dir) {
+            if let Some(rows) = Self::read_base(&path) {
+                out.extend(rows);
+                break; // newest valid base wins; older ones are dead weight
+            }
+        }
+        let mut skipped = 0u64;
+        for shard in 0..SHARD_COUNT {
+            let path = store_dir.join(format!("shard-{shard:x}.csv"));
+            let Ok(text) = fs::read_to_string(&path) else { continue };
+            let (rows, s) = parse_memo_text(&text);
+            skipped += s;
+            out.extend(rows);
+        }
+        if skipped > 0 {
+            obs_counters::mapmemo_rows_skipped().add(skipped);
+        }
+        out
+    }
+
+    /// Append freshly searched records to their shards under the same
+    /// locked-append discipline as the point store. A persistent
+    /// capacity error drops the rows with one warning instead of
+    /// failing the run — the caller's in-memory table already holds the
+    /// values, so only the *next* run's warm-hit ratio suffers.
+    pub fn append(&self, records: &[MapRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let dir = self.store_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            if !ng_fault::is_exhaustion(&e) {
+                return Err(e);
+            }
+            Self::warn_degraded(&e, records.len());
+            return Ok(());
+        }
+        let mut by_shard: Vec<(String, u64)> = vec![(String::new(), 0); SHARD_COUNT];
+        for r in records {
+            let key = r.key();
+            let (buf, rows) = &mut by_shard[Self::shard_of(key)];
+            buf.push_str(&format!("{key:016x},{}\n", r.to_row()));
+            *rows += 1;
+        }
+        for (shard, (body, rows)) in by_shard.iter().enumerate() {
+            if body.is_empty() {
+                continue;
+            }
+            let path = dir.join(format!("shard-{shard:x}.csv"));
+            let (result, _retries) =
+                ng_fault::with_retries("mapmemo:append", || Self::append_shard(&path, body, *rows));
+            match result {
+                Ok(()) => {}
+                Err(e) if ng_fault::is_exhaustion(&e) => Self::warn_degraded(&e, *rows as usize),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn warn_degraded(cause: &io::Error, rows: usize) {
+        static WARNED: Once = Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "dse: mapping-memo append failed ({cause}); {rows} memo row(s) dropped — \
+                 this run is unaffected, the next one re-searches them"
+            );
+        });
+    }
+
+    /// One locked shard append: length probe, header creation, torn
+    /// tail heal and row write under the shard's exclusive advisory
+    /// lock — the point store's critical section, with the
+    /// `mapmemo:torn-tail` fault hook in place of `shard:torn-tail`.
+    fn append_shard(path: &Path, body: &str, rows: u64) -> io::Result<()> {
+        let lock_started = std::time::Instant::now();
+        let file = loop {
+            let file = fs::OpenOptions::new().read(true).create(true).append(true).open(path)?;
+            if let Err(e) = file.lock() {
+                if e.kind() != io::ErrorKind::Unsupported {
+                    return Err(e);
+                }
+            }
+            // `fsck --repair` (and memo compaction) replace shards by
+            // tmp+rename under the old inode's lock; re-check we hold
+            // the live file, exactly like the point store.
+            if !Self::same_inode(&file, path) {
+                continue;
+            }
+            break file;
+        };
+        let mut file = file;
+        obs_counters::store_lock_wait_us().add(lock_started.elapsed().as_micros() as u64);
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(
+                format!(
+                    "# ng-dse mapping memo | model {MODEL_VERSION} | fingerprint {:016x}\n",
+                    model_fingerprint()
+                )
+                .as_bytes(),
+            )?;
+        } else {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::Start(len - 1))?;
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                file.write_all(b"\n")?;
+                obs_counters::store_tail_heals().incr();
+            }
+        }
+        if ng_fault::take_mapmemo_torn_tail() {
+            // A writer killed mid-`write_all`: the body lands with its
+            // final row cut in half, and the caller believes it
+            // succeeded. Readers skip the torn row; `dse fsck` repairs.
+            let data = body.strip_suffix('\n').unwrap_or(body);
+            let last_start = data.rfind('\n').map_or(0, |i| i + 1);
+            let torn_end = last_start + (data.len() - last_start) / 2;
+            file.write_all(&body.as_bytes()[..torn_end.max(1)])?;
+            obs_counters::mapmemo_rows_appended().add(rows.saturating_sub(1));
+            return Ok(());
+        }
+        file.write_all(body.as_bytes())?;
+        obs_counters::mapmemo_rows_appended().add(rows);
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn same_inode(file: &fs::File, path: &Path) -> bool {
+        use std::os::unix::fs::MetadataExt;
+        match (file.metadata(), fs::metadata(path)) {
+            (Ok(held), Ok(live)) => held.ino() == live.ino() && held.dev() == live.dev(),
+            _ => false,
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn same_inode(_file: &fs::File, _path: &Path) -> bool {
+        true
+    }
+
+    /// Per-shard and base stats in one pass — the `--cache-stats`
+    /// backing data.
+    pub fn store_stats(&self) -> MapMemoStats {
+        let store_dir = self.store_dir();
+        let shards = (0..SHARD_COUNT)
+            .map(|shard| {
+                let path = store_dir.join(format!("shard-{shard:x}.csv"));
+                let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let rows = fs::read_to_string(&path)
+                    .map(|text| parse_memo_text(&text).0.len())
+                    .unwrap_or(0);
+                (rows, bytes)
+            })
+            .collect();
+        let base = Self::base_files(&store_dir).into_iter().find_map(|(seq, path)| {
+            let bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            Self::read_base(&path).map(|rows| (seq, rows.len(), bytes))
+        });
+        MapMemoStats { shards, base }
+    }
+
+    /// Fold the live CSV tail (and any existing base) into a fresh
+    /// checksummed base generation, then drop the folded tail and the
+    /// superseded base — the memo analogue of `dse compact`. A run
+    /// against a compacted store serves every memo hit from one file.
+    pub fn compact(&self) -> io::Result<MapMemoCompactReport> {
+        let store_dir = self.store_dir();
+        if !store_dir.exists() {
+            return Ok(MapMemoCompactReport { rows: None, seq: None });
+        }
+        let all = self.load_all();
+        if all.is_empty() {
+            return Ok(MapMemoCompactReport { rows: None, seq: None });
+        }
+        let old_bases = Self::base_files(&store_dir);
+        let seq = old_bases.first().map_or(1, |(seq, _)| seq + 1);
+        let mut rows: Vec<(u64, MapRecord)> = all.into_iter().collect();
+        rows.sort_by_key(|(key, _)| *key);
+        let mut body = String::new();
+        for (key, record) in &rows {
+            body.push_str(&format!("{key:016x},{}\n", record.to_row()));
+        }
+        let header = format!(
+            "# ng-dse mapping memo base | model {MODEL_VERSION} | fingerprint {:016x} | \
+             seq {seq} | rows {} | sum {:016x}\n",
+            model_fingerprint(),
+            rows.len(),
+            ng_neural::math::fnv1a64(&body),
+        );
+        let path = store_dir.join(format!("base-{seq:06}.csv"));
+        let tmp = store_dir.join(format!("base-{seq:06}.csv.tmp.{}", std::process::id()));
+        fs::write(&tmp, format!("{header}{body}"))?;
+        fs::rename(&tmp, &path)?;
+        // The base is durable; the folded tail and superseded bases are
+        // now dead weight. A crash between these removals only leaves
+        // rows that shadow their base copies identically.
+        for shard in 0..SHARD_COUNT {
+            let _ = fs::remove_file(store_dir.join(format!("shard-{shard:x}.csv")));
+        }
+        for (_, old) in old_bases {
+            let _ = fs::remove_file(old);
+        }
+        Ok(MapMemoCompactReport { rows: Some(rows.len()), seq: Some(seq) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(mac: u32, rows: u32, cols: u32) -> MapRecord {
+        MapRecord {
+            mac_rows: mac,
+            mac_cols: mac,
+            rows,
+            cols,
+            spatial_n: rows.min(mac) as u64,
+            spatial_k: cols.min(mac) as u64,
+            weight_stationary: true,
+            cycles: MAP_SEARCH_BATCH * (rows.div_ceil(mac) as u64) * (cols.div_ceil(mac) as u64),
+            energy_uj: 123.456_789,
+            candidates: 98,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ng-dse-mapmemo-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn rows_round_trip_bit_exactly() {
+        for r in [record(64, 64, 32), record(64, 1, 64), record(48, 128, 64)] {
+            let parsed = MapRecord::from_row(&r.to_row()).unwrap();
+            assert_eq!(parsed, r);
+            assert_eq!(parsed.energy_uj.to_bits(), r.energy_uj.to_bits());
+        }
+        assert!(MapRecord::from_row("1,2,3").is_err());
+        assert!(MapRecord::from_row("64,64,64,64,64,64,xx,4096,0,98").is_err());
+    }
+
+    #[test]
+    fn append_load_compact_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let store = MapMemoStore::new(&dir);
+        assert!(store.load_all().is_empty(), "cold store");
+        let records = [record(64, 64, 32), record(64, 64, 64), record(32, 64, 64)];
+        store.append(&records).unwrap();
+        let loaded = store.load_all();
+        assert_eq!(loaded.len(), records.len());
+        for r in &records {
+            assert_eq!(loaded.get(&r.key()), Some(r));
+        }
+        // Compaction folds the tail into a checksummed base and the
+        // store serves identically from it.
+        let report = store.compact().unwrap();
+        assert_eq!(report.rows, Some(records.len()));
+        let stats = store.store_stats();
+        assert_eq!(stats.tail_rows(), 0, "tail folded away");
+        assert_eq!(stats.base.map(|(_, rows, _)| rows), Some(records.len()));
+        let compacted = store.load_all();
+        assert_eq!(compacted, loaded, "base serves bit-identically");
+        // New appends overlay the base.
+        store.append(&[record(16, 64, 64)]).unwrap();
+        assert_eq!(store.load_all().len(), records.len() + 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_rows_are_skipped_and_healed_by_reappend() {
+        let dir = tmpdir("torn");
+        let store = MapMemoStore::new(&dir);
+        let r = record(64, 64, 32);
+        store.append(&[r]).unwrap();
+        let path = store.shard_path(r.key());
+        let text = fs::read_to_string(&path).unwrap();
+        let torn: String = text[..text.len() - 8].to_string();
+        fs::write(&path, torn).unwrap();
+        assert!(store.load_all().is_empty(), "the torn row is a miss");
+        store.append(&[r]).unwrap();
+        assert_eq!(store.load_all().get(&r.key()), Some(&r), "re-append heals");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_base_is_ignored_not_served() {
+        let dir = tmpdir("badbase");
+        let store = MapMemoStore::new(&dir);
+        store.append(&[record(64, 64, 32)]).unwrap();
+        store.compact().unwrap();
+        let (seq, base) = MapMemoStore::base_files(&store.store_dir())[0].clone();
+        assert_eq!(seq, 1);
+        let mut bytes = fs::read(&base).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        fs::write(&base, bytes).unwrap();
+        assert!(MapMemoStore::read_base(&base).is_none(), "checksum rejects the flip");
+        assert!(store.load_all().is_empty(), "a corrupt base serves nothing");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn layer_key_tracks_all_four_dims() {
+        let base = MapMemoStore::layer_key(64, 64, 64, 32);
+        assert_ne!(base, MapMemoStore::layer_key(32, 64, 64, 32));
+        assert_ne!(base, MapMemoStore::layer_key(64, 32, 64, 32));
+        assert_ne!(base, MapMemoStore::layer_key(64, 64, 32, 32));
+        assert_ne!(base, MapMemoStore::layer_key(64, 64, 64, 64));
+        assert_eq!(base, MapMemoStore::layer_key(64, 64, 64, 32));
+    }
+}

@@ -126,6 +126,27 @@ hoisted!(
     search_evo_rejected => "search.evo.rejected"
 );
 hoisted!(
+    /// Per-layer mapping searches actually run by `--map-search`
+    /// (memo misses; each one enumerates the full mapspace).
+    mapsearch_evals => "mapsearch.evals"
+);
+hoisted!(
+    /// Per-layer mapping lookups served without a search — from the
+    /// on-disk memo store or the in-run memo. Invariant:
+    /// `mapsearch.evals + mapsearch.memo_hits` equals the number of
+    /// `(point, layer)` lookups `--map-search` performed.
+    mapsearch_memo_hits => "mapsearch.memo_hits"
+);
+hoisted!(
+    /// Rows appended to the mapping-memo store.
+    mapmemo_rows_appended => "mapmemo.rows_appended"
+);
+hoisted!(
+    /// Torn or corrupt rows skipped while loading the mapping memo —
+    /// each one is a search that will silently re-run.
+    mapmemo_rows_skipped => "mapmemo.rows_skipped"
+);
+hoisted!(
     /// Worker child processes the coordinator spawned.
     distrib_workers_spawned => "distrib.workers_spawned"
 );

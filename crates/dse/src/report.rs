@@ -184,6 +184,38 @@ pub fn shard_stats_report(
     )
 }
 
+/// The `--cache-stats` lines for the mapping-memo store, mirroring the
+/// point store's [`shard_stats_report`] block: compacted base +
+/// per-shard live CSV tail, plus this process's search-vs-memo split
+/// and append/skip counters. `stats` is one
+/// [`crate::mapmemo::MapMemoStore::store_stats`] snapshot.
+pub fn mapmemo_stats_report(
+    stats: &crate::mapmemo::MapMemoStats,
+    evals: u64,
+    memo_hits: u64,
+    rows_appended: u64,
+    rows_skipped: u64,
+) -> String {
+    let counts: Vec<String> = stats.shards.iter().map(|(r, _)| r.to_string()).collect();
+    let base_line = match stats.base {
+        Some((seq, rows, bytes)) => format!(
+            "mapping memo base: generation {seq}, {rows} row(s), {:.1} KiB",
+            bytes as f64 / 1024.0
+        ),
+        None => "mapping memo base: none (CSV only — run `dse compact`)".to_string(),
+    };
+    format!(
+        "{base_line}\n\
+         mapping memo tail: [{}] rows ({} live CSV, {:.1} KiB on disk)\n\
+         mapping searches this process: {evals} run, {memo_hits} memo hit(s); \
+         {rows_appended} row(s) appended, {rows_skipped} corrupt row(s) skipped{}",
+        counts.join(" "),
+        stats.tail_rows(),
+        stats.tail_bytes() as f64 / 1024.0,
+        if rows_skipped > 0 { " (run `dse fsck` to audit)" } else { "" },
+    )
+}
+
 /// The terminal report of a guided search: space/budget summary and the
 /// recovered frontier (filtered through `constraints`).
 pub fn print_search_report(

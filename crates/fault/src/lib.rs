@@ -19,6 +19,7 @@
 //! | `append:io@p=P[,n=N]`       | point-store shard appends fail with probability `P` (at most `N` injections) |
 //! | `ledger:io@p=P[,n=N]`       | JSONL ledger/heartbeat appends fail with probability `P` |
 //! | `shard:torn-tail[@n=N]`     | the first `N` (default 1) store appends write a torn final row and report success |
+//! | `mapmemo:torn-tail[@n=N]`   | the first `N` (default 1) mapping-memo appends write a torn final row and report success |
 //! | `calib:partial-write[@n=N]` | the first `N` (default 1) calibration saves persist a truncated table |
 //! | `worker:kill@point=N`       | a worker process aborts (SIGABRT) while evaluating its `N`-th point |
 //! | `worker:hang@point=N`       | a worker process hangs forever at its `N`-th point |
@@ -75,6 +76,13 @@ pub enum Fault {
     /// report success — the bytes a writer killed mid-`write_all`
     /// leaves behind.
     TornTail {
+        /// How many appends to tear.
+        times: u64,
+    },
+    /// The first `times` mapping-memo appends write a torn final row
+    /// and report success — the same mid-`write_all` death as
+    /// `shard:torn-tail`, aimed at the `--map-search` memo store.
+    MapMemoTornTail {
         /// How many appends to tear.
         times: u64,
     },
@@ -179,6 +187,9 @@ impl FaultPlan {
                 },
                 ("ledger", "io") => Fault::LedgerIo { p: prob()?, times: num("n")? },
                 ("shard", "torn-tail") => Fault::TornTail { times: num("n")?.unwrap_or(1) },
+                ("mapmemo", "torn-tail") => {
+                    Fault::MapMemoTornTail { times: num("n")?.unwrap_or(1) }
+                }
                 ("calib", "partial-write") => {
                     Fault::CalibPartialWrite { times: num("n")?.unwrap_or(1) }
                 }
@@ -275,6 +286,7 @@ struct Injector {
     ledger_checks: AtomicU64,
     ledger_injected: AtomicU64,
     torn_injected: AtomicU64,
+    mapmemo_torn_injected: AtomicU64,
     calib_injected: AtomicU64,
     compact_injected: AtomicU64,
     enospc_injected: AtomicU64,
@@ -292,6 +304,7 @@ impl Injector {
             ledger_checks: AtomicU64::new(0),
             ledger_injected: AtomicU64::new(0),
             torn_injected: AtomicU64::new(0),
+            mapmemo_torn_injected: AtomicU64::new(0),
             calib_injected: AtomicU64::new(0),
             compact_injected: AtomicU64::new(0),
             enospc_injected: AtomicU64::new(0),
@@ -525,6 +538,20 @@ pub fn take_store_torn_tail() -> bool {
     )
 }
 
+/// `mapmemo:torn-tail` — whether this mapping-memo append should write
+/// a torn final row (consumes one of the plan's `n` tears).
+pub fn take_mapmemo_torn_tail() -> bool {
+    let Some(inj) = injector() else { return false };
+    take_budgeted(
+        &inj.plan,
+        |f| match f {
+            Fault::MapMemoTornTail { times } => Some(*times),
+            _ => None,
+        },
+        &inj.mapmemo_torn_injected,
+    )
+}
+
 /// `calib:partial-write` — whether this calibration save should persist
 /// a truncated table (consumes one of the plan's `n` truncations).
 pub fn take_calib_partial_write() -> bool {
@@ -646,6 +673,7 @@ pub fn injected_count(site: &str) -> u64 {
         "append:io" => inj.append_injected.load(Ordering::Relaxed),
         "ledger:io" => inj.ledger_injected.load(Ordering::Relaxed),
         "torn-tail" => inj.torn_injected.load(Ordering::Relaxed),
+        "mapmemo:torn-tail" => inj.mapmemo_torn_injected.load(Ordering::Relaxed),
         "calib" => inj.calib_injected.load(Ordering::Relaxed),
         "compact" => inj.compact_injected.load(Ordering::Relaxed),
         "append:enospc" => inj.enospc_injected.load(Ordering::Relaxed),
@@ -705,9 +733,9 @@ mod tests {
     fn parses_every_documented_fault() {
         let plan = FaultPlan::parse(
             "seed=7;append:io@p=0.01,n=3;ledger:io@p=0.5;shard:torn-tail;\
-             calib:partial-write@n=2;worker:kill@point=500;worker:hang@point=3;\
-             heartbeat:delay=5s;compact:crash@stage=2;append:enospc@n=4;\
-             signal:term@point=6",
+             mapmemo:torn-tail@n=2;calib:partial-write@n=2;worker:kill@point=500;\
+             worker:hang@point=3;heartbeat:delay=5s;compact:crash@stage=2;\
+             append:enospc@n=4;signal:term@point=6",
         )
         .unwrap();
         assert_eq!(plan.seed, 7);
@@ -717,6 +745,7 @@ mod tests {
                 Fault::AppendIo { p: 0.01, times: Some(3) },
                 Fault::LedgerIo { p: 0.5, times: None },
                 Fault::TornTail { times: 1 },
+                Fault::MapMemoTornTail { times: 2 },
                 Fault::CalibPartialWrite { times: 2 },
                 Fault::WorkerKill { point: 500 },
                 Fault::WorkerHang { point: 3 },

@@ -32,6 +32,25 @@ impl PeArray {
         }
     }
 
+    /// The PE array one [`ngpc::NfpConfig`]'s MLP engine presents to
+    /// the mapper: the MAC grid is the spatial array, the engine's
+    /// dedicated weight/activation SRAMs (provisioned with the array by
+    /// [`ngpc::NfpConfig::floorplan`]) are the global buffer, and the
+    /// register-file depth matches [`PeArray::nfp_mlp_engine`]. At the
+    /// paper's NFP this reproduces `nfp_mlp_engine()` exactly — the
+    /// test below pins it — so `dse --map-search` and the standalone
+    /// Fig. 13 cross-validation map onto the same machine.
+    pub fn from_nfp(nfp: &ngpc::NfpConfig) -> Self {
+        let plan = nfp.floorplan();
+        PeArray {
+            rows: nfp.mac_rows,
+            cols: nfp.mac_cols,
+            clock_ghz: nfp.clock_ghz,
+            buffer_bytes: plan.weight_sram_bytes + plan.activation_sram_bytes,
+            regfile_words: 8,
+        }
+    }
+
     /// Total PEs.
     pub fn pes(&self) -> u64 {
         self.rows as u64 * self.cols as u64
@@ -52,5 +71,16 @@ mod tests {
         let a = PeArray::nfp_mlp_engine();
         assert_eq!(a.pes(), 4096);
         assert!((a.peak_macs_per_s() - 4.096e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn from_nfp_reproduces_the_paper_engine() {
+        let paper = PeArray::from_nfp(&ngpc::NfpConfig::default());
+        assert_eq!(paper, PeArray::nfp_mlp_engine());
+        // Off-paper arrays carry their proportional buffering with them.
+        let half = ngpc::NfpConfig { mac_rows: 32, mac_cols: 32, ..ngpc::NfpConfig::default() };
+        let a = PeArray::from_nfp(&half);
+        assert_eq!((a.rows, a.cols), (32, 32));
+        assert_eq!(a.buffer_bytes, (128 + 32) * 1024 / 4);
     }
 }

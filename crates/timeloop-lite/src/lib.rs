@@ -21,6 +21,26 @@ pub mod mapping;
 pub mod model;
 pub mod problem;
 
-pub use mapper::best_mapping;
+pub use arch::PeArray;
+pub use energy::EnergyTable;
+pub use mapper::{best_mapping, SearchResult};
+pub use mapping::{Dataflow, Mapping, MappingCost};
 pub use model::{evaluate_mlp, MlpEvaluation};
 pub use problem::Gemm;
+
+/// The mapping problem one MLP layer of shape `(rows, cols)` poses on
+/// one NFP configuration: the layer's GEMM over `batch` queries plus
+/// the PE array the NFP's MLP engine presents — the stable constructor
+/// `dse --map-search` builds its per-layer searches from.
+///
+/// # Panics
+///
+/// Panics if `batch`, `rows` or `cols` is zero.
+pub fn layer_problem(
+    nfp: &ngpc::NfpConfig,
+    rows: usize,
+    cols: usize,
+    batch: u64,
+) -> (Gemm, PeArray) {
+    (Gemm::from_layer(batch, rows, cols), PeArray::from_nfp(nfp))
+}

@@ -20,13 +20,18 @@ pub struct SearchResult {
     pub candidates: u32,
 }
 
+/// Power-of-two tiles up to `limit`, plus `limit` itself when it is not
+/// a power of two — so the full-array tile (the NFP's fixed dataflow)
+/// is always in the mapspace even on non-power-of-two arrays, and the
+/// search can never return a mapping worse than the fixed tiling.
 fn pow2_tiles(limit: u64) -> impl Iterator<Item = u64> {
-    (0..=limit.ilog2()).map(|s| 1u64 << s)
+    (0..=limit.ilog2()).map(|s| 1u64 << s).chain((!limit.is_power_of_two()).then_some(limit))
 }
 
 /// Search all valid mappings of `problem` on `arch`, minimising cycles
 /// first and energy as the tie-breaker.
 pub fn best_mapping(problem: &Gemm, arch: &PeArray, table: &EnergyTable) -> SearchResult {
+    let _span = ng_obs::span("mapsearch");
     let mut best: Option<SearchResult> = None;
     let mut candidates = 0;
     for spatial_n in pow2_tiles(arch.rows as u64) {
@@ -87,6 +92,17 @@ mod tests {
         let r = best_mapping(&Gemm::new(10, 64, 64), &arch, &EnergyTable::default());
         // 7 x 7 power-of-two tiles x 2 dataflows.
         assert_eq!(r.candidates, 7 * 7 * 2);
+    }
+
+    #[test]
+    fn non_pow2_arrays_still_reach_the_full_array_tile() {
+        // A 48x48 array's best mapping of a 48-wide layer must use the
+        // whole array (one tile per query), not the largest power of
+        // two below it — the fixed dataflow is always in the mapspace.
+        let arch = PeArray { rows: 48, cols: 48, ..PeArray::nfp_mlp_engine() };
+        let r = best_mapping(&Gemm::new(1000, 48, 48), &arch, &EnergyTable::default());
+        assert_eq!((r.mapping.spatial_n, r.mapping.spatial_k), (48, 48));
+        assert_eq!(r.cost.cycles, 1000);
     }
 
     #[test]

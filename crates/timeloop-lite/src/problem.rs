@@ -27,6 +27,18 @@ impl Gemm {
         Gemm { m, n, k }
     }
 
+    /// The GEMM one MLP weight matrix of shape `(rows, cols)` (`y = W x`,
+    /// the convention of `ng_neural::mlp::MlpConfig::matrix_shape` and
+    /// `ngpc::mlp_layer_shapes`) poses over a batch of queries: `N` =
+    /// output neurons = rows, `K` = input neurons = cols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn from_layer(batch: u64, rows: usize, cols: usize) -> Self {
+        Gemm::new(batch, rows as u64, cols as u64)
+    }
+
     /// Total multiply–accumulate operations.
     pub fn macs(&self) -> u64 {
         self.m * self.n * self.k
